@@ -1,0 +1,39 @@
+//! # starling-baselines
+//!
+//! Comparator analyses for the paper's Section 9 claims:
+//!
+//! > "By defining a mapping between our language and the language in
+//! > \[HH91\], we have shown that our confluence requirements properly
+//! > subsume their fixed point requirements ... The methods in \[HH91\] have
+//! > previously been shown to subsume those in \[Ras90, ZH90\]."
+//!
+//! The originals are OPS5-specific (and two of them unpublished research
+//! reports), so these are **reconstructions**: criteria implemented from the
+//! paper's characterization, each *strictly more conservative* than the one
+//! above it, forming the chain
+//!
+//! ```text
+//! Ras90-analog ⊆ ZH90-analog ⊆ HH91-analog ⊆ Starling confluence
+//! ```
+//!
+//! * [`hh91`] — unique fixed point: termination (acyclic triggering graph)
+//!   plus pairwise commutativity of **all** distinct rule pairs, *ignoring
+//!   user priorities* (in OPS5-style systems the conflict-resolution order
+//!   must not matter at all). By Corollary 6.9 this coincides with the
+//!   Confluence Requirement exactly when `P = ∅`; with priorities, Starling
+//!   accepts strictly more rule sets.
+//! * [`zh90`] — rule triggering systems: HH91-analog plus no two distinct
+//!   rules may write a common table (strict write-stratification).
+//! * [`ras90`] — stratified production systems: ZH90-analog plus no rule
+//!   may read a table another rule writes (full independence).
+//!
+//! Subsumption is verified two ways: structurally (the conditions are
+//! supersets by construction, unit-tested here) and empirically over
+//! generated corpora (experiment E6 in `EXPERIMENTS.md`).
+
+pub mod compare;
+pub mod hh91;
+pub mod ras90;
+pub mod zh90;
+
+pub use compare::{compare_all, BaselineId, ComparisonRow};

@@ -1,0 +1,70 @@
+//! E9: analysis wall time as the rule set grows.
+//!
+//! The paper positions the analyses as the core of an *interactive*
+//! development environment, so they must stay fast at realistic rule-set
+//! sizes. This bench sweeps 10..=200 rules and times each analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use starling_analysis::confluence::analyze_confluence;
+use starling_analysis::observable::analyze_observable_determinism;
+use starling_analysis::partial::analyze_partial_confluence;
+use starling_analysis::termination::analyze_termination;
+use starling_analysis::triggering_graph::TriggeringGraph;
+use starling_bench::{build, scale_config};
+
+fn bench_analyses(c: &mut Criterion) {
+    let sizes = [10usize, 25, 50, 100, 200];
+
+    let mut g = c.benchmark_group("triggering_graph");
+    for &n in &sizes {
+        let (_, _, ctx) = build(&scale_config(n, 42));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| TriggeringGraph::build(&ctx))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("termination");
+    for &n in &sizes {
+        let (_, _, ctx) = build(&scale_config(n, 42));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyze_termination(&ctx))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("confluence");
+    for &n in &sizes {
+        let (_, _, ctx) = build(&scale_config(n, 42));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyze_confluence(&ctx))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("partial_confluence_sig");
+    for &n in &sizes {
+        let (_, _, ctx) = build(&scale_config(n, 42));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyze_partial_confluence(&ctx, &["t0", "t1"]))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("observable_determinism");
+    for &n in &sizes {
+        let (_, _, ctx) = build(&scale_config(n, 42));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyze_observable_determinism(&ctx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyses
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Engine microbenchmarks: net-effect composition throughput and full
+//! rule-processing runs on the constraint-maintenance cascade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use starling_engine::{ExecState, FirstEligible, NetEffect, Processor, TupleOp};
+use starling_storage::{TupleId, Value};
+use starling_workloads::constraints;
+
+fn bench_net_effect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_effect_absorb");
+    for &n in &[100usize, 1_000, 10_000] {
+        // Interleaved insert/update/delete streams over n/10 tuples.
+        let ops: Vec<TupleOp> = (0..n)
+            .map(|i| {
+                let id = TupleId((i % (n / 10).max(1)) as u64 * 3 + 1_000_000);
+                match i % 3 {
+                    0 => TupleOp::Insert {
+                        table: "t".into(),
+                        id,
+                        row: vec![Value::Int(i as i64)],
+                    },
+                    1 => TupleOp::Update {
+                        table: "t".into(),
+                        id,
+                        old: vec![Value::Int(i as i64)],
+                        new: vec![Value::Int(i as i64 + 1)],
+                        cols: std::iter::once("a".to_owned()).collect(),
+                    },
+                    _ => TupleOp::Delete {
+                        table: "t".into(),
+                        id,
+                        old: vec![Value::Int(i as i64 + 1)],
+                    },
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ops, |b, ops| {
+            b.iter(|| NetEffect::from_ops(ops.iter()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rule_processing(c: &mut Criterion) {
+    let w = constraints::workload();
+    let (db, rules) = w.compile().expect("workload compiles");
+    let user = w.user_actions().expect("user transition");
+
+    c.bench_function("constraints_cascade_run", |b| {
+        b.iter(|| {
+            let snapshot = db.clone();
+            let mut working = db.clone();
+            let ops = starling_engine::exec_graph::apply_user_actions(
+                &mut working,
+                &user,
+            )
+            .unwrap();
+            let mut st = ExecState::new(working, rules.len(), &ops);
+            Processor::new(&rules)
+                .with_limit(500)
+                .run(&mut st, &snapshot, &mut FirstEligible)
+                .unwrap()
+        })
+    });
+
+    // Batch scaling: N order inserts before the assertion point.
+    let mut g = c.benchmark_group("cascade_batch_size");
+    for &n in &[1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let snapshot = db.clone();
+                let mut working = db.clone();
+                let mut ops = Vec::new();
+                for i in 0..n {
+                    let row = vec![
+                        Value::Int(100 + i as i64),
+                        Value::Int(50 + i as i64),
+                        Value::Int(1),
+                    ];
+                    let id = working.insert("emp", row.clone()).unwrap();
+                    ops.push(TupleOp::Insert {
+                        table: "emp".into(),
+                        id,
+                        row,
+                    });
+                }
+                let mut st = ExecState::new(working, rules.len(), &ops);
+                Processor::new(&rules)
+                    .with_limit(2_000)
+                    .run(&mut st, &snapshot, &mut FirstEligible)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_net_effect, bench_rule_processing
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E12: partitioned/incremental re-analysis vs full re-analysis after a
+//! single-rule change (paper Section 9, first extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use starling_analysis::confluence::analyze_confluence;
+use starling_analysis::partition::IncrementalAnalyzer;
+use starling_analysis::termination::analyze_termination;
+use starling_bench::partitioned_context;
+
+fn bench_incremental(c: &mut Criterion) {
+    for &k in &[4usize, 8] {
+        let ctx = partitioned_context(k);
+        // The "edit": certify one rule in partition 0, invalidating only it.
+        let mut edited = ctx.clone();
+        let name = edited.name(0).to_owned();
+        edited.certs.certify_terminates(&name, "bench edit");
+
+        let mut g = c.benchmark_group(format!("reanalysis_{k}_partitions"));
+        g.bench_function("full", |b| {
+            b.iter(|| {
+                (
+                    analyze_termination(&edited),
+                    analyze_confluence(&edited),
+                )
+            })
+        });
+        g.bench_function("incremental", |b| {
+            b.iter_batched(
+                || {
+                    // Warm cache on the pre-edit context.
+                    let mut inc = IncrementalAnalyzer::new();
+                    let _ = inc.analyze(&ctx);
+                    inc
+                },
+                |mut inc| inc.analyze(&edited),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("partition_count", k), &k, |b, _| {
+            b.iter(|| starling_analysis::partition::partition_rules(&edited))
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Execution-graph oracle cost: exhaustive exploration over the curated
+//! corpus and the case studies (E1–E5 ground-truth machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use starling_engine::{explore, ExploreConfig};
+use starling_sql::ast::Statement;
+use starling_sql::parse_statement;
+use starling_storage::{Database, Value};
+use starling_workloads::{audit, corpus, power_network};
+
+fn bench_corpus_exploration(c: &mut Criterion) {
+    let cfg = ExploreConfig {
+        max_states: 5_000,
+        max_paths: 10_000,
+    };
+    let mut g = c.benchmark_group("explore_corpus");
+    for entry in corpus() {
+        // Skip entries that do not terminate (exploration would saturate
+        // the bound and time the bound, not the workload).
+        if !matches!(
+            entry.name,
+            "independent" | "cascade_ordered" | "unordered_writers" | "ordered_observables"
+        ) {
+            continue;
+        }
+        let rules = entry.compile();
+        let mut db = Database::new();
+        for schema in starling_workloads::CorpusEntry::catalog().tables() {
+            db.create_table(schema.clone()).unwrap();
+        }
+        db.insert("t", vec![Value::Int(0)]).unwrap();
+        db.insert("u", vec![Value::Int(0)]).unwrap();
+        let Statement::Dml(action) = parse_statement("insert into t values (1)").unwrap()
+        else {
+            unreachable!()
+        };
+        let actions = vec![action];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entry.name),
+            &entry.name,
+            |b, _| b.iter(|| explore(&rules, &db, &actions, &cfg).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_case_study_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore_case_studies");
+    for w in [power_network::workload(), audit::workload()] {
+        let (db, rules) = w.compile().unwrap();
+        let actions = w.user_actions().unwrap();
+        let cfg = ExploreConfig::default();
+        g.bench_with_input(BenchmarkId::from_parameter(w.name), &w.name, |b, _| {
+            b.iter(|| explore(&rules, &db, &actions, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_corpus_exploration, bench_case_study_exploration
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! SQL/rule-DDL parser throughput over generated scripts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use starling_bench::scale_config;
+use starling_sql::parse_script;
+use starling_workloads::random::generate;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse_script");
+    for &n in &[10usize, 50, 200] {
+        let script = generate(&scale_config(n, 7)).script();
+        g.throughput(Throughput::Bytes(script.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &script, |b, s| {
+            b.iter(|| parse_script(s).expect("script parses"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parser
+}
+criterion_main!(benches);

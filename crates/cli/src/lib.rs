@@ -1,0 +1,426 @@
+//! Library backing the `starling` CLI: script loading and the command
+//! implementations, separated from `main` so they are unit-testable.
+//!
+//! ## Script convention
+//!
+//! A `.rql` script is a single file of statements, processed in order:
+//!
+//! * `create table` — schema;
+//! * DML *before the first rule definition* — seed data;
+//! * `create rule ... end` — the rule set;
+//! * `declare commute` / `declare terminates` — certifications;
+//! * DML *after the first rule definition* — the user transition probed by
+//!   `explore`.
+
+use std::fmt::Write as _;
+
+use starling_analysis::certifications::Certifications;
+use starling_analysis::context::AnalysisContext;
+use starling_analysis::report::AnalysisReport;
+use starling_analysis::triggering_graph::TriggeringGraph;
+use starling_baselines::compare_all;
+use starling_engine::{
+    explore, EngineError, ExploreConfig, FirstEligible, RuleSet, Session,
+};
+use starling_sql::ast::{Action, Directive, Statement};
+use starling_sql::parse_script;
+use starling_storage::Database;
+
+/// A loaded script, split per the convention above.
+pub struct LoadedScript {
+    /// Database after setup statements.
+    pub db: Database,
+    /// The compiled rule set.
+    pub rules: RuleSet,
+    /// Certifications from `declare` directives.
+    pub certs: Certifications,
+    /// DML after the first rule definition (the user transition).
+    pub user_actions: Vec<Action>,
+}
+
+impl LoadedScript {
+    /// The analysis context for the script.
+    pub fn context(&self) -> AnalysisContext {
+        AnalysisContext::from_ruleset(&self.rules, self.certs.clone())
+    }
+}
+
+/// Parses and loads a script.
+pub fn load_script(src: &str) -> Result<LoadedScript, EngineError> {
+    let stmts = parse_script(src)?;
+    let mut session = Session::new();
+    let mut defs = Vec::new();
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut user_actions = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Statement::CreateTable(_) => {
+                session.execute(&stmt)?;
+            }
+            Statement::CreateRule(r) => defs.push(r),
+            Statement::DropRule(name) => {
+                let before = defs.len();
+                defs.retain(|r: &starling_sql::RuleDef| r.name != name);
+                if defs.len() == before {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "drop rule: no rule named `{name}`"
+                    )));
+                }
+                for r in &mut defs {
+                    r.precedes.retain(|p| p != &name);
+                    r.follows.retain(|p| p != &name);
+                }
+            }
+            Statement::AlterRule {
+                name,
+                precedes,
+                follows,
+            } => {
+                let Some(def) = defs.iter_mut().find(|r| r.name == name) else {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "alter rule: no rule named `{name}`"
+                    )));
+                };
+                def.precedes.extend(precedes);
+                def.follows.extend(follows);
+            }
+            Statement::Directive(d) => directives.push(d),
+            Statement::Dml(a) => {
+                if defs.is_empty() {
+                    session.execute(&Statement::Dml(a))?;
+                } else {
+                    user_actions.push(a);
+                }
+            }
+        }
+    }
+    session.commit(&mut FirstEligible)?;
+    let rules = RuleSet::compile(&defs, session.db().catalog())?;
+    Ok(LoadedScript {
+        db: session.db().clone(),
+        rules,
+        certs: Certifications::from_directives(&directives),
+        user_actions,
+    })
+}
+
+/// `starling analyze`: the full report. `refine` enables the Section 9
+/// predicate-level commutativity refinement.
+pub fn cmd_analyze(
+    src: &str,
+    protect: &[Vec<String>],
+    refine: bool,
+) -> Result<String, EngineError> {
+    let script = load_script(src)?;
+    let mut ctx = script.context();
+    ctx.refine = refine;
+    let report = AnalysisReport::run(&ctx, protect);
+    Ok(report.to_string())
+}
+
+/// `starling graph`: the triggering graph, as text or DOT.
+pub fn cmd_graph(src: &str, dot: bool) -> Result<String, EngineError> {
+    let script = load_script(src)?;
+    let ctx = script.context();
+    let graph = TriggeringGraph::build(&ctx);
+    if dot {
+        return Ok(graph.to_dot());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "triggering graph: {} rules, {} edges",
+        graph.len(),
+        graph.edge_count()
+    );
+    for (i, succs) in graph.succ.iter().enumerate() {
+        let names: Vec<&str> = succs.iter().map(|&j| graph.names[j].as_str()).collect();
+        let _ = writeln!(out, "  {} -> [{}]", graph.names[i], names.join(", "));
+    }
+    for scc in graph.cyclic_sccs() {
+        let names: Vec<&str> = scc.iter().map(|&i| graph.names[i].as_str()).collect();
+        let _ = writeln!(out, "  CYCLE: {}", names.join(" -> "));
+    }
+    Ok(out)
+}
+
+/// `starling explore`: the execution-graph oracle over the script's user
+/// transition. With `dot`, emits the graph as GraphViz instead of the
+/// verdict summary.
+pub fn cmd_explore(src: &str, max_states: usize, dot: bool) -> Result<String, EngineError> {
+    let script = load_script(src)?;
+    if script.user_actions.is_empty() {
+        return Err(EngineError::InvalidStatement(
+            "explore needs DML after the rule definitions (the user transition)".into(),
+        ));
+    }
+    let cfg = ExploreConfig {
+        max_states,
+        ..ExploreConfig::default()
+    };
+    let g = explore(&script.rules, &script.db, &script.user_actions, &cfg)?;
+    if dot {
+        return Ok(g.to_dot(&script.rules));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "execution graph: {} states, {} edges, {} final state(s){}",
+        g.states.len(),
+        g.edges.len(),
+        g.final_states.len(),
+        if g.truncated { " [TRUNCATED]" } else { "" }
+    );
+    let verdict = |v: Option<bool>| match v {
+        Some(true) => "yes",
+        Some(false) => "NO",
+        None => "unknown (truncated or cyclic)",
+    };
+    let _ = writeln!(out, "  terminates on all paths: {}", verdict(g.terminates()));
+    let _ = writeln!(out, "  unique final state:      {}", verdict(g.confluent()));
+    let _ = writeln!(
+        out,
+        "  deterministic observables: {}",
+        verdict(g.observably_deterministic(&cfg))
+    );
+    let _ = writeln!(
+        out,
+        "  distinct final DB states: {}",
+        g.final_db_digests().len()
+    );
+    Ok(out)
+}
+
+/// `starling run`: executes the script end-to-end (user transition included)
+/// with rule processing at commit, printing outcomes.
+pub fn cmd_run(src: &str) -> Result<String, EngineError> {
+    let mut session = Session::new();
+    let outputs = session.execute_script(src)?;
+    let mut out = String::new();
+    for o in outputs {
+        match o {
+            starling_engine::session::ScriptOutput::Rows(rs) => {
+                let _ = writeln!(out, "{}", rs.columns.join(" | "));
+                for row in &rs.rows {
+                    let vals: Vec<String> =
+                        row.iter().map(ToString::to_string).collect();
+                    let _ = writeln!(out, "{}", vals.join(" | "));
+                }
+            }
+            starling_engine::session::ScriptOutput::Modified(n) => {
+                let _ = writeln!(out, "{n} tuple(s) modified");
+            }
+            starling_engine::session::ScriptOutput::TableCreated(t) => {
+                let _ = writeln!(out, "table `{t}` created");
+            }
+            starling_engine::session::ScriptOutput::RuleCreated(r) => {
+                let _ = writeln!(out, "rule `{r}` created");
+            }
+            starling_engine::session::ScriptOutput::RuleDropped(r) => {
+                let _ = writeln!(out, "rule `{r}` dropped");
+            }
+            starling_engine::session::ScriptOutput::RuleAltered(r) => {
+                let _ = writeln!(out, "rule `{r}` altered");
+            }
+            starling_engine::session::ScriptOutput::DirectiveRecorded => {
+                let _ = writeln!(out, "directive recorded");
+            }
+            starling_engine::session::ScriptOutput::RolledBack => {
+                let _ = writeln!(out, "transaction rolled back");
+            }
+        }
+    }
+    let run = session.commit(&mut FirstEligible)?;
+    let _ = writeln!(
+        out,
+        "rule processing: {} consideration(s), {} fired, outcome {:?}",
+        run.considerations.len(),
+        run.fired_count(),
+        run.outcome
+    );
+    for ev in &run.observables {
+        match &ev.kind {
+            starling_engine::ObservableKind::Rollback => {
+                let _ = writeln!(out, "observable: rollback");
+            }
+            starling_engine::ObservableKind::Rows(rs) => {
+                let _ = writeln!(out, "observable rows ({}):", rs.columns.join(", "));
+                for row in &rs.rows {
+                    let vals: Vec<String> =
+                        row.iter().map(ToString::to_string).collect();
+                    let _ = writeln!(out, "  {}", vals.join(" | "));
+                }
+            }
+        }
+    }
+    let _ = write!(out, "{}", session.db());
+    Ok(out)
+}
+
+/// `starling explain`: one rule's Section 3 signature and relations.
+pub fn cmd_explain(src: &str, rule_name: &str) -> Result<String, EngineError> {
+    let script = load_script(src)?;
+    let ctx = script.context();
+    let Some(idx) = ctx.index_of(rule_name) else {
+        return Err(EngineError::InvalidStatement(format!(
+            "no rule named `{rule_name}`"
+        )));
+    };
+    let sig = &ctx.sigs[idx];
+    let mut out = String::new();
+    let _ = writeln!(out, "rule `{rule_name}` on `{}`", sig.table);
+    let fmt_ops = |ops: &std::collections::BTreeSet<starling_storage::Op>| {
+        ops.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    };
+    let _ = writeln!(out, "  Triggered-By: {{{}}}", fmt_ops(&sig.triggered_by));
+    let _ = writeln!(out, "  Performs:     {{{}}}", fmt_ops(&sig.performs));
+    let _ = writeln!(
+        out,
+        "  Reads:        {{{}}}",
+        sig.reads.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(out, "  Observable:   {}", sig.observable);
+    let triggers: Vec<&str> = ctx.triggers(idx).into_iter().map(|j| ctx.name(j)).collect();
+    let _ = writeln!(out, "  Triggers:     {{{}}}", triggers.join(", "));
+    let triggered_by_rules: Vec<&str> = (0..ctx.len())
+        .filter(|&j| ctx.can_trigger(j, idx))
+        .map(|j| ctx.name(j))
+        .collect();
+    let _ = writeln!(out, "  Triggered by rules: {{{}}}", triggered_by_rules.join(", "));
+    let unordered: Vec<&str> = (0..ctx.len())
+        .filter(|&j| j != idx && ctx.unordered(idx, j))
+        .map(|j| ctx.name(j))
+        .collect();
+    let _ = writeln!(out, "  Unordered with: {{{}}}", unordered.join(", "));
+    for j in 0..ctx.len() {
+        if j == idx {
+            continue;
+        }
+        let reasons = starling_analysis::noncommutativity_reasons(&ctx.sigs[idx], &ctx.sigs[j]);
+        if !reasons.is_empty() {
+            let _ = writeln!(out, "  may not commute with `{}`:", ctx.name(j));
+            for r in reasons {
+                let _ = writeln!(out, "    - {r}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `starling compare`: the baseline comparison (Section 9).
+pub fn cmd_compare(src: &str) -> Result<String, EngineError> {
+    let script = load_script(src)?;
+    let ctx = script.context();
+    let row = compare_all(&ctx);
+    let mark = |b: bool| if b { "accept" } else { "reject" };
+    let mut out = String::new();
+    let _ = writeln!(out, "criterion        verdict");
+    let _ = writeln!(out, "starling         {}", mark(row.starling));
+    let _ = writeln!(out, "hh91-analog      {}", mark(row.hh91));
+    let _ = writeln!(out, "zh90-analog      {}", mark(row.zh90));
+    let _ = writeln!(out, "ras90-analog     {}", mark(row.ras90));
+    if let Some((a, b)) = row.subsumption_violation() {
+        let _ = writeln!(out, "SUBSUMPTION VIOLATION: {a:?} accepted but {b:?} rejected");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "
+        create table t (x int);
+        create table u (x int);
+        insert into t values (1);
+        insert into u values (0);
+        create rule a on t when inserted then update u set x = 1 end;
+        create rule b on t when inserted then update u set x = 2 end;
+        insert into t values (5);
+    ";
+
+    #[test]
+    fn load_splits_setup_and_transition() {
+        let s = load_script(SCRIPT).unwrap();
+        assert_eq!(s.rules.len(), 2);
+        assert_eq!(s.user_actions.len(), 1);
+        // Seed insert ran; user insert did not (it is the probe).
+        assert_eq!(s.db.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn analyze_reports_violation() {
+        let text = cmd_analyze(SCRIPT, &[], false).unwrap();
+        assert!(text.contains("MAY NOT BE CONFLUENT"), "{text}");
+    }
+
+    #[test]
+    fn analyze_honors_directives() {
+        let src = format!("{SCRIPT}\ndeclare commute a, b;");
+        let text = cmd_analyze(&src, &[], false).unwrap();
+        assert!(text.contains("CONFLUENCE: guaranteed"), "{text}");
+    }
+
+    #[test]
+    fn graph_text_and_dot() {
+        let text = cmd_graph(SCRIPT, false).unwrap();
+        assert!(text.contains("2 rules"));
+        let dot = cmd_graph(SCRIPT, true).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn explore_oracle() {
+        let text = cmd_explore(SCRIPT, 1000, false).unwrap();
+        assert!(text.contains("unique final state:      NO"), "{text}");
+    }
+
+    #[test]
+    fn explore_dot_output() {
+        let dot = cmd_explore(SCRIPT, 1000, true).unwrap();
+        assert!(dot.starts_with("digraph execution"), "{dot}");
+        assert!(dot.contains("doublecircle"), "{dot}");
+    }
+
+    #[test]
+    fn explore_requires_transition() {
+        let src = "create table t (x int); \
+                   create rule a on t when inserted then delete from t end;";
+        assert!(cmd_explore(src, 100, false).is_err());
+    }
+
+    #[test]
+    fn run_executes_everything() {
+        let text = cmd_run(
+            "create table t (x int);
+             create rule bump on t when inserted then update t set x = x + 1 end;
+             insert into t values (1);
+             select x from t;",
+        )
+        .unwrap();
+        assert!(text.contains("rule processing"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_signature() {
+        let text = cmd_explain(SCRIPT, "a").unwrap();
+        assert!(text.contains("Triggered-By: {(I, t)}"), "{text}");
+        assert!(text.contains("Performs:     {(U, u.x)}"), "{text}");
+        assert!(text.contains("may not commute with `b`"), "{text}");
+        assert!(cmd_explain(SCRIPT, "zzz").is_err());
+    }
+
+    #[test]
+    fn compare_prints_chain() {
+        let text = cmd_compare(SCRIPT).unwrap();
+        assert!(text.contains("starling"));
+        assert!(text.contains("hh91-analog"));
+        assert!(!text.contains("SUBSUMPTION VIOLATION"));
+    }
+
+    #[test]
+    fn analyze_with_protected_tables() {
+        let text = cmd_analyze(SCRIPT, &[vec!["t".to_owned()]], false).unwrap();
+        assert!(text.contains("PARTIAL CONFLUENCE w.r.t. {t}"), "{text}");
+    }
+}

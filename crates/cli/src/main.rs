@@ -1,0 +1,118 @@
+//! `starling` — static analyzer and runtime for Starburst-style database
+//! production rules.
+//!
+//! ```text
+//! starling analyze <file> [--protect t1,t2]...   full analysis report
+//! starling graph <file> [--dot]                  triggering graph
+//! starling explore <file> [--max-states N]       execution-graph oracle
+//! starling run <file>                            execute with rule processing
+//! starling compare <file>                        baseline comparison (Sec. 9)
+//! ```
+
+use std::process::ExitCode;
+
+use starling_cli::{cmd_analyze, cmd_compare, cmd_explore, cmd_graph, cmd_run};
+
+const USAGE: &str = "\
+starling — analysis of database production rules (SIGMOD '92 reproduction)
+
+USAGE:
+    starling <COMMAND> <FILE> [OPTIONS]
+
+COMMANDS:
+    analyze    Termination, confluence, and observable-determinism report
+    graph      Print the triggering graph (--dot for GraphViz)
+    explore    Exhaustive execution-graph oracle over the script's
+               user transition (--max-states N, default 20000)
+    explain    One rule's Section 3 signature and interactions
+               (starling explain <file> <rule>)
+    run        Execute the script with rule processing at commit
+    compare    Compare against HH91/ZH90/Ras90-analog criteria
+
+OPTIONS:
+    --protect t1,t2    (analyze) also check partial confluence w.r.t. the
+                       listed tables; repeatable
+    --dot              (graph/explore) emit GraphViz DOT
+    --max-states N     (explore) exploration bound
+    --refine           (analyze) enable the Section 9 predicate-level
+                       commutativity refinement
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(USAGE.to_owned());
+    }
+    let file = args.get(1).ok_or("missing script file")?;
+    let src = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+
+    let mut rule_arg: Option<String> = None;
+    let mut protect: Vec<Vec<String>> = Vec::new();
+    let mut dot = false;
+    let mut refine = false;
+    let mut max_states = 20_000usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--protect" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--protect needs a table list")?;
+                protect.push(v.split(',').map(|s| s.trim().to_owned()).collect());
+                i += 2;
+            }
+            "--dot" => {
+                dot = true;
+                i += 1;
+            }
+            "--refine" => {
+                refine = true;
+                i += 1;
+            }
+            "--max-states" => {
+                max_states = args
+                    .get(i + 1)
+                    .ok_or("--max-states needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-states: {e}"))?;
+                i += 2;
+            }
+            other if command == "explain" && rule_arg.is_none() => {
+                rule_arg = Some(other.to_owned());
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(&src, &protect, refine),
+        "graph" => cmd_graph(&src, dot),
+        "explore" => cmd_explore(&src, max_states, dot),
+        "explain" => {
+            let rule = rule_arg.ok_or("explain needs a rule name")?;
+            starling_cli::cmd_explain(&src, &rule)
+        }
+        "run" => cmd_run(&src),
+        "compare" => cmd_compare(&src),
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    result.map_err(|e| e.to_string())
+}

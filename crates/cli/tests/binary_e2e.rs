@@ -1,0 +1,112 @@
+//! End-to-end tests of the compiled `starling` binary: argument handling,
+//! exit codes, and output, via `CARGO_BIN_EXE`.
+
+use std::process::Command;
+
+fn starling(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_starling"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn script_file(content: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "starling_e2e_{}_{}.rql",
+        std::process::id(),
+        content.len()
+    ));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const SCRIPT: &str = "
+    create table t (x int);
+    create table u (x int);
+    insert into u values (0);
+    create rule a on t when inserted then update u set x = 1 end;
+    create rule b on t when inserted then update u set x = 2 end;
+    insert into t values (1);
+";
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = starling(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE:"));
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let (ok, _, stderr) = starling(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing command"));
+}
+
+#[test]
+fn unknown_file_fails() {
+    let (ok, _, stderr) = starling(&["analyze", "/nonexistent/path.rql"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn analyze_explore_graph_compare_pipeline() {
+    let path = script_file(SCRIPT);
+    let p = path.to_str().unwrap();
+
+    let (ok, stdout, _) = starling(&["analyze", p]);
+    assert!(ok);
+    assert!(stdout.contains("MAY NOT BE CONFLUENT"), "{stdout}");
+
+    let (ok, stdout, _) = starling(&["explore", p]);
+    assert!(ok);
+    assert!(stdout.contains("unique final state:      NO"), "{stdout}");
+
+    let (ok, stdout, _) = starling(&["graph", p, "--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+
+    let (ok, stdout, _) = starling(&["compare", p]);
+    assert!(ok);
+    assert!(stdout.contains("hh91-analog"), "{stdout}");
+
+    let (ok, stdout, _) = starling(&["explain", p, "a"]);
+    assert!(ok);
+    assert!(stdout.contains("Triggered-By"), "{stdout}");
+
+    let (ok, stdout, _) = starling(&["run", p]);
+    assert!(ok);
+    assert!(stdout.contains("rule processing"), "{stdout}");
+
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_script_reports_parse_error() {
+    let path = script_file("create rule broken on");
+    let (ok, _, stderr) = starling(&["analyze", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn explore_respects_max_states() {
+    // Unbounded growth truncates at the tiny bound.
+    let path = script_file(
+        "create table t (x int);
+         create rule grow on t when inserted then insert into t select x + 1 from inserted end;
+         insert into t values (1);",
+    );
+    let (ok, stdout, _) = starling(&["explore", path.to_str().unwrap(), "--max-states", "20"]);
+    assert!(ok);
+    assert!(stdout.contains("[TRUNCATED]"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,454 @@
+//! Rule commutativity analysis (paper Section 6.1, Lemma 6.1).
+//!
+//! Two rules `r_i`, `r_j` commute when considering them in either order from
+//! any execution-graph state produces the same state (Figure 1). Lemma 6.1
+//! gives six syntactic conditions under which they *may not* commute; if
+//! none holds, the rules are guaranteed to commute. The conditions are
+//! deliberately conservative (e.g., inserts "affecting" deletes of the same
+//! table even when the delete predicate can never select the inserted
+//! tuples) — the user may override per pair via
+//! [`crate::Certifications::certify_commute`].
+
+use std::fmt;
+
+use serde::Serialize;
+use starling_sql::RuleSignature;
+use starling_storage::Op;
+
+use crate::certifications::Certifications;
+use crate::context::AnalysisContext;
+
+/// One reason a pair of rules may not commute (a condition of Lemma 6.1
+/// that fired). `who`/`whom` are rule names; each condition is reported in
+/// the direction it fired (condition 6 is covered by testing both
+/// directions).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum NoncommutativityReason {
+    /// Condition 1: `who` can cause `whom` to become triggered.
+    Triggers {
+        /// The triggering rule.
+        who: String,
+        /// The rule that may become triggered.
+        whom: String,
+    },
+    /// Condition 2: `who`'s deletions can untrigger `whom`.
+    Untriggers {
+        /// The untriggering rule.
+        who: String,
+        /// The rule that may be untriggered.
+        whom: String,
+    },
+    /// Condition 2′ (Starling extension, not in the paper): `who`'s
+    /// insertions into `table` can sit in `whom`'s pending transition
+    /// window and annihilate a later delete (net-effect rule 4), masking a
+    /// triggering deletion of `whom`. See `tests/masking_finding.rs` for a
+    /// concrete counterexample to Lemma 6.1 without this condition.
+    InsertMasksDelete {
+        /// The inserting rule.
+        who: String,
+        /// The shared table.
+        table: String,
+        /// The delete-triggered rule whose re-triggering can be masked.
+        whom: String,
+    },
+    /// Condition 3: `who`'s operation can affect what `whom` reads.
+    WriteRead {
+        /// The writing rule.
+        who: String,
+        /// The written operation, e.g. `(U, emp.salary)`.
+        op: String,
+        /// The reading rule.
+        whom: String,
+    },
+    /// Condition 4: `who`'s insertions into `table` can affect what `whom`
+    /// updates or deletes there.
+    InsertWrite {
+        /// The inserting rule.
+        who: String,
+        /// The shared table.
+        table: String,
+        /// The updating/deleting rule.
+        whom: String,
+    },
+    /// Condition 5: both rules update the same column.
+    UpdateUpdate {
+        /// One updating rule.
+        who: String,
+        /// The shared column, e.g. `emp.salary`.
+        column: String,
+        /// The other updating rule.
+        whom: String,
+    },
+}
+
+impl fmt::Display for NoncommutativityReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoncommutativityReason::Triggers { who, whom } => {
+                write!(f, "`{who}` can trigger `{whom}` (Lemma 6.1, condition 1)")
+            }
+            NoncommutativityReason::Untriggers { who, whom } => {
+                write!(f, "`{who}` can untrigger `{whom}` (condition 2)")
+            }
+            NoncommutativityReason::InsertMasksDelete { who, table, whom } => write!(
+                f,
+                "`{who}` inserts into `{table}`, which can mask a deletion that would \
+                 re-trigger `{whom}` (condition 2\u{2032}, Starling extension)"
+            ),
+            NoncommutativityReason::WriteRead { who, op, whom } => {
+                write!(f, "`{who}` performs {op}, which `{whom}` reads (condition 3)")
+            }
+            NoncommutativityReason::InsertWrite { who, table, whom } => write!(
+                f,
+                "`{who}` inserts into `{table}`, which `{whom}` updates or deletes (condition 4)"
+            ),
+            NoncommutativityReason::UpdateUpdate { who, column, whom } => write!(
+                f,
+                "`{who}` and `{whom}` both update `{column}` (condition 5)"
+            ),
+        }
+    }
+}
+
+/// All Lemma 6.1 conditions that fire for the (ordered) direction
+/// `a`-affects-`b`, given the `Triggers`/`Can-Untrigger` predicates of a
+/// context. Exposed at signature level so the Section 8 extended
+/// definitions reuse it.
+fn directed_reasons(
+    a: &RuleSignature,
+    b: &RuleSignature,
+    with_masking: bool,
+    out: &mut Vec<NoncommutativityReason>,
+) {
+    // Condition 1: a's Performs intersects b's Triggered-By.
+    if b.triggered_by.iter().any(|op| a.performs.contains(op)) {
+        out.push(NoncommutativityReason::Triggers {
+            who: a.name.clone(),
+            whom: b.name.clone(),
+        });
+    }
+    // Condition 2: b ∈ Can-Untrigger(Performs(a)).
+    let untriggers = a.performs.iter().any(|op| match op {
+        Op::Delete(t) => b.triggered_by.iter().any(|tb| match tb {
+            Op::Insert(t2) => t2 == t,
+            Op::Update(c) => &c.table == t,
+            Op::Delete(_) => false,
+        }),
+        _ => false,
+    });
+    if untriggers {
+        out.push(NoncommutativityReason::Untriggers {
+            who: a.name.clone(),
+            whom: b.name.clone(),
+        });
+    }
+    // Condition 2′: a's inserts can mask b's triggering deletes.
+    if with_masking {
+        for op in &a.performs {
+            let Op::Insert(t) = op else { continue };
+            if b.triggered_by.contains(&Op::Delete(t.clone())) {
+                out.push(NoncommutativityReason::InsertMasksDelete {
+                    who: a.name.clone(),
+                    table: t.clone(),
+                    whom: b.name.clone(),
+                });
+            }
+        }
+    }
+    // Condition 3: a writes something b reads.
+    for op in &a.performs {
+        let hit = match op {
+            Op::Insert(t) | Op::Delete(t) => b.reads.iter().any(|c| &c.table == t),
+            Op::Update(c) => b.reads.contains(c),
+        };
+        if hit {
+            out.push(NoncommutativityReason::WriteRead {
+                who: a.name.clone(),
+                op: op.to_string(),
+                whom: b.name.clone(),
+            });
+        }
+    }
+    // Condition 4: a inserts into t; b updates or deletes t.
+    for op in &a.performs {
+        let Op::Insert(t) = op else { continue };
+        let hit = b.performs.iter().any(|p| match p {
+            Op::Delete(t2) => t2 == t,
+            Op::Update(c) => &c.table == t,
+            Op::Insert(_) => false,
+        });
+        if hit {
+            out.push(NoncommutativityReason::InsertWrite {
+                who: a.name.clone(),
+                table: t.clone(),
+                whom: b.name.clone(),
+            });
+        }
+    }
+    // Condition 5: both update the same column (report once, from a's
+    // perspective; the reversed direction would duplicate it).
+    for op in &a.performs {
+        let Op::Update(c) = op else { continue };
+        if b.performs.contains(op) && a.name <= b.name {
+            out.push(NoncommutativityReason::UpdateUpdate {
+                who: a.name.clone(),
+                column: c.to_string(),
+                whom: b.name.clone(),
+            });
+        }
+    }
+}
+
+/// All reasons the pair may not commute (conditions 1–5 in both directions;
+/// condition 6 of the lemma is exactly the reversal). Empty means the rules
+/// are guaranteed to commute.
+///
+/// A rule trivially commutes with itself ("each rule clearly commutes with
+/// itself"): the result is empty for identical names.
+pub fn noncommutativity_reasons(
+    a: &RuleSignature,
+    b: &RuleSignature,
+) -> Vec<NoncommutativityReason> {
+    reasons_with(a, b, true)
+}
+
+/// The conditions exactly as published in Lemma 6.1, *without* condition
+/// 2′. Unsound for the strict Section 2 operational semantics (see
+/// `tests/masking_finding.rs`) but faithful to the paper — used by the
+/// fidelity experiments.
+pub fn noncommutativity_reasons_lemma61(
+    a: &RuleSignature,
+    b: &RuleSignature,
+) -> Vec<NoncommutativityReason> {
+    reasons_with(a, b, false)
+}
+
+fn reasons_with(
+    a: &RuleSignature,
+    b: &RuleSignature,
+    with_masking: bool,
+) -> Vec<NoncommutativityReason> {
+    if a.name == b.name {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    directed_reasons(a, b, with_masking, &mut out);
+    directed_reasons(b, a, with_masking, &mut out);
+    out
+}
+
+/// Whether the pair commutes, honoring user certifications.
+pub fn commutes(a: &RuleSignature, b: &RuleSignature, certs: &Certifications) -> bool {
+    a.name == b.name
+        || certs.commute_certified(&a.name, &b.name)
+        || noncommutativity_reasons(a, b).is_empty()
+}
+
+/// Index-based variant over a context; honors certifications and, when
+/// [`AnalysisContext::refine`] is set, the Section 9 predicate-level
+/// refinement.
+pub fn commutes_idx(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
+    if commutes(&ctx.sigs[i], &ctx.sigs[j], &ctx.certs) {
+        return true;
+    }
+    if ctx.refine {
+        let reasons = noncommutativity_reasons(&ctx.sigs[i], &ctx.sigs[j]);
+        return crate::refine::refine_reasons(ctx, i, j, reasons).is_empty();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::RuleSet;
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use super::*;
+
+    fn sigs(src: &str, tables: &[(&str, &[&str])]) -> Vec<RuleSignature> {
+        let mut cat = Catalog::new();
+        for (name, cols) in tables {
+            cat.add_table(
+                TableSchema::new(
+                    *name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        RuleSet::compile(&defs, &cat)
+            .unwrap()
+            .rules()
+            .iter()
+            .map(|r| r.sig.clone())
+            .collect()
+    }
+
+    const TABLES: &[(&str, &[&str])] = &[
+        ("t", &["x", "y"]),
+        ("u", &["x"]),
+        ("v", &["x"]),
+    ];
+
+    #[test]
+    fn disjoint_rules_commute() {
+        let s = sigs(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on t when deleted then insert into v values (1) end;",
+            TABLES,
+        );
+        assert!(noncommutativity_reasons(&s[0], &s[1]).is_empty());
+        assert!(commutes(&s[0], &s[1], &Certifications::new()));
+    }
+
+    #[test]
+    fn condition1_triggering() {
+        let s = sigs(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on u when inserted then insert into v values (1) end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::Triggers { who, whom }
+                if who == "a" && whom == "b")));
+    }
+
+    #[test]
+    fn condition2_untriggering() {
+        // a deletes from u; b is triggered by inserts into u.
+        let s = sigs(
+            "create rule a on t when inserted then delete from u end;
+             create rule b on u when inserted then insert into v values (1) end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::Untriggers { who, whom }
+                if who == "a" && whom == "b")));
+    }
+
+    #[test]
+    fn condition3_write_read() {
+        let s = sigs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted \
+               if exists (select * from u where x > 0) \
+               then insert into v values (1) end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::WriteRead { who, whom, .. }
+                if who == "a" && whom == "b")));
+    }
+
+    #[test]
+    fn condition4_insert_vs_write_without_read() {
+        // b deletes from u without reading it (paper footnote 3: possible
+        // in SQL) — condition 4 is what catches this, not condition 3.
+        let s = sigs(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on t when deleted then delete from u end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::InsertWrite { who, table, whom }
+                if who == "a" && table == "u" && whom == "b")));
+    }
+
+    #[test]
+    fn condition5_update_update() {
+        let s = sigs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted then update u set x = 2 end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        let count = rs
+            .iter()
+            .filter(|r| matches!(r, NoncommutativityReason::UpdateUpdate { .. }))
+            .count();
+        assert_eq!(count, 1, "condition 5 reported exactly once: {rs:?}");
+    }
+
+    #[test]
+    fn condition6_reversal() {
+        // The asymmetric case: only b affects a; reversal must catch it.
+        let s = sigs(
+            "create rule a on u when inserted then insert into v values (1) end;
+             create rule b on t when inserted then insert into u values (1) end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::Triggers { who, whom }
+                if who == "b" && whom == "a")));
+    }
+
+    #[test]
+    fn self_commutes() {
+        let s = sigs(
+            "create rule a on t when inserted then update t set x = x + 1 end",
+            TABLES,
+        );
+        assert!(noncommutativity_reasons(&s[0], &s[0]).is_empty());
+        assert!(commutes(&s[0], &s[0], &Certifications::new()));
+    }
+
+    #[test]
+    fn certification_overrides() {
+        let s = sigs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted then update u set x = 2 end;",
+            TABLES,
+        );
+        let mut certs = Certifications::new();
+        assert!(!commutes(&s[0], &s[1], &certs));
+        certs.certify_commute("a", "b");
+        assert!(commutes(&s[0], &s[1], &certs));
+    }
+
+    #[test]
+    fn reads_via_own_action_where_clause() {
+        // a updates t.y; b deletes from t where y > 0 (reads t.y).
+        let s = sigs(
+            "create rule a on u when inserted then update t set y = 1 end;
+             create rule b on u when deleted then delete from t where y > 0 end;",
+            TABLES,
+        );
+        let rs = noncommutativity_reasons(&s[0], &s[1]);
+        assert!(rs
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::WriteRead { .. })));
+    }
+
+    #[test]
+    fn display_reasons() {
+        let r = NoncommutativityReason::UpdateUpdate {
+            who: "a".into(),
+            column: "u.x".into(),
+            whom: "b".into(),
+        };
+        assert!(r.to_string().contains("condition 5"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Confluence analysis (paper Section 6).
+//!
+//! The rules in `R` are confluent when every execution graph has at most
+//! one final state. The analysis follows the paper exactly:
+//!
+//! 1. For every **unordered** pair `(r_i, r_j)` (Observation 6.2: such a
+//!    pair very likely has a state with both outgoing edges), build the
+//!    mutually recursive sets `R1`, `R2` of Definition 6.5 — starting from
+//!    `{r_i}`/`{r_j}` and closing under "rules triggered by a member that
+//!    have priority over a member of the *other* set".
+//! 2. Every `r_1 ∈ R1` must commute with every `r_2 ∈ R2` (Lemma 6.1,
+//!    modulo user certifications).
+//!
+//! Theorem 6.7: the Confluence Requirement plus guaranteed termination
+//! imply confluence. Violations are isolated per generating pair, with the
+//! §6.4 remedies attached (certify commutativity, or order the pair).
+
+use serde::Serialize;
+
+use crate::commutativity::{commutes_idx, noncommutativity_reasons, NoncommutativityReason};
+use crate::context::AnalysisContext;
+
+/// The Definition 6.5 closure for one unordered pair.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct PairClosure {
+    /// The generating unordered pair (rule indices `(i, j)`).
+    pub pair: (usize, usize),
+    /// `R1` (contains `i`).
+    pub r1: Vec<usize>,
+    /// `R2` (contains `j`).
+    pub r2: Vec<usize>,
+}
+
+/// Builds `R1`/`R2` per Definition 6.5 for an unordered pair `(ri, rj)`.
+///
+/// ```text
+/// R1 ← {ri};  R2 ← {rj}
+/// repeat until unchanged:
+///   R1 ← R1 ∪ {r | r ∈ Triggers(r1) for some r1 ∈ R1
+///                  and r > r2 ∈ P for some r2 ∈ R2 and r ≠ rj}
+///   R2 ← R2 ∪ {r | r ∈ Triggers(r2) for some r2 ∈ R2
+///                  and r > r1 ∈ P for some r1 ∈ R1 and r ≠ ri}
+/// ```
+pub fn pair_closure(ctx: &AnalysisContext, ri: usize, rj: usize) -> PairClosure {
+    let n = ctx.len();
+    let mut in_r1 = vec![false; n];
+    let mut in_r2 = vec![false; n];
+    in_r1[ri] = true;
+    in_r2[rj] = true;
+    loop {
+        let mut changed = false;
+        for r in 0..n {
+            if !in_r1[r]
+                && r != rj
+                && (0..n).any(|r1| in_r1[r1] && ctx.can_trigger(r1, r))
+                && (0..n).any(|r2| in_r2[r2] && ctx.gt(r, r2))
+            {
+                in_r1[r] = true;
+                changed = true;
+            }
+            if !in_r2[r]
+                && r != ri
+                && (0..n).any(|r2| in_r2[r2] && ctx.can_trigger(r2, r))
+                && (0..n).any(|r1| in_r1[r1] && ctx.gt(r, r1))
+            {
+                in_r2[r] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    PairClosure {
+        pair: (ri, rj),
+        r1: (0..n).filter(|&r| in_r1[r]).collect(),
+        r2: (0..n).filter(|&r| in_r2[r]).collect(),
+    }
+}
+
+/// One violation of the Confluence Requirement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ConfluenceViolation {
+    /// The generating unordered pair (names).
+    pub pair: (String, String),
+    /// The non-commuting rules found in `R1 × R2` (names).
+    pub conflict: (String, String),
+    /// The Lemma 6.1 conditions that fired.
+    pub reasons: Vec<NoncommutativityReason>,
+    /// §6.4 remedies, human-readable.
+    pub suggestions: Vec<String>,
+}
+
+/// Verdict of the confluence analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ConfluenceVerdict {
+    /// The Confluence Requirement holds: confluent, **provided termination
+    /// is also guaranteed** (Theorem 6.7's second premise).
+    RequirementHolds,
+    /// The requirement is violated: the rule set may not be confluent.
+    MayNotBeConfluent,
+}
+
+/// The result of confluence analysis.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConfluenceAnalysis {
+    /// Verdict.
+    pub verdict: ConfluenceVerdict,
+    /// All violations found (empty iff the requirement holds).
+    pub violations: Vec<ConfluenceViolation>,
+    /// Number of unordered pairs examined.
+    pub pairs_checked: usize,
+}
+
+impl ConfluenceAnalysis {
+    /// Whether the Confluence Requirement holds.
+    pub fn requirement_holds(&self) -> bool {
+        self.verdict == ConfluenceVerdict::RequirementHolds
+    }
+}
+
+/// Runs confluence analysis over the whole rule set (Section 6.3).
+pub fn analyze_confluence(ctx: &AnalysisContext) -> ConfluenceAnalysis {
+    analyze_confluence_of(ctx, &(0..ctx.len()).collect::<Vec<_>>())
+}
+
+/// Runs the Confluence Requirement restricted to a subset of rules (used by
+/// partial confluence, where the subset is `Sig(T')`).
+pub fn analyze_confluence_of(ctx: &AnalysisContext, subset: &[usize]) -> ConfluenceAnalysis {
+    let mut violations = Vec::new();
+    let mut pairs_checked = 0;
+    for (a_pos, &i) in subset.iter().enumerate() {
+        for &j in &subset[a_pos + 1..] {
+            if !ctx.unordered(i, j) {
+                continue;
+            }
+            pairs_checked += 1;
+            let cl = pair_closure(ctx, i, j);
+            for &r1 in &cl.r1 {
+                for &r2 in &cl.r2 {
+                    if commutes_idx(ctx, r1, r2) {
+                        continue;
+                    }
+                    let reasons =
+                        noncommutativity_reasons(&ctx.sigs[r1], &ctx.sigs[r2]);
+                    violations.push(ConfluenceViolation {
+                        pair: (ctx.name(i).to_owned(), ctx.name(j).to_owned()),
+                        conflict: (ctx.name(r1).to_owned(), ctx.name(r2).to_owned()),
+                        suggestions: suggestions(ctx, (i, j), (r1, r2)),
+                        reasons,
+                    });
+                }
+            }
+        }
+    }
+    ConfluenceAnalysis {
+        verdict: if violations.is_empty() {
+            ConfluenceVerdict::RequirementHolds
+        } else {
+            ConfluenceVerdict::MayNotBeConfluent
+        },
+        violations,
+        pairs_checked,
+    }
+}
+
+/// The §6.4 remedies for a violation. Approach 3 (removing orderings) is
+/// deliberately omitted — the paper shows it is "non-intuitive and in fact
+/// useless".
+fn suggestions(
+    ctx: &AnalysisContext,
+    pair: (usize, usize),
+    conflict: (usize, usize),
+) -> Vec<String> {
+    let (r1, r2) = conflict;
+    let (i, j) = pair;
+    vec![
+        format!(
+            "certify that `{}` and `{}` actually commute: declare commute {}, {}",
+            ctx.name(r1),
+            ctx.name(r2),
+            ctx.name(r1),
+            ctx.name(r2)
+        ),
+        format!(
+            "order the generating pair: add `precedes`/`follows` between `{}` and `{}` \
+             (note: this may surface new violations elsewhere)",
+            ctx.name(i),
+            ctx.name(j)
+        ),
+    ]
+}
+
+/// Corollary 6.8/6.9/6.10 checks: structural facts that *must* hold of any
+/// rule set our analysis finds confluent. Returns human-readable failures
+/// (all empty on a confluent-verdict rule set — property-tested).
+pub fn corollary_checks(ctx: &AnalysisContext, analysis: &ConfluenceAnalysis) -> Vec<String> {
+    let mut out = Vec::new();
+    if !analysis.requirement_holds() {
+        return out;
+    }
+    let n = ctx.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let unordered = ctx.unordered(i, j);
+            // Corollary 6.8: unordered pairs commute.
+            if unordered && !commutes_idx(ctx, i, j) {
+                out.push(format!(
+                    "corollary 6.8 violated: unordered `{}`/`{}` do not commute",
+                    ctx.name(i),
+                    ctx.name(j)
+                ));
+            }
+            // Corollary 6.10: triggering pairs are ordered.
+            if unordered && (ctx.can_trigger(i, j) || ctx.can_trigger(j, i)) {
+                out.push(format!(
+                    "corollary 6.10 violated: `{}` may trigger `{}` but they are unordered",
+                    ctx.name(i),
+                    ctx.name(j)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::RuleSet;
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use crate::certifications::Certifications;
+
+    use super::*;
+
+    fn ctx(src: &str, tables: &[(&str, &[&str])], certs: Certifications) -> AnalysisContext {
+        let mut cat = Catalog::new();
+        for (name, cols) in tables {
+            cat.add_table(
+                TableSchema::new(
+                    *name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let rs = RuleSet::compile(&defs, &cat).unwrap();
+        AnalysisContext::from_ruleset(&rs, certs)
+    }
+
+    const TABLES: &[(&str, &[&str])] =
+        &[("t", &["x"]), ("u", &["x"]), ("v", &["x"]), ("w", &["x"])];
+
+    #[test]
+    fn disjoint_rules_confluent() {
+        let a = analyze_confluence(&ctx(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on t when deleted then insert into v values (1) end;",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert!(a.requirement_holds());
+        assert_eq!(a.pairs_checked, 1);
+    }
+
+    #[test]
+    fn conflicting_unordered_pair_flagged() {
+        let a = analyze_confluence(&ctx(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert_eq!(a.verdict, ConfluenceVerdict::MayNotBeConfluent);
+        assert_eq!(a.violations.len(), 1);
+        let v = &a.violations[0];
+        assert_eq!(v.pair, ("a".to_owned(), "b".to_owned()));
+        assert_eq!(v.conflict, ("a".to_owned(), "b".to_owned()));
+        assert!(!v.suggestions.is_empty());
+    }
+
+    #[test]
+    fn ordering_the_pair_restores_confluence() {
+        let a = analyze_confluence(&ctx(
+            "create rule a on t when inserted then update u set x = 1 precedes b end;
+             create rule b on t when inserted then update u set x = 2 end;",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert!(a.requirement_holds());
+        assert_eq!(a.pairs_checked, 0);
+    }
+
+    #[test]
+    fn certification_restores_confluence() {
+        let mut certs = Certifications::new();
+        certs.certify_commute("a", "b");
+        let a = analyze_confluence(&ctx(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;",
+            TABLES,
+            certs,
+        ));
+        assert!(a.requirement_holds());
+    }
+
+    #[test]
+    fn closure_pulls_in_prioritized_triggered_rules() {
+        // ri triggers h (via insert into u), and h > rj. Then h ∈ R1, and
+        // h vs rj must commute — they don't (both update v.x).
+        let a = analyze_confluence(&ctx(
+            "create rule ri on t when inserted then insert into u values (1) end;
+             create rule rj on t when inserted then update v set x = 2 end;
+             create rule h on u when inserted then update v set x = 1 precedes rj end;",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert_eq!(a.verdict, ConfluenceVerdict::MayNotBeConfluent);
+        // The conflict must be (h, rj) — generated by the (ri, rj) pair.
+        assert!(a
+            .violations
+            .iter()
+            .any(|v| v.conflict == ("h".to_owned(), "rj".to_owned())
+                && v.pair == ("ri".to_owned(), "rj".to_owned())),
+            "{:?}", a.violations);
+    }
+
+    #[test]
+    fn closure_ignores_unprioritized_triggered_rules() {
+        // Same as above but h has no priority over rj: h does not enter R1
+        // (Definition 6.5 requires r > r2 ∈ P), so no violation from (ri, rj)
+        // via h... but (rj, h) is itself an unordered pair and h/rj still
+        // conflict directly through their own pair.
+        let c = ctx(
+            "create rule ri on t when inserted then insert into u values (1) end;
+             create rule rj on t when inserted then update v set x = 2 end;
+             create rule h on u when inserted then update v set x = 1 end;",
+            TABLES,
+            Certifications::new(),
+        );
+        let cl = pair_closure(&c, 0, 1);
+        assert_eq!(cl.r1, vec![0]);
+        assert_eq!(cl.r2, vec![1]);
+        // Direct pair (rj, h) still catches the conflict.
+        let a = analyze_confluence(&c);
+        assert!(a
+            .violations
+            .iter()
+            .all(|v| v.pair != ("ri".to_owned(), "rj".to_owned())));
+        assert!(a
+            .violations
+            .iter()
+            .any(|v| v.pair == ("rj".to_owned(), "h".to_owned())));
+    }
+
+    #[test]
+    fn self_pair_never_checked() {
+        // A self-triggering rule must not generate a (r, r) violation.
+        let a = analyze_confluence(&ctx(
+            "create rule grow on t when inserted then insert into t values (1) end",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert!(a.requirement_holds());
+        assert_eq!(a.pairs_checked, 0);
+    }
+
+    #[test]
+    fn corollaries_hold_on_confluent_sets() {
+        let c = ctx(
+            "create rule a on t when inserted then insert into u values (1) precedes b end;
+             create rule b on u when inserted then insert into v values (1) end;",
+            TABLES,
+            Certifications::new(),
+        );
+        let a = analyze_confluence(&c);
+        assert!(a.requirement_holds());
+        assert!(corollary_checks(&c, &a).is_empty());
+    }
+
+    #[test]
+    fn corollary_610_triggering_pairs_must_be_ordered() {
+        // a triggers b, unordered: the Confluence Requirement itself must
+        // flag this (condition 1 makes them noncommutative).
+        let c = ctx(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on u when inserted then insert into v values (1) end;",
+            TABLES,
+            Certifications::new(),
+        );
+        let a = analyze_confluence(&c);
+        assert_eq!(a.verdict, ConfluenceVerdict::MayNotBeConfluent);
+    }
+
+    #[test]
+    fn totally_ordered_set_trivially_confluent() {
+        let a = analyze_confluence(&ctx(
+            "create rule a on t when inserted then update u set x = 1 precedes b, c end;
+             create rule b on t when inserted then update u set x = 2 precedes c end;
+             create rule c on t when inserted then update u set x = 3 end;",
+            TABLES,
+            Certifications::new(),
+        ));
+        assert!(a.requirement_holds());
+        assert_eq!(a.pairs_checked, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The analysis context: rule signatures, priorities, and certifications,
+//! with the derived Section 3 relations (`Triggers`, `Can-Untrigger`,
+//! `Choose`).
+//!
+//! Analyses operate on this context rather than on the engine's `RuleSet`
+//! directly so that Section 8's *extended* definitions (signatures augmented
+//! with the fictional `Obs` table) can reuse every algorithm unchanged.
+
+use starling_engine::{PriorityOrder, RuleId, RuleSet};
+use starling_sql::RuleSignature;
+use starling_storage::Op;
+
+use crate::certifications::Certifications;
+
+/// Everything the static analyses need to know about a rule set.
+#[derive(Clone, Debug)]
+pub struct AnalysisContext {
+    /// Per-rule static signatures (Section 3 definitions).
+    pub sigs: Vec<RuleSignature>,
+    /// The transitively closed priority order `P`.
+    pub priority: PriorityOrder,
+    /// User certifications in force.
+    pub certs: Certifications,
+    /// Rule definitions, when available (absent for synthetic/extended
+    /// signatures such as the Section 8 `Obs` extension). Only the
+    /// expression-level special-case detectors need them.
+    pub defs: Vec<Option<starling_sql::RuleDef>>,
+    /// The catalog, when available (needed by the predicate-level
+    /// commutativity refinement).
+    pub catalog: Option<starling_storage::Catalog>,
+    /// Enable the Section 9 "less conservative methods" refinement:
+    /// predicate-level analysis may discharge Lemma 6.1 conditions 4/5 when
+    /// the conflicting writes are provably disjoint. Off by default
+    /// (paper-faithful behavior).
+    pub refine: bool,
+}
+
+impl AnalysisContext {
+    /// Builds a context from a compiled rule set.
+    pub fn from_ruleset(rules: &RuleSet, certs: Certifications) -> Self {
+        AnalysisContext {
+            sigs: rules.rules().iter().map(|r| r.sig.clone()).collect(),
+            priority: rules.priority().clone(),
+            certs,
+            defs: rules.rules().iter().map(|r| Some(r.def.clone())).collect(),
+            catalog: Some(rules.catalog().clone()),
+            refine: false,
+        }
+    }
+
+    /// Enables the predicate-level commutativity refinement (Section 9,
+    /// "less conservative methods").
+    pub fn with_refinement(mut self) -> Self {
+        self.refine = true;
+        self
+    }
+
+    /// The rule definition for rule `i`, when available.
+    pub fn rule_def(&self, i: usize) -> Option<&starling_sql::RuleDef> {
+        self.defs.get(i).and_then(Option::as_ref)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the rule set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Rule name by index.
+    pub fn name(&self, i: usize) -> &str {
+        &self.sigs[i].name
+    }
+
+    /// Rule index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.sigs.iter().position(|s| s.name == name)
+    }
+
+    /// The paper's `Triggers(r)`: all rules that can become triggered as a
+    /// result of `r`'s action — `{r' | Performs(r) ∩ Triggered-By(r') ≠ ∅}`
+    /// (possibly including `r` itself).
+    pub fn triggers(&self, r: usize) -> Vec<usize> {
+        let performs = &self.sigs[r].performs;
+        self.sigs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.triggered_by.iter().any(|op| performs.contains(op)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `r`'s action can trigger `q`.
+    pub fn can_trigger(&self, r: usize, q: usize) -> bool {
+        self.sigs[q]
+            .triggered_by
+            .iter()
+            .any(|op| self.sigs[r].performs.contains(op))
+    }
+
+    /// The paper's `Can-Untrigger(O')`: rules that can be untriggered by
+    /// operations in `O'` — a rule triggered by insertions into (or updates
+    /// of) `t` can be untriggered by deletions from `t`, which may undo the
+    /// triggering changes.
+    pub fn can_untrigger<'o>(
+        &self,
+        ops: impl IntoIterator<Item = &'o Op> + Clone,
+    ) -> Vec<usize> {
+        self.sigs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                ops.clone().into_iter().any(|op| match op {
+                    Op::Delete(t) => s.triggered_by.iter().any(|tb| match tb {
+                        Op::Insert(t2) => t2 == t,
+                        Op::Update(c) => &c.table == t,
+                        Op::Delete(_) => false,
+                    }),
+                    _ => false,
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether rule `q` can be untriggered by `r`'s action
+    /// (`q ∈ Can-Untrigger(Performs(r))`).
+    pub fn can_untrigger_rule(&self, r: usize, q: usize) -> bool {
+        self.sigs[r].performs.iter().any(|op| match op {
+            Op::Delete(t) => self.sigs[q].triggered_by.iter().any(|tb| match tb {
+                Op::Insert(t2) => t2 == t,
+                Op::Update(c) => &c.table == t,
+                Op::Delete(_) => false,
+            }),
+            _ => false,
+        })
+    }
+
+    /// Whether two rules are unordered (Section 6.2): neither has priority
+    /// over the other.
+    pub fn unordered(&self, a: usize, b: usize) -> bool {
+        self.priority.unordered(RuleId(a), RuleId(b))
+    }
+
+    /// Whether `a` has precedence over `b`.
+    pub fn gt(&self, a: usize, b: usize) -> bool {
+        self.priority.gt(RuleId(a), RuleId(b))
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j`.
+    pub fn unordered_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.unordered(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use super::*;
+
+    pub(crate) fn ctx_from(src: &str, tables: &[(&str, &[&str])]) -> AnalysisContext {
+        let mut cat = Catalog::new();
+        for (name, cols) in tables {
+            cat.add_table(
+                TableSchema::new(
+                    *name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let rs = RuleSet::compile(&defs, &cat).unwrap();
+        AnalysisContext::from_ruleset(&rs, Certifications::new())
+    }
+
+    #[test]
+    fn triggers_relation() {
+        let ctx = ctx_from(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on u when inserted then delete from t end;
+             create rule c on t when deleted then update t set x = 0 end;",
+            &[("t", &["x"]), ("u", &["y"])],
+        );
+        // a inserts into u -> triggers b; b deletes from t -> triggers c;
+        // c updates t.x -> triggers nobody (no updated-rules on t.x).
+        assert_eq!(ctx.triggers(0), vec![1]);
+        assert_eq!(ctx.triggers(1), vec![2]);
+        assert!(ctx.triggers(2).is_empty());
+        assert!(ctx.can_trigger(0, 1));
+        assert!(!ctx.can_trigger(0, 2));
+    }
+
+    #[test]
+    fn self_triggering() {
+        let ctx = ctx_from(
+            "create rule grow on t when inserted then insert into t values (1) end",
+            &[("t", &["x"])],
+        );
+        assert_eq!(ctx.triggers(0), vec![0]);
+    }
+
+    #[test]
+    fn can_untrigger() {
+        let ctx = ctx_from(
+            "create rule ins_watch on t when inserted then update u set y = 0 end;
+             create rule upd_watch on t when updated(x) then update u set y = 0 end;
+             create rule del_watch on t when deleted then update u set y = 0 end;
+             create rule killer on u when inserted then delete from t end;",
+            &[("t", &["x"]), ("u", &["y"])],
+        );
+        // killer deletes from t: can untrigger insert- and update-triggered
+        // rules on t, but not delete-triggered ones.
+        assert!(ctx.can_untrigger_rule(3, 0));
+        assert!(ctx.can_untrigger_rule(3, 1));
+        assert!(!ctx.can_untrigger_rule(3, 2));
+        // Non-deleting rules untrigger nothing.
+        assert!(!ctx.can_untrigger_rule(0, 3));
+        let ops: Vec<Op> = ctx.sigs[3].performs.iter().cloned().collect();
+        assert_eq!(ctx.can_untrigger(&ops), vec![0, 1]);
+    }
+
+    #[test]
+    fn unordered_pairs_respect_priorities() {
+        let ctx = ctx_from(
+            "create rule a on t when inserted then delete from t precedes b end;
+             create rule b on t when inserted then delete from t end;
+             create rule c on t when inserted then delete from t end;",
+            &[("t", &["x"])],
+        );
+        assert_eq!(ctx.unordered_pairs(), vec![(0, 2), (1, 2)]);
+        assert!(ctx.gt(0, 1));
+    }
+
+    #[test]
+    fn name_index_round_trip() {
+        let ctx = ctx_from(
+            "create rule a on t when inserted then delete from t end",
+            &[("t", &["x"])],
+        );
+        assert_eq!(ctx.index_of("a"), Some(0));
+        assert_eq!(ctx.name(0), "a");
+        assert_eq!(ctx.index_of("zz"), None);
+    }
+}

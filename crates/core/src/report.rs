@@ -1,0 +1,294 @@
+//! The aggregate analysis report — the output of the "interactive
+//! development environment" the paper's introduction envisions.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::confluence::{analyze_confluence, corollary_checks, ConfluenceAnalysis};
+use crate::context::AnalysisContext;
+use crate::observable::{analyze_observable_determinism, ObservableAnalysis};
+use crate::partial::{analyze_partial_confluence, PartialConfluenceAnalysis};
+use crate::termination::{analyze_termination, TerminationAnalysis, TerminationVerdict};
+
+/// A complete analysis of a rule set: termination, confluence, observable
+/// determinism, and optionally partial confluence for requested tables.
+#[derive(Clone, Debug, Serialize)]
+pub struct AnalysisReport {
+    /// Number of rules analyzed.
+    pub rule_count: usize,
+    /// Termination (Section 5).
+    pub termination: TerminationAnalysis,
+    /// Confluence (Section 6).
+    pub confluence: ConfluenceAnalysis,
+    /// Corollary 6.8/6.10 lint results (always empty when confluence is
+    /// accepted; reported for transparency).
+    pub corollary_failures: Vec<String>,
+    /// Observable determinism (Section 8).
+    pub observable: ObservableAnalysis,
+    /// Partial confluence per requested table set (Section 7).
+    pub partial: Vec<PartialConfluenceAnalysis>,
+}
+
+impl AnalysisReport {
+    /// Runs the full analysis. `protect` lists table subsets for partial
+    /// confluence (each entry one `T'`).
+    pub fn run(ctx: &AnalysisContext, protect: &[Vec<String>]) -> Self {
+        let termination = analyze_termination(ctx);
+        let confluence = analyze_confluence(ctx);
+        let corollary_failures = corollary_checks(ctx, &confluence);
+        let observable = analyze_observable_determinism(ctx);
+        let partial = protect
+            .iter()
+            .map(|tables| {
+                let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+                analyze_partial_confluence(ctx, &refs)
+            })
+            .collect();
+        AnalysisReport {
+            rule_count: ctx.len(),
+            termination,
+            confluence,
+            corollary_failures,
+            observable,
+            partial,
+        }
+    }
+
+    /// Whether full confluence is guaranteed: the Confluence Requirement
+    /// holds *and* termination is guaranteed (Theorem 6.7 needs both).
+    pub fn confluence_guaranteed(&self) -> bool {
+        self.confluence.requirement_holds() && self.termination.is_guaranteed()
+    }
+
+    /// Whether all headline properties are guaranteed.
+    pub fn all_guaranteed(&self) -> bool {
+        self.termination.is_guaranteed()
+            && self.confluence_guaranteed()
+            && self.observable.is_guaranteed()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Starling rule analysis ({} rules) ===", self.rule_count)?;
+
+        // Termination.
+        writeln!(f)?;
+        match self.termination.verdict {
+            TerminationVerdict::Guaranteed => {
+                writeln!(f, "TERMINATION: guaranteed (triggering graph is acyclic)")?;
+            }
+            TerminationVerdict::GuaranteedWithCertificates => {
+                writeln!(
+                    f,
+                    "TERMINATION: guaranteed, relying on {} certificate(s)",
+                    self.termination
+                        .cycles
+                        .iter()
+                        .map(|c| c.certificates.len())
+                        .sum::<usize>()
+                )?;
+            }
+            TerminationVerdict::MayNotTerminate => {
+                writeln!(f, "TERMINATION: MAY NOT TERMINATE")?;
+            }
+        }
+        for cycle in &self.termination.cycles {
+            writeln!(
+                f,
+                "  cycle through: {} [{}]",
+                cycle.rules.join(" -> "),
+                if cycle.discharged {
+                    "discharged"
+                } else {
+                    "NOT discharged"
+                }
+            )?;
+            for cert in &cycle.certificates {
+                match cert {
+                    crate::termination::CycleCertificate::User {
+                        rule,
+                        justification,
+                    } => writeln!(f, "    user certificate on `{rule}`: {justification}")?,
+                    crate::termination::CycleCertificate::DeleteOnly { rule, tables } => {
+                        writeln!(
+                            f,
+                            "    auto: `{rule}` only deletes from {} (action eventually has no effect)",
+                            tables.join(", ")
+                        )?
+                    }
+                    crate::termination::CycleCertificate::MonotoneUpdate { rule, column } => {
+                        writeln!(
+                            f,
+                            "    auto: `{rule}` monotonically drives {column} into its bound"
+                        )?
+                    }
+                }
+            }
+            if !cycle.discharged {
+                writeln!(
+                    f,
+                    "    to discharge: declare terminates <rule> '<justification>' \
+                     for a rule on every cycle"
+                )?;
+            }
+        }
+
+        // Confluence.
+        writeln!(f)?;
+        if self.confluence.requirement_holds() {
+            if self.termination.is_guaranteed() {
+                writeln!(
+                    f,
+                    "CONFLUENCE: guaranteed ({} unordered pair(s) checked)",
+                    self.confluence.pairs_checked
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "CONFLUENCE: requirement holds, but termination is not guaranteed \
+                     (Theorem 6.7 needs both)"
+                )?;
+            }
+        } else {
+            writeln!(
+                f,
+                "CONFLUENCE: MAY NOT BE CONFLUENT ({} violation(s))",
+                self.confluence.violations.len()
+            )?;
+            for v in &self.confluence.violations {
+                writeln!(
+                    f,
+                    "  pair ({}, {}): `{}` and `{}` do not commute",
+                    v.pair.0, v.pair.1, v.conflict.0, v.conflict.1
+                )?;
+                for r in &v.reasons {
+                    writeln!(f, "    - {r}")?;
+                }
+                for s in &v.suggestions {
+                    writeln!(f, "    fix: {s}")?;
+                }
+            }
+        }
+
+        // Partial confluence.
+        for p in &self.partial {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "PARTIAL CONFLUENCE w.r.t. {{{}}}: {} (Sig = {{{}}})",
+                p.tables.join(", "),
+                if p.is_guaranteed() {
+                    "guaranteed"
+                } else {
+                    "MAY NOT HOLD"
+                },
+                p.significant.join(", ")
+            )?;
+        }
+
+        // Observable determinism.
+        writeln!(f)?;
+        if self.observable.is_guaranteed() {
+            writeln!(
+                f,
+                "OBSERVABLE DETERMINISM: guaranteed ({} observable rule(s))",
+                self.observable.observable_rules.len()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "OBSERVABLE DETERMINISM: MAY NOT HOLD (observable rules: {}; Sig(Obs) = {{{}}})",
+                self.observable.observable_rules.join(", "),
+                self.observable.partial.significant.join(", ")
+            )?;
+        }
+
+        for c in &self.corollary_failures {
+            writeln!(f, "INTERNAL WARNING: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::RuleSet;
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use crate::certifications::Certifications;
+
+    use super::*;
+
+    fn ctx(src: &str) -> AnalysisContext {
+        let mut cat = Catalog::new();
+        for name in ["t", "u"] {
+            cat.add_table(
+                TableSchema::new(name, vec![ColumnDef::new("x", ValueType::Int)]).unwrap(),
+            )
+            .unwrap();
+        }
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let rs = RuleSet::compile(&defs, &cat).unwrap();
+        AnalysisContext::from_ruleset(&rs, Certifications::new())
+    }
+
+    #[test]
+    fn clean_rule_set_all_green() {
+        let c = ctx(
+            "create rule a on t when inserted then insert into u values (1) precedes b end;
+             create rule b on u when inserted then update u set x = 0 end;",
+        );
+        let r = AnalysisReport::run(&c, &[]);
+        assert!(r.all_guaranteed());
+        let text = r.to_string();
+        assert!(text.contains("TERMINATION: guaranteed"));
+        assert!(text.contains("CONFLUENCE: guaranteed"));
+        assert!(text.contains("OBSERVABLE DETERMINISM: guaranteed"));
+    }
+
+    #[test]
+    fn problematic_rule_set_reported() {
+        let c = ctx(
+            "create rule p on t when inserted then insert into u values (1) end;
+             create rule q on u when inserted then insert into t values (1) end;",
+        );
+        let r = AnalysisReport::run(&c, &[vec!["t".to_owned()]]);
+        assert!(!r.all_guaranteed());
+        let text = r.to_string();
+        assert!(text.contains("MAY NOT TERMINATE"));
+        assert!(text.contains("cycle through: p -> q"));
+        assert!(text.contains("MAY NOT BE CONFLUENT"));
+        assert!(text.contains("PARTIAL CONFLUENCE"));
+        assert!(text.contains("fix: "));
+    }
+
+    #[test]
+    fn requirement_without_termination_is_not_confluence() {
+        // Self-loop rule: no unordered pairs (requirement trivially holds),
+        // but termination fails, so confluence is not guaranteed.
+        let c = ctx("create rule s on t when inserted then insert into t values (1) end");
+        let r = AnalysisReport::run(&c, &[]);
+        assert!(r.confluence.requirement_holds());
+        assert!(!r.confluence_guaranteed());
+        assert!(r.to_string().contains("Theorem 6.7 needs both"));
+    }
+
+    #[test]
+    fn report_is_serializable() {
+        fn assert_serialize<T: serde::Serialize>(_: &T) {}
+        let c = ctx("create rule a on t when inserted then delete from t end");
+        let r = AnalysisReport::run(&c, &[]);
+        assert_serialize(&r);
+    }
+}

@@ -1,0 +1,179 @@
+//! Analysis under restricted user operations (paper Section 9, third
+//! extension).
+//!
+//! The base analyses assume the user-generated operations initiating rule
+//! processing are arbitrary. When it is known that users only perform
+//! certain operations on certain tables, only rules *reachable* from those
+//! operations can ever be considered: the rules triggered directly by an
+//! allowed operation, closed under the `Triggers` relation. Properties are
+//! then analyzed over the reachable subset — which "may guarantee
+//! properties that otherwise do not hold".
+
+use serde::Serialize;
+use starling_storage::Op;
+
+use crate::confluence::{analyze_confluence_of, ConfluenceAnalysis};
+use crate::context::AnalysisContext;
+use crate::observable::{extend_with_obs, ObservableAnalysis, OBS_TABLE};
+use crate::partial::analyze_partial_confluence_of;
+use crate::termination::{analyze_termination_indexed, TerminationAnalysis};
+use crate::triggering_graph::TriggeringGraph;
+
+/// Rules reachable when user transitions only contain `allowed` operations:
+/// rules triggered by an allowed operation, closed under `Triggers`.
+pub fn reachable_rules(ctx: &AnalysisContext, allowed: &[Op]) -> Vec<usize> {
+    let roots: Vec<usize> = ctx
+        .sigs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.triggered_by.iter().any(|op| allowed.contains(op)))
+        .map(|(i, _)| i)
+        .collect();
+    let graph = TriggeringGraph::build(ctx);
+    graph.reachable_from(&roots)
+}
+
+/// Results of the restricted analyses.
+#[derive(Clone, Debug, Serialize)]
+pub struct RestrictedAnalysis {
+    /// The allowed initial operations, rendered.
+    pub allowed: Vec<String>,
+    /// Names of the reachable rules.
+    pub reachable: Vec<String>,
+    /// Termination over the reachable subgraph.
+    pub termination: TerminationAnalysis,
+    /// Confluence Requirement over the reachable rules.
+    pub confluence: ConfluenceAnalysis,
+    /// Observable determinism over the reachable rules.
+    pub observable: ObservableAnalysis,
+}
+
+impl RestrictedAnalysis {
+    /// Whether all three properties hold under the restriction.
+    pub fn all_guaranteed(&self) -> bool {
+        self.termination.is_guaranteed()
+            && self.confluence.requirement_holds()
+            && self.observable.is_guaranteed()
+    }
+}
+
+/// Runs all three analyses restricted to user transitions built from
+/// `allowed` operations.
+pub fn analyze_restricted(ctx: &AnalysisContext, allowed: &[Op]) -> RestrictedAnalysis {
+    let reach = reachable_rules(ctx, allowed);
+
+    let graph = TriggeringGraph::build(ctx);
+    let sub = graph.subgraph(&reach);
+    let termination = analyze_termination_indexed(ctx, sub, Some(&reach));
+    let confluence = analyze_confluence_of(ctx, &reach);
+
+    // Observable determinism, restricted: extend with Obs, then run the
+    // Sig(Obs) machinery over the reachable subset only.
+    let extended = extend_with_obs(ctx);
+    let partial = analyze_partial_confluence_of(&extended, &[OBS_TABLE], &reach);
+    let observable = ObservableAnalysis {
+        observable_rules: reach
+            .iter()
+            .filter(|&&i| ctx.sigs[i].observable)
+            .map(|&i| ctx.name(i).to_owned())
+            .collect(),
+        partial,
+    };
+
+    RestrictedAnalysis {
+        allowed: allowed.iter().map(Op::to_string).collect(),
+        reachable: reach.iter().map(|&i| ctx.name(i).to_owned()).collect(),
+        termination,
+        confluence,
+        observable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::RuleSet;
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use crate::certifications::Certifications;
+
+    use super::*;
+
+    fn ctx(src: &str) -> AnalysisContext {
+        let mut cat = Catalog::new();
+        for name in ["t", "u", "v"] {
+            cat.add_table(
+                TableSchema::new(name, vec![ColumnDef::new("x", ValueType::Int)]).unwrap(),
+            )
+            .unwrap();
+        }
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let rs = RuleSet::compile(&defs, &cat).unwrap();
+        AnalysisContext::from_ruleset(&rs, Certifications::new())
+    }
+
+    const SRC: &str = "create rule ping on t when inserted then insert into u values (1) end;
+         create rule pong on u when inserted then insert into t values (1) end;
+         create rule quiet on v when deleted then update v set x = 0 end;";
+
+    #[test]
+    fn reachability_closure() {
+        let c = ctx(SRC);
+        // Inserts into t reach ping and (through it) pong.
+        let r = reachable_rules(&c, &[Op::Insert("t".into())]);
+        assert_eq!(r, vec![0, 1]);
+        // Deletes from v reach only quiet.
+        let r = reachable_rules(&c, &[Op::Delete("v".into())]);
+        assert_eq!(r, vec![2]);
+        // Updates of v.x reach nothing (quiet is delete-triggered).
+        let r = reachable_rules(&c, &[Op::update("v", "x")]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn restriction_rescues_termination() {
+        let c = ctx(SRC);
+        // Unrestricted: ping/pong cycle ⇒ may not terminate.
+        let full = crate::termination::analyze_termination(&c);
+        assert!(!full.is_guaranteed());
+        // Restricted to deletes from v: only `quiet` is reachable; the
+        // cycle is unreachable and termination is guaranteed.
+        let a = analyze_restricted(&c, &[Op::Delete("v".into())]);
+        assert_eq!(a.reachable, vec!["quiet"]);
+        assert!(a.termination.is_guaranteed());
+        assert!(a.all_guaranteed());
+    }
+
+    #[test]
+    fn restriction_does_not_hide_reachable_cycles() {
+        let c = ctx(SRC);
+        let a = analyze_restricted(&c, &[Op::Insert("t".into())]);
+        assert_eq!(a.reachable, vec!["ping", "pong"]);
+        assert!(!a.termination.is_guaranteed());
+    }
+
+    #[test]
+    fn restricted_confluence_and_observability() {
+        let c = ctx(
+            "create rule w1 on t when inserted then update u set x = 1 end;
+             create rule w2 on t when inserted then update u set x = 2 end;
+             create rule solo on v when deleted then select x from v end;",
+        );
+        // Unrestricted confluence fails (w1/w2).
+        assert!(!crate::confluence::analyze_confluence(&c).requirement_holds());
+        // Restricted to deletes from v: only the single observable rule is
+        // reachable — everything holds.
+        let a = analyze_restricted(&c, &[Op::Delete("v".into())]);
+        assert_eq!(a.reachable, vec!["solo"]);
+        assert!(a.all_guaranteed());
+        assert_eq!(a.observable.observable_rules, vec!["solo"]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Engine-layer errors.
+
+use std::fmt;
+
+use starling_sql::SqlError;
+use starling_storage::StorageError;
+
+/// Errors raised by rule-set compilation and rule processing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Error from the SQL layer (parse, validate, eval).
+    Sql(SqlError),
+    /// Error from the storage layer.
+    Storage(StorageError),
+    /// Two rules share a name.
+    DuplicateRule(String),
+    /// A `precedes`/`follows` clause names an unknown rule.
+    UnknownRule {
+        /// The rule whose clause is bad.
+        rule: String,
+        /// The name that did not resolve.
+        referenced: String,
+    },
+    /// The user-defined priority relation is cyclic.
+    PriorityCycle(Vec<String>),
+    /// A statement was executed outside any transaction/session context
+    /// where it is meaningful.
+    InvalidStatement(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::DuplicateRule(r) => write!(f, "duplicate rule `{r}`"),
+            EngineError::UnknownRule { rule, referenced } => write!(
+                f,
+                "rule `{rule}` references unknown rule `{referenced}` in precedes/follows"
+            ),
+            EngineError::PriorityCycle(rs) => {
+                write!(f, "priority ordering is cyclic through: {}", rs.join(", "))
+            }
+            EngineError::InvalidStatement(m) => write!(f, "invalid statement: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Sql(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EngineError::DuplicateRule("r".into()).to_string(),
+            "duplicate rule `r`"
+        );
+        assert_eq!(
+            EngineError::UnknownRule {
+                rule: "a".into(),
+                referenced: "b".into()
+            }
+            .to_string(),
+            "rule `a` references unknown rule `b` in precedes/follows"
+        );
+        assert!(EngineError::PriorityCycle(vec!["x".into(), "y".into()])
+            .to_string()
+            .contains("x, y"));
+    }
+}

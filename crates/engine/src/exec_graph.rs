@@ -1,0 +1,659 @@
+//! The execution-graph model of paper Section 4, built exhaustively.
+//!
+//! The paper uses execution graphs as a *proof device*; we also build them
+//! concretely (for small rule programs) as a **ground-truth oracle**:
+//!
+//! * **termination** — the explored graph is finite and acyclic iff every
+//!   execution sequence from this initial state terminates;
+//! * **confluence** — at most one final database state iff the final state
+//!   cannot depend on choice order (for this initial state);
+//! * **observable determinism** — all root-to-final paths carry the same
+//!   observable stream.
+//!
+//! States are deduplicated by canonical digest of `(D, TR)`; every eligible
+//! rule choice is explored from every state. The oracle is *per initial
+//! state*: static analysis quantifies over all databases and all user
+//! transitions, the oracle checks one — so oracle violations refute a static
+//! "guaranteed" verdict, never the converse.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use starling_sql::ast::Action;
+use starling_sql::eval::{exec_action, ActionOutcome};
+use starling_storage::Database;
+
+use crate::error::EngineError;
+use crate::observable::{stream_digest, ObservableEvent};
+use crate::ops::TupleOp;
+use crate::processor::consider_rule;
+use crate::ruleset::{RuleId, RuleSet};
+use crate::state::ExecState;
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum distinct states to expand before giving up.
+    pub max_states: usize,
+    /// Maximum root-to-leaf paths enumerated by
+    /// [`ExecGraph::observable_streams`].
+    pub max_paths: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 20_000,
+            max_paths: 50_000,
+        }
+    }
+}
+
+/// One node of the execution graph.
+#[derive(Clone, Debug)]
+pub struct StateNode {
+    /// Canonical digest of `(D, TR)`.
+    pub digest: u64,
+    /// Digest of the database component alone.
+    pub db_digest: u64,
+    /// Rules triggered in this state.
+    pub triggered: Vec<RuleId>,
+    /// Outgoing edge indices.
+    pub out_edges: Vec<usize>,
+    /// Whether this is a final state (no triggered rules).
+    pub is_final: bool,
+}
+
+/// One edge: the consideration of a rule.
+#[derive(Clone, Debug)]
+pub struct EdgeInfo {
+    /// Source state index.
+    pub from: usize,
+    /// Target state index.
+    pub to: usize,
+    /// The rule considered.
+    pub rule: RuleId,
+    /// Whether its condition held and its action ran.
+    pub fired: bool,
+    /// Whether the action rolled back.
+    pub rolled_back: bool,
+    /// Observable events emitted along this edge.
+    pub observables: Vec<ObservableEvent>,
+    /// The abstract operations `O'` executed along this edge (Lemma 4.1).
+    pub ops: std::collections::BTreeSet<starling_storage::Op>,
+}
+
+/// A fully explored execution graph.
+#[derive(Clone, Debug)]
+pub struct ExecGraph {
+    /// States, index 0 is the initial state.
+    pub states: Vec<StateNode>,
+    /// Edges.
+    pub edges: Vec<EdgeInfo>,
+    /// Indices of final states.
+    pub final_states: Vec<usize>,
+    /// Final database states (one per final state index).
+    pub final_dbs: Vec<(usize, Database)>,
+    /// True when exploration stopped early on `max_states`; all oracle
+    /// verdicts become `None`.
+    pub truncated: bool,
+}
+
+impl ExecGraph {
+    /// Whether the graph contains a directed cycle (⇒ an infinite execution
+    /// path exists ⇒ nontermination is possible).
+    pub fn has_cycle(&self) -> bool {
+        // Iterative three-color DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.states.len()];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..self.states.len() {
+            if color[root] != Color::White {
+                continue;
+            }
+            color[root] = Color::Gray;
+            stack.push((root, 0));
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < self.states[node].out_edges.len() {
+                    let e = self.states[node].out_edges[*next];
+                    *next += 1;
+                    let to = self.edges[e].to;
+                    match color[to] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[to] = Color::Gray;
+                            stack.push((to, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Oracle verdict: does every execution sequence terminate?
+    /// `None` when the exploration was truncated.
+    pub fn terminates(&self) -> Option<bool> {
+        if self.truncated {
+            None
+        } else {
+            Some(!self.has_cycle())
+        }
+    }
+
+    /// Distinct final database digests.
+    pub fn final_db_digests(&self) -> BTreeSet<u64> {
+        self.final_dbs
+            .iter()
+            .map(|(_, db)| db.state_digest())
+            .collect()
+    }
+
+    /// Distinct digests of a *subset* of tables in final states (partial
+    /// confluence, Section 7).
+    pub fn final_table_digests(&self, tables: &[&str]) -> BTreeSet<u64> {
+        self.final_dbs
+            .iter()
+            .map(|(_, db)| db.digest_of_tables(tables))
+            .collect()
+    }
+
+    /// Oracle verdict: is this execution confluent (unique final database
+    /// state)? `None` when truncated or when some path does not terminate
+    /// (confluence per the paper presumes termination).
+    pub fn confluent(&self) -> Option<bool> {
+        match self.terminates() {
+            Some(true) => Some(self.final_db_digests().len() <= 1),
+            _ => None,
+        }
+    }
+
+    /// Oracle verdict for partial confluence with respect to `tables`.
+    pub fn partially_confluent(&self, tables: &[&str]) -> Option<bool> {
+        match self.terminates() {
+            Some(true) => Some(self.final_table_digests(tables).len() <= 1),
+            _ => None,
+        }
+    }
+
+    /// All distinct observable streams over root-to-final paths, as
+    /// order-sensitive digests. `None` if the graph has a cycle, was
+    /// truncated, or the path bound was exceeded.
+    pub fn observable_streams(&self, cfg: &ExploreConfig) -> Option<BTreeSet<u64>> {
+        if self.truncated || self.has_cycle() {
+            return None;
+        }
+        let mut streams = BTreeSet::new();
+        let mut paths = 0usize;
+        // DFS over paths, carrying the stream so far.
+        let mut stack: Vec<(usize, Vec<ObservableEvent>)> =
+            vec![(0, Vec::new())];
+        while let Some((node, stream)) = stack.pop() {
+            if self.states[node].is_final {
+                paths += 1;
+                if paths > cfg.max_paths {
+                    return None;
+                }
+                streams.insert(stream_digest(&stream));
+                continue;
+            }
+            for &e in &self.states[node].out_edges {
+                let edge = &self.edges[e];
+                let mut s = stream.clone();
+                s.extend(edge.observables.iter().cloned());
+                stack.push((edge.to, s));
+            }
+        }
+        Some(streams)
+    }
+
+    /// Oracle verdict: observably deterministic? `None` under the same
+    /// conditions as [`Self::observable_streams`].
+    pub fn observably_deterministic(&self, cfg: &ExploreConfig) -> Option<bool> {
+        self.observable_streams(cfg).map(|s| s.len() <= 1)
+    }
+
+    /// GraphViz DOT rendering of the execution graph: nodes are states
+    /// (final states double-circled, distinct final DB states color-coded),
+    /// edges are rule considerations (dashed when the condition was false,
+    /// red on rollback).
+    pub fn to_dot(&self, rules: &RuleSet) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph execution {\n  rankdir=TB;\n");
+        let final_digests: Vec<u64> = {
+            let mut ds: Vec<u64> = self
+                .final_dbs
+                .iter()
+                .map(|(_, db)| db.state_digest())
+                .collect();
+            ds.sort_unstable();
+            ds.dedup();
+            ds
+        };
+        let palette = ["#cce5ff", "#ffd6cc", "#d6ffcc", "#f0ccff", "#fff3cc"];
+        for (i, st) in self.states.iter().enumerate() {
+            if st.is_final {
+                let db_digest = self
+                    .final_dbs
+                    .iter()
+                    .find(|(idx, _)| *idx == i)
+                    .map(|(_, db)| db.state_digest())
+                    .unwrap_or(st.db_digest);
+                let color = final_digests
+                    .iter()
+                    .position(|&d| d == db_digest)
+                    .map(|k| palette[k % palette.len()])
+                    .unwrap_or("#ffffff");
+                let _ = writeln!(
+                    s,
+                    "  s{i} [shape=doublecircle, style=filled, fillcolor=\"{color}\", label=\"S{i}\"];"
+                );
+            } else {
+                let _ = writeln!(s, "  s{i} [shape=circle, label=\"S{i}\"];");
+            }
+        }
+        for e in &self.edges {
+            let name = rules.get(e.rule).name();
+            let style = if e.rolled_back {
+                ", color=red"
+            } else if !e.fired {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "  s{} -> s{} [label=\"{name}\"{style}];",
+                e.from, e.to
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Applies user actions to a database, returning the resulting operations
+/// (the initial transition). The caller's `db` is mutated.
+pub fn apply_user_actions(
+    db: &mut Database,
+    actions: &[Action],
+) -> Result<Vec<TupleOp>, EngineError> {
+    let mut ops = Vec::new();
+    for a in actions {
+        match exec_action(a, db, None)? {
+            ActionOutcome::Effects(fx) => ops.extend(fx.into_iter().map(TupleOp::from)),
+            ActionOutcome::Rows(_) => {}
+            ActionOutcome::Rollback => {
+                return Err(EngineError::InvalidStatement(
+                    "rollback in the initial transition".into(),
+                ))
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// Exhaustively explores rule processing from an initial state.
+///
+/// * `base_db` — the database at transaction start (rollback target);
+/// * `user_actions` — the user-generated statements creating the initial
+///   transition.
+pub fn explore(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+) -> Result<ExecGraph, EngineError> {
+    let mut db = base_db.clone();
+    let ops = apply_user_actions(&mut db, user_actions)?;
+    explore_from_ops(rules, base_db, db, &ops, cfg)
+}
+
+/// Exploration entry point when the initial transition is already available
+/// as operations applied to `db`.
+pub fn explore_from_ops(
+    rules: &RuleSet,
+    base_db: &Database,
+    db: Database,
+    initial_ops: &[TupleOp],
+    cfg: &ExploreConfig,
+) -> Result<ExecGraph, EngineError> {
+    let initial = ExecState::new(db, rules.len(), initial_ops);
+
+    let mut graph = ExecGraph {
+        states: Vec::new(),
+        edges: Vec::new(),
+        final_states: Vec::new(),
+        final_dbs: Vec::new(),
+        truncated: false,
+    };
+    // digest -> state index
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    // Concrete states kept alongside (needed to expand).
+    let mut concrete: Vec<ExecState> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let add_state = |st: ExecState,
+                         graph: &mut ExecGraph,
+                         index: &mut BTreeMap<u64, usize>,
+                         concrete: &mut Vec<ExecState>,
+                         queue: &mut VecDeque<usize>,
+                         rules: &RuleSet|
+     -> usize {
+        let digest = st.digest();
+        if let Some(&i) = index.get(&digest) {
+            return i;
+        }
+        let triggered = st.triggered(rules);
+        let i = graph.states.len();
+        let is_final = triggered.is_empty();
+        graph.states.push(StateNode {
+            digest,
+            db_digest: st.db.state_digest(),
+            triggered,
+            out_edges: Vec::new(),
+            is_final,
+        });
+        if is_final {
+            graph.final_states.push(i);
+            graph.final_dbs.push((i, st.db.clone()));
+        }
+        index.insert(digest, i);
+        concrete.push(st);
+        queue.push_back(i);
+        i
+    };
+
+    add_state(
+        initial,
+        &mut graph,
+        &mut index,
+        &mut concrete,
+        &mut queue,
+        rules,
+    );
+
+    while let Some(i) = queue.pop_front() {
+        if graph.states.len() > cfg.max_states {
+            graph.truncated = true;
+            break;
+        }
+        if graph.states[i].is_final {
+            continue;
+        }
+        let eligible = rules.priority().choose(&graph.states[i].triggered);
+        for rule in eligible {
+            let mut next = concrete[i].clone();
+            let step = consider_rule(rules, &mut next, rule, base_db)?;
+            let to = add_state(
+                next,
+                &mut graph,
+                &mut index,
+                &mut concrete,
+                &mut queue,
+                rules,
+            );
+            let e = graph.edges.len();
+            graph.edges.push(EdgeInfo {
+                from: i,
+                to,
+                rule,
+                fired: step.fired,
+                rolled_back: step.rolled_back,
+                observables: step.observables,
+                ops: step.ops,
+            });
+            graph.states[i].out_edges.push(e);
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_sql::ast::Statement;
+    use starling_sql::{parse_script, parse_statement};
+    use starling_storage::{ColumnDef, TableSchema, ValueType};
+
+    use super::*;
+
+    fn db_with(tables: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, cols) in tables {
+            db.create_table(
+                TableSchema::new(
+                    *name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn rules(db: &Database, src: &str) -> RuleSet {
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        RuleSet::compile(&defs, db.catalog()).unwrap()
+    }
+
+    fn actions(srcs: &[&str]) -> Vec<Action> {
+        srcs.iter()
+            .map(|s| match parse_statement(s).unwrap() {
+                Statement::Dml(a) => a,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_rule_linear_graph() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(&db, "create rule r on t when inserted then delete from t end");
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["insert into t values (1)"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+        assert_eq!(g.confluent(), Some(true));
+        assert_eq!(g.final_states.len(), 1);
+        // initial --r--> final
+        assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn nonterminating_cycle_detected() {
+        let mut db = db_with(&[("t", &["a"])]);
+        // A self-triggering toggle: states (a=0, pending) and (a=1, pending)
+        // recur forever — the graph has a cycle.
+        db.insert("t", vec![starling_storage::Value::Int(0)]).unwrap();
+        let rs = rules(
+            &db,
+            "create rule tgl on t when updated(a) then \
+               update t set a = 1 - a end",
+        );
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["update t set a = 1 - a"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(false));
+        assert!(g.has_cycle());
+        assert_eq!(g.confluent(), None);
+    }
+
+    #[test]
+    fn insert_delete_ping_pong_terminates_by_net_effect() {
+        // The classic "flip/flop" pair is NOT an oracle counterexample:
+        // flip deletes the inserted tuple, so flop's pending transition is
+        // insert∘delete = nothing — flop never triggers (paper Section 2
+        // net-effect semantics; cf. Can-Untrigger).
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule flip on t when inserted then delete from t end;
+             create rule flop on t when deleted then insert into t values (1) end;",
+        );
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["insert into t values (1)"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+    }
+
+    #[test]
+    fn non_confluent_pair_two_final_states() {
+        let db = db_with(&[("t", &["a"]), ("out", &["v"])]);
+        // Two unordered rules both write `out.v` to different values based
+        // on whether the other has run: order matters.
+        let rs = rules(
+            &db,
+            "create rule set1 on t when inserted then \
+               update out set v = 1 where v = 0 end;
+             create rule set2 on t when inserted then \
+               update out set v = 2 where v = 0 end;",
+        );
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["insert into out values (0)", "insert into t values (1)"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+        assert_eq!(g.confluent(), Some(false));
+        assert_eq!(g.final_db_digests().len(), 2);
+        // But confluent with respect to `t` alone.
+        assert_eq!(g.partially_confluent(&["t"]), Some(true));
+        assert_eq!(g.partially_confluent(&["out"]), Some(false));
+    }
+
+    #[test]
+    fn commuting_rules_are_confluent() {
+        let db = db_with(&[("t", &["a"]), ("x", &["v"]), ("y", &["v"])]);
+        let rs = rules(
+            &db,
+            "create rule wx on t when inserted then insert into x values (1) end;
+             create rule wy on t when inserted then insert into y values (2) end;",
+        );
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["insert into t values (1)"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+        assert_eq!(g.confluent(), Some(true));
+        // A diamond shape: the two leaf states carry different pending-
+        // transition bookkeeping (so they are distinct graph nodes), but
+        // their database states are identical — that is confluence.
+        assert_eq!(g.edges.len(), 4);
+        assert_eq!(g.final_states.len(), 2);
+        assert_eq!(g.final_db_digests().len(), 1);
+    }
+
+    #[test]
+    fn observable_nondeterminism_detected() {
+        let db = db_with(&[("t", &["a"])]);
+        // Two unordered observable rules: the stream order differs by
+        // choice even though the final state is identical.
+        let rs = rules(
+            &db,
+            "create rule obs1 on t when inserted then select 1 end;
+             create rule obs2 on t when inserted then select 2 end;",
+        );
+        let cfg = ExploreConfig::default();
+        let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
+        assert_eq!(g.confluent(), Some(true));
+        assert_eq!(g.observably_deterministic(&cfg), Some(false));
+        assert_eq!(g.observable_streams(&cfg).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ordered_observables_are_deterministic() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule obs1 on t when inserted then select 1 precedes obs2 end;
+             create rule obs2 on t when inserted then select 2 end;",
+        );
+        let cfg = ExploreConfig::default();
+        let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
+        assert_eq!(g.observably_deterministic(&cfg), Some(true));
+    }
+
+    #[test]
+    fn rollback_produces_final_state_at_snapshot() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule guard on t when inserted then rollback end",
+        );
+        let g = explore(
+            &rs,
+            &db,
+            &actions(&["insert into t values (1)"]),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+        assert_eq!(g.final_states.len(), 1);
+        let (_, final_db) = &g.final_dbs[0];
+        assert!(final_db.table("t").unwrap().is_empty());
+        assert!(g.edges.iter().any(|e| e.rolled_back));
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let db = db_with(&[("t", &["a"])]);
+        // Unbounded growth: every insert triggers another insert of a+1 —
+        // infinitely many distinct states.
+        let rs = rules(
+            &db,
+            "create rule grow on t when inserted then \
+               insert into t select a + 1 from inserted end",
+        );
+        let cfg = ExploreConfig {
+            max_states: 50,
+            max_paths: 100,
+        };
+        let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
+        assert!(g.truncated);
+        assert_eq!(g.terminates(), None);
+        assert_eq!(g.confluent(), None);
+        assert_eq!(g.observably_deterministic(&cfg), None);
+    }
+
+    #[test]
+    fn rollback_in_user_actions_rejected() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(&db, "create rule r on t when inserted then delete from t end");
+        assert!(explore(&rs, &db, &actions(&["rollback"]), &ExploreConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Observable actions (paper Section 8).
+//!
+//! An action is *observable* when it is visible to the environment: data
+//! retrieval (`SELECT`) or `ROLLBACK`. Observable determinism asks whether
+//! the *stream* of such events — order and content — is the same on every
+//! execution path.
+
+use starling_sql::eval::ResultSet;
+use starling_storage::{CanonicalDigest, Fnv64};
+
+use crate::ruleset::RuleId;
+
+/// What an observable action exposed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObservableKind {
+    /// Rows returned by a `SELECT` action.
+    Rows(ResultSet),
+    /// A rollback became visible.
+    Rollback,
+}
+
+/// One observable event in a rule-processing run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObservableEvent {
+    /// The rule whose action produced the event.
+    pub rule: RuleId,
+    /// The event payload.
+    pub kind: ObservableKind,
+}
+
+impl ObservableEvent {
+    /// Canonical digest, used to compare observable *streams* across
+    /// execution paths ("order and appearance of observable actions").
+    ///
+    /// The rows of one `SELECT` are digested as a **sorted multiset**: the
+    /// language is set-oriented, so the row order within a single retrieval
+    /// is an engine artifact (tuple-id scan order), not an observable.
+    /// Event order *within the stream* remains significant — see
+    /// [`stream_digest`].
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.rule.0);
+        match &self.kind {
+            ObservableKind::Rollback => h.write(&[0]),
+            ObservableKind::Rows(rs) => {
+                h.write(&[1]);
+                h.write_usize(rs.columns.len());
+                for c in &rs.columns {
+                    h.write_str(c);
+                }
+                h.write_usize(rs.rows.len());
+                let mut sorted: Vec<_> = rs.rows.iter().collect();
+                sorted.sort_unstable();
+                for row in sorted {
+                    row.as_slice().digest_into(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Digest of an entire observable stream (order-sensitive).
+pub fn stream_digest(events: &[ObservableEvent]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(events.len());
+    for e in events {
+        h.write_u64(e.digest());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::Value;
+
+    use super::*;
+
+    fn rows(vals: &[i64]) -> ObservableEvent {
+        ObservableEvent {
+            rule: RuleId(0),
+            kind: ObservableKind::Rows(ResultSet {
+                columns: vec!["a".into()],
+                rows: vals.iter().map(|v| vec![Value::Int(*v)]).collect(),
+            }),
+        }
+    }
+
+    #[test]
+    fn digest_sensitive_to_content_and_rule() {
+        assert_eq!(rows(&[1, 2]).digest(), rows(&[1, 2]).digest());
+        // Row order within one retrieval is NOT observable (set-oriented
+        // semantics) — only content is.
+        assert_eq!(rows(&[1, 2]).digest(), rows(&[2, 1]).digest());
+        assert_ne!(rows(&[1, 2]).digest(), rows(&[1, 3]).digest());
+        let mut other = rows(&[1, 2]);
+        other.rule = RuleId(1);
+        assert_ne!(rows(&[1, 2]).digest(), other.digest());
+        assert_ne!(
+            rows(&[]).digest(),
+            ObservableEvent {
+                rule: RuleId(0),
+                kind: ObservableKind::Rollback
+            }
+            .digest()
+        );
+    }
+
+    #[test]
+    fn stream_digest_order_sensitive() {
+        let a = rows(&[1]);
+        let b = rows(&[2]);
+        assert_ne!(
+            stream_digest(&[a.clone(), b.clone()]),
+            stream_digest(&[b, a])
+        );
+        assert_eq!(stream_digest(&[]), stream_digest(&[]));
+    }
+}

@@ -1,0 +1,463 @@
+//! Tuple-level operations and the net-effect algebra of \[WF90\].
+//!
+//! A *transition* is a database state change resulting from a sequence of
+//! operations; rules consider only its **net effect** (paper Section 2):
+//!
+//! 1. update ∘ update  → the composite update;
+//! 2. update ∘ delete  → deletion of the *original* tuple;
+//! 3. insert ∘ update  → insertion of the *updated* tuple;
+//! 4. insert ∘ delete  → nothing at all.
+//!
+//! [`NetEffect`] maintains this composition incrementally: absorbing each
+//! [`TupleOp`] in chronological order yields exactly the net effect of the
+//! whole sequence (associativity is property-tested).
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use starling_sql::eval::{DmlEffect, TransitionBinding};
+use starling_storage::{CanonicalDigest, Fnv64, Op, Row, TupleId};
+
+/// One concrete, tuple-level database operation (an entry in the engine's
+/// operation log).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TupleOp {
+    /// A tuple was inserted.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Assigned tuple id.
+        id: TupleId,
+        /// Inserted values.
+        row: Row,
+    },
+    /// A tuple was deleted.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Deleted tuple id.
+        id: TupleId,
+        /// Values at deletion time.
+        old: Row,
+    },
+    /// A tuple was updated.
+    Update {
+        /// Target table.
+        table: String,
+        /// Updated tuple id.
+        id: TupleId,
+        /// Values before.
+        old: Row,
+        /// Values after.
+        new: Row,
+        /// Columns assigned by the statement's `SET` list.
+        cols: BTreeSet<String>,
+    },
+}
+
+impl TupleOp {
+    /// The table this operation touches.
+    pub fn table(&self) -> &str {
+        match self {
+            TupleOp::Insert { table, .. }
+            | TupleOp::Delete { table, .. }
+            | TupleOp::Update { table, .. } => table,
+        }
+    }
+
+    /// The tuple this operation touches.
+    pub fn tuple_id(&self) -> TupleId {
+        match self {
+            TupleOp::Insert { id, .. }
+            | TupleOp::Delete { id, .. }
+            | TupleOp::Update { id, .. } => *id,
+        }
+    }
+}
+
+impl From<DmlEffect> for TupleOp {
+    fn from(e: DmlEffect) -> Self {
+        match e {
+            DmlEffect::Insert { table, id, row } => TupleOp::Insert { table, id, row },
+            DmlEffect::Delete { table, id, old } => TupleOp::Delete { table, id, old },
+            DmlEffect::Update {
+                table,
+                id,
+                old,
+                new,
+                cols,
+            } => TupleOp::Update {
+                table,
+                id,
+                old,
+                new,
+                cols: cols.into_iter().collect(),
+            },
+        }
+    }
+}
+
+/// The net change to a single tuple over a transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetChange {
+    /// The tuple was (net) inserted with these values.
+    Inserted(Row),
+    /// The tuple was (net) deleted; values are those at the transition
+    /// start (rule 2: update-then-delete nets to deleting the original).
+    Deleted(Row),
+    /// The tuple was (net) updated.
+    Updated {
+        /// Values at the transition start.
+        old: Row,
+        /// Current values.
+        new: Row,
+        /// Union of all assigned columns across the composed updates.
+        cols: BTreeSet<String>,
+    },
+}
+
+/// The net effect of a transition: per table, per tuple, the composed
+/// change. This is the `TR`-side payload of an execution-graph state and the
+/// source of transition-table contents.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetEffect {
+    changes: BTreeMap<String, BTreeMap<TupleId, NetChange>>,
+}
+
+impl NetEffect {
+    /// The empty transition.
+    pub fn new() -> Self {
+        NetEffect::default()
+    }
+
+    /// Net effect of a whole operation sequence.
+    pub fn from_ops<'a>(ops: impl IntoIterator<Item = &'a TupleOp>) -> Self {
+        let mut n = NetEffect::new();
+        for op in ops {
+            n.absorb(op);
+        }
+        n
+    }
+
+    /// Whether the transition has no net changes.
+    pub fn is_empty(&self) -> bool {
+        self.changes.values().all(BTreeMap::is_empty)
+    }
+
+    /// Total number of net tuple changes.
+    pub fn len(&self) -> usize {
+        self.changes.values().map(BTreeMap::len).sum()
+    }
+
+    /// Composes one more operation into the net effect.
+    pub fn absorb(&mut self, op: &TupleOp) {
+        let per_table = self.changes.entry(op.table().to_owned()).or_default();
+        match op {
+            TupleOp::Insert { id, row, .. } => {
+                // Tuple ids are never reused, so an insert always creates a
+                // fresh entry.
+                debug_assert!(
+                    !per_table.contains_key(id),
+                    "tuple id {id} reused within a transition"
+                );
+                per_table.insert(*id, NetChange::Inserted(row.clone()));
+            }
+            TupleOp::Update { id, old, new, cols, .. } => match per_table.entry(*id) {
+                Entry::Vacant(v) => {
+                    v.insert(NetChange::Updated {
+                        old: old.clone(),
+                        new: new.clone(),
+                        cols: cols.clone(),
+                    });
+                }
+                Entry::Occupied(mut o) => match o.get_mut() {
+                    // Rule 3: insert then update = insert of updated tuple.
+                    NetChange::Inserted(row) => *row = new.clone(),
+                    // Rule 1: update then update = composite update.
+                    NetChange::Updated {
+                        new: cur_new,
+                        cols: cur_cols,
+                        ..
+                    } => {
+                        *cur_new = new.clone();
+                        cur_cols.extend(cols.iter().cloned());
+                    }
+                    NetChange::Deleted(_) => {
+                        debug_assert!(false, "update of deleted tuple {id}")
+                    }
+                },
+            },
+            TupleOp::Delete { id, old, .. } => match per_table.entry(*id) {
+                Entry::Vacant(v) => {
+                    v.insert(NetChange::Deleted(old.clone()));
+                }
+                Entry::Occupied(mut o) => {
+                    let replacement = match o.get() {
+                        // Rule 4: insert then delete = nothing at all.
+                        NetChange::Inserted(_) => None,
+                        // Rule 2: update then delete = delete the original.
+                        NetChange::Updated { old: orig, .. } => {
+                            Some(NetChange::Deleted(orig.clone()))
+                        }
+                        NetChange::Deleted(_) => {
+                            debug_assert!(false, "double delete of tuple {id}");
+                            Some(NetChange::Deleted(old.clone()))
+                        }
+                    };
+                    match replacement {
+                        Some(c) => {
+                            *o.get_mut() = c;
+                        }
+                        None => {
+                            o.remove();
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Composes a sequence of operations.
+    pub fn absorb_all<'a>(&mut self, ops: impl IntoIterator<Item = &'a TupleOp>) {
+        for op in ops {
+            self.absorb(op);
+        }
+    }
+
+    /// Whether the net effect contains an occurrence of the abstract
+    /// operation `op` — the triggering test.
+    pub fn contains_op(&self, op: &Op) -> bool {
+        let Some(per_table) = self.changes.get(op.table()) else {
+            return false;
+        };
+        per_table.values().any(|c| match (op, c) {
+            (Op::Insert(_), NetChange::Inserted(_)) => true,
+            (Op::Delete(_), NetChange::Deleted(_)) => true,
+            (Op::Update(colref), NetChange::Updated { cols, .. }) => {
+                cols.contains(&colref.column)
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether any operation in `triggered_by` occurs in the net effect
+    /// (i.e., whether a rule with that transition predicate is triggered).
+    pub fn triggers(&self, triggered_by: &BTreeSet<Op>) -> bool {
+        triggered_by.iter().any(|op| self.contains_op(op))
+    }
+
+    /// Builds the four transition tables for a rule on `table` (paper
+    /// Section 2), in deterministic tuple-id order.
+    pub fn transition_binding(&self, table: &str) -> TransitionBinding {
+        let mut b = TransitionBinding::empty(table);
+        if let Some(per_table) = self.changes.get(table) {
+            for c in per_table.values() {
+                match c {
+                    NetChange::Inserted(row) => b.inserted.push(row.clone()),
+                    NetChange::Deleted(row) => b.deleted.push(row.clone()),
+                    NetChange::Updated { old, new, .. } => {
+                        b.old_updated.push(old.clone());
+                        b.new_updated.push(new.clone());
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// Iterates `(table, tuple id, net change)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, TupleId, &NetChange)> {
+        self.changes.iter().flat_map(|(t, m)| {
+            m.iter().map(move |(id, c)| (t.as_str(), *id, c))
+        })
+    }
+}
+
+impl CanonicalDigest for NetEffect {
+    fn digest_into(&self, h: &mut Fnv64) {
+        h.write_usize(self.len());
+        for (table, id, change) in self.iter() {
+            h.write_str(table);
+            h.write_u64(id.0);
+            match change {
+                NetChange::Inserted(row) => {
+                    h.write(&[1]);
+                    row.digest_into(h);
+                }
+                NetChange::Deleted(row) => {
+                    h.write(&[2]);
+                    row.digest_into(h);
+                }
+                NetChange::Updated { old, new, cols } => {
+                    h.write(&[3]);
+                    old.digest_into(h);
+                    new.digest_into(h);
+                    h.write_usize(cols.len());
+                    for c in cols {
+                        h.write_str(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::Value;
+
+    use super::*;
+
+    fn ins(id: u64, v: i64) -> TupleOp {
+        TupleOp::Insert {
+            table: "t".into(),
+            id: TupleId(id),
+            row: vec![Value::Int(v)],
+        }
+    }
+
+    fn del(id: u64, v: i64) -> TupleOp {
+        TupleOp::Delete {
+            table: "t".into(),
+            id: TupleId(id),
+            old: vec![Value::Int(v)],
+        }
+    }
+
+    fn upd(id: u64, old: i64, new: i64) -> TupleOp {
+        TupleOp::Update {
+            table: "t".into(),
+            id: TupleId(id),
+            old: vec![Value::Int(old)],
+            new: vec![Value::Int(new)],
+            cols: std::iter::once("a".to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn rule1_update_update_composes() {
+        let n = NetEffect::from_ops(&[upd(1, 10, 20), upd(1, 20, 30)]);
+        let (_, _, c) = n.iter().next().unwrap();
+        assert_eq!(
+            c,
+            &NetChange::Updated {
+                old: vec![Value::Int(10)],
+                new: vec![Value::Int(30)],
+                cols: std::iter::once("a".to_owned()).collect(),
+            }
+        );
+    }
+
+    #[test]
+    fn rule2_update_delete_deletes_original() {
+        let n = NetEffect::from_ops(&[upd(1, 10, 20), del(1, 20)]);
+        let (_, _, c) = n.iter().next().unwrap();
+        assert_eq!(c, &NetChange::Deleted(vec![Value::Int(10)]));
+    }
+
+    #[test]
+    fn rule3_insert_update_inserts_updated() {
+        let n = NetEffect::from_ops(&[ins(1, 10), upd(1, 10, 20)]);
+        let (_, _, c) = n.iter().next().unwrap();
+        assert_eq!(c, &NetChange::Inserted(vec![Value::Int(20)]));
+    }
+
+    #[test]
+    fn rule4_insert_delete_annihilates() {
+        let n = NetEffect::from_ops(&[ins(1, 10), del(1, 10)]);
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+    }
+
+    #[test]
+    fn insert_update_delete_also_annihilates() {
+        let n = NetEffect::from_ops(&[ins(1, 10), upd(1, 10, 20), del(1, 20)]);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn triggering_checks() {
+        let n = NetEffect::from_ops(&[ins(1, 10), upd(2, 5, 6), del(3, 9)]);
+        assert!(n.contains_op(&Op::Insert("t".into())));
+        assert!(n.contains_op(&Op::Delete("t".into())));
+        assert!(n.contains_op(&Op::update("t", "a")));
+        assert!(!n.contains_op(&Op::update("t", "b")));
+        assert!(!n.contains_op(&Op::Insert("u".into())));
+
+        let tb: BTreeSet<Op> = std::iter::once(Op::update("t", "b")).collect();
+        assert!(!n.triggers(&tb));
+        let tb: BTreeSet<Op> = std::iter::once(Op::Delete("t".into())).collect();
+        assert!(n.triggers(&tb));
+    }
+
+    #[test]
+    fn insert_then_update_is_not_an_update_for_triggering() {
+        // Rule 3 means updated-triggered rules do NOT see insert∘update.
+        let n = NetEffect::from_ops(&[ins(1, 10), upd(1, 10, 20)]);
+        assert!(!n.contains_op(&Op::update("t", "a")));
+        assert!(n.contains_op(&Op::Insert("t".into())));
+    }
+
+    #[test]
+    fn transition_binding_contents() {
+        let n = NetEffect::from_ops(&[ins(1, 10), upd(2, 5, 6), del(3, 9)]);
+        let b = n.transition_binding("t");
+        assert_eq!(b.inserted, vec![vec![Value::Int(10)]]);
+        assert_eq!(b.deleted, vec![vec![Value::Int(9)]]);
+        assert_eq!(b.old_updated, vec![vec![Value::Int(5)]]);
+        assert_eq!(b.new_updated, vec![vec![Value::Int(6)]]);
+        // Other tables yield empty bindings.
+        let b = n.transition_binding("u");
+        assert!(b.inserted.is_empty() && b.deleted.is_empty());
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let ops = vec![ins(1, 10), upd(1, 10, 20), upd(2, 1, 2), del(2, 2), ins(3, 7)];
+        let batch = NetEffect::from_ops(&ops);
+        let mut inc = NetEffect::new();
+        inc.absorb_all(&ops[..2]);
+        inc.absorb_all(&ops[2..]);
+        assert_eq!(batch, inc);
+        assert_eq!(batch.digest(), inc.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes() {
+        let a = NetEffect::from_ops(&[ins(1, 10)]);
+        let b = NetEffect::from_ops(&[ins(1, 11)]);
+        let c = NetEffect::from_ops(&[del(1, 10)]);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(NetEffect::new().digest(), NetEffect::new().digest());
+    }
+
+    #[test]
+    fn update_cols_union() {
+        let mut u1 = upd(1, 10, 20);
+        if let TupleOp::Update { cols, .. } = &mut u1 {
+            *cols = std::iter::once("a".to_owned()).collect();
+        }
+        let mut u2 = upd(1, 20, 30);
+        if let TupleOp::Update { cols, .. } = &mut u2 {
+            *cols = std::iter::once("b".to_owned()).collect();
+        }
+        let n = NetEffect::from_ops(&[u1, u2]);
+        assert!(n.contains_op(&Op::update("t", "a")));
+        assert!(n.contains_op(&Op::update("t", "b")));
+    }
+
+    #[test]
+    fn from_dml_effect() {
+        let e = DmlEffect::Update {
+            table: "t".into(),
+            id: TupleId(4),
+            old: vec![Value::Int(1)],
+            new: vec![Value::Int(2)],
+            cols: vec!["a".into()],
+        };
+        let op: TupleOp = e.into();
+        assert_eq!(op.table(), "t");
+        assert_eq!(op.tuple_id(), TupleId(4));
+    }
+}

@@ -1,0 +1,162 @@
+//! The user-defined priority relation `P` (paper Sections 2–3).
+//!
+//! `precedes`/`follows` clauses induce a strict partial order over rules,
+//! "including those implied by transitivity". The closure is computed with
+//! Warshall's algorithm over a dense boolean matrix (rule sets are small —
+//! hundreds, not millions) and cyclic orderings are rejected at compile
+//! time.
+
+use crate::error::EngineError;
+use crate::ruleset::RuleId;
+
+/// The transitive closure of the user-defined priority edges.
+///
+/// `gt(i, j)` means rule `i` has precedence over rule `j` (`r_i > r_j ∈ P`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PriorityOrder {
+    n: usize,
+    gt: Vec<bool>,
+}
+
+impl PriorityOrder {
+    /// Builds the closure from direct edges `(higher, lower)`.
+    ///
+    /// `names` is used only for error reporting; `names.len()` defines the
+    /// number of rules.
+    pub fn from_edges(
+        names: &[String],
+        edges: &[(usize, usize)],
+    ) -> Result<Self, EngineError> {
+        let n = names.len();
+        let mut gt = vec![false; n * n];
+        for &(hi, lo) in edges {
+            debug_assert!(hi < n && lo < n);
+            gt[hi * n + lo] = true;
+        }
+        // Warshall transitive closure.
+        for k in 0..n {
+            for i in 0..n {
+                if gt[i * n + k] {
+                    for j in 0..n {
+                        if gt[k * n + j] {
+                            gt[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let cyclic: Vec<String> = (0..n)
+            .filter(|&i| gt[i * n + i])
+            .map(|i| names[i].clone())
+            .collect();
+        if !cyclic.is_empty() {
+            return Err(EngineError::PriorityCycle(cyclic));
+        }
+        Ok(PriorityOrder { n, gt })
+    }
+
+    /// An empty order over `n` rules (no priorities: `P = ∅`).
+    pub fn empty(n: usize) -> Self {
+        PriorityOrder {
+            n,
+            gt: vec![false; n * n],
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether `a` has precedence over `b`.
+    pub fn gt(&self, a: RuleId, b: RuleId) -> bool {
+        self.gt[a.0 * self.n + b.0]
+    }
+
+    /// Whether `a` and `b` are **unordered**: neither `a > b` nor `b > a`
+    /// (Section 6.2). A rule is ordered with itself by convention (the
+    /// analysis never needs the pair `(r, r)`).
+    pub fn unordered(&self, a: RuleId, b: RuleId) -> bool {
+        a != b && !self.gt(a, b) && !self.gt(b, a)
+    }
+
+    /// The paper's `Choose`: the subset of `set` with no member of `set`
+    /// having precedence over them.
+    pub fn choose(&self, set: &[RuleId]) -> Vec<RuleId> {
+        set.iter()
+            .copied()
+            .filter(|&r| !set.iter().any(|&q| self.gt(q, r)))
+            .collect()
+    }
+
+    /// Number of ordered pairs (for reporting).
+    pub fn ordered_pair_count(&self) -> usize {
+        self.gt.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("r{i}")).collect()
+    }
+
+    #[test]
+    fn transitivity() {
+        // r0 > r1 > r2 implies r0 > r2.
+        let p = PriorityOrder::from_edges(&names(3), &[(0, 1), (1, 2)]).unwrap();
+        assert!(p.gt(RuleId(0), RuleId(2)));
+        assert!(!p.gt(RuleId(2), RuleId(0)));
+        assert!(!p.unordered(RuleId(0), RuleId(2)));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = PriorityOrder::from_edges(&names(3), &[(0, 1), (1, 2), (2, 0)])
+            .unwrap_err();
+        let EngineError::PriorityCycle(rs) = err else {
+            panic!()
+        };
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        assert!(PriorityOrder::from_edges(&names(1), &[(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn unordered_pairs() {
+        let p = PriorityOrder::from_edges(&names(3), &[(0, 1)]).unwrap();
+        assert!(p.unordered(RuleId(0), RuleId(2)));
+        assert!(p.unordered(RuleId(1), RuleId(2)));
+        assert!(!p.unordered(RuleId(0), RuleId(1)));
+        assert!(!p.unordered(RuleId(1), RuleId(1)));
+    }
+
+    #[test]
+    fn choose_filters_dominated() {
+        let p = PriorityOrder::from_edges(&names(4), &[(0, 1), (2, 3)]).unwrap();
+        // From {r1, r0, r3}: r0 dominates r1; r3's dominator r2 is absent.
+        let picked = p.choose(&[RuleId(1), RuleId(0), RuleId(3)]);
+        assert_eq!(picked, vec![RuleId(0), RuleId(3)]);
+        // Choose over the empty set is empty.
+        assert!(p.choose(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_order_everything_unordered() {
+        let p = PriorityOrder::empty(3);
+        assert!(p.unordered(RuleId(0), RuleId(1)));
+        assert_eq!(p.ordered_pair_count(), 0);
+        let picked = p.choose(&[RuleId(2), RuleId(0)]);
+        assert_eq!(picked, vec![RuleId(2), RuleId(0)]);
+    }
+}

@@ -1,0 +1,479 @@
+//! The rule-processing loop (paper Section 2 semantics).
+//!
+//! At an assertion point the initial (user-generated) transition triggers
+//! some rules; the processor repeatedly picks an eligible triggered rule,
+//! checks its condition against its triggering transition, executes its
+//! action, and re-derives the triggered set — until no rules are triggered
+//! (*quiescence*), a rollback occurs, or the consideration limit is hit
+//! (possible nontermination).
+
+use starling_sql::eval::{exec_action, ActionOutcome};
+use starling_storage::Database;
+
+use crate::error::EngineError;
+use crate::observable::{ObservableEvent, ObservableKind};
+use crate::ops::TupleOp;
+use crate::ruleset::{RuleId, RuleSet};
+use crate::state::ExecState;
+use crate::strategy::ChoiceStrategy;
+
+/// Record of one rule consideration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Consideration {
+    /// The rule considered.
+    pub rule: RuleId,
+    /// Whether its condition held and its action executed.
+    pub fired: bool,
+}
+
+/// How a rule-processing run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// No rules triggered: normal termination.
+    Quiescent,
+    /// A rule action rolled the transaction back.
+    RolledBack,
+    /// The consideration limit was exceeded — rule processing may not
+    /// terminate.
+    LimitExceeded,
+}
+
+/// The result of running rule processing at an assertion point.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Every consideration, in order.
+    pub considerations: Vec<Consideration>,
+    /// Observable events, in order of occurrence.
+    pub observables: Vec<ObservableEvent>,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+impl RunResult {
+    /// Number of rules that actually fired.
+    pub fn fired_count(&self) -> usize {
+        self.considerations.iter().filter(|c| c.fired).count()
+    }
+}
+
+/// The outcome of considering a single rule from a state.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// Whether the condition held and the action ran.
+    pub fired: bool,
+    /// Whether the action rolled back.
+    pub rolled_back: bool,
+    /// Observable events emitted by the action.
+    pub observables: Vec<ObservableEvent>,
+    /// The abstract operations `O'` executed by the action (Lemma 4.1) —
+    /// one entry per touched tuple-operation kind, deduplicated.
+    pub ops: std::collections::BTreeSet<starling_storage::Op>,
+}
+
+/// Considers rule `id` from `state`, mutating it in place: the edge
+/// relation of the execution-graph model (Lemma 4.1), shared by the
+/// [`Processor`] and the [`crate::exec_graph`] explorer.
+///
+/// Semantics:
+/// 1. the rule's transition tables are fixed from its pending transition;
+/// 2. its pending transition resets (it has now "processed" it);
+/// 3. if the condition holds, actions execute in order, their effects
+///    absorbed into **every** rule's pending transition (including this
+///    rule's fresh one);
+/// 4. `ROLLBACK` restores `txn_snapshot` and clears all pending transitions.
+pub fn consider_rule(
+    rules: &RuleSet,
+    state: &mut ExecState,
+    id: RuleId,
+    txn_snapshot: &Database,
+) -> Result<StepOutcome, EngineError> {
+    let rule = rules.get(id);
+    let binding = state.transition_binding(rules, id);
+    state.reset_pending(id);
+
+    // Condition check against the triggering transition.
+    let fired = match &rule.def.condition {
+        None => true,
+        Some(cond) => {
+            let ctx = starling_sql::eval::EvalCtx {
+                db: &state.db,
+                transitions: Some(&binding),
+            };
+            let mut env = starling_sql::eval::Env::new(&ctx);
+            let v = starling_sql::eval::expr::eval_bool(cond, &mut env)?;
+            starling_sql::eval::expr::is_true(&v)
+        }
+    };
+
+    let mut outcome = StepOutcome {
+        fired,
+        rolled_back: false,
+        observables: Vec::new(),
+        ops: std::collections::BTreeSet::new(),
+    };
+    if !fired {
+        return Ok(outcome);
+    }
+
+    for action in &rule.def.actions {
+        match exec_action(action, &mut state.db, Some(&binding))? {
+            ActionOutcome::Effects(fx) => {
+                let ops: Vec<TupleOp> = fx.into_iter().map(TupleOp::from).collect();
+                for op in &ops {
+                    match op {
+                        TupleOp::Insert { table, .. } => {
+                            outcome
+                                .ops
+                                .insert(starling_storage::Op::Insert(table.clone()));
+                        }
+                        TupleOp::Delete { table, .. } => {
+                            outcome
+                                .ops
+                                .insert(starling_storage::Op::Delete(table.clone()));
+                        }
+                        TupleOp::Update { table, cols, .. } => {
+                            for c in cols {
+                                outcome
+                                    .ops
+                                    .insert(starling_storage::Op::update(table.clone(), c.clone()));
+                            }
+                        }
+                    }
+                }
+                state.absorb(&ops);
+            }
+            ActionOutcome::Rows(rs) => {
+                outcome.observables.push(ObservableEvent {
+                    rule: id,
+                    kind: ObservableKind::Rows(rs),
+                });
+            }
+            ActionOutcome::Rollback => {
+                outcome.observables.push(ObservableEvent {
+                    rule: id,
+                    kind: ObservableKind::Rollback,
+                });
+                outcome.rolled_back = true;
+                state.db = txn_snapshot.clone();
+                state.clear_pending();
+                return Ok(outcome);
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// The rule processor.
+#[derive(Clone, Copy, Debug)]
+pub struct Processor<'r> {
+    rules: &'r RuleSet,
+    /// Upper bound on considerations before declaring [`Outcome::LimitExceeded`].
+    pub max_considerations: usize,
+}
+
+impl<'r> Processor<'r> {
+    /// A processor over a rule set with the default limit (10 000
+    /// considerations).
+    pub fn new(rules: &'r RuleSet) -> Self {
+        Processor {
+            rules,
+            max_considerations: 10_000,
+        }
+    }
+
+    /// Sets the consideration limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.max_considerations = limit;
+        self
+    }
+
+    /// Runs rule processing from `state` to quiescence (or rollback /
+    /// limit). `txn_snapshot` is the database at transaction start, restored
+    /// on rollback.
+    pub fn run(
+        &self,
+        state: &mut ExecState,
+        txn_snapshot: &Database,
+        strategy: &mut dyn ChoiceStrategy,
+    ) -> Result<RunResult, EngineError> {
+        let mut result = RunResult {
+            considerations: Vec::new(),
+            observables: Vec::new(),
+            outcome: Outcome::Quiescent,
+        };
+        loop {
+            let triggered = state.triggered(self.rules);
+            if triggered.is_empty() {
+                result.outcome = Outcome::Quiescent;
+                return Ok(result);
+            }
+            if result.considerations.len() >= self.max_considerations {
+                result.outcome = Outcome::LimitExceeded;
+                return Ok(result);
+            }
+            let eligible = self.rules.priority().choose(&triggered);
+            debug_assert!(!eligible.is_empty());
+            let picked = strategy.choose(&eligible);
+            let step = consider_rule(self.rules, state, picked, txn_snapshot)?;
+            result.considerations.push(Consideration {
+                rule: picked,
+                fired: step.fired,
+            });
+            result.observables.extend(step.observables);
+            if step.rolled_back {
+                result.outcome = Outcome::RolledBack;
+                return Ok(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{ColumnDef, TableSchema, Value, ValueType};
+
+    use crate::strategy::{FirstEligible, LastEligible};
+
+    use super::*;
+
+    fn db_with(tables: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, cols) in tables {
+            db.create_table(
+                TableSchema::new(
+                    *name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn rules(db: &Database, src: &str) -> RuleSet {
+        let defs: Vec<_> = parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        RuleSet::compile(&defs, db.catalog()).unwrap()
+    }
+
+    fn ins(db: &mut Database, table: &str, vals: &[i64]) -> TupleOp {
+        let row: Vec<Value> = vals.iter().map(|v| Value::Int(*v)).collect();
+        let id = db.insert(table, row.clone()).unwrap();
+        TupleOp::Insert {
+            table: table.into(),
+            id,
+            row,
+        }
+    }
+
+    /// Cascade: insert into t triggers a rule copying into u; the copy
+    /// triggers a second rule updating u.
+    #[test]
+    fn cascading_rules_run_to_quiescence() {
+        let mut db = db_with(&[("t", &["a"]), ("u", &["b", "seen"])]);
+        let rs = rules(
+            &db,
+            "create rule copy on t when inserted then \
+               insert into u select a, 0 from inserted end;
+             create rule mark on u when inserted then \
+               update u set seen = 1 where seen = 0 end;",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[7]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        // copy fired, mark fired (update u does not retrigger mark: it's
+        // insert-triggered, and u's update is an update).
+        assert_eq!(res.fired_count(), 2);
+        let u = st.db.table("u").unwrap();
+        assert_eq!(u.len(), 1);
+        let (_, row) = u.iter().next().unwrap();
+        assert_eq!(row, &vec![Value::Int(7), Value::Int(1)]);
+    }
+
+    /// An obviously nonterminating rule set hits the limit.
+    #[test]
+    fn ping_pong_hits_limit() {
+        let mut db = db_with(&[("t", &["a"]), ("u", &["b"])]);
+        let rs = rules(
+            &db,
+            "create rule ping on t when inserted then insert into u values (1) end;
+             create rule pong on u when inserted then insert into t values (1) end;",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[1]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .with_limit(50)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::LimitExceeded);
+        assert_eq!(res.considerations.len(), 50);
+    }
+
+    /// A false condition means the rule is considered but does not fire, and
+    /// its transition is consumed.
+    #[test]
+    fn false_condition_consumes_transition() {
+        let mut db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule r on t when inserted \
+             if exists (select * from inserted where a > 100) \
+             then delete from t end",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[5]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        assert_eq!(res.considerations.len(), 1);
+        assert!(!res.considerations[0].fired);
+        assert_eq!(st.db.table("t").unwrap().len(), 1);
+    }
+
+    /// Rollback restores the transaction snapshot.
+    #[test]
+    fn rollback_restores_snapshot() {
+        let mut db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule guard on t when inserted \
+             if exists (select * from inserted where a < 0) \
+             then rollback end",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[-1]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::RolledBack);
+        assert!(st.db.table("t").unwrap().is_empty());
+        assert_eq!(res.observables.len(), 1);
+        assert!(matches!(
+            res.observables[0].kind,
+            ObservableKind::Rollback
+        ));
+    }
+
+    /// Priorities decide which of two triggered rules runs first.
+    #[test]
+    fn priority_respected() {
+        let mut db = db_with(&[("t", &["a"]), ("log", &["who"])]);
+        let rs = rules(
+            &db,
+            "create rule second on t when inserted then \
+               insert into log values (2) follows first end;
+             create rule first on t when inserted then \
+               insert into log values (1) end;",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[1]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        // Even an adversarial strategy cannot run `second` first: it is not
+        // eligible while `first` is triggered.
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut LastEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        let who: Vec<i64> = st
+            .db
+            .table("log")
+            .unwrap()
+            .iter()
+            .map(|(_, r)| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(who, vec![1, 2]);
+    }
+
+    /// A rule that triggers itself via a bounded condition terminates
+    /// (the paper's "monotonic update" special case).
+    #[test]
+    fn self_triggering_with_bounded_condition_terminates() {
+        let mut db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule inc on t when inserted, updated(a) \
+             if exists (select * from t where a < 3) \
+             then update t set a = a + 1 where a < 3 end",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[0]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .with_limit(100)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        let (_, row) = st.db.table("t").unwrap().iter().next().unwrap();
+        assert_eq!(row[0], Value::Int(3));
+    }
+
+    /// Select actions surface as observable row events.
+    #[test]
+    fn select_action_is_observable() {
+        let mut db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule peek on t when inserted then select a from inserted end",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[42]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.observables.len(), 1);
+        let ObservableKind::Rows(rs_out) = &res.observables[0].kind else {
+            panic!()
+        };
+        assert_eq!(rs_out.rows, vec![vec![Value::Int(42)]]);
+    }
+
+    /// Transition tables see the *net* composite transition: a tuple
+    /// inserted then deleted by an earlier rule is invisible.
+    #[test]
+    fn net_effect_untriggers() {
+        let mut db = db_with(&[("t", &["a"]), ("audit", &["a"])]);
+        let rs = rules(
+            &db,
+            // `purge` runs first (priority) and deletes the inserted tuple;
+            // `audit_ins` is then no longer triggered.
+            "create rule purge on t when inserted then \
+               delete from t where a < 0 precedes audit_ins end;
+             create rule audit_ins on t when inserted then \
+               insert into audit select a from inserted end;",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[-5]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        // audit_ins was untriggered by purge's delete (insert∘delete = ∅):
+        // only purge was considered.
+        assert_eq!(res.considerations.len(), 1);
+        assert!(st.db.table("audit").unwrap().is_empty());
+    }
+}

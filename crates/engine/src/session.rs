@@ -1,0 +1,363 @@
+//! A small interactive front end: executes scripts (DDL, DML, rule
+//! definitions, certification directives), accumulates the user transition,
+//! and runs rule processing at assertion points.
+//!
+//! This is the runtime counterpart of the paper's "rule assertion points":
+//! user statements build up a transition; [`Session::assert_rules`] processes
+//! rules against it; [`Session::commit`] ends the transaction.
+
+use starling_sql::ast::{Directive, Statement};
+use starling_sql::eval::{exec_action, ActionOutcome, ResultSet};
+use starling_sql::parse_script;
+use starling_storage::Database;
+
+use crate::error::EngineError;
+use crate::ops::TupleOp;
+use crate::processor::{Processor, RunResult};
+use crate::ruleset::RuleSet;
+use crate::state::ExecState;
+use crate::strategy::ChoiceStrategy;
+
+/// Output of executing one script statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScriptOutput {
+    /// A table was created.
+    TableCreated(String),
+    /// A rule was defined.
+    RuleCreated(String),
+    /// A rule was dropped.
+    RuleDropped(String),
+    /// A rule's orderings were amended.
+    RuleAltered(String),
+    /// DML executed, touching this many tuples.
+    Modified(usize),
+    /// A query returned rows.
+    Rows(ResultSet),
+    /// A certification directive was recorded.
+    DirectiveRecorded,
+    /// The user rolled the transaction back.
+    RolledBack,
+}
+
+/// An interactive session: database + rule definitions + pending user
+/// transition + recorded certifications.
+pub struct Session {
+    db: Database,
+    rule_defs: Vec<starling_sql::RuleDef>,
+    compiled: Option<RuleSet>,
+    txn_snapshot: Option<Database>,
+    pending_ops: Vec<TupleOp>,
+    directives: Vec<Directive>,
+    /// Consideration limit for assertion points.
+    pub max_considerations: usize,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Session {
+            db: Database::new(),
+            rule_defs: Vec::new(),
+            compiled: None,
+            txn_snapshot: None,
+            pending_ops: Vec::new(),
+            directives: Vec::new(),
+            max_considerations: 10_000,
+        }
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The rule definitions, in creation order.
+    pub fn rule_defs(&self) -> &[starling_sql::RuleDef] {
+        &self.rule_defs
+    }
+
+    /// Recorded certification directives (`declare commute`, `declare
+    /// terminates`).
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
+    /// The compiled rule set (compiling lazily after changes).
+    pub fn ruleset(&mut self) -> Result<&RuleSet, EngineError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(RuleSet::compile(&self.rule_defs, self.db.catalog())?);
+        }
+        Ok(self.compiled.as_ref().expect("just compiled"))
+    }
+
+    /// Parses and executes a script, one statement at a time. DML
+    /// accumulates into the pending user transition; rules are processed
+    /// only at [`Session::assert_rules`] / [`Session::commit`].
+    pub fn execute_script(&mut self, src: &str) -> Result<Vec<ScriptOutput>, EngineError> {
+        let stmts = parse_script(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.execute(&s)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes one statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ScriptOutput, EngineError> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                self.db.create_table(ct.schema.clone())?;
+                self.compiled = None;
+                Ok(ScriptOutput::TableCreated(ct.schema.name.clone()))
+            }
+            Statement::CreateRule(def) => {
+                // Validate eagerly so errors surface at definition time.
+                starling_sql::validate::validate_rule(def, self.db.catalog())?;
+                if self.rule_defs.iter().any(|r| r.name == def.name) {
+                    return Err(EngineError::DuplicateRule(def.name.clone()));
+                }
+                self.rule_defs.push(def.clone());
+                self.compiled = None;
+                Ok(ScriptOutput::RuleCreated(def.name.clone()))
+            }
+            Statement::DropRule(name) => {
+                let before = self.rule_defs.len();
+                self.rule_defs.retain(|r| &r.name != name);
+                if self.rule_defs.len() == before {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "drop rule: no rule named `{name}`"
+                    )));
+                }
+                // Dangling precedes/follows references would fail the next
+                // compile; scrub them (dropping a rule drops its orderings).
+                for r in &mut self.rule_defs {
+                    r.precedes.retain(|p| p != name);
+                    r.follows.retain(|p| p != name);
+                }
+                self.compiled = None;
+                Ok(ScriptOutput::RuleDropped(name.clone()))
+            }
+            Statement::AlterRule {
+                name,
+                precedes,
+                follows,
+            } => {
+                let Some(def) = self.rule_defs.iter_mut().find(|r| &r.name == name)
+                else {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "alter rule: no rule named `{name}`"
+                    )));
+                };
+                for p in precedes {
+                    if !def.precedes.contains(p) {
+                        def.precedes.push(p.clone());
+                    }
+                }
+                for f in follows {
+                    if !def.follows.contains(f) {
+                        def.follows.push(f.clone());
+                    }
+                }
+                self.compiled = None;
+                Ok(ScriptOutput::RuleAltered(name.clone()))
+            }
+            Statement::Directive(d) => {
+                self.directives.push(d.clone());
+                Ok(ScriptOutput::DirectiveRecorded)
+            }
+            Statement::Dml(action) => {
+                starling_sql::validate::validate_dml(action, self.db.catalog())?;
+                self.ensure_txn();
+                match exec_action(action, &mut self.db, None)? {
+                    ActionOutcome::Effects(fx) => {
+                        let n = fx.len();
+                        self.pending_ops
+                            .extend(fx.into_iter().map(TupleOp::from));
+                        Ok(ScriptOutput::Modified(n))
+                    }
+                    ActionOutcome::Rows(rs) => Ok(ScriptOutput::Rows(rs)),
+                    ActionOutcome::Rollback => {
+                        self.rollback();
+                        Ok(ScriptOutput::RolledBack)
+                    }
+                }
+            }
+        }
+    }
+
+    fn ensure_txn(&mut self) {
+        if self.txn_snapshot.is_none() {
+            self.txn_snapshot = Some(self.db.clone());
+        }
+    }
+
+    /// Runs rule processing at an assertion point over the pending user
+    /// transition. The pending transition is consumed.
+    pub fn assert_rules(
+        &mut self,
+        strategy: &mut dyn ChoiceStrategy,
+    ) -> Result<RunResult, EngineError> {
+        self.ensure_txn();
+        let snapshot = self.txn_snapshot.clone().expect("txn exists");
+        let limit = self.max_considerations;
+        let ops = std::mem::take(&mut self.pending_ops);
+        let rules = self.ruleset()?.clone();
+        let mut state = ExecState::new(self.db.clone(), rules.len(), &ops);
+        let result = Processor::new(&rules)
+            .with_limit(limit)
+            .run(&mut state, &snapshot, strategy)?;
+        self.db = state.db;
+        if result.outcome == crate::processor::Outcome::RolledBack {
+            self.txn_snapshot = None;
+        }
+        Ok(result)
+    }
+
+    /// Commits the transaction: runs an assertion point, then clears the
+    /// snapshot.
+    pub fn commit(
+        &mut self,
+        strategy: &mut dyn ChoiceStrategy,
+    ) -> Result<RunResult, EngineError> {
+        let result = self.assert_rules(strategy)?;
+        self.txn_snapshot = None;
+        Ok(result)
+    }
+
+    /// Rolls the transaction back manually.
+    pub fn rollback(&mut self) {
+        if let Some(snap) = self.txn_snapshot.take() {
+            self.db = snap;
+        }
+        self.pending_ops.clear();
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::Value;
+
+    use crate::strategy::FirstEligible;
+
+    use super::*;
+
+    #[test]
+    fn script_end_to_end() {
+        let mut s = Session::new();
+        let out = s
+            .execute_script(
+                "create table emp (id int, salary int);
+                 create rule cap on emp when inserted, updated(salary) \
+                   if exists (select * from emp where salary > 100) \
+                   then update emp set salary = 100 where salary > 100 end;
+                 insert into emp values (1, 250);
+                 insert into emp values (2, 50);",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], ScriptOutput::TableCreated("emp".into()));
+        assert_eq!(out[1], ScriptOutput::RuleCreated("cap".into()));
+        assert_eq!(out[2], ScriptOutput::Modified(1));
+
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, crate::processor::Outcome::Quiescent);
+        let salaries: Vec<Value> = s
+            .db()
+            .table("emp")
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r[1].clone())
+            .collect();
+        assert_eq!(salaries, vec![Value::Int(100), Value::Int(50)]);
+    }
+
+    #[test]
+    fn user_rollback_restores() {
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.execute_script("insert into t values (1)").unwrap();
+        s.commit(&mut FirstEligible).unwrap();
+        let out = s
+            .execute_script("insert into t values (2); rollback")
+            .unwrap();
+        assert_eq!(out[1], ScriptOutput::RolledBack);
+        assert_eq!(s.db().table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rule_rejected() {
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.execute_script("create rule r on t when inserted then delete from t end")
+            .unwrap();
+        let err = s
+            .execute_script("create rule r on t when deleted then delete from t end")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateRule(_)));
+    }
+
+    #[test]
+    fn directives_recorded() {
+        let mut s = Session::new();
+        s.execute_script("declare commute a, b; declare terminates x 'why'")
+            .unwrap();
+        assert_eq!(s.directives().len(), 2);
+    }
+
+    #[test]
+    fn queries_do_not_join_transition() {
+        let mut s = Session::new();
+        s.execute_script("create table t (a int); insert into t values (3)")
+            .unwrap();
+        let out = s.execute_script("select a from t").unwrap();
+        let ScriptOutput::Rows(rs) = &out[0] else { panic!() };
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn drop_and_alter_rule() {
+        let mut s = Session::new();
+        s.execute_script(
+            "create table t (a int);
+             create rule a on t when inserted then update t set a = 1 end;
+             create rule b on t when inserted then update t set a = 2 end;",
+        )
+        .unwrap();
+        assert_eq!(s.ruleset().unwrap().len(), 2);
+
+        // Order them via ALTER; the compiled set reflects it.
+        s.execute_script("alter rule a precedes b").unwrap();
+        let rs = s.ruleset().unwrap();
+        let (a, b) = (rs.by_name("a").unwrap().id, rs.by_name("b").unwrap().id);
+        assert!(rs.priority().gt(a, b));
+
+        // Dropping `b` also scrubs the ordering reference from `a`.
+        s.execute_script("drop rule b").unwrap();
+        let rs = s.ruleset().unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.by_name("a").unwrap().def.precedes.is_empty());
+
+        assert!(s.execute_script("drop rule zz").is_err());
+        assert!(s.execute_script("alter rule zz precedes a").is_err());
+    }
+
+    #[test]
+    fn rule_rollback_aborts_transaction() {
+        let mut s = Session::new();
+        s.execute_script(
+            "create table t (a int);
+             create rule nope on t when inserted then rollback end;",
+        )
+        .unwrap();
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, crate::processor::Outcome::RolledBack);
+        assert!(s.db().table("t").unwrap().is_empty());
+    }
+}

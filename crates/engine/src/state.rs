@@ -1,0 +1,253 @@
+//! Execution states `S = (D, TR)` (paper Section 4).
+//!
+//! `D` is the database; `TR` is represented as one pending [`NetEffect`] per
+//! rule — the net effect of the composite transition since the rule was last
+//! considered (or since the assertion point). The pending net effect
+//! determines *both* whether the rule is triggered *and* the contents of its
+//! transition tables, exactly the "triggered rule and its associated
+//! transition tables" of the paper.
+
+use starling_sql::eval::TransitionBinding;
+use starling_storage::{CanonicalDigest, Database, Fnv64};
+
+use crate::ops::{NetEffect, TupleOp};
+use crate::ruleset::{RuleId, RuleSet};
+
+/// A rule-processing state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecState {
+    /// Current database state `D`.
+    pub db: Database,
+    /// Per-rule pending transition (indexed by [`RuleId`]).
+    pending: Vec<NetEffect>,
+}
+
+impl ExecState {
+    /// A state at the start of rule processing: database after the initial
+    /// transition, with every rule's pending transition set to the initial
+    /// operations.
+    pub fn new(db: Database, n_rules: usize, initial_ops: &[TupleOp]) -> Self {
+        let initial = NetEffect::from_ops(initial_ops);
+        ExecState {
+            db,
+            pending: vec![initial; n_rules],
+        }
+    }
+
+    /// The pending transition of one rule.
+    pub fn pending(&self, id: RuleId) -> &NetEffect {
+        &self.pending[id.0]
+    }
+
+    /// Absorbs newly executed operations into **every** rule's pending
+    /// transition (rules see operations executed after their last
+    /// consideration as part of their next triggering transition).
+    pub fn absorb(&mut self, ops: &[TupleOp]) {
+        for p in &mut self.pending {
+            p.absorb_all(ops);
+        }
+    }
+
+    /// Resets one rule's pending transition (the rule has been considered).
+    pub fn reset_pending(&mut self, id: RuleId) {
+        self.pending[id.0] = NetEffect::new();
+    }
+
+    /// Clears all pending transitions (rollback).
+    pub fn clear_pending(&mut self) {
+        for p in &mut self.pending {
+            *p = NetEffect::new();
+        }
+    }
+
+    /// The set of triggered rules: those whose pending transition's net
+    /// effect contains one of their triggering operations.
+    pub fn triggered(&self, rules: &RuleSet) -> Vec<RuleId> {
+        rules
+            .rules()
+            .iter()
+            .filter(|r| self.pending[r.id.0].triggers(&r.sig.triggered_by))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Whether a specific rule is triggered.
+    pub fn is_triggered(&self, rules: &RuleSet, id: RuleId) -> bool {
+        self.pending[id.0].triggers(&rules.get(id).sig.triggered_by)
+    }
+
+    /// Transition tables for a rule at consideration time.
+    pub fn transition_binding(&self, rules: &RuleSet, id: RuleId) -> TransitionBinding {
+        self.pending[id.0].transition_binding(&rules.get(id).sig.table)
+    }
+
+    /// Canonical digest of the full state `(D, TR)` — used by the
+    /// execution-graph explorer to deduplicate states and detect cycles.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.db.digest_into(&mut h);
+        h.write_usize(self.pending.len());
+        for p in &self.pending {
+            p.digest_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Digest of the state *as the paper defines state identity* (Section
+    /// 4): the database contents plus the set `TR` of **triggered** rules
+    /// with the contents of their transition tables — with no dependence on
+    /// tuple ids.
+    ///
+    /// Two deliberate coarsenings relative to [`Self::digest`]:
+    ///
+    /// * tuple ids are ignored (two executions inserting the same rows
+    ///   under different ids are the same paper-state);
+    /// * an **untriggered** rule's partially accumulated transition window
+    ///   is ignored, because the paper's `TR` only contains triggered
+    ///   rules. This is a real abstraction leak in the paper (documented in
+    ///   `EXPERIMENTS.md` as the *masking* finding): operationally, an
+    ///   insert sitting in an untriggered rule's window can annihilate a
+    ///   future delete (net-effect rule 4) and change whether the rule ever
+    ///   triggers — a distinction the Section 4 model, and therefore Lemma
+    ///   6.1, does not see. The Figure 1 commutativity diamond must be
+    ///   checked at the paper's granularity, so this digest is what the E1
+    ///   experiment compares.
+    pub fn semantic_digest(&self, rules: &RuleSet) -> u64 {
+        let mut h = Fnv64::new();
+        self.db.digest_into(&mut h);
+        for r in rules.rules() {
+            let triggered = self.is_triggered(rules, r.id);
+            h.write(&[u8::from(triggered)]);
+            if !triggered {
+                continue;
+            }
+            let b = self.transition_binding(rules, r.id);
+            for rows in [&b.inserted, &b.deleted, &b.new_updated, &b.old_updated] {
+                let mut sorted: Vec<_> = rows.iter().collect();
+                sorted.sort_unstable();
+                h.write_usize(sorted.len());
+                for row in sorted {
+                    row.as_slice().digest_into(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_sql::ast::Statement;
+    use starling_sql::parse_script;
+    use starling_storage::{ColumnDef, TableSchema, TupleId, Value, ValueType};
+
+    use super::*;
+
+    fn setup() -> (Database, RuleSet) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Int)]).unwrap(),
+        )
+        .unwrap();
+        let defs: Vec<_> = parse_script(
+            "create rule on_ins on t when inserted then delete from t end;
+             create rule on_del on t when deleted then update t set a = 0 end;",
+        )
+        .unwrap()
+        .into_iter()
+        .filter_map(|s| match s {
+            Statement::CreateRule(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+        let rs = RuleSet::compile(&defs, db.catalog()).unwrap();
+        (db, rs)
+    }
+
+    fn ins_op(id: u64, v: i64) -> TupleOp {
+        TupleOp::Insert {
+            table: "t".into(),
+            id: TupleId(id),
+            row: vec![Value::Int(v)],
+        }
+    }
+
+    #[test]
+    fn initial_triggering() {
+        let (db, rs) = setup();
+        let st = ExecState::new(db, rs.len(), &[ins_op(1, 5)]);
+        let triggered = st.triggered(&rs);
+        assert_eq!(triggered, vec![RuleId(0)]); // only on_ins
+    }
+
+    #[test]
+    fn absorb_extends_all_pendings() {
+        let (db, rs) = setup();
+        let mut st = ExecState::new(db, rs.len(), &[]);
+        assert!(st.triggered(&rs).is_empty());
+        st.absorb(&[TupleOp::Delete {
+            table: "t".into(),
+            id: TupleId(9),
+            old: vec![Value::Int(1)],
+        }]);
+        assert_eq!(st.triggered(&rs), vec![RuleId(1)]);
+    }
+
+    #[test]
+    fn reset_untrigggers_one_rule() {
+        let (db, rs) = setup();
+        let mut st = ExecState::new(db, rs.len(), &[ins_op(1, 5)]);
+        st.reset_pending(RuleId(0));
+        assert!(st.triggered(&rs).is_empty());
+        // New ops re-trigger.
+        st.absorb(&[ins_op(2, 6)]);
+        assert_eq!(st.triggered(&rs), vec![RuleId(0)]);
+    }
+
+    #[test]
+    fn untriggering_via_net_effect() {
+        // A rule triggered by an insert becomes untriggered when another
+        // rule deletes the inserted tuple (insert∘delete annihilates).
+        let (db, rs) = setup();
+        let mut st = ExecState::new(db, rs.len(), &[ins_op(1, 5)]);
+        assert!(st.is_triggered(&rs, RuleId(0)));
+        st.absorb(&[TupleOp::Delete {
+            table: "t".into(),
+            id: TupleId(1),
+            old: vec![Value::Int(5)],
+        }]);
+        assert!(!st.is_triggered(&rs, RuleId(0)));
+        // Rule (4) of net effects: insert∘delete is "not considered at
+        // all" — the deletion of a same-transition insert does not trigger
+        // deleted-rules either.
+        assert!(!st.is_triggered(&rs, RuleId(1)));
+        // Deleting a tuple that existed before the transition does.
+        st.absorb(&[TupleOp::Delete {
+            table: "t".into(),
+            id: TupleId(99),
+            old: vec![Value::Int(7)],
+        }]);
+        assert!(st.is_triggered(&rs, RuleId(1)));
+    }
+
+    #[test]
+    fn binding_reflects_pending() {
+        let (db, rs) = setup();
+        let st = ExecState::new(db, rs.len(), &[ins_op(1, 5)]);
+        let b = st.transition_binding(&rs, RuleId(0));
+        assert_eq!(b.inserted, vec![vec![Value::Int(5)]]);
+        assert!(b.deleted.is_empty());
+    }
+
+    #[test]
+    fn digest_captures_pending_differences() {
+        let (db, rs) = setup();
+        let a = ExecState::new(db.clone(), rs.len(), &[ins_op(1, 5)]);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.reset_pending(RuleId(0));
+        // Same database, different TR — different state.
+        assert_eq!(a.db.state_digest(), b.db.state_digest());
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,386 @@
+//! Pretty-printing of AST nodes back to parseable source.
+//!
+//! The printer round-trips with the parser (`parse(print(x)) == x`), which is
+//! property-tested in the workload generator's test suite.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Binary { op, lhs, rhs } => {
+                write!(f, "({lhs} {} {rhs})", op.symbol())
+            }
+            Expr::Neg(e) => write!(f, "(- {e})"),
+            Expr::Not(e) => write!(f, "(not {e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}in (", if *negated { "not " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::InSelect {
+                expr,
+                select,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}in ({select})",
+                    if *negated { "not " } else { "" }
+                )
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}between {low} and {high}",
+                if *negated { "not " } else { "" }
+            ),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}like {pattern}",
+                if *negated { "not " } else { "" }
+            ),
+            Expr::Exists(s) => write!(f, "exists ({s})"),
+            Expr::ScalarSubquery(s) => write!(f, "({s})"),
+            Expr::Aggregate { func, arg } => match arg {
+                None => write!(f, "count(*)"),
+                Some(e) => write!(f, "{}({e})", func.name()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " as {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table.name())?;
+        if let Some(a) = &self.alias {
+            write!(f, " as {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("select ")?;
+        if self.distinct {
+            f.write_str("distinct ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            f.write_str(" from ")?;
+            for (i, fi) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{fi}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" group by ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " having {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" order by ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    f.write_str(" desc")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "insert into {}", self.table)?;
+        if let Some(cols) = &self.columns {
+            write!(f, " ({})", cols.join(", "))?;
+        }
+        match &self.source {
+            InsertSource::Values(rows) => {
+                f.write_str(" values ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            InsertSource::Select(s) => write!(f, " {s}"),
+        }
+    }
+}
+
+impl fmt::Display for DeleteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delete from {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update {} set ", self.table)?;
+        for (i, (c, e)) in self.sets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c} = {e}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Insert(s) => write!(f, "{s}"),
+            Action::Delete(s) => write!(f, "{s}"),
+            Action::Update(s) => write!(f, "{s}"),
+            Action::Select(s) => write!(f, "{s}"),
+            Action::Rollback => f.write_str("rollback"),
+        }
+    }
+}
+
+impl fmt::Display for TriggerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerEvent::Inserted => f.write_str("inserted"),
+            TriggerEvent::Deleted => f.write_str("deleted"),
+            TriggerEvent::Updated(None) => f.write_str("updated"),
+            TriggerEvent::Updated(Some(cols)) => {
+                write!(f, "updated({})", cols.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create rule {} on {}\n    when ", self.name, self.table)?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        if let Some(c) = &self.condition {
+            write!(f, "\n    if {c}")?;
+        }
+        f.write_str("\n    then ")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";\n         ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if !self.precedes.is_empty() {
+            write!(f, "\n    precedes {}", self.precedes.join(", "))?;
+        }
+        if !self.follows.is_empty() {
+            write!(f, "\n    follows {}", self.follows.join(", "))?;
+        }
+        f.write_str("\nend")
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create table {} (", self.schema.name)?;
+        for (i, c) in self.schema.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty.keyword().to_lowercase())?;
+            if c.nullable {
+                f.write_str(" null")?;
+            } else {
+                f.write_str(" not null")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::Commute(a, b) => write!(f, "declare commute {a}, {b}"),
+            Directive::Terminates {
+                rule,
+                justification,
+            } => write!(
+                f,
+                "declare terminates {rule} '{}'",
+                justification.replace('\'', "''")
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(s) => write!(f, "{s}"),
+            Statement::CreateRule(s) => write!(f, "{s}"),
+            Statement::DropRule(name) => write!(f, "drop rule {name}"),
+            Statement::AlterRule {
+                name,
+                precedes,
+                follows,
+            } => {
+                write!(f, "alter rule {name}")?;
+                if !precedes.is_empty() {
+                    write!(f, " precedes {}", precedes.join(", "))?;
+                }
+                if !follows.is_empty() {
+                    write!(f, " follows {}", follows.join(", "))?;
+                }
+                Ok(())
+            }
+            Statement::Dml(a) => write!(f, "{a}"),
+            Statement::Directive(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_statement};
+
+    /// Parse → print → parse must be a fixpoint.
+    fn round_trip_stmt(src: &str) {
+        let a = parse_statement(src).unwrap();
+        let printed = a.to_string();
+        let b = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(a, b, "round-trip mismatch for `{src}`");
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        for src in [
+            "create table t (a int not null, b varchar null, c float not null, d bool not null)",
+            "insert into t values (1, 'x')",
+            "insert into t (a, b) values (1, 2), (3, 4)",
+            "insert into t select * from u",
+            "delete from t where a > 1 and b is not null",
+            "update t set a = a + 1 where a in (select b from u where c = 'z')",
+            "select distinct a, b as bb from t as x, u where x.a = u.b or not u.c like 'a%'",
+            "select count(*), sum(a), min(b) from t where a between 1 and 10",
+            "select a, b from t where a > 0 order by a desc, b",
+            "select a, count(*) from t group by a having count(*) > 1 order by a",
+            "rollback",
+            "create rule r on t when inserted, updated(a, b) \
+             if exists (select * from inserted) \
+             then update t set a = 1; rollback precedes q follows s end",
+            "declare commute r1, r2",
+            "drop rule old_rule",
+            "alter rule a precedes b, c follows d",
+            "declare terminates r 'it''s monotonic'",
+        ] {
+            round_trip_stmt(src);
+        }
+    }
+
+    #[test]
+    fn exprs_round_trip() {
+        for src in [
+            "1 + 2 * 3 - -4",
+            "a.b = c and not d or e is null",
+            "x not in (1, 2)",
+            "x in (select y from t where z = x)",
+            "(select count(*) from t) > 5",
+            "n like '%abc_'",
+        ] {
+            let a = parse_expr(src).unwrap();
+            let b = parse_expr(&a.to_string()).unwrap();
+            assert_eq!(a, b, "round-trip mismatch for `{src}`");
+        }
+    }
+}

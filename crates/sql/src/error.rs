@@ -1,0 +1,85 @@
+//! SQL-layer errors: lexing, parsing, validation, and evaluation.
+
+use std::fmt;
+
+use starling_storage::StorageError;
+
+use crate::token::Pos;
+
+/// Errors raised anywhere in the SQL layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string, bad number).
+    Lex { pos: Pos, message: String },
+    /// Parse error.
+    Parse { pos: Pos, message: String },
+    /// Semantic validation error (unknown names, misuse of constructs).
+    Validate(String),
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Error bubbled up from the storage layer.
+    Storage(StorageError),
+}
+
+impl SqlError {
+    /// Builds a validation error.
+    pub fn validate(msg: impl Into<String>) -> Self {
+        SqlError::Validate(msg.into())
+    }
+
+    /// Builds an evaluation error.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        SqlError::Eval(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => {
+                write!(f, "lex error at {pos}: {message}")
+            }
+            SqlError::Parse { pos, message } => {
+                write!(f, "parse error at {pos}: {message}")
+            }
+            SqlError::Validate(m) => write!(f, "validation error: {m}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SqlError::Parse {
+            pos: Pos { line: 2, col: 5 },
+            message: "expected `from`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 2:5: expected `from`");
+        assert_eq!(
+            SqlError::validate("bad").to_string(),
+            "validation error: bad"
+        );
+        let s: SqlError = StorageError::UnknownTable("t".into()).into();
+        assert!(s.to_string().contains("unknown table"));
+    }
+}

@@ -1,0 +1,456 @@
+//! DML execution with tuple-level effect reporting.
+//!
+//! Execution is two-phase: evaluate (against the pre-statement state), then
+//! apply. The returned [`DmlEffect`]s are the engine's raw material for the
+//! operation log and net-effect computation.
+
+use starling_storage::{Database, Row, TupleId, Value};
+
+use crate::ast::{Action, DeleteStmt, InsertSource, InsertStmt, UpdateStmt};
+use crate::error::SqlError;
+use crate::eval::env::{Env, EvalCtx, RowBinding, TransitionBinding};
+use crate::eval::expr::{eval_bool, eval_expr, is_true};
+use crate::eval::select::{eval_select, ResultSet};
+
+/// A tuple-level change produced by executing a statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DmlEffect {
+    /// A tuple was inserted.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Assigned tuple id.
+        id: TupleId,
+        /// Inserted values.
+        row: Row,
+    },
+    /// A tuple was deleted.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Deleted tuple id.
+        id: TupleId,
+        /// Values at deletion time.
+        old: Row,
+    },
+    /// A tuple was updated.
+    Update {
+        /// Target table.
+        table: String,
+        /// Updated tuple id.
+        id: TupleId,
+        /// Values before.
+        old: Row,
+        /// Values after.
+        new: Row,
+        /// The columns assigned by the `SET` list. Triggering semantics key
+        /// on assignment, not on whether the value actually changed.
+        cols: Vec<String>,
+    },
+}
+
+impl DmlEffect {
+    /// The table this effect touches.
+    pub fn table(&self) -> &str {
+        match self {
+            DmlEffect::Insert { table, .. }
+            | DmlEffect::Delete { table, .. }
+            | DmlEffect::Update { table, .. } => table,
+        }
+    }
+
+    /// The tuple this effect touches.
+    pub fn tuple_id(&self) -> TupleId {
+        match self {
+            DmlEffect::Insert { id, .. }
+            | DmlEffect::Delete { id, .. }
+            | DmlEffect::Update { id, .. } => *id,
+        }
+    }
+}
+
+/// The outcome of executing one action statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ActionOutcome {
+    /// Data modification: the tuple-level effects (possibly empty).
+    Effects(Vec<DmlEffect>),
+    /// Data retrieval: the observable result rows.
+    Rows(ResultSet),
+    /// A rollback was requested.
+    Rollback,
+}
+
+/// Executes one action statement against the database.
+///
+/// `transitions` supplies the rule's transition tables when executing a rule
+/// action; pass `None` for user statements.
+pub fn exec_action(
+    action: &Action,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ActionOutcome, SqlError> {
+    match action {
+        Action::Insert(stmt) => exec_insert(stmt, db, transitions).map(ActionOutcome::Effects),
+        Action::Delete(stmt) => exec_delete(stmt, db, transitions).map(ActionOutcome::Effects),
+        Action::Update(stmt) => exec_update(stmt, db, transitions).map(ActionOutcome::Effects),
+        Action::Select(stmt) => {
+            let ctx = EvalCtx {
+                db,
+                transitions,
+            };
+            let mut env = Env::new(&ctx);
+            eval_select(stmt, &mut env).map(ActionOutcome::Rows)
+        }
+        Action::Rollback => Ok(ActionOutcome::Rollback),
+    }
+}
+
+fn exec_insert(
+    stmt: &InsertStmt,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<Vec<DmlEffect>, SqlError> {
+    // Phase 1: evaluate all source rows against the pre-statement state.
+    let rows: Vec<Row> = {
+        let ctx = EvalCtx {
+            db,
+            transitions,
+        };
+        let mut env = Env::new(&ctx);
+        match &stmt.source {
+            InsertSource::Values(tuples) => {
+                let mut out = Vec::with_capacity(tuples.len());
+                for t in tuples {
+                    let mut row = Vec::with_capacity(t.len());
+                    for e in t {
+                        row.push(eval_expr(e, &mut env)?);
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            InsertSource::Select(s) => eval_select(s, &mut env)?.rows,
+        }
+    };
+
+    // Map through the explicit column list, filling gaps with NULL.
+    let schema = db.catalog().table(&stmt.table)?.clone();
+    let full_rows: Vec<Row> = match &stmt.columns {
+        None => rows,
+        Some(cols) => {
+            let mut indices = Vec::with_capacity(cols.len());
+            for c in cols {
+                indices.push(schema.column_index(c).ok_or_else(|| {
+                    SqlError::validate(format!(
+                        "insert target `{}` has no column `{c}`",
+                        stmt.table
+                    ))
+                })?);
+            }
+            rows.into_iter()
+                .map(|r| {
+                    let mut full = vec![Value::Null; schema.arity()];
+                    for (i, v) in indices.iter().zip(r) {
+                        full[*i] = v;
+                    }
+                    full
+                })
+                .collect()
+        }
+    };
+
+    // Phase 2: apply.
+    let mut effects = Vec::with_capacity(full_rows.len());
+    for row in full_rows {
+        let id = db.insert(&stmt.table, row.clone())?;
+        effects.push(DmlEffect::Insert {
+            table: stmt.table.clone(),
+            id,
+            row,
+        });
+    }
+    Ok(effects)
+}
+
+fn exec_delete(
+    stmt: &DeleteStmt,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<Vec<DmlEffect>, SqlError> {
+    let victims = matching_tuples(&stmt.table, stmt.where_clause.as_ref(), db, transitions)?;
+    let mut effects = Vec::with_capacity(victims.len());
+    for (id, _) in victims {
+        let old = db.delete(&stmt.table, id)?;
+        effects.push(DmlEffect::Delete {
+            table: stmt.table.clone(),
+            id,
+            old,
+        });
+    }
+    Ok(effects)
+}
+
+fn exec_update(
+    stmt: &UpdateStmt,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<Vec<DmlEffect>, SqlError> {
+    let schema = db.catalog().table(&stmt.table)?.clone();
+    let mut set_indices = Vec::with_capacity(stmt.sets.len());
+    for (c, _) in &stmt.sets {
+        set_indices.push(schema.column_index(c).ok_or_else(|| {
+            SqlError::validate(format!(
+                "update target `{}` has no column `{c}`",
+                stmt.table
+            ))
+        })?);
+    }
+
+    // Phase 1: pick targets and compute new rows against the old state.
+    let targets = matching_tuples(&stmt.table, stmt.where_clause.as_ref(), db, transitions)?;
+    let mut planned: Vec<(TupleId, Row, Row)> = Vec::with_capacity(targets.len());
+    {
+        let ctx = EvalCtx {
+            db,
+            transitions,
+        };
+        let mut env = Env::new(&ctx);
+        for (id, old) in targets {
+            env.push(vec![RowBinding {
+                name: stmt.table.clone(),
+                table: stmt.table.clone(),
+                row: old.clone(),
+            }]);
+            let mut new = old.clone();
+            let result: Result<(), SqlError> = (|| {
+                for (idx, (_, e)) in set_indices.iter().zip(&stmt.sets) {
+                    new[*idx] = eval_expr(e, &mut env)?;
+                }
+                Ok(())
+            })();
+            env.pop();
+            result?;
+            planned.push((id, old, new));
+        }
+    }
+
+    // Phase 2: apply.
+    let set_cols: Vec<String> = stmt.sets.iter().map(|(c, _)| c.clone()).collect();
+    let mut effects = Vec::with_capacity(planned.len());
+    for (id, old, new) in planned {
+        db.update(&stmt.table, id, new.clone())?;
+        effects.push(DmlEffect::Update {
+            table: stmt.table.clone(),
+            id,
+            old,
+            new,
+            cols: set_cols.clone(),
+        });
+    }
+    Ok(effects)
+}
+
+/// Tuples of `table` satisfying `where_clause` (all tuples when absent),
+/// evaluated against the current state.
+fn matching_tuples(
+    table: &str,
+    where_clause: Option<&crate::ast::Expr>,
+    db: &Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<Vec<(TupleId, Row)>, SqlError> {
+    let tbl = db.table(table)?;
+    let candidates: Vec<(TupleId, Row)> =
+        tbl.iter().map(|(id, r)| (id, r.clone())).collect();
+    let Some(w) = where_clause else {
+        return Ok(candidates);
+    };
+    let ctx = EvalCtx {
+        db,
+        transitions,
+    };
+    let mut env = Env::new(&ctx);
+    let mut out = Vec::new();
+    for (id, row) in candidates {
+        env.push(vec![RowBinding {
+            name: table.to_owned(),
+            table: table.to_owned(),
+            row: row.clone(),
+        }]);
+        let v = eval_bool(w, &mut env);
+        env.pop();
+        if is_true(&v?) {
+            out.push((id, row));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::{ColumnDef, TableSchema, ValueType};
+
+    use crate::ast::Statement;
+    use crate::parser::parse_statement;
+
+    use super::*;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", ValueType::Int),
+                    ColumnDef::nullable("b", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    fn run(d: &mut Database, src: &str) -> Result<ActionOutcome, SqlError> {
+        let Statement::Dml(a) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        exec_action(&a, d, None)
+    }
+
+    fn effects(d: &mut Database, src: &str) -> Vec<DmlEffect> {
+        match run(d, src).unwrap() {
+            ActionOutcome::Effects(fx) => fx,
+            o => panic!("expected effects, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_values_multi_row() {
+        let mut d = db();
+        let fx = effects(&mut d, "insert into t values (1, 10), (2, 20)");
+        assert_eq!(fx.len(), 2);
+        assert_eq!(d.table("t").unwrap().len(), 2);
+        assert!(matches!(&fx[0], DmlEffect::Insert { row, .. } if row[0] == Value::Int(1)));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_null() {
+        let mut d = db();
+        effects(&mut d, "insert into t (a) values (5)");
+        let t = d.table("t").unwrap();
+        let (_, row) = t.iter().next().unwrap();
+        assert_eq!(row, &vec![Value::Int(5), Value::Null]);
+    }
+
+    #[test]
+    fn insert_column_list_out_of_order() {
+        let mut d = db();
+        effects(&mut d, "insert into t (b, a) values (20, 2)");
+        let t = d.table("t").unwrap();
+        let (_, row) = t.iter().next().unwrap();
+        assert_eq!(row, &vec![Value::Int(2), Value::Int(20)]);
+    }
+
+    #[test]
+    fn insert_select_snapshot_semantics() {
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10)");
+        // Self-referencing insert must read the pre-statement state: exactly
+        // one new row, not an infinite loop.
+        let fx = effects(&mut d, "insert into t select a + 1, b from t");
+        assert_eq!(fx.len(), 1);
+        assert_eq!(d.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn insert_null_into_non_nullable_fails() {
+        let mut d = db();
+        assert!(run(&mut d, "insert into t (b) values (1)").is_err());
+        assert!(run(&mut d, "insert into t values (null, 1)").is_err());
+        // Failed insert leaves no partial state.
+        assert_eq!(d.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10), (2, 20), (3, null)");
+        let fx = effects(&mut d, "delete from t where b >= 10");
+        assert_eq!(fx.len(), 2);
+        // NULL row survives (predicate unknown).
+        assert_eq!(d.table("t").unwrap().len(), 1);
+        let fx = effects(&mut d, "delete from t");
+        assert_eq!(fx.len(), 1);
+        assert!(d.table("t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_set_oriented() {
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10), (2, 20)");
+        // Swap-style update: all rhs evaluated against the old state.
+        let fx = effects(&mut d, "update t set a = b / 10, b = a * 100");
+        assert_eq!(fx.len(), 2);
+        let rows: Vec<Row> = d.table("t").unwrap().iter().map(|(_, r)| r.clone()).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(200)],
+            ]
+        );
+        for f in fx {
+            let DmlEffect::Update { old, new, .. } = f else {
+                panic!()
+            };
+            assert_ne!(old, new);
+        }
+    }
+
+    #[test]
+    fn update_records_identity_even_when_value_unchanged() {
+        // SQL/Starburst semantics: UPDATE touches every matching tuple, even
+        // when the new value equals the old (the transition still contains
+        // the update operation).
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10)");
+        let fx = effects(&mut d, "update t set a = a");
+        assert_eq!(fx.len(), 1);
+        let DmlEffect::Update { old, new, .. } = &fx[0] else {
+            panic!()
+        };
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn empty_target_sets() {
+        let mut d = db();
+        assert!(effects(&mut d, "delete from t where a = 99").is_empty());
+        assert!(effects(&mut d, "update t set a = 1 where a = 99").is_empty());
+    }
+
+    #[test]
+    fn select_outcome_rows() {
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10)");
+        let ActionOutcome::Rows(rs) = run(&mut d, "select a from t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn update_with_subquery_in_where() {
+        let mut d = db();
+        effects(&mut d, "insert into t values (1, 10), (2, 20)");
+        let fx = effects(
+            &mut d,
+            "update t set b = 0 where a = (select max(a) from t)",
+        );
+        assert_eq!(fx.len(), 1);
+        let DmlEffect::Update { new, .. } = &fx[0] else {
+            panic!()
+        };
+        assert_eq!(new, &vec![Value::Int(2), Value::Int(0)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Evaluation context and row environments.
+
+use starling_storage::{Database, Row};
+
+use crate::ast::TransitionTable;
+
+/// The four logical transition tables of a rule at consideration time
+/// (paper Section 2). All rows carry the schema of the rule's table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransitionBinding {
+    /// The rule's table (whose schema the transition rows carry).
+    pub table: String,
+    /// Tuples inserted by the triggering transition (net effect).
+    pub inserted: Vec<Row>,
+    /// Tuples deleted by the triggering transition (net effect).
+    pub deleted: Vec<Row>,
+    /// New values of net-updated tuples.
+    pub new_updated: Vec<Row>,
+    /// Old values of net-updated tuples.
+    pub old_updated: Vec<Row>,
+}
+
+impl TransitionBinding {
+    /// An empty binding for a rule's table.
+    pub fn empty(table: impl Into<String>) -> Self {
+        TransitionBinding {
+            table: table.into(),
+            ..TransitionBinding::default()
+        }
+    }
+
+    /// Rows of one transition table.
+    pub fn rows(&self, t: TransitionTable) -> &[Row] {
+        match t {
+            TransitionTable::Inserted => &self.inserted,
+            TransitionTable::Deleted => &self.deleted,
+            TransitionTable::NewUpdated => &self.new_updated,
+            TransitionTable::OldUpdated => &self.old_updated,
+        }
+    }
+}
+
+/// Everything an expression can read: the database and, inside a rule, the
+/// transition tables.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Current database state.
+    pub db: &'a Database,
+    /// Transition tables, when evaluating inside a rule.
+    pub transitions: Option<&'a TransitionBinding>,
+}
+
+/// One row binding visible in scope: `name` is the alias (or table name),
+/// `table` is the schema table the row conforms to.
+#[derive(Clone, Debug)]
+pub struct RowBinding {
+    /// In-scope name.
+    pub name: String,
+    /// Schema table.
+    pub table: String,
+    /// Current row values.
+    pub row: Row,
+}
+
+/// A frame of row bindings (one per `FROM` item of the enclosing select).
+pub type Frame = Vec<RowBinding>;
+
+/// The evaluation environment: context plus a stack of row frames.
+///
+/// Subqueries push a frame per candidate row combination; correlated column
+/// references resolve through outer frames, innermost first.
+pub struct Env<'a> {
+    /// The shared read context.
+    pub ctx: &'a EvalCtx<'a>,
+    frames: Vec<Frame>,
+}
+
+impl<'a> Env<'a> {
+    /// A fresh environment with no row bindings.
+    pub fn new(ctx: &'a EvalCtx<'a>) -> Self {
+        Env {
+            ctx,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Pushes a frame of row bindings.
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// Pops the innermost frame.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Number of frames (used by tests and assertions).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The innermost frame, if any (used by wildcard expansion).
+    pub fn innermost(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// Looks up a column, innermost frame first.
+    ///
+    /// With a qualifier, the binding's name must match; without, the column
+    /// must resolve to exactly one binding in the nearest frame that has any
+    /// match (ambiguity is a validation-time error, but the evaluator guards
+    /// anyway).
+    pub fn lookup(
+        &self,
+        qualifier: Option<&str>,
+        column: &str,
+    ) -> Option<(starling_storage::Value, &RowBinding)> {
+        for frame in self.frames.iter().rev() {
+            match qualifier {
+                Some(q) => {
+                    if let Some(b) = frame.iter().find(|b| b.name == q) {
+                        let schema = self.ctx.db.catalog().table(&b.table).ok()?;
+                        let idx = schema.column_index(column)?;
+                        return Some((b.row[idx].clone(), b));
+                    }
+                }
+                None => {
+                    let mut found = None;
+                    for b in frame {
+                        let Ok(schema) = self.ctx.db.catalog().table(&b.table) else {
+                            continue;
+                        };
+                        if let Some(idx) = schema.column_index(column) {
+                            if found.is_some() {
+                                return None; // ambiguous
+                            }
+                            found = Some((b.row[idx].clone(), b));
+                        }
+                    }
+                    if found.is_some() {
+                        return found;
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::{ColumnDef, TableSchema, Value, ValueType};
+
+    use super::*;
+
+    fn ctx_db() -> Database {
+        let mut d = Database::new();
+        d.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", ValueType::Int),
+                    ColumnDef::new("b", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.create_table(
+            TableSchema::new("u", vec![ColumnDef::new("a", ValueType::Int)]).unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn lookup_through_frames() {
+        let db = ctx_db();
+        let ctx = EvalCtx {
+            db: &db,
+            transitions: None,
+        };
+        let mut env = Env::new(&ctx);
+        env.push(vec![RowBinding {
+            name: "x".into(),
+            table: "t".into(),
+            row: vec![Value::Int(1), Value::Int(2)],
+        }]);
+        env.push(vec![RowBinding {
+            name: "y".into(),
+            table: "u".into(),
+            row: vec![Value::Int(9)],
+        }]);
+
+        // Inner frame wins for `a`.
+        assert_eq!(env.lookup(None, "a").unwrap().0, Value::Int(9));
+        // `b` only exists in the outer frame.
+        assert_eq!(env.lookup(None, "b").unwrap().0, Value::Int(2));
+        // Qualified lookups.
+        assert_eq!(env.lookup(Some("x"), "a").unwrap().0, Value::Int(1));
+        assert_eq!(env.lookup(Some("y"), "a").unwrap().0, Value::Int(9));
+        assert!(env.lookup(Some("z"), "a").is_none());
+
+        env.pop();
+        assert_eq!(env.lookup(None, "a").unwrap().0, Value::Int(1));
+    }
+
+    #[test]
+    fn ambiguous_in_same_frame_is_none() {
+        let db = ctx_db();
+        let ctx = EvalCtx {
+            db: &db,
+            transitions: None,
+        };
+        let mut env = Env::new(&ctx);
+        env.push(vec![
+            RowBinding {
+                name: "x".into(),
+                table: "t".into(),
+                row: vec![Value::Int(1), Value::Int(2)],
+            },
+            RowBinding {
+                name: "y".into(),
+                table: "u".into(),
+                row: vec![Value::Int(9)],
+            },
+        ]);
+        assert!(env.lookup(None, "a").is_none());
+        assert!(env.lookup(None, "b").is_some());
+    }
+
+    #[test]
+    fn transition_binding_rows() {
+        let mut tb = TransitionBinding::empty("t");
+        tb.inserted.push(vec![Value::Int(1)]);
+        tb.old_updated.push(vec![Value::Int(2)]);
+        assert_eq!(tb.rows(TransitionTable::Inserted).len(), 1);
+        assert_eq!(tb.rows(TransitionTable::Deleted).len(), 0);
+        assert_eq!(tb.rows(TransitionTable::OldUpdated).len(), 1);
+    }
+}

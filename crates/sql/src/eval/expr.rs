@@ -1,0 +1,448 @@
+//! Expression evaluation with SQL three-valued logic.
+//!
+//! Boolean results are represented as `Value::Bool(..)` or `Value::Null`
+//! (*unknown*). `WHERE` keeps a row only when the predicate is exactly
+//! `TRUE`.
+
+use std::cmp::Ordering;
+
+use starling_storage::Value;
+
+use crate::ast::{BinOp, Expr};
+use crate::error::SqlError;
+use crate::eval::env::Env;
+use crate::eval::select;
+
+/// Evaluates an expression in the given environment.
+///
+/// Aggregates are rejected here; they are only meaningful in select lists,
+/// which [`select::eval_select`] handles in aggregate mode.
+pub fn eval_expr(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => env
+            .lookup(c.qualifier.as_deref(), &c.column)
+            .map(|(v, _)| v)
+            .ok_or_else(|| SqlError::eval(format!("cannot resolve column `{c}`"))),
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, env),
+        Expr::Neg(x) => match eval_expr(x, env)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(
+                i.checked_neg()
+                    .ok_or_else(|| SqlError::eval("integer overflow in negation"))?,
+            )),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            v => Err(SqlError::eval(format!("cannot negate {v}"))),
+        },
+        Expr::Not(x) => Ok(not3(eval_bool(x, env)?)),
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = eval_expr(expr, env)?;
+            let mut any_unknown = false;
+            let mut found = false;
+            for cand in list {
+                let v = eval_expr(cand, env)?;
+                match sql_eq(&needle, &v) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => any_unknown = true,
+                }
+            }
+            Ok(in_result(found, any_unknown, *negated))
+        }
+        Expr::InSelect {
+            expr,
+            select: sub,
+            negated,
+        } => {
+            let needle = eval_expr(expr, env)?;
+            let rs = select::eval_select(sub, env)?;
+            let mut any_unknown = false;
+            let mut found = false;
+            for row in &rs.rows {
+                match sql_eq(&needle, &row[0]) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => any_unknown = true,
+                }
+            }
+            Ok(in_result(found, any_unknown, *negated))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_expr(expr, env)?;
+            let lo = eval_expr(low, env)?;
+            let hi = eval_expr(high, env)?;
+            let ge_lo = cmp_bool(&v, &lo, |o| o != Ordering::Less);
+            let le_hi = cmp_bool(&v, &hi, |o| o != Ordering::Greater);
+            let both = and3(ge_lo, le_hi);
+            Ok(if *negated { not3(both) } else { both })
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_expr(expr, env)?;
+            let p = eval_expr(pattern, env)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(SqlError::eval(format!(
+                    "LIKE requires strings, got {a} and {b}"
+                ))),
+            }
+        }
+        Expr::Exists(sub) => {
+            let rs = select::eval_select(sub, env)?;
+            Ok(Value::Bool(!rs.rows.is_empty()))
+        }
+        Expr::ScalarSubquery(sub) => {
+            let rs = select::eval_select(sub, env)?;
+            match rs.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rs.rows[0][0].clone()),
+                n => Err(SqlError::eval(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+            }
+        }
+        Expr::Aggregate { .. } => Err(SqlError::eval(
+            "aggregate evaluated outside a select list",
+        )),
+    }
+}
+
+/// Evaluates an expression expected to be boolean-valued (3VL).
+pub fn eval_bool(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
+    match eval_expr(e, env)? {
+        v @ (Value::Bool(_) | Value::Null) => Ok(v),
+        v => Err(SqlError::eval(format!("expected boolean, got {v}"))),
+    }
+}
+
+/// Whether a 3VL value is exactly TRUE (the `WHERE` filter rule).
+pub fn is_true(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    env: &mut Env<'_>,
+) -> Result<Value, SqlError> {
+    match op {
+        BinOp::And => {
+            // Kleene AND with short circuit on FALSE.
+            let l = eval_bool(lhs, env)?;
+            if l == Value::Bool(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval_bool(rhs, env)?;
+            Ok(and3(l, r))
+        }
+        BinOp::Or => {
+            let l = eval_bool(lhs, env)?;
+            if l == Value::Bool(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval_bool(rhs, env)?;
+            Ok(or3(l, r))
+        }
+        op if op.is_comparison() => {
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let Some(ord) = l.sql_cmp(&r) else {
+                return Err(SqlError::eval(format!(
+                    "cannot compare {l} with {r}"
+                )));
+            };
+            let b = match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::Ne => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                _ => ord != Ordering::Less, // Ge
+            };
+            Ok(Value::Bool(b))
+        }
+        op => {
+            // Arithmetic.
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            arith(op, &l, &r)
+        }
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let res = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(SqlError::eval("division by zero"));
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(SqlError::eval("division by zero"));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!("non-arithmetic op in arith"),
+            };
+            res.map(Value::Int)
+                .ok_or_else(|| SqlError::eval("integer overflow"))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(SqlError::eval(format!(
+                    "arithmetic on non-numeric values {l} and {r}"
+                )));
+            };
+            let res = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::eval("division by zero"));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(SqlError::eval("division by zero"));
+                    }
+                    a % b
+                }
+                _ => unreachable!("non-arithmetic op in arith"),
+            };
+            Ok(Value::Float(res))
+        }
+    }
+}
+
+/// SQL equality as a 3VL primitive.
+fn sql_eq(a: &Value, b: &Value) -> Option<bool> {
+    a.sql_cmp(b).map(|o| o == Ordering::Equal)
+}
+
+fn cmp_bool(a: &Value, b: &Value, f: impl Fn(Ordering) -> bool) -> Value {
+    match a.sql_cmp(b) {
+        Some(o) => Value::Bool(f(o)),
+        None => Value::Null,
+    }
+}
+
+/// Kleene three-valued AND.
+pub fn and3(a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+        (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+/// Kleene three-valued OR.
+pub fn or3(a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+        (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// Kleene three-valued NOT.
+pub fn not3(a: Value) -> Value {
+    match a {
+        Value::Bool(b) => Value::Bool(!b),
+        _ => Value::Null,
+    }
+}
+
+fn in_result(found: bool, any_unknown: bool, negated: bool) -> Value {
+    let base = if found {
+        Value::Bool(true)
+    } else if any_unknown {
+        Value::Null
+    } else {
+        Value::Bool(false)
+    };
+    if negated {
+        not3(base)
+    } else {
+        base
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any sequence, `_` any single character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try every suffix (including empty).
+                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_storage::Database;
+
+    use crate::eval::env::EvalCtx;
+    use crate::parser::parse_expr;
+
+    use super::*;
+
+    fn eval(src: &str) -> Result<Value, SqlError> {
+        let db = Database::new();
+        let ctx = EvalCtx {
+            db: &db,
+            transitions: None,
+        };
+        let mut env = Env::new(&ctx);
+        eval_expr(&parse_expr(src).unwrap(), &mut env)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("7.0 / 2").unwrap(), Value::Float(3.5));
+        assert_eq!(eval("7 % 4").unwrap(), Value::Int(3));
+        assert_eq!(eval("-(3 - 5)").unwrap(), Value::Int(2));
+        assert!(eval("1 / 0").is_err());
+        assert!(eval("1 % 0").is_err());
+        assert!(eval("'a' + 1").is_err());
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval("null + 1").unwrap(), Value::Null);
+        assert_eq!(eval("null = null").unwrap(), Value::Null);
+        assert_eq!(eval("1 < null").unwrap(), Value::Null);
+        assert_eq!(eval("- null").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval("true and null").unwrap(), Value::Null);
+        assert_eq!(eval("false and null").unwrap(), Value::Bool(false));
+        assert_eq!(eval("true or null").unwrap(), Value::Bool(true));
+        assert_eq!(eval("false or null").unwrap(), Value::Null);
+        assert_eq!(eval("not null").unwrap(), Value::Null);
+        assert_eq!(eval("not false").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn is_null_predicate() {
+        assert_eq!(eval("null is null").unwrap(), Value::Bool(true));
+        assert_eq!(eval("1 is null").unwrap(), Value::Bool(false));
+        assert_eq!(eval("1 is not null").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("2 >= 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval("2 <> 2").unwrap(), Value::Bool(false));
+        assert_eq!(eval("1.5 < 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'a' < 'b'").unwrap(), Value::Bool(true));
+        assert!(eval("1 < 'a'").is_err());
+    }
+
+    #[test]
+    fn in_list_3vl() {
+        assert_eq!(eval("2 in (1, 2)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("3 in (1, 2)").unwrap(), Value::Bool(false));
+        assert_eq!(eval("3 in (1, null)").unwrap(), Value::Null);
+        assert_eq!(eval("1 in (1, null)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("3 not in (1, 2)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("3 not in (1, null)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_3vl() {
+        assert_eq!(eval("2 between 1 and 3").unwrap(), Value::Bool(true));
+        assert_eq!(eval("0 between 1 and 3").unwrap(), Value::Bool(false));
+        assert_eq!(eval("2 not between 1 and 3").unwrap(), Value::Bool(false));
+        assert_eq!(eval("2 between null and 3").unwrap(), Value::Null);
+        // FALSE short-circuits unknown: 0 >= NULL is unknown but 0 <= -1 is
+        // false, so the AND is false.
+        assert_eq!(eval("0 between null and -1").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%b", "a%b")); // literal traversal via %
+        assert_eq!(eval("'foo' like 'f%'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'foo' not like 'g%'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("null like 'a'").unwrap(), Value::Null);
+        assert!(eval("1 like 'a'").is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert!(eval("9223372036854775807 + 1").is_err());
+        assert!(eval("- (-9223372036854775807 - 1)").is_err());
+    }
+
+    #[test]
+    fn is_true_filter() {
+        assert!(is_true(&Value::Bool(true)));
+        assert!(!is_true(&Value::Bool(false)));
+        assert!(!is_true(&Value::Null));
+        assert!(!is_true(&Value::Int(1)));
+    }
+}

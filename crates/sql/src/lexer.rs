@@ -1,0 +1,357 @@
+//! Hand-written lexer for the SQL subset.
+//!
+//! * Keywords and identifiers are case-insensitive; identifiers are
+//!   lowercased at lexing time so the rest of the system is case-free.
+//! * `--` starts a line comment.
+//! * Strings use single quotes with `''` as the escape for `'`.
+
+use crate::error::SqlError;
+use crate::token::{Keyword, Pos, Token, TokenKind};
+
+/// Lexes a complete input into a token stream ending in [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            chars: input.chars().peekable(),
+            pos: Pos::start(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn err(&self, pos: Pos, message: impl Into<String>) -> SqlError {
+        SqlError::Lex {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some('-') => {
+                    // Could be a comment, minus, or negative number; peek one
+                    // past by cloning the iterator (cheap for Chars).
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'-') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            let pos = self.pos;
+            let Some(c) = self.bump() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                '(' => TokenKind::LParen,
+                ')' => TokenKind::RParen,
+                ',' => TokenKind::Comma,
+                '.' => TokenKind::Dot,
+                ';' => TokenKind::Semi,
+                '*' => TokenKind::Star,
+                '/' => TokenKind::Slash,
+                '%' => TokenKind::Percent,
+                '+' => TokenKind::Plus,
+                '-' => TokenKind::Minus,
+                '=' => TokenKind::Eq,
+                '!' => {
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.err(pos, "expected `=` after `!`"));
+                    }
+                }
+                '<' => match self.peek() {
+                    Some('=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some('>') => {
+                        self.bump();
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                },
+                '>' => {
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '\'' => self.string(pos)?,
+                c if c.is_ascii_digit() => self.number(pos, c)?,
+                c if c.is_alphabetic() || c == '_' => self.word(c),
+                c => return Err(self.err(pos, format!("unexpected character `{c}`"))),
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn string(&mut self, start: Pos) -> Result<TokenKind, SqlError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(start, "unterminated string literal")),
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, start: Pos, first: char) -> Result<TokenKind, SqlError> {
+        let mut s = String::from(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A dot only makes a float if followed by a digit, so `1.c` (tuple
+        // field access — not in this language, but defensive) stays `1` `.`.
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            let mut ahead = self.chars.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                s.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let mut ahead = self.chars.clone();
+            ahead.next();
+            let next = ahead.peek().copied();
+            let signed = matches!(next, Some('+') | Some('-'));
+            let ok = if signed {
+                ahead.next();
+                ahead.peek().is_some_and(|c| c.is_ascii_digit())
+            } else {
+                next.is_some_and(|c| c.is_ascii_digit())
+            };
+            if ok {
+                is_float = true;
+                s.push(self.bump().unwrap()); // e/E
+                if signed {
+                    s.push(self.bump().unwrap());
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.err(start, format!("bad float literal: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.err(start, format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn word(&mut self, first: char) -> TokenKind {
+        let mut s = String::new();
+        s.push(first.to_ascii_lowercase());
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c.to_ascii_lowercase());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&s) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("SELECT emp FROM Dept"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("emp".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("dept".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2E-2 7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1e3),
+                TokenKind::Float(2e-2),
+                TokenKind::Int(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> != + - * / %"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s' 'x'"),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 -- comment here\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Minus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(lex("a @ b"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("a ! b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            kinds("new_updated old_updated"),
+            vec![
+                TokenKind::Ident("new_updated".into()),
+                TokenKind::Ident("old_updated".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

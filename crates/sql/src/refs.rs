@@ -1,0 +1,583 @@
+//! Syntactic extraction of the paper's Section 3 rule definitions.
+//!
+//! Given a rule's AST and the catalog, this module computes:
+//!
+//! * **Triggered-By(r)** — the operations in `O` that trigger `r` (trivial
+//!   from the `when` clause; `updated` with no column list expands to every
+//!   column of the rule's table);
+//! * **Performs(r)** — the operations `r`'s action may perform (trivial from
+//!   the action statements);
+//! * **Reads(r)** — every `t.c` referenced in a select or where clause of
+//!   `r`'s condition or action, with transition-table references mapped to
+//!   the rule's table (footnote 1 of the paper: the language does not
+//!   distinguish positive from negative reads);
+//! * **Observable(r)** — whether the action performs data retrieval or
+//!   rollback (Section 8).
+//!
+//! The same scope-resolution machinery is reused by [`crate::validate`].
+
+use std::collections::BTreeSet;
+
+use starling_storage::{Catalog, ColRef, Op};
+
+use crate::ast::*;
+use crate::error::SqlError;
+
+/// A resolved column: which *schema* table it reads, through which binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedColumn {
+    /// The base table whose column is read. For transition-table references
+    /// this is the rule's table.
+    pub table: String,
+    /// The column name.
+    pub column: String,
+    /// If resolved through a transition table, which one.
+    pub transition: Option<TransitionTable>,
+}
+
+/// One name binding introduced by a `FROM` item.
+#[derive(Clone, Debug)]
+struct Binding {
+    /// The in-scope name (alias or table name).
+    name: String,
+    /// The schema table this binding reads from.
+    table: String,
+    /// Transition table, if any.
+    transition: Option<TransitionTable>,
+}
+
+/// Lexical scope stack for column resolution.
+///
+/// Frames are searched innermost-first; within a frame an unqualified column
+/// must resolve to exactly one binding (else it is ambiguous). Outer frames
+/// provide correlated-subquery bindings.
+pub struct Scope<'a> {
+    catalog: &'a Catalog,
+    /// The rule's table, when resolving inside a rule (enables transition
+    /// tables).
+    rule_table: Option<&'a str>,
+    frames: Vec<Vec<Binding>>,
+}
+
+impl<'a> Scope<'a> {
+    /// A scope for expressions inside a rule on `rule_table`, or outside any
+    /// rule when `rule_table` is `None`.
+    pub fn new(catalog: &'a Catalog, rule_table: Option<&'a str>) -> Self {
+        Scope {
+            catalog,
+            rule_table,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Pushes a frame of bindings from `FROM` items.
+    pub fn push_from(&mut self, items: &[FromItem]) -> Result<(), SqlError> {
+        let mut frame = Vec::with_capacity(items.len());
+        for item in items {
+            let (table, transition) = match &item.table {
+                TableRef::Base(t) => {
+                    self.catalog.table(t)?; // must exist
+                    (t.clone(), None)
+                }
+                TableRef::Transition(tt) => match self.rule_table {
+                    Some(rt) => (rt.to_owned(), Some(*tt)),
+                    None => {
+                        return Err(SqlError::validate(format!(
+                            "transition table `{}` referenced outside a rule",
+                            tt.name()
+                        )))
+                    }
+                },
+            };
+            let name = item.binding().to_owned();
+            if frame.iter().any(|b: &Binding| b.name == name) {
+                return Err(SqlError::validate(format!(
+                    "duplicate binding `{name}` in from clause"
+                )));
+            }
+            frame.push(Binding {
+                name,
+                table,
+                transition,
+            });
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    /// Pushes a frame binding a single base table under its own name (the
+    /// implicit scope of `UPDATE`/`DELETE` targets).
+    pub fn push_table(&mut self, table: &str) -> Result<(), SqlError> {
+        self.catalog.table(table)?;
+        self.frames.push(vec![Binding {
+            name: table.to_owned(),
+            table: table.to_owned(),
+            transition: None,
+        }]);
+        Ok(())
+    }
+
+    /// Pops the innermost frame.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// All tables bound by the innermost frame, as `(schema table,
+    /// transition)` pairs — used to expand `SELECT *`.
+    pub fn innermost_tables(&self) -> Vec<(String, Option<TransitionTable>)> {
+        self.frames
+            .last()
+            .map(|f| {
+                f.iter()
+                    .map(|b| (b.table.clone(), b.transition))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Resolves a column reference against the scope stack.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<ResolvedColumn, SqlError> {
+        for frame in self.frames.iter().rev() {
+            match &col.qualifier {
+                Some(q) => {
+                    if let Some(b) = frame.iter().find(|b| &b.name == q) {
+                        let schema = self.catalog.table(&b.table)?;
+                        if schema.column_index(&col.column).is_none() {
+                            return Err(SqlError::validate(format!(
+                                "table `{}` (bound as `{q}`) has no column `{}`",
+                                b.table, col.column
+                            )));
+                        }
+                        return Ok(ResolvedColumn {
+                            table: b.table.clone(),
+                            column: col.column.clone(),
+                            transition: b.transition,
+                        });
+                    }
+                }
+                None => {
+                    let mut matches = frame.iter().filter(|b| {
+                        self.catalog
+                            .table(&b.table)
+                            .is_ok_and(|s| s.column_index(&col.column).is_some())
+                    });
+                    if let Some(first) = matches.next() {
+                        if matches.next().is_some() {
+                            return Err(SqlError::validate(format!(
+                                "ambiguous column `{}`",
+                                col.column
+                            )));
+                        }
+                        return Ok(ResolvedColumn {
+                            table: first.table.clone(),
+                            column: col.column.clone(),
+                            transition: first.transition,
+                        });
+                    }
+                }
+            }
+        }
+        Err(SqlError::validate(format!(
+            "cannot resolve column `{col}`"
+        )))
+    }
+}
+
+/// The static signature of a rule: the paper's Section 3 per-rule
+/// definitions, computed once at rule-set compile time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSignature {
+    /// Rule name.
+    pub name: String,
+    /// The rule's table.
+    pub table: String,
+    /// `Triggered-By(r) ⊆ O`.
+    pub triggered_by: BTreeSet<Op>,
+    /// `Performs(r) ⊆ O`.
+    pub performs: BTreeSet<Op>,
+    /// `Reads(r) ⊆ C`.
+    pub reads: BTreeSet<ColRef>,
+    /// `Observable(r)`.
+    pub observable: bool,
+}
+
+impl RuleSignature {
+    /// Computes the signature of a rule against a catalog.
+    ///
+    /// Fails when names do not resolve; full semantic validation (including
+    /// transition-table legality) is in [`crate::validate`].
+    pub fn of_rule(rule: &RuleDef, catalog: &Catalog) -> Result<Self, SqlError> {
+        let schema = catalog.table(&rule.table)?;
+
+        let mut triggered_by = BTreeSet::new();
+        for ev in &rule.events {
+            match ev {
+                TriggerEvent::Inserted => {
+                    triggered_by.insert(Op::Insert(rule.table.clone()));
+                }
+                TriggerEvent::Deleted => {
+                    triggered_by.insert(Op::Delete(rule.table.clone()));
+                }
+                TriggerEvent::Updated(None) => {
+                    for c in schema.column_names() {
+                        triggered_by.insert(Op::update(rule.table.clone(), c));
+                    }
+                }
+                TriggerEvent::Updated(Some(cols)) => {
+                    for c in cols {
+                        if schema.column_index(c).is_none() {
+                            return Err(SqlError::validate(format!(
+                                "rule `{}`: `updated({c})` names no column of `{}`",
+                                rule.name, rule.table
+                            )));
+                        }
+                        triggered_by.insert(Op::update(rule.table.clone(), c.clone()));
+                    }
+                }
+            }
+        }
+
+        let mut performs = BTreeSet::new();
+        for a in &rule.actions {
+            match a {
+                Action::Insert(i) => {
+                    performs.insert(Op::Insert(i.table.clone()));
+                }
+                Action::Delete(d) => {
+                    performs.insert(Op::Delete(d.table.clone()));
+                }
+                Action::Update(u) => {
+                    for (c, _) in &u.sets {
+                        performs.insert(Op::update(u.table.clone(), c.clone()));
+                    }
+                }
+                Action::Select(_) | Action::Rollback => {}
+            }
+        }
+
+        let mut reads = BTreeSet::new();
+        let mut scope = Scope::new(catalog, Some(&rule.table));
+        if let Some(cond) = &rule.condition {
+            collect_expr(cond, &mut scope, &mut reads)?;
+        }
+        for a in &rule.actions {
+            collect_action(a, &mut scope, &mut reads)?;
+        }
+
+        let observable = rule.actions.iter().any(Action::is_observable);
+
+        Ok(RuleSignature {
+            name: rule.name.clone(),
+            table: rule.table.clone(),
+            triggered_by,
+            performs,
+            reads,
+            observable,
+        })
+    }
+}
+
+/// Collects reads from an action statement.
+pub(crate) fn collect_action(
+    action: &Action,
+    scope: &mut Scope<'_>,
+    reads: &mut BTreeSet<ColRef>,
+) -> Result<(), SqlError> {
+    match action {
+        Action::Insert(i) => match &i.source {
+            InsertSource::Values(rows) => {
+                for row in rows {
+                    for e in row {
+                        collect_expr(e, scope, reads)?;
+                    }
+                }
+                Ok(())
+            }
+            InsertSource::Select(s) => collect_select(s, scope, reads),
+        },
+        Action::Delete(d) => {
+            if let Some(w) = &d.where_clause {
+                scope.push_table(&d.table)?;
+                let r = collect_expr(w, scope, reads);
+                scope.pop();
+                r?;
+            }
+            Ok(())
+        }
+        Action::Update(u) => {
+            scope.push_table(&u.table)?;
+            let r = (|| {
+                for (_, e) in &u.sets {
+                    collect_expr(e, scope, reads)?;
+                }
+                if let Some(w) = &u.where_clause {
+                    collect_expr(w, scope, reads)?;
+                }
+                Ok(())
+            })();
+            scope.pop();
+            r
+        }
+        Action::Select(s) => collect_select(s, scope, reads),
+        Action::Rollback => Ok(()),
+    }
+}
+
+fn collect_select(
+    s: &SelectStmt,
+    scope: &mut Scope<'_>,
+    reads: &mut BTreeSet<ColRef>,
+) -> Result<(), SqlError> {
+    scope.push_from(&s.from)?;
+    let r = (|| {
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    // `select *` reads every column of every from-item.
+                    for (table, _) in scope.innermost_tables() {
+                        let schema = scope.catalog.table(&table)?;
+                        for c in schema.column_names() {
+                            reads.insert(ColRef::new(table.clone(), c));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, .. } => collect_expr(expr, scope, reads)?,
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            collect_expr(w, scope, reads)?;
+        }
+        for e in &s.group_by {
+            collect_expr(e, scope, reads)?;
+        }
+        if let Some(h) = &s.having {
+            collect_expr(h, scope, reads)?;
+        }
+        for o in &s.order_by {
+            collect_expr(&o.expr, scope, reads)?;
+        }
+        Ok(())
+    })();
+    scope.pop();
+    r
+}
+
+fn collect_expr(
+    e: &Expr,
+    scope: &mut Scope<'_>,
+    reads: &mut BTreeSet<ColRef>,
+) -> Result<(), SqlError> {
+    match e {
+        Expr::Literal(_) => Ok(()),
+        Expr::Column(c) => {
+            let rc = scope.resolve(c)?;
+            // Transition references read the rule's table (paper: "for every
+            // (trans).c referenced, t.c is in Reads(r) for r's triggering
+            // table t").
+            reads.insert(ColRef::new(rc.table, rc.column));
+            Ok(())
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, scope, reads)?;
+            collect_expr(rhs, scope, reads)
+        }
+        Expr::Neg(x) | Expr::Not(x) => collect_expr(x, scope, reads),
+        Expr::IsNull { expr, .. } => collect_expr(expr, scope, reads),
+        Expr::InList { expr, list, .. } => {
+            collect_expr(expr, scope, reads)?;
+            for x in list {
+                collect_expr(x, scope, reads)?;
+            }
+            Ok(())
+        }
+        Expr::InSelect { expr, select, .. } => {
+            collect_expr(expr, scope, reads)?;
+            collect_select(select, scope, reads)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_expr(expr, scope, reads)?;
+            collect_expr(low, scope, reads)?;
+            collect_expr(high, scope, reads)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_expr(expr, scope, reads)?;
+            collect_expr(pattern, scope, reads)
+        }
+        Expr::Exists(s) | Expr::ScalarSubquery(s) => collect_select(s, scope, reads),
+        Expr::Aggregate { arg, .. } => match arg {
+            Some(x) => collect_expr(x, scope, reads),
+            None => Ok(()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use starling_storage::{ColumnDef, TableSchema, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableSchema::new(
+                "emp",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("salary", ValueType::Int),
+                    ColumnDef::new("dno", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add_table(
+            TableSchema::new(
+                "dept",
+                vec![
+                    ColumnDef::new("dno", ValueType::Int),
+                    ColumnDef::new("budget", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn sig(src: &str) -> RuleSignature {
+        let Statement::CreateRule(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        RuleSignature::of_rule(&r, &catalog()).unwrap()
+    }
+
+    #[test]
+    fn triggered_by_expansion() {
+        let s = sig("create rule r on emp when inserted, updated(salary) then rollback end");
+        assert!(s.triggered_by.contains(&Op::Insert("emp".into())));
+        assert!(s.triggered_by.contains(&Op::update("emp", "salary")));
+        assert_eq!(s.triggered_by.len(), 2);
+
+        // `updated` with no columns expands to all columns.
+        let s = sig("create rule r on emp when updated then rollback end");
+        assert_eq!(s.triggered_by.len(), 3);
+    }
+
+    #[test]
+    fn performs_extraction() {
+        let s = sig(
+            "create rule r on emp when inserted then \
+             update dept set budget = 0; delete from emp; insert into dept values (1, 2) end",
+        );
+        assert!(s.performs.contains(&Op::update("dept", "budget")));
+        assert!(s.performs.contains(&Op::Delete("emp".into())));
+        assert!(s.performs.contains(&Op::Insert("dept".into())));
+        assert_eq!(s.performs.len(), 3);
+    }
+
+    #[test]
+    fn reads_from_condition_and_action() {
+        let s = sig(
+            "create rule r on emp when inserted \
+             if exists (select * from inserted where salary > 10) \
+             then delete from dept where budget < 0 end",
+        );
+        // `select *` from transition table reads all of emp's columns.
+        assert!(s.reads.contains(&ColRef::new("emp", "id")));
+        assert!(s.reads.contains(&ColRef::new("emp", "salary")));
+        assert!(s.reads.contains(&ColRef::new("emp", "dno")));
+        assert!(s.reads.contains(&ColRef::new("dept", "budget")));
+    }
+
+    #[test]
+    fn transition_reads_map_to_rule_table() {
+        let s = sig(
+            "create rule r on emp when updated(salary) \
+             if exists (select * from new_updated as n, old_updated o where n.salary > o.salary) \
+             then rollback end",
+        );
+        assert!(s.reads.contains(&ColRef::new("emp", "salary")));
+        assert!(!s.reads.iter().any(|c| c.table == "new_updated"));
+    }
+
+    #[test]
+    fn correlated_subquery_resolution() {
+        let s = sig(
+            "create rule r on emp when inserted \
+             then delete from dept where not exists \
+               (select * from emp where emp.dno = dept.dno) end",
+        );
+        assert!(s.reads.contains(&ColRef::new("emp", "dno")));
+        assert!(s.reads.contains(&ColRef::new("dept", "dno")));
+    }
+
+    #[test]
+    fn update_set_exprs_read() {
+        let s = sig(
+            "create rule r on emp when inserted \
+             then update emp set salary = salary + 1 where id > 0 end",
+        );
+        assert!(s.reads.contains(&ColRef::new("emp", "salary")));
+        assert!(s.reads.contains(&ColRef::new("emp", "id")));
+    }
+
+    #[test]
+    fn observability() {
+        assert!(sig("create rule r on emp when inserted then rollback end").observable);
+        assert!(sig("create rule r on emp when inserted then select id from emp end").observable);
+        assert!(
+            !sig("create rule r on emp when inserted then delete from emp end").observable
+        );
+    }
+
+    #[test]
+    fn unknown_column_in_updated_rejected() {
+        let Statement::CreateRule(r) = parse_statement(
+            "create rule r on emp when updated(nope) then rollback end",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(RuleSignature::of_rule(&r, &catalog()).is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let Statement::CreateRule(r) = parse_statement(
+            "create rule r on emp when inserted \
+             then select dno from emp, dept end",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let err = RuleSignature::of_rule(&r, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn transition_table_outside_rule_rejected() {
+        let cat = catalog();
+        let mut scope = Scope::new(&cat, None);
+        let err = scope
+            .push_from(&[FromItem {
+                table: TableRef::Transition(TransitionTable::Inserted),
+                alias: None,
+            }])
+            .unwrap_err();
+        assert!(err.to_string().contains("outside a rule"));
+    }
+
+    #[test]
+    fn unresolvable_column_rejected() {
+        let Statement::CreateRule(r) = parse_statement(
+            "create rule r on emp when inserted then delete from dept where zzz = 1 end",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(RuleSignature::of_rule(&r, &catalog()).is_err());
+    }
+}

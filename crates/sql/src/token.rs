@@ -1,0 +1,294 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// Source position (1-based line and column) for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Position at the start of input.
+    pub fn start() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords of the language. Matching is case-insensitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Alter, And, As, Asc, Avg, Between, Bool, Boolean, By, Commute, Count,
+    Create, Declare, Delete, Deleted, Desc, Distinct, Drop, End, Exists,
+    False, Float,
+    Follows, From, Group, Having, If, In, Insert, Inserted, Int, Integer,
+    Into, Is, Like,
+    Max, Min, Not, Null, On, Or, Order, Precedes, Real, Rollback, Rule,
+    Select, Set, String_, Sum, Table, Terminates, Text, Then, True, Update,
+    Updated, Values, Varchar, When, Where,
+}
+
+impl Keyword {
+    /// Recognizes a keyword from an identifier (already lowercased).
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "alter" => Alter,
+            "and" => And,
+            "as" => As,
+            "asc" => Asc,
+            "avg" => Avg,
+            "between" => Between,
+            "bool" => Bool,
+            "boolean" => Boolean,
+            "by" => By,
+            "commute" => Commute,
+            "count" => Count,
+            "create" => Create,
+            "declare" => Declare,
+            "delete" => Delete,
+            "deleted" => Deleted,
+            "desc" => Desc,
+            "distinct" => Distinct,
+            "drop" => Drop,
+            "end" => End,
+            "exists" => Exists,
+            "false" => False,
+            "float" => Float,
+            "follows" => Follows,
+            "from" => From,
+            "group" => Group,
+            "having" => Having,
+            "if" => If,
+            "in" => In,
+            "insert" => Insert,
+            "inserted" => Inserted,
+            "int" => Int,
+            "integer" => Integer,
+            "into" => Into,
+            "is" => Is,
+            "like" => Like,
+            "max" => Max,
+            "min" => Min,
+            "not" => Not,
+            "null" => Null,
+            "on" => On,
+            "or" => Or,
+            "order" => Order,
+            "precedes" => Precedes,
+            "real" => Real,
+            "rollback" => Rollback,
+            "rule" => Rule,
+            "select" => Select,
+            "set" => Set,
+            "string" => String_,
+            "sum" => Sum,
+            "table" => Table,
+            "terminates" => Terminates,
+            "text" => Text,
+            "then" => Then,
+            "true" => True,
+            "update" => Update,
+            "updated" => Updated,
+            "values" => Values,
+            "varchar" => Varchar,
+            "when" => When,
+            "where" => Where,
+            _ => return None,
+        })
+    }
+
+    /// Canonical (lowercase) spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Alter => "alter",
+            And => "and",
+            As => "as",
+            Asc => "asc",
+            Avg => "avg",
+            Between => "between",
+            Bool => "bool",
+            Boolean => "boolean",
+            By => "by",
+            Commute => "commute",
+            Count => "count",
+            Create => "create",
+            Declare => "declare",
+            Delete => "delete",
+            Deleted => "deleted",
+            Desc => "desc",
+            Distinct => "distinct",
+            Drop => "drop",
+            End => "end",
+            Exists => "exists",
+            False => "false",
+            Float => "float",
+            Follows => "follows",
+            From => "from",
+            Group => "group",
+            Having => "having",
+            If => "if",
+            In => "in",
+            Insert => "insert",
+            Inserted => "inserted",
+            Int => "int",
+            Integer => "integer",
+            Into => "into",
+            Is => "is",
+            Like => "like",
+            Max => "max",
+            Min => "min",
+            Not => "not",
+            Null => "null",
+            On => "on",
+            Or => "or",
+            Order => "order",
+            Precedes => "precedes",
+            Real => "real",
+            Rollback => "rollback",
+            Rule => "rule",
+            Select => "select",
+            Set => "set",
+            String_ => "string",
+            Sum => "sum",
+            Table => "table",
+            Terminates => "terminates",
+            Text => "text",
+            Then => "then",
+            True => "true",
+            Update => "update",
+            Updated => "updated",
+            Values => "values",
+            Varchar => "varchar",
+            When => "when",
+            Where => "where",
+        }
+    }
+}
+
+/// The payload of a token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A keyword.
+    Keyword(Keyword),
+    /// A non-keyword identifier (lowercased).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (content, without quotes, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Ne => f.write_str("`<>`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for s in ["select", "when", "precedes", "rollback", "end"] {
+            let k = Keyword::from_str(s).unwrap();
+            assert_eq!(k.as_str(), s);
+        }
+        assert_eq!(Keyword::from_str("emp"), None);
+    }
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos { line: 3, col: 14 }.to_string(), "3:14");
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(
+            TokenKind::Keyword(Keyword::Select).to_string(),
+            "keyword `select`"
+        );
+        assert_eq!(TokenKind::Ident("emp".into()).to_string(), "identifier `emp`");
+        assert_eq!(TokenKind::Ne.to_string(), "`<>`");
+    }
+}

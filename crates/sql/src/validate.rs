@@ -1,0 +1,520 @@
+//! Semantic validation of statements against a catalog.
+//!
+//! Beyond the name resolution performed by [`crate::refs`], validation
+//! enforces:
+//!
+//! * transition tables may only be referenced when the rule's transition
+//!   predicate includes the corresponding operation (paper Section 2: "A rule
+//!   may refer only to transition tables corresponding to its triggering
+//!   operations");
+//! * aggregates appear only in select lists, never nested;
+//! * `INSERT` arity matches the target column list / schema;
+//! * `UPDATE ... SET` columns exist;
+//! * `IN (SELECT ...)` and scalar subqueries produce exactly one column.
+
+use starling_storage::Catalog;
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::refs::Scope;
+
+/// Validates a rule definition against a catalog.
+pub fn validate_rule(rule: &RuleDef, catalog: &Catalog) -> Result<(), SqlError> {
+    if rule.events.is_empty() {
+        return Err(SqlError::validate(format!(
+            "rule `{}` has no triggering operations",
+            rule.name
+        )));
+    }
+    catalog.table(&rule.table)?;
+
+    let allowed = AllowedTransitions::of(rule);
+    let mut scope = Scope::new(catalog, Some(&rule.table));
+    if let Some(cond) = &rule.condition {
+        check_expr(cond, catalog, &mut scope, &allowed, ExprPos::Where)?;
+    }
+    if rule.actions.is_empty() {
+        return Err(SqlError::validate(format!(
+            "rule `{}` has no actions",
+            rule.name
+        )));
+    }
+    for a in &rule.actions {
+        validate_action_inner(a, catalog, &mut scope, &allowed)
+            .map_err(|e| prefix(&rule.name, e))?;
+    }
+    Ok(())
+}
+
+/// Validates a standalone DML statement (no rule context: transition tables
+/// are rejected).
+pub fn validate_dml(action: &Action, catalog: &Catalog) -> Result<(), SqlError> {
+    let mut scope = Scope::new(catalog, None);
+    validate_action_inner(action, catalog, &mut scope, &AllowedTransitions::none())
+}
+
+fn prefix(rule: &str, e: SqlError) -> SqlError {
+    match e {
+        SqlError::Validate(m) => SqlError::Validate(format!("rule `{rule}`: {m}")),
+        other => other,
+    }
+}
+
+/// Which transition tables the rule's transition predicate permits.
+struct AllowedTransitions {
+    inserted: bool,
+    deleted: bool,
+    updated: bool,
+}
+
+impl AllowedTransitions {
+    fn of(rule: &RuleDef) -> Self {
+        let mut a = AllowedTransitions::none();
+        for e in &rule.events {
+            match e {
+                TriggerEvent::Inserted => a.inserted = true,
+                TriggerEvent::Deleted => a.deleted = true,
+                TriggerEvent::Updated(_) => a.updated = true,
+            }
+        }
+        a
+    }
+
+    fn none() -> Self {
+        AllowedTransitions {
+            inserted: false,
+            deleted: false,
+            updated: false,
+        }
+    }
+
+    fn permits(&self, t: TransitionTable) -> bool {
+        match t {
+            TransitionTable::Inserted => self.inserted,
+            TransitionTable::Deleted => self.deleted,
+            TransitionTable::NewUpdated | TransitionTable::OldUpdated => self.updated,
+        }
+    }
+}
+
+/// Where an expression occurs; aggregates are legal only in select items.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExprPos {
+    SelectItem,
+    Where,
+    InsideAggregate,
+}
+
+fn validate_action_inner(
+    action: &Action,
+    catalog: &Catalog,
+    scope: &mut Scope<'_>,
+    allowed: &AllowedTransitions,
+) -> Result<(), SqlError> {
+    match action {
+        Action::Insert(i) => {
+            let schema = catalog.table(&i.table)?;
+            let arity = match &i.columns {
+                Some(cols) => {
+                    for c in cols {
+                        if schema.column_index(c).is_none() {
+                            return Err(SqlError::validate(format!(
+                                "insert target `{}` has no column `{c}`",
+                                i.table
+                            )));
+                        }
+                    }
+                    cols.len()
+                }
+                None => schema.arity(),
+            };
+            match &i.source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        if row.len() != arity {
+                            return Err(SqlError::validate(format!(
+                                "insert into `{}` expects {arity} values, got {}",
+                                i.table,
+                                row.len()
+                            )));
+                        }
+                        for e in row {
+                            check_expr(e, catalog, scope, allowed, ExprPos::Where)?;
+                        }
+                    }
+                }
+                InsertSource::Select(s) => {
+                    check_select(s, catalog, scope, allowed)?;
+                    if let Some(n) = select_width(s, catalog, scope) {
+                        if n != arity {
+                            return Err(SqlError::validate(format!(
+                                "insert into `{}` expects {arity} columns, select yields {n}",
+                                i.table
+                            )));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Action::Delete(d) => {
+            catalog.table(&d.table)?;
+            if let Some(w) = &d.where_clause {
+                scope.push_table(&d.table)?;
+                let r = check_expr(w, catalog, scope, allowed, ExprPos::Where);
+                scope.pop();
+                r?;
+            }
+            Ok(())
+        }
+        Action::Update(u) => {
+            let schema = catalog.table(&u.table)?;
+            for (c, _) in &u.sets {
+                if schema.column_index(c).is_none() {
+                    return Err(SqlError::validate(format!(
+                        "update target `{}` has no column `{c}`",
+                        u.table
+                    )));
+                }
+            }
+            scope.push_table(&u.table)?;
+            let r = (|| {
+                for (_, e) in &u.sets {
+                    check_expr(e, catalog, scope, allowed, ExprPos::Where)?;
+                }
+                if let Some(w) = &u.where_clause {
+                    check_expr(w, catalog, scope, allowed, ExprPos::Where)?;
+                }
+                Ok(())
+            })();
+            scope.pop();
+            r
+        }
+        Action::Select(s) => check_select(s, catalog, scope, allowed),
+        Action::Rollback => Ok(()),
+    }
+}
+
+/// Output width of a select, when statically computable.
+fn select_width(s: &SelectStmt, catalog: &Catalog, scope: &mut Scope<'_>) -> Option<usize> {
+    let mut n = 0;
+    // Wildcard width needs the from-item schemas in scope.
+    if scope.push_from(&s.from).is_err() {
+        return None;
+    }
+    for item in &s.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (t, _) in scope.innermost_tables() {
+                    match catalog.table(&t) {
+                        Ok(schema) => n += schema.arity(),
+                        Err(_) => {
+                            scope.pop();
+                            return None;
+                        }
+                    }
+                }
+            }
+            SelectItem::Expr { .. } => n += 1,
+        }
+    }
+    scope.pop();
+    Some(n)
+}
+
+fn check_select(
+    s: &SelectStmt,
+    catalog: &Catalog,
+    scope: &mut Scope<'_>,
+    allowed: &AllowedTransitions,
+) -> Result<(), SqlError> {
+    for fi in &s.from {
+        if let TableRef::Transition(t) = &fi.table {
+            if !allowed.permits(*t) {
+                return Err(SqlError::validate(format!(
+                    "transition table `{}` does not correspond to any triggering operation",
+                    t.name()
+                )));
+            }
+        }
+    }
+    scope.push_from(&s.from)?;
+    let r = (|| {
+        if s.items.is_empty() {
+            return Err(SqlError::validate("empty select list"));
+        }
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {}
+                SelectItem::Expr { expr, .. } => {
+                    check_expr(expr, catalog, scope, allowed, ExprPos::SelectItem)?
+                }
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            check_expr(w, catalog, scope, allowed, ExprPos::Where)?;
+        }
+        for e in &s.group_by {
+            check_expr(e, catalog, scope, allowed, ExprPos::Where)?;
+        }
+        if let Some(h) = &s.having {
+            // HAVING may contain aggregates, like a select item.
+            check_expr(h, catalog, scope, allowed, ExprPos::SelectItem)?;
+        }
+        for o in &s.order_by {
+            // ORDER BY keys may be aggregates when the query is grouped.
+            let pos = if s.group_by.is_empty() {
+                ExprPos::Where
+            } else {
+                ExprPos::SelectItem
+            };
+            check_expr(&o.expr, catalog, scope, allowed, pos)?;
+        }
+        Ok(())
+    })();
+    scope.pop();
+    r
+}
+
+fn check_subquery_single_column(
+    s: &SelectStmt,
+    catalog: &Catalog,
+    scope: &mut Scope<'_>,
+    what: &str,
+) -> Result<(), SqlError> {
+    if let Some(n) = select_width(s, catalog, scope) {
+        if n != 1 {
+            return Err(SqlError::validate(format!(
+                "{what} must produce exactly one column, got {n}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(
+    e: &Expr,
+    catalog: &Catalog,
+    scope: &mut Scope<'_>,
+    allowed: &AllowedTransitions,
+    pos: ExprPos,
+) -> Result<(), SqlError> {
+    match e {
+        Expr::Literal(_) => Ok(()),
+        Expr::Column(c) => scope.resolve(c).map(|_| ()),
+        Expr::Binary { lhs, rhs, .. } => {
+            // Operands of a binary op are no longer "directly" a select item,
+            // but aggregates inside arithmetic in a select item are fine:
+            // keep position.
+            check_expr(lhs, catalog, scope, allowed, pos)?;
+            check_expr(rhs, catalog, scope, allowed, pos)
+        }
+        Expr::Neg(x) | Expr::Not(x) => check_expr(x, catalog, scope, allowed, pos),
+        Expr::IsNull { expr, .. } => check_expr(expr, catalog, scope, allowed, pos),
+        Expr::InList { expr, list, .. } => {
+            check_expr(expr, catalog, scope, allowed, pos)?;
+            for x in list {
+                check_expr(x, catalog, scope, allowed, pos)?;
+            }
+            Ok(())
+        }
+        Expr::InSelect { expr, select, .. } => {
+            check_expr(expr, catalog, scope, allowed, pos)?;
+            check_select(select, catalog, scope, allowed)?;
+            check_subquery_single_column(select, catalog, scope, "IN subquery")
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            check_expr(expr, catalog, scope, allowed, pos)?;
+            check_expr(low, catalog, scope, allowed, pos)?;
+            check_expr(high, catalog, scope, allowed, pos)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            check_expr(expr, catalog, scope, allowed, pos)?;
+            check_expr(pattern, catalog, scope, allowed, pos)
+        }
+        Expr::Exists(s) => check_select(s, catalog, scope, allowed),
+        Expr::ScalarSubquery(s) => {
+            check_select(s, catalog, scope, allowed)?;
+            check_subquery_single_column(s, catalog, scope, "scalar subquery")
+        }
+        Expr::Aggregate { arg, .. } => {
+            if pos == ExprPos::InsideAggregate {
+                return Err(SqlError::validate("nested aggregate"));
+            }
+            if pos != ExprPos::SelectItem {
+                return Err(SqlError::validate(
+                    "aggregate is only allowed in a select list",
+                ));
+            }
+            match arg {
+                Some(x) => {
+                    check_expr(x, catalog, scope, allowed, ExprPos::InsideAggregate)
+                }
+                None => Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use starling_storage::{ColumnDef, TableSchema, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in [
+            ("emp", vec!["id", "salary", "dno"]),
+            ("dept", vec!["dno", "budget"]),
+        ] {
+            c.add_table(
+                TableSchema::new(
+                    name,
+                    cols.into_iter()
+                        .map(|n| ColumnDef::new(n, ValueType::Int))
+                        .collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    fn check_rule(src: &str) -> Result<(), SqlError> {
+        let Statement::CreateRule(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        validate_rule(&r, &catalog())
+    }
+
+    fn check_stmt(src: &str) -> Result<(), SqlError> {
+        let Statement::Dml(a) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        validate_dml(&a, &catalog())
+    }
+
+    #[test]
+    fn good_rule_passes() {
+        check_rule(
+            "create rule r on emp when inserted, updated(salary) \
+             if exists (select * from inserted) \
+             then update dept set budget = budget - 1 where dno in \
+               (select dno from new_updated) end",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn transition_table_must_match_events() {
+        let e = check_rule(
+            "create rule r on emp when inserted \
+             then delete from emp where id in (select id from deleted) end",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("does not correspond"), "{e}");
+
+        let e = check_rule(
+            "create rule r on emp when deleted \
+             then delete from emp where id in (select id from new_updated) end",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("does not correspond"), "{e}");
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        assert!(check_stmt("insert into dept values (1, 2)").is_ok());
+        let e = check_stmt("insert into dept values (1)").unwrap_err();
+        assert!(e.to_string().contains("expects 2 values"), "{e}");
+        let e = check_stmt("insert into dept (dno) values (1, 2)").unwrap_err();
+        assert!(e.to_string().contains("expects 1 values"), "{e}");
+        let e = check_stmt("insert into dept (zz) values (1)").unwrap_err();
+        assert!(e.to_string().contains("no column `zz`"), "{e}");
+    }
+
+    #[test]
+    fn insert_select_width_checked() {
+        assert!(check_stmt("insert into dept select dno, budget from dept").is_ok());
+        assert!(check_stmt("insert into dept select * from dept").is_ok());
+        let e = check_stmt("insert into dept select dno from dept").unwrap_err();
+        assert!(e.to_string().contains("select yields 1"), "{e}");
+        let e = check_stmt("insert into dept select * from emp").unwrap_err();
+        assert!(e.to_string().contains("select yields 3"), "{e}");
+    }
+
+    #[test]
+    fn update_set_column_checked() {
+        assert!(check_stmt("update emp set salary = 1").is_ok());
+        let e = check_stmt("update emp set wage = 1").unwrap_err();
+        assert!(e.to_string().contains("no column `wage`"), "{e}");
+    }
+
+    #[test]
+    fn aggregates_only_in_select_list() {
+        assert!(check_stmt("select count(*) from emp").is_ok());
+        assert!(check_stmt("select sum(salary) + 1 from emp").is_ok());
+        let e = check_stmt("select id from emp where sum(salary) > 1").unwrap_err();
+        assert!(e.to_string().contains("only allowed in a select list"), "{e}");
+        let e = check_stmt("select sum(sum(salary)) from emp").unwrap_err();
+        assert!(e.to_string().contains("nested aggregate"), "{e}");
+    }
+
+    #[test]
+    fn subqueries_single_column() {
+        assert!(check_stmt("select id from emp where dno in (select dno from dept)").is_ok());
+        let e =
+            check_stmt("select id from emp where dno in (select * from dept)").unwrap_err();
+        assert!(e.to_string().contains("exactly one column"), "{e}");
+        let e = check_stmt("select id from emp where id = (select * from dept)").unwrap_err();
+        assert!(e.to_string().contains("exactly one column"), "{e}");
+    }
+
+    #[test]
+    fn rule_must_have_events_and_actions() {
+        // Parser requires >= 1 of each, so construct directly.
+        let rule = RuleDef {
+            name: "r".into(),
+            table: "emp".into(),
+            events: vec![],
+            condition: None,
+            actions: vec![Action::Rollback],
+            precedes: vec![],
+            follows: vec![],
+        };
+        assert!(validate_rule(&rule, &catalog()).is_err());
+    }
+
+    #[test]
+    fn dml_rejects_transition_tables() {
+        let e = check_stmt("select * from inserted").unwrap_err();
+        assert!(e.to_string().contains("transition table"), "{e}");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        assert!(check_stmt("delete from nowhere").is_err());
+        assert!(check_rule("create rule r on nowhere when inserted then rollback end").is_err());
+    }
+
+    #[test]
+    fn empty_select_list_would_be_rejected() {
+        // Parser cannot produce it; construct directly.
+        let s = SelectStmt {
+            distinct: false,
+            items: vec![],
+            from: vec![],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        let cat = catalog();
+        let mut scope = Scope::new(&cat, None);
+        assert!(check_select(&s, &cat, &mut scope, &AllowedTransitions::none()).is_err());
+    }
+}

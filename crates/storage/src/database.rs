@@ -1,0 +1,323 @@
+//! The database: catalog plus table contents plus tuple-id allocation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::digest::{CanonicalDigest, Fnv64};
+use crate::error::StorageError;
+use crate::schema::{Catalog, TableSchema};
+use crate::table::Table;
+use crate::tuple::{Row, TupleId};
+use crate::value::Value;
+
+/// A complete database state: the `D` component of an execution-graph state
+/// `S = (D, TR)` (paper Section 4).
+///
+/// `Database` is `Clone`; the execution-graph explorer snapshots states
+/// freely, and `ROLLBACK` restores the assertion-point snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Database {
+    catalog: Catalog,
+    tables: BTreeMap<String, Table>,
+    next_tuple_id: u64,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            tables: BTreeMap::new(),
+            next_tuple_id: 1,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Creates a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StorageError> {
+        self.catalog.add_table(schema.clone())?;
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// All tables, ordered by name.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Allocates a fresh tuple id. Ids are global across tables and never
+    /// reused.
+    pub fn allocate_tuple_id(&mut self) -> TupleId {
+        let id = TupleId(self.next_tuple_id);
+        self.next_tuple_id += 1;
+        id
+    }
+
+    /// Inserts a row, allocating a fresh tuple id. Returns the id.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<TupleId, StorageError> {
+        // Check before allocating so a failed insert does not burn an id
+        // (keeps digests of equivalent states identical).
+        self.table(table)?.schema().check_row(&row)?;
+        let id = self.allocate_tuple_id();
+        self.table_mut(table)?.insert(id, row)?;
+        Ok(id)
+    }
+
+    /// Inserts a row under a specific id (used when replaying logged
+    /// operations onto a snapshot).
+    pub fn insert_with_id(
+        &mut self,
+        table: &str,
+        id: TupleId,
+        row: Row,
+    ) -> Result<(), StorageError> {
+        self.table_mut(table)?.insert(id, row)?;
+        self.next_tuple_id = self.next_tuple_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// Deletes a tuple, returning its final values.
+    pub fn delete(&mut self, table: &str, id: TupleId) -> Result<Row, StorageError> {
+        self.table_mut(table)?.delete(id)
+    }
+
+    /// Replaces a tuple's values, returning the old values.
+    pub fn update(
+        &mut self,
+        table: &str,
+        id: TupleId,
+        row: Row,
+    ) -> Result<Row, StorageError> {
+        self.table_mut(table)?.update(id, row)
+    }
+
+    /// Updates a single column, returning the previous full row.
+    pub fn update_column(
+        &mut self,
+        table: &str,
+        id: TupleId,
+        column: &str,
+        value: Value,
+    ) -> Result<Row, StorageError> {
+        self.table_mut(table)?.update_column(id, column, value)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Canonical digest of the entire database state.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.digest_into(&mut h);
+        h.finish()
+    }
+
+    /// Canonical digest of a subset of tables (used for partial-confluence
+    /// checks: "the tables in T' are identical in D1 and D2", Section 7).
+    ///
+    /// Unknown names are ignored; the subset is digested in sorted order so
+    /// the caller's ordering does not matter.
+    pub fn digest_of_tables(&self, names: &[&str]) -> u64 {
+        let mut sorted: Vec<&str> = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut h = Fnv64::new();
+        for name in sorted {
+            if let Some(t) = self.tables.get(name) {
+                t.digest_into(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl CanonicalDigest for Database {
+    fn digest_into(&self, h: &mut Fnv64) {
+        h.write_usize(self.tables.len());
+        for t in self.tables.values() {
+            t.digest_into(h);
+        }
+        // next_tuple_id intentionally excluded: two states with identical
+        // contents are the same state even if they allocated ids differently.
+    }
+}
+
+impl fmt::Display for Database {
+    /// Debug-friendly dump: one line per tuple, tables in name order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.tables.values() {
+            writeln!(f, "{} ({} rows)", t.name(), t.len())?;
+            for (id, row) in t.iter() {
+                let vals: Vec<String> = row.iter().map(Value::to_string).collect();
+                writeln!(f, "  {id}: [{}]", vals.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(
+            TableSchema::new(
+                "emp",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("salary", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn insert_allocates_monotonic_ids() {
+        let mut d = db();
+        let a = d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        let b = d.insert("emp", vec![Value::Int(2), Value::Int(200)]).unwrap();
+        assert!(b > a);
+        assert_eq!(d.table("emp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn failed_insert_does_not_burn_id() {
+        let mut d = db();
+        let before = d.clone();
+        assert!(d.insert("emp", vec![Value::Int(1)]).is_err());
+        assert_eq!(d.state_digest(), before.state_digest());
+        // Next successful insert in both copies yields identical states.
+        let mut d2 = before;
+        d.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        d2.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        assert_eq!(d.state_digest(), d2.state_digest());
+    }
+
+    #[test]
+    fn snapshot_and_restore() {
+        let mut d = db();
+        d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        let snap = d.clone();
+        d.insert("emp", vec![Value::Int(2), Value::Int(200)]).unwrap();
+        assert_ne!(d.state_digest(), snap.state_digest());
+        let d = snap; // rollback
+        assert_eq!(d.table("emp").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_and_delete_through_db() {
+        let mut d = db();
+        let id = d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        d.update_column("emp", id, "salary", Value::Int(150)).unwrap();
+        assert_eq!(
+            d.table("emp").unwrap().get(id).unwrap()[1],
+            Value::Int(150)
+        );
+        let old = d.delete("emp", id).unwrap();
+        assert_eq!(old[1], Value::Int(150));
+    }
+
+    #[test]
+    fn digest_ignores_id_counter() {
+        let mut d1 = db();
+        let mut d2 = db();
+        // Burn an id in d2 via insert+delete of the same content later
+        // replayed with explicit ids — contents equal, digests equal.
+        let id = d2.insert("emp", vec![Value::Int(9), Value::Int(9)]).unwrap();
+        d2.delete("emp", id).unwrap();
+        assert_eq!(d1.state_digest(), d2.state_digest());
+        d1.insert_with_id("emp", TupleId(50), vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
+        d2.insert_with_id("emp", TupleId(50), vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
+        assert_eq!(d1.state_digest(), d2.state_digest());
+    }
+
+    #[test]
+    fn insert_with_id_advances_allocator() {
+        let mut d = db();
+        d.insert_with_id("emp", TupleId(10), vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
+        let next = d.insert("emp", vec![Value::Int(2), Value::Int(2)]).unwrap();
+        assert!(next.0 > 10);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut d = db();
+        assert!(matches!(
+            d.insert("nope", vec![]),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert!(matches!(d.table("nope"), Err(StorageError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn digest_of_tables_isolates_subsets() {
+        let mut d1 = db();
+        d1.create_table(
+            TableSchema::new("log", vec![ColumnDef::new("m", ValueType::Int)]).unwrap(),
+        )
+        .unwrap();
+        let mut d2 = d1.clone();
+        d1.insert("log", vec![Value::Int(1)]).unwrap();
+        // Full digests differ; the `emp`-only digests agree.
+        assert_ne!(d1.state_digest(), d2.state_digest());
+        assert_eq!(d1.digest_of_tables(&["emp"]), d2.digest_of_tables(&["emp"]));
+        assert_ne!(d1.digest_of_tables(&["log"]), d2.digest_of_tables(&["log"]));
+        // Order and duplicates in the name list are irrelevant.
+        assert_eq!(
+            d1.digest_of_tables(&["log", "emp"]),
+            d1.digest_of_tables(&["emp", "log", "emp"])
+        );
+        // Unknown names are ignored.
+        assert_eq!(
+            d1.digest_of_tables(&["emp", "nope"]),
+            d1.digest_of_tables(&["emp"])
+        );
+        // And a divergent emp shows through the subset digest.
+        d2.insert("emp", vec![Value::Int(9), Value::Int(9)]).unwrap();
+        assert_ne!(d1.digest_of_tables(&["emp"]), d2.digest_of_tables(&["emp"]));
+    }
+
+    #[test]
+    fn display_dump() {
+        let mut d = db();
+        d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        let s = d.to_string();
+        assert!(s.contains("emp (1 rows)"));
+        assert!(s.contains("#1: [1, 100]"));
+    }
+}

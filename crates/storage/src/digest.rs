@@ -1,0 +1,148 @@
+//! Deterministic canonical digests.
+//!
+//! The execution-graph explorer (paper Section 4) must recognize when two
+//! interleavings reach the *same* state in order to deduplicate nodes and
+//! detect cycles (nontermination). `std`'s `DefaultHasher` is not guaranteed
+//! stable across releases, so we ship a small FNV-1a implementation and a
+//! [`CanonicalDigest`] trait that serializes structures in a canonical order
+//! (all storage containers are `BTreeMap`s, so iteration order is already
+//! deterministic).
+
+/// 64-bit FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened to `u64` for portability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a length-prefixed string (prefix prevents ambiguity between
+    /// e.g. `["ab","c"]` and `["a","bc"]`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Types that can contribute to a canonical digest.
+pub trait CanonicalDigest {
+    /// Feeds a canonical serialization of `self` into the hasher.
+    fn digest_into(&self, h: &mut Fnv64);
+
+    /// Convenience: digest of `self` alone.
+    fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.digest_into(&mut h);
+        h.finish()
+    }
+}
+
+impl CanonicalDigest for crate::value::Value {
+    fn digest_into(&self, h: &mut Fnv64) {
+        use crate::value::Value;
+        match self {
+            Value::Null => h.write(&[0]),
+            Value::Bool(b) => {
+                h.write(&[1]);
+                h.write(&[u8::from(*b)]);
+            }
+            Value::Int(i) => {
+                h.write(&[2]);
+                h.write_u64(*i as u64);
+            }
+            Value::Float(x) => {
+                h.write(&[3]);
+                h.write_u64(x.to_bits());
+            }
+            Value::Str(s) => {
+                h.write(&[4]);
+                h.write_str(s);
+            }
+        }
+    }
+}
+
+impl<T: CanonicalDigest> CanonicalDigest for [T] {
+    fn digest_into(&self, h: &mut Fnv64) {
+        h.write_usize(self.len());
+        for v in self {
+            v.digest_into(h);
+        }
+    }
+}
+
+impl<T: CanonicalDigest> CanonicalDigest for Vec<T> {
+    fn digest_into(&self, h: &mut Fnv64) {
+        self.as_slice().digest_into(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn deterministic() {
+        let v = vec![Value::Int(1), Value::from("x"), Value::Null];
+        assert_eq!(v.digest(), v.digest());
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(Value::Int(1).digest(), Value::Int(2).digest());
+        assert_ne!(Value::Int(1).digest(), Value::Float(1.0).digest());
+        assert_ne!(Value::Null.digest(), Value::Bool(false).digest());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let a = vec![Value::from("ab"), Value::from("c")];
+        let b = vec![Value::from("a"), Value::from("bc")];
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,114 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use crate::tuple::TupleId;
+use crate::value::ValueType;
+
+/// Errors raised by the storage layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// Referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// Referenced column does not exist in the table.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A column name appears twice in one schema.
+    DuplicateColumn { table: String, column: String },
+    /// Row has the wrong number of values for the schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Value type does not match the column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: ValueType,
+        found: ValueType,
+    },
+    /// `NULL` written to a non-nullable column.
+    NullViolation { table: String, column: String },
+    /// No tuple with this id exists in the table.
+    NoSuchTuple { table: String, id: TupleId },
+    /// A tuple with this id already exists in the table.
+    DuplicateTupleId { table: String, id: TupleId },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StorageError::DuplicateTable(t) => {
+                write!(f, "table `{t}` already exists")
+            }
+            StorageError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column `{column}` in table `{table}`")
+            }
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "table `{table}` expects {expected} values, got {found}"
+            ),
+            StorageError::TypeMismatch {
+                table,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for `{table}.{column}`: expected {expected}, found {found}"
+            ),
+            StorageError::NullViolation { table, column } => {
+                write!(f, "NULL written to non-nullable column `{table}.{column}`")
+            }
+            StorageError::NoSuchTuple { table, id } => {
+                write!(f, "no tuple {id} in table `{table}`")
+            }
+            StorageError::DuplicateTupleId { table, id } => {
+                write!(f, "tuple {id} already exists in table `{table}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::UnknownTable("emp".into()).to_string(),
+            "unknown table `emp`"
+        );
+        assert_eq!(
+            StorageError::TypeMismatch {
+                table: "t".into(),
+                column: "c".into(),
+                expected: ValueType::Int,
+                found: ValueType::Str,
+            }
+            .to_string(),
+            "type mismatch for `t.c`: expected INTEGER, found VARCHAR"
+        );
+        assert_eq!(
+            StorageError::NoSuchTuple {
+                table: "t".into(),
+                id: TupleId(3)
+            }
+            .to_string(),
+            "no tuple #3 in table `t`"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! A single stored table: schema plus identified rows.
+
+use std::collections::BTreeMap;
+
+use crate::digest::{CanonicalDigest, Fnv64};
+use crate::error::StorageError;
+use crate::schema::TableSchema;
+use crate::tuple::{Row, Tuple, TupleId};
+use crate::value::Value;
+
+/// A stored table.
+///
+/// Rows are keyed by [`TupleId`] in a `BTreeMap`, giving deterministic scan
+/// order and cheap structural cloning for snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<TupleId, Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row under a caller-allocated id.
+    ///
+    /// The id must be fresh; [`crate::Database`] allocates ids globally.
+    pub fn insert(&mut self, id: TupleId, row: Row) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        if self.rows.contains_key(&id) {
+            return Err(StorageError::DuplicateTupleId {
+                table: self.schema.name.clone(),
+                id,
+            });
+        }
+        self.rows.insert(id, row);
+        Ok(())
+    }
+
+    /// Deletes a row, returning its final values.
+    pub fn delete(&mut self, id: TupleId) -> Result<Row, StorageError> {
+        self.rows.remove(&id).ok_or_else(|| StorageError::NoSuchTuple {
+            table: self.schema.name.clone(),
+            id,
+        })
+    }
+
+    /// Replaces a row's values wholesale, returning the old values.
+    pub fn update(&mut self, id: TupleId, row: Row) -> Result<Row, StorageError> {
+        self.schema.check_row(&row)?;
+        match self.rows.get_mut(&id) {
+            Some(slot) => Ok(std::mem::replace(slot, row)),
+            None => Err(StorageError::NoSuchTuple {
+                table: self.schema.name.clone(),
+                id,
+            }),
+        }
+    }
+
+    /// Updates one column of a row, returning the previous full row.
+    pub fn update_column(
+        &mut self,
+        id: TupleId,
+        column: &str,
+        value: Value,
+    ) -> Result<Row, StorageError> {
+        let idx = self.schema.column_index(column).ok_or_else(|| {
+            StorageError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: column.to_owned(),
+            }
+        })?;
+        self.schema.columns[idx].check(&self.schema.name, &value)?;
+        match self.rows.get_mut(&id) {
+            Some(slot) => {
+                let old = slot.clone();
+                slot[idx] = value;
+                Ok(old)
+            }
+            None => Err(StorageError::NoSuchTuple {
+                table: self.schema.name.clone(),
+                id,
+            }),
+        }
+    }
+
+    /// A row by id.
+    pub fn get(&self, id: TupleId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Whether a tuple with this id exists.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.rows.contains_key(&id)
+    }
+
+    /// Iterates `(id, row)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Row)> {
+        self.rows.iter().map(|(id, row)| (*id, row))
+    }
+
+    /// Iterates owned [`Tuple`]s in id order.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.rows
+            .iter()
+            .map(|(id, row)| Tuple::new(*id, row.clone()))
+    }
+
+    /// All tuple ids, in order.
+    pub fn ids(&self) -> Vec<TupleId> {
+        self.rows.keys().copied().collect()
+    }
+}
+
+impl CanonicalDigest for Table {
+    /// Digests the table as a **sorted multiset of rows**, deliberately
+    /// ignoring tuple ids: two database states with the same contents are
+    /// the same observable state even when different execution orders
+    /// allocated ids differently. (Tuple identity matters *within* a
+    /// transition — the net-effect algebra — never across final states.)
+    fn digest_into(&self, h: &mut Fnv64) {
+        h.write_str(&self.schema.name);
+        h.write_usize(self.rows.len());
+        let mut rows: Vec<&Row> = self.rows.values().collect();
+        rows.sort_unstable();
+        for row in rows {
+            row.as_slice().digest_into(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn tbl() -> Table {
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", ValueType::Int),
+                    ColumnDef::nullable("b", ValueType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = tbl();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::from("x")])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(TupleId(1)).unwrap()[0], Value::Int(1));
+        let old = t.delete(TupleId(1)).unwrap();
+        assert_eq!(old[1], Value::from("x"));
+        assert!(t.is_empty());
+        assert!(matches!(
+            t.delete(TupleId(1)),
+            Err(StorageError::NoSuchTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_rejects_bad_rows() {
+        let mut t = tbl();
+        assert!(matches!(
+            t.insert(TupleId(1), vec![Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(TupleId(1), vec![Value::from("x"), Value::Null]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        assert!(matches!(
+            t.insert(TupleId(1), vec![Value::Int(2), Value::Null]),
+            Err(StorageError::DuplicateTupleId { .. })
+        ));
+    }
+
+    #[test]
+    fn update_column_preserves_identity() {
+        let mut t = tbl();
+        t.insert(TupleId(5), vec![Value::Int(1), Value::Null]).unwrap();
+        let old = t.update_column(TupleId(5), "a", Value::Int(9)).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert_eq!(t.get(TupleId(5)).unwrap()[0], Value::Int(9));
+        assert!(matches!(
+            t.update_column(TupleId(5), "zz", Value::Int(0)),
+            Err(StorageError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            t.update_column(TupleId(5), "a", Value::from("s")),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn whole_row_update() {
+        let mut t = tbl();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        let old = t
+            .update(TupleId(1), vec![Value::Int(2), Value::from("y")])
+            .unwrap();
+        assert_eq!(old, vec![Value::Int(1), Value::Null]);
+        assert_eq!(
+            t.get(TupleId(1)).unwrap(),
+            &vec![Value::Int(2), Value::from("y")]
+        );
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut t1 = tbl();
+        let mut t2 = tbl();
+        assert_eq!(t1.digest(), t2.digest());
+        t1.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        assert_ne!(t1.digest(), t2.digest());
+        t2.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(t1.digest(), t2.digest());
+    }
+
+    #[test]
+    fn scan_order_is_deterministic() {
+        let mut t = tbl();
+        t.insert(TupleId(3), vec![Value::Int(3), Value::Null]).unwrap();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(TupleId(2), vec![Value::Int(2), Value::Null]).unwrap();
+        let ids: Vec<_> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Integrity-constraint maintenance rules — the motivating workload of the
+//! paper's introduction and of \[CW90\]/\[WF90\]: referential integrity,
+//! domain constraints, and derived-data (materialized aggregate)
+//! maintenance over a classic employee/department schema.
+//!
+//! As written, the rule set is **deliberately not confluent**: the
+//! salary-cap rule and the totals-maintenance rule are unordered and do not
+//! commute (the cap changes what the total sees). This is the Section 6.4
+//! case study — "In most cases the rule sets were initially found to be
+//! non-confluent" — and the interactive loop orders or certifies its way to
+//! a confluent set (experiment E8).
+
+use crate::Workload;
+
+/// The constraint-maintenance workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "constraints",
+        setup: SETUP.to_owned(),
+        rules: RULES.to_owned(),
+        user_transition: USER.to_owned(),
+    }
+}
+
+const SETUP: &str = "
+create table dept (dno int, budget int, total_sal int null);
+create table emp (eid int, sal int, dno int);
+
+insert into dept values (1, 10000, 300);
+insert into dept values (2, 20000, 0);
+insert into emp values (1, 100, 1);
+insert into emp values (2, 200, 1);
+";
+
+const RULES: &str = "
+-- Referential integrity: inserting an employee into a missing department
+-- aborts the transaction.
+create rule ri_emp_dept on emp
+when inserted, updated(dno)
+if exists (select * from emp where dno not in (select dno from dept))
+then rollback
+end;
+
+-- Referential integrity: deleting a department cascades to its employees.
+create rule ri_dept_cascade on dept
+when deleted
+then delete from emp where dno in (select dno from deleted)
+end;
+
+-- Domain constraint: salaries are capped at 500.
+create rule cap_salary on emp
+when inserted, updated(sal)
+if exists (select * from emp where sal > 500)
+then update emp set sal = 500 where sal > 500
+end;
+
+-- Derived data: dept.total_sal is the sum of its employees' salaries.
+create rule maintain_totals on emp
+when inserted, deleted, updated(sal, dno)
+then update dept set total_sal =
+       (select sum(sal) from emp where dno = dept.dno)
+end;
+";
+
+const USER: &str = "
+insert into emp values (3, 700, 2);
+";
+
+/// The certifications / orderings that make the rule set analyzable, as a
+/// script (the outcome of the Section 6.4 interactive loop).
+pub const RESOLUTIONS: &str = "
+declare terminates cap_salary 'one application brings every salary to the cap';
+declare terminates maintain_totals 'recomputation is idempotent';
+";
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::{FirstEligible, Outcome, Processor};
+    use starling_storage::Value;
+
+    use super::*;
+
+    fn run_user(user: &str) -> (starling_engine::ExecState, Outcome) {
+        let w = workload();
+        let (db, rs) = w.compile().unwrap();
+        let snapshot = db.clone();
+        let mut working = db.clone();
+        let actions: Vec<_> = starling_sql::parse_script(user)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                starling_sql::ast::Statement::Dml(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        let ops =
+            starling_engine::exec_graph::apply_user_actions(&mut working, &actions).unwrap();
+        let mut st = starling_engine::ExecState::new(working, rs.len(), &ops);
+        let res = Processor::new(&rs)
+            .with_limit(500)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        (st, res.outcome)
+    }
+
+    #[test]
+    fn salary_cap_and_totals_maintained() {
+        let (st, outcome) = run_user("insert into emp values (3, 700, 2)");
+        assert_eq!(outcome, Outcome::Quiescent);
+        let emp = st.db.table("emp").unwrap();
+        let sal: Vec<&Value> = emp.iter().map(|(_, r)| &r[1]).collect();
+        assert!(sal.contains(&&Value::Int(500)));
+        // dept 2's total reflects the capped salary.
+        let dept = st.db.table("dept").unwrap();
+        let totals: Vec<(i64, Value)> = dept
+            .iter()
+            .map(|(_, r)| {
+                let Value::Int(d) = r[0] else { panic!() };
+                (d, r[2].clone())
+            })
+            .collect();
+        assert!(totals.contains(&(2, Value::Int(500))), "{totals:?}");
+        assert!(totals.contains(&(1, Value::Int(300))), "{totals:?}");
+    }
+
+    #[test]
+    fn referential_violation_rolls_back() {
+        let (st, outcome) = run_user("insert into emp values (9, 100, 42)");
+        assert_eq!(outcome, Outcome::RolledBack);
+        assert_eq!(st.db.table("emp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dept_delete_cascades() {
+        let (st, outcome) = run_user("delete from dept where dno = 1");
+        assert_eq!(outcome, Outcome::Quiescent);
+        assert!(st.db.table("emp").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The power-network design application — the paper's Section 5 case study
+//! (from \[CW90\], *Deriving production rules for constraint maintenance*,
+//! which analyzed a power distribution network design application).
+//!
+//! A reconstruction: nodes, lines between nodes, and connection records.
+//! The rules maintain the design's invariants:
+//!
+//! * an overloaded line trips (its state opens);
+//! * connections of open lines are removed;
+//! * lines whose endpoints vanish are removed;
+//! * nodes with no remaining connections are removed;
+//! * a bounded load-shedding rule monotonically reduces load;
+//! * a guard rolls back designs with negative voltage.
+//!
+//! The deletion rules form a triggering **cycle**
+//! (`drop_conns → drop_dead_nodes → drop_dangling_lines → drop_conns`),
+//! exactly the situation Section 5 describes: the static analysis cannot
+//! prove termination from the graph alone, but every rule on the cycle only
+//! deletes, so the delete-only special case discharges it.
+
+use crate::Workload;
+
+/// The power-network workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "power_network",
+        setup: SETUP.to_owned(),
+        rules: RULES.to_owned(),
+        user_transition: USER.to_owned(),
+    }
+}
+
+const SETUP: &str = "
+create table node (nid int, voltage int, feeder int);
+create table line (lid int, src int, dst int, state int, load int);
+create table conn (cid int, nid int, lid int);
+
+insert into node values (1, 120, 1);
+insert into node values (2, 110, 0);
+insert into node values (3, 100, 0);
+insert into node values (4, 90, 0);
+insert into line values (10, 1, 2, 1, 40);
+insert into line values (11, 2, 3, 1, 60);
+insert into line values (12, 3, 4, 1, 80);
+insert into conn values (100, 1, 10);
+insert into conn values (101, 2, 10);
+insert into conn values (102, 2, 11);
+insert into conn values (103, 3, 11);
+insert into conn values (104, 3, 12);
+insert into conn values (105, 4, 12);
+";
+
+const RULES: &str = "
+-- An overloaded line trips: its state opens.
+create rule trip_overload on line
+when updated(load)
+if exists (select * from new_updated where load > 100)
+then update line set state = 0 where load > 100
+end;
+
+-- Connections of open lines are dropped.
+create rule drop_conns on line
+when updated(state), deleted
+then delete from conn where lid in (select lid from line where state = 0);
+     delete from conn where lid not in (select lid from line)
+end;
+
+-- Nodes with no remaining connections are dropped (feeders stay).
+create rule drop_dead_nodes on conn
+when deleted
+then delete from node where feeder = 0
+       and nid not in (select nid from conn)
+end;
+
+-- Lines with a vanished endpoint are dropped.
+create rule drop_dangling_lines on node
+when deleted
+then delete from line where src not in (select nid from node)
+       or dst not in (select nid from node)
+end;
+
+-- Bounded load shedding: reduce load while above the soft limit.
+create rule shed_load on line
+when updated(load)
+then update line set load = load - 10 where load > 90
+end;
+
+-- Design guard: negative voltage aborts the design transaction.
+create rule guard_voltage on node
+when inserted, updated(voltage)
+if exists (select * from node where voltage < 0)
+then rollback
+end;
+
+-- Orderings: the guard fires before anything else; tripping precedes the
+-- cleanup cascade.
+declare terminates shed_load 'load decreases by 10 toward the 90 bound';
+";
+
+const USER: &str = "
+update line set load = 130 where lid = 12;
+";
+
+#[cfg(test)]
+mod tests {
+    use starling_engine::{explore, ExploreConfig, FirstEligible, Outcome, Processor};
+
+    use super::*;
+
+    #[test]
+    fn cascade_runs_to_quiescence() {
+        let w = workload();
+        let (db, rs) = w.compile().unwrap();
+        let snapshot = db.clone();
+        let mut working = db.clone();
+        let ops = starling_engine::exec_graph::apply_user_actions(
+            &mut working,
+            &w.user_actions().unwrap(),
+        )
+        .unwrap();
+        let mut st = starling_engine::ExecState::new(working, rs.len(), &ops);
+        let res = Processor::new(&rs)
+            .with_limit(500)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        // The overloaded line tripped and the cascade removed it and its
+        // now-dangling parts.
+        let line = st.db.table("line").unwrap();
+        assert!(line.iter().all(|(_, r)| r[4] <= starling_storage::Value::Int(100)));
+    }
+
+    #[test]
+    fn oracle_confirms_termination_of_the_case_study_transition() {
+        let w = workload();
+        let (db, rs) = w.compile().unwrap();
+        let g = explore(
+            &rs,
+            &db,
+            &w.user_actions().unwrap(),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.terminates(), Some(true));
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: define a schema and rules, analyze them, fix the problems
+//! the analyzer isolates, and run the rules against real data.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use starling::analysis::confluence::ConfluenceVerdict;
+use starling::prelude::*;
+
+fn main() {
+    // 1. A schema and a rule program: orders, stock, and an audit query.
+    //    `restock` and `discount` both react to order insertions and both
+    //    write `stock`, with no priority between them.
+    let script = "
+        create table orders (oid int, item int, qty int);
+        create table stock (item int, onhand int, price int);
+
+        create rule restock on orders
+        when inserted
+        then update stock set onhand = onhand - (select sum(qty) from inserted
+               where inserted.item = stock.item)
+             where item in (select item from inserted)
+        end;
+
+        create rule discount on orders
+        when inserted
+        if exists (select * from stock where onhand < 10)
+        then update stock set price = price - 1 where onhand < 10
+        end;
+    ";
+
+    let mut session = Session::new();
+    session.execute_script(script).expect("script is valid");
+    let defs = session.rule_defs().to_vec();
+    let rules = RuleSet::compile(&defs, session.db().catalog()).expect("rules compile");
+
+    // 2. Static analysis: termination, confluence, observable determinism.
+    let ctx = AnalysisContext::from_ruleset(&rules, Certifications::new());
+    let report = AnalysisReport::run(&ctx, &[]);
+    println!("{report}");
+    assert_eq!(
+        report.confluence.verdict,
+        ConfluenceVerdict::MayNotBeConfluent,
+        "restock races discount on stock"
+    );
+
+    // 3. The report isolates the responsible pair; order it and re-analyze.
+    let mut fixed_defs = defs.clone();
+    fixed_defs
+        .iter_mut()
+        .find(|d| d.name == "restock")
+        .expect("restock exists")
+        .precedes
+        .push("discount".to_owned());
+    let fixed_rules =
+        RuleSet::compile(&fixed_defs, session.db().catalog()).expect("still compiles");
+    let fixed_ctx = AnalysisContext::from_ruleset(&fixed_rules, Certifications::new());
+    let fixed = AnalysisReport::run(&fixed_ctx, &[]);
+    println!("--- after ordering restock before discount ---\n");
+    println!("{fixed}");
+    assert!(fixed.all_guaranteed());
+
+    // 4. Run the fixed program on data.
+    let mut s = Session::new();
+    s.execute_script(
+        "create table orders (oid int, item int, qty int);
+         create table stock (item int, onhand int, price int);
+         insert into stock values (1, 12, 100);
+         insert into stock values (2, 50, 200);",
+    )
+    .unwrap();
+    for d in &fixed_defs {
+        s.execute(&starling::sql::ast::Statement::CreateRule(d.clone()))
+            .unwrap();
+    }
+    s.execute_script("insert into orders values (1, 1, 5)").unwrap();
+    let run = s.commit(&mut FirstEligible).unwrap();
+    println!(
+        "--- execution: {} considerations, {} fired, outcome {:?} ---",
+        run.considerations.len(),
+        run.fired_count(),
+        run.outcome
+    );
+    println!("{}", s.db());
+}

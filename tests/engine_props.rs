@@ -1,0 +1,151 @@
+//! Property tests on engine invariants: the priority order is a strict
+//! partial order, `Choose` behaves like the paper's definition, and rule
+//! processing is a *deterministic function of the strategy* (all remaining
+//! nondeterminism is captured by the choice points — nothing else).
+
+use proptest::prelude::*;
+
+use starling::engine::{
+    ExecState, FirstEligible, PriorityOrder, Processor, RuleId, Scripted,
+};
+use starling::workloads::random::{generate, RandomConfig};
+
+/// Random DAG edges over `n` rules: only downward edges `(i, j)` with
+/// `i < j`, so construction never fails.
+fn dag_edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    let all: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    proptest::sample::subsequence(all.clone(), 0..=all.len())
+}
+
+proptest! {
+    /// Transitivity and irreflexivity/asymmetry of the closed order.
+    #[test]
+    fn priority_order_is_strict_partial_order(edges in dag_edges(7)) {
+        let names: Vec<String> = (0..7).map(|i| format!("r{i}")).collect();
+        let p = PriorityOrder::from_edges(&names, &edges).expect("DAG closes");
+        for a in 0..7 {
+            prop_assert!(!p.gt(RuleId(a), RuleId(a)), "irreflexive");
+            for b in 0..7 {
+                if p.gt(RuleId(a), RuleId(b)) {
+                    prop_assert!(!p.gt(RuleId(b), RuleId(a)), "asymmetric");
+                }
+                for c in 0..7 {
+                    if p.gt(RuleId(a), RuleId(b)) && p.gt(RuleId(b), RuleId(c)) {
+                        prop_assert!(p.gt(RuleId(a), RuleId(c)), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Choose returns exactly the maximal elements of the input set.
+    #[test]
+    fn choose_returns_maximal_elements(
+        edges in dag_edges(7),
+        subset in proptest::sample::subsequence((0..7usize).collect::<Vec<_>>(), 1..=7),
+    ) {
+        let names: Vec<String> = (0..7).map(|i| format!("r{i}")).collect();
+        let p = PriorityOrder::from_edges(&names, &edges).expect("DAG closes");
+        let set: Vec<RuleId> = subset.iter().map(|&i| RuleId(i)).collect();
+        let chosen = p.choose(&set);
+        prop_assert!(!chosen.is_empty(), "finite nonempty poset has maxima");
+        for &r in &set {
+            let dominated = set.iter().any(|&q| p.gt(q, r));
+            prop_assert_eq!(chosen.contains(&r), !dominated);
+        }
+    }
+
+    /// The processor is a pure function of (workload, initial state,
+    /// strategy script): replaying the same script reproduces the same
+    /// final database and consideration sequence.
+    #[test]
+    fn processing_is_deterministic_given_strategy(
+        seed in 0u64..40,
+        picks in proptest::collection::vec(0usize..4, 0..30),
+    ) {
+        let w = generate(&RandomConfig {
+            n_tables: 3,
+            n_cols: 2,
+            n_rules: 4,
+            max_actions: 2,
+            p_condition: 0.5,
+            p_observable: 0.2,
+            p_priority: 0.2,
+            rows_per_table: 2,
+            seed,
+        });
+        let rules = w.compile();
+        let base = w.seed_database();
+        let actions = w.user_transition(3);
+
+        let run = |picks: &[usize]| {
+            let mut db = base.clone();
+            let ops = starling::engine::exec_graph::apply_user_actions(&mut db, &actions)
+                .ok()?;
+            let mut st = ExecState::new(db, rules.len(), &ops);
+            let mut strategy = Scripted::new(picks.to_vec());
+            let res = Processor::new(&rules)
+                .with_limit(60)
+                .run(&mut st, &base, &mut strategy)
+                .ok()?;
+            Some((
+                st.db.state_digest(),
+                res.considerations
+                    .iter()
+                    .map(|c| (c.rule.0, c.fired))
+                    .collect::<Vec<_>>(),
+                res.outcome,
+            ))
+        };
+
+        let a = run(&picks);
+        let b = run(&picks);
+        prop_assert_eq!(a, b);
+    }
+
+    /// `FirstEligible` always picks the lowest-id eligible rule, so a run
+    /// with it equals a run scripted with all-zero picks.
+    #[test]
+    fn first_eligible_equals_zero_script(seed in 0u64..40) {
+        let w = generate(&RandomConfig {
+            n_tables: 3,
+            n_cols: 2,
+            n_rules: 4,
+            max_actions: 1,
+            p_condition: 0.4,
+            p_observable: 0.1,
+            p_priority: 0.3,
+            rows_per_table: 2,
+            seed,
+        });
+        let rules = w.compile();
+        let base = w.seed_database();
+        let actions = w.user_transition(9);
+
+        let mut db1 = base.clone();
+        let Ok(ops1) = starling::engine::exec_graph::apply_user_actions(&mut db1, &actions)
+        else {
+            return Ok(());
+        };
+        let mut st1 = ExecState::new(db1, rules.len(), &ops1);
+        let r1 = Processor::new(&rules)
+            .with_limit(60)
+            .run(&mut st1, &base, &mut FirstEligible)
+            .unwrap();
+
+        let mut db2 = base.clone();
+        let ops2 = starling::engine::exec_graph::apply_user_actions(&mut db2, &actions)
+            .unwrap();
+        let mut st2 = ExecState::new(db2, rules.len(), &ops2);
+        let mut zeros = Scripted::new(vec![]);
+        let r2 = Processor::new(&rules)
+            .with_limit(60)
+            .run(&mut st2, &base, &mut zeros)
+            .unwrap();
+
+        prop_assert_eq!(st1.db.state_digest(), st2.db.state_digest());
+        prop_assert_eq!(r1.considerations.len(), r2.considerations.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! **Reproduction finding**: under the strict Section 2 operational
+//! semantics — per-rule composite transitions since last consideration,
+//! composed by the \[WF90\] net-effect rules — the commutativity conditions
+//! of Lemma 6.1 miss one interaction channel:
+//!
+//! > an *insert* by one rule can sit in an already-considered rule's
+//! > transition window and **annihilate a later delete** (net-effect rule
+//! > 4: insert∘delete = nothing), changing whether that rule re-triggers.
+//!
+//! `Can-Untrigger` (condition 2) covers the dual direction (deletes
+//! cancelling triggering inserts) but nothing covers inserts *masking*
+//! triggering deletes. This file exhibits a three-rule counterexample whose
+//! pairs all satisfy the paper's requirements (Confluence Requirement
+//! holds, termination discharged by a delete-only certificate), yet the
+//! exhaustive oracle reaches **two distinct final states**.
+//!
+//! The paper's proofs are sound for its Section 4 model, whose states track
+//! only *triggered* rules and their transition tables — the partially
+//! accumulated window of an untriggered rule is not part of the state, so
+//! the model cannot express the masking. The gap is between the Section 2
+//! prose semantics and the Section 4 formal model.
+//!
+//! Starling therefore adds a **condition 2′** (`InsertMasksDelete`) to its
+//! default commutativity test, restoring soundness for the operational
+//! semantics; `noncommutativity_reasons_lemma61` preserves the paper-exact
+//! conditions for fidelity experiments like this one.
+
+use starling::analysis::certifications::Certifications;
+use starling::analysis::commutativity::{
+    noncommutativity_reasons, noncommutativity_reasons_lemma61, NoncommutativityReason,
+};
+use starling::analysis::confluence::analyze_confluence;
+use starling::analysis::context::AnalysisContext;
+use starling::analysis::termination::{analyze_termination, TerminationVerdict};
+use starling::prelude::*;
+use starling::sql::ast::Statement;
+
+const SETUP: &str = "
+    create table t0 (x int);
+    create table t1 (y int);
+    create table t2 (z int);
+    insert into t0 values (5);
+    insert into t1 values (0);
+";
+
+/// rule_a and rule_c are the unordered branching pair. Per Lemma 6.1 they
+/// commute: rule_a only inserts into t0 and reads nothing; rule_c is
+/// triggered by deletes from t0, writes t1.y, reads t1.y.
+const RULES: &str = "
+    create rule rule_a on t2 when inserted
+    then insert into t0 values (8)
+    precedes rule_d
+    end;
+
+    create rule rule_c on t0 when deleted
+    then update t1 set y = y + 1
+    precedes rule_d
+    end;
+
+    create rule rule_d on t1 when updated(y)
+    then delete from t0
+    end;
+";
+
+const USER: &str = "
+    delete from t0;
+    insert into t2 values (1);
+";
+
+fn build() -> (Database, RuleSet) {
+    let mut session = Session::new();
+    session.execute_script(SETUP).unwrap();
+    session.commit(&mut FirstEligible).unwrap();
+    let defs: Vec<_> = starling::sql::parse_script(RULES)
+        .unwrap()
+        .into_iter()
+        .filter_map(|s| match s {
+            Statement::CreateRule(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    let rules = RuleSet::compile(&defs, session.db().catalog()).unwrap();
+    (session.db().clone(), rules)
+}
+
+fn user_actions() -> Vec<starling::sql::ast::Action> {
+    starling::sql::parse_script(USER)
+        .unwrap()
+        .into_iter()
+        .filter_map(|s| match s {
+            Statement::Dml(a) => Some(a),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The paper-exact analysis accepts this rule set...
+#[test]
+fn paper_exact_analysis_accepts_the_counterexample() {
+    let (_db, rules) = build();
+    let a = rules.by_name("rule_a").unwrap();
+    let c = rules.by_name("rule_c").unwrap();
+
+    // Lemma 6.1 (conditions 1–6 exactly as published): rule_a and rule_c
+    // commute.
+    assert!(
+        noncommutativity_reasons_lemma61(&a.sig, &c.sig).is_empty(),
+        "Lemma 6.1 declares the branching pair commutative"
+    );
+
+    // Termination: the rule_c <-> rule_d cycle is discharged by rule_d's
+    // delete-only certificate (nobody on the cycle inserts into t0).
+    let ctx = AnalysisContext::from_ruleset(&rules, Certifications::new());
+    let term = analyze_termination(&ctx);
+    assert_eq!(term.verdict, TerminationVerdict::GuaranteedWithCertificates);
+}
+
+/// ...but the oracle refutes confluence under the operational semantics.
+#[test]
+fn oracle_refutes_confluence_of_the_counterexample() {
+    let (db, rules) = build();
+    let cfg = ExploreConfig::default();
+    let g = explore(&rules, &db, &user_actions(), &cfg).unwrap();
+    assert_eq!(g.terminates(), Some(true), "execution does terminate");
+    assert_eq!(
+        g.confluent(),
+        Some(false),
+        "consideration order must leak through insert-masking"
+    );
+    assert_eq!(
+        g.final_db_digests().len(),
+        2,
+        "t1.y differs by one between the two schedules"
+    );
+}
+
+/// Starling's default conditions close the gap: condition 2′ flags the
+/// pair, so the Confluence Requirement is (correctly) violated.
+#[test]
+fn default_analysis_rejects_via_condition_2_prime() {
+    let (_db, rules) = build();
+    let a = rules.by_name("rule_a").unwrap();
+    let c = rules.by_name("rule_c").unwrap();
+    let reasons = noncommutativity_reasons(&a.sig, &c.sig);
+    assert!(
+        reasons
+            .iter()
+            .any(|r| matches!(r, NoncommutativityReason::InsertMasksDelete { .. })),
+        "{reasons:?}"
+    );
+
+    let ctx = AnalysisContext::from_ruleset(&rules, Certifications::new());
+    let conf = analyze_confluence(&ctx);
+    assert!(!conf.requirement_holds());
+}

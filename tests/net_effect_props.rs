@@ -1,0 +1,185 @@
+//! Property-based tests on the core algebras: the net-effect composition of
+//! \[WF90\], canonical digests, and parser/printer round-trips.
+
+use proptest::prelude::*;
+
+use starling::engine::{NetEffect, TupleOp};
+use starling::sql::{parse_expr, parse_statement};
+use starling::storage::{CanonicalDigest, TupleId, Value};
+
+/// A well-formed per-tuple operation history: insert? -> update* -> delete?
+/// (tuple ids are unique and never resurrected).
+fn tuple_history(id: u64) -> impl Strategy<Value = Vec<TupleOp>> {
+    let val = any::<i8>().prop_map(|v| Value::Int(v as i64));
+    (
+        any::<bool>(),               // starts with insert (fresh tuple)?
+        prop::collection::vec(val, 0..4), // update chain values
+        any::<bool>(),               // ends with delete?
+        any::<i8>(),                 // base value for pre-existing tuples
+    )
+        .prop_map(move |(insert, updates, delete, base)| {
+            let mut ops = Vec::new();
+            let mut current = Value::Int(base as i64);
+            if insert {
+                ops.push(TupleOp::Insert {
+                    table: "t".into(),
+                    id: TupleId(id),
+                    row: vec![current.clone()],
+                });
+            }
+            for v in updates {
+                ops.push(TupleOp::Update {
+                    table: "t".into(),
+                    id: TupleId(id),
+                    old: vec![current.clone()],
+                    new: vec![v.clone()],
+                    cols: std::iter::once("a".to_owned()).collect(),
+                });
+                current = v;
+            }
+            if delete {
+                ops.push(TupleOp::Delete {
+                    table: "t".into(),
+                    id: TupleId(id),
+                    old: vec![current],
+                });
+            }
+            ops
+        })
+}
+
+/// Interleaves several tuples' histories (keeping each tuple's internal
+/// order, which is all the algebra requires).
+fn op_sequences() -> impl Strategy<Value = Vec<TupleOp>> {
+    prop::collection::vec(any::<u8>(), 1..4).prop_flat_map(|ids| {
+        let hists: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, _)| tuple_history(k as u64 + 1))
+            .collect();
+        hists.prop_map(|hs| hs.into_iter().flatten().collect::<Vec<TupleOp>>())
+    })
+}
+
+proptest! {
+    /// Splitting the sequence anywhere and composing incrementally equals
+    /// composing the whole sequence (the engine relies on this: per-rule
+    /// cursors absorb suffixes incrementally).
+    #[test]
+    fn net_effect_split_composition(ops in op_sequences(), split_frac in 0.0f64..1.0) {
+        let split = ((ops.len() as f64) * split_frac) as usize;
+        let whole = NetEffect::from_ops(&ops);
+        let mut inc = NetEffect::new();
+        inc.absorb_all(&ops[..split]);
+        inc.absorb_all(&ops[split..]);
+        prop_assert_eq!(&whole, &inc);
+        prop_assert_eq!(whole.digest(), inc.digest());
+    }
+
+    /// A tuple inserted and deleted within one transition vanishes
+    /// entirely (paper rule 4), regardless of intervening updates.
+    #[test]
+    fn insert_then_delete_vanishes(updates in prop::collection::vec(any::<i8>(), 0..5)) {
+        let mut ops = vec![TupleOp::Insert {
+            table: "t".into(),
+            id: TupleId(1),
+            row: vec![Value::Int(0)],
+        }];
+        let mut cur = Value::Int(0);
+        for v in updates {
+            let next = Value::Int(v as i64);
+            ops.push(TupleOp::Update {
+                table: "t".into(),
+                id: TupleId(1),
+                old: vec![cur.clone()],
+                new: vec![next.clone()],
+                cols: std::iter::once("a".to_owned()).collect(),
+            });
+            cur = next;
+        }
+        ops.push(TupleOp::Delete {
+            table: "t".into(),
+            id: TupleId(1),
+            old: vec![cur],
+        });
+        prop_assert!(NetEffect::from_ops(&ops).is_empty());
+    }
+
+    /// Digest equality follows structural equality on net effects.
+    #[test]
+    fn digest_respects_equality(a in op_sequences(), b in op_sequences()) {
+        let na = NetEffect::from_ops(&a);
+        let nb = NetEffect::from_ops(&b);
+        if na == nb {
+            prop_assert_eq!(na.digest(), nb.digest());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser round-trips over generated expression strings.
+// ---------------------------------------------------------------------
+
+fn literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        any::<u16>().prop_map(|v| v.to_string()),
+        Just("null".to_owned()),
+        "[a-z]{1,6}".prop_map(|s| format!("'{s}'")),
+    ]
+}
+
+/// Arithmetic-level expressions (operands of comparisons).
+fn arith_string() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![literal(), "[a-z]{1,5}".prop_map(|c| format!("x_{c}"))];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} * {b})")),
+        ]
+    })
+}
+
+/// Boolean-level expressions: predicates over arithmetic operands,
+/// composed with and/or/not — matching the grammar's (and SQL's) typing.
+fn expr_string() -> impl Strategy<Value = String> {
+    let pred = prop_oneof![
+        (arith_string(), arith_string()).prop_map(|(a, b)| format!("({a} < {b})")),
+        (arith_string(), arith_string()).prop_map(|(a, b)| format!("({a} = {b})")),
+        arith_string().prop_map(|a| format!("{a} is not null")),
+        (arith_string(), arith_string(), arith_string())
+            .prop_map(|(a, b, c)| format!("{a} between {b} and {c}")),
+    ];
+    pred.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("({a} or {b})")),
+            inner.clone().prop_map(|a| format!("(not {a})")),
+        ]
+    })
+}
+
+proptest! {
+    /// print(parse(e)) re-parses to the same AST.
+    #[test]
+    fn expr_print_parse_fixpoint(src in expr_string()) {
+        let ast = parse_expr(&src).expect("generated expr parses");
+        let printed = ast.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    /// Statement printing round-trips for generated inserts.
+    #[test]
+    fn insert_print_parse_fixpoint(
+        vals in prop::collection::vec(any::<i32>(), 1..5)
+    ) {
+        let items: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+        let src = format!("insert into t values ({})", items.join(", "));
+        let ast = parse_statement(&src).unwrap();
+        let reparsed = parse_statement(&ast.to_string()).unwrap();
+        prop_assert_eq!(ast, reparsed);
+    }
+}

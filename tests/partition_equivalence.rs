@@ -1,0 +1,162 @@
+//! Correctness of partitioned analysis (paper §9): analyzing each
+//! independent partition separately must agree with whole-set analysis —
+//! "although rules from different partitions are processed at the same time
+//! and their execution may be interleaved, they have no effect on each
+//! other".
+
+use starling::analysis::confluence::analyze_confluence;
+use starling::analysis::partition::{partition_rules, IncrementalAnalyzer};
+use starling::analysis::termination::analyze_termination;
+
+#[test]
+fn partitioned_verdicts_equal_whole_set_verdicts() {
+    for k in [2usize, 4, 6] {
+        let ctx = starling_bench_helpers::partitioned_context(k);
+        let whole_term = analyze_termination(&ctx);
+        let whole_conf = analyze_confluence(&ctx);
+
+        let mut inc = IncrementalAnalyzer::new();
+        let parts = inc.analyze(&ctx);
+        assert_eq!(parts.len(), k);
+
+        // Every cycle the whole-set analysis finds lives in exactly one
+        // partition, and vice versa.
+        let whole_cycles: std::collections::BTreeSet<Vec<String>> = whole_term
+            .cycles
+            .iter()
+            .map(|c| c.rules.clone())
+            .collect();
+        let part_cycles: std::collections::BTreeSet<Vec<String>> = parts
+            .iter()
+            .flat_map(|p| p.termination.cycles.iter().map(|c| c.rules.clone()))
+            .collect();
+        assert_eq!(whole_cycles, part_cycles, "k = {k}");
+
+        // Confluence violations likewise.
+        let whole_viol: std::collections::BTreeSet<(String, String)> = whole_conf
+            .violations
+            .iter()
+            .map(|v| v.conflict.clone())
+            .collect();
+        let part_viol: std::collections::BTreeSet<(String, String)> = parts
+            .iter()
+            .flat_map(|p| p.confluence.violations.iter().map(|v| v.conflict.clone()))
+            .collect();
+        assert_eq!(whole_viol, part_viol, "k = {k}");
+
+        // Aggregate verdicts agree.
+        assert_eq!(
+            whole_term.is_guaranteed(),
+            parts.iter().all(|p| p.termination.is_guaranteed()),
+            "k = {k}"
+        );
+        assert_eq!(
+            whole_conf.requirement_holds(),
+            parts.iter().all(|p| p.confluence.requirement_holds()),
+            "k = {k}"
+        );
+    }
+}
+
+/// A lightweight copy of the bench crate's partitioned-context builder (the
+/// facade crate cannot depend on `starling-bench` without a dependency
+/// cycle through dev-dependencies).
+mod starling_bench_helpers {
+    use starling::analysis::certifications::Certifications;
+    use starling::analysis::context::AnalysisContext;
+    use starling::engine::RuleSet;
+    use starling::sql::RuleDef;
+    use starling::storage::{Catalog, ColumnDef, TableSchema, ValueType};
+    use starling::workloads::random::{generate, RandomConfig};
+
+    pub fn partitioned_context(k: usize) -> AnalysisContext {
+        let mut catalog = Catalog::new();
+        let mut defs: Vec<RuleDef> = Vec::new();
+        for p in 0..k {
+            let w = generate(&RandomConfig {
+                n_tables: 3,
+                n_cols: 2,
+                n_rules: 5,
+                max_actions: 2,
+                p_condition: 0.5,
+                p_observable: 0.1,
+                p_priority: 0.3,
+                rows_per_table: 2,
+                seed: p as u64,
+            });
+            for schema in w.catalog.tables() {
+                catalog
+                    .add_table(
+                        TableSchema::new(
+                            format!("p{p}_{}", schema.name),
+                            schema
+                                .columns
+                                .iter()
+                                .map(|c| ColumnDef {
+                                    name: c.name.clone(),
+                                    ty: ValueType::Int,
+                                    nullable: c.nullable,
+                                })
+                                .collect(),
+                        )
+                        .unwrap(),
+                    )
+                    .unwrap();
+            }
+            for def in &w.defs {
+                let renamed = namespace_tokens(&def.to_string(), p);
+                let starling::sql::ast::Statement::CreateRule(r) =
+                    starling::sql::parse_statement(&renamed).unwrap()
+                else {
+                    unreachable!()
+                };
+                defs.push(r);
+            }
+        }
+        let rules = RuleSet::compile(&defs, &catalog).unwrap();
+        AnalysisContext::from_ruleset(&rules, Certifications::new())
+    }
+
+    fn namespace_tokens(script: &str, p: usize) -> String {
+        let chars: Vec<char> = script.chars().collect();
+        let mut out = String::with_capacity(script.len() + 64);
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let at_start =
+                i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+            if at_start && (c == 't' || c == 'r') {
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let ends = j == chars.len()
+                    || !(chars[j].is_alphanumeric() || chars[j] == '_');
+                if j > i + 1 && ends {
+                    out.push_str(&format!("p{p}_"));
+                    out.extend(&chars[i..j]);
+                    i = j;
+                    continue;
+                }
+            }
+            out.push(c);
+            i += 1;
+        }
+        out
+    }
+}
+
+#[test]
+fn partition_count_and_cache_behavior() {
+    let ctx = starling_bench_helpers::partitioned_context(5);
+    let parts = partition_rules(&ctx);
+    assert_eq!(parts.len(), 5);
+    // Partitions are a disjoint cover.
+    let mut seen = std::collections::BTreeSet::new();
+    for g in &parts {
+        for &i in g {
+            assert!(seen.insert(i), "rule {i} in two partitions");
+        }
+    }
+    assert_eq!(seen.len(), ctx.len());
+}

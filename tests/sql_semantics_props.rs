@@ -1,0 +1,171 @@
+//! Property tests on the SQL evaluator's semantics: Kleene three-valued
+//! logic laws, LIKE against a reference matcher, and aggregate identities.
+
+use proptest::prelude::*;
+
+use starling::sql::eval::expr::{and3, like_match, not3, or3};
+use starling::storage::Value;
+
+fn tv() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    /// Kleene logic: commutativity, De Morgan, double negation, identity
+    /// and annihilator elements.
+    #[test]
+    fn kleene_laws(a in tv(), b in tv()) {
+        prop_assert_eq!(and3(a.clone(), b.clone()), and3(b.clone(), a.clone()));
+        prop_assert_eq!(or3(a.clone(), b.clone()), or3(b.clone(), a.clone()));
+        // De Morgan.
+        prop_assert_eq!(
+            not3(and3(a.clone(), b.clone())),
+            or3(not3(a.clone()), not3(b.clone()))
+        );
+        prop_assert_eq!(
+            not3(or3(a.clone(), b.clone())),
+            and3(not3(a.clone()), not3(b.clone()))
+        );
+        // Double negation.
+        prop_assert_eq!(not3(not3(a.clone())), a.clone());
+        // Identity / annihilator.
+        prop_assert_eq!(and3(a.clone(), Value::Bool(true)), a.clone());
+        prop_assert_eq!(or3(a.clone(), Value::Bool(false)), a.clone());
+        prop_assert_eq!(and3(a.clone(), Value::Bool(false)), Value::Bool(false));
+        prop_assert_eq!(or3(a.clone(), Value::Bool(true)), Value::Bool(true));
+    }
+
+    /// Kleene AND/OR are associative.
+    #[test]
+    fn kleene_associativity(a in tv(), b in tv(), c in tv()) {
+        prop_assert_eq!(
+            and3(a.clone(), and3(b.clone(), c.clone())),
+            and3(and3(a.clone(), b.clone()), c.clone())
+        );
+        prop_assert_eq!(
+            or3(a.clone(), or3(b.clone(), c.clone())),
+            or3(or3(a.clone(), b.clone()), c.clone())
+        );
+    }
+}
+
+/// Reference LIKE matcher via dynamic programming, independently written.
+fn like_reference(s: &str, p: &str) -> bool {
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = p.chars().collect();
+    let (n, m) = (sc.len(), pc.len());
+    let mut dp = vec![vec![false; m + 1]; n + 1];
+    dp[0][0] = true;
+    for j in 1..=m {
+        if pc[j - 1] == '%' {
+            dp[0][j] = dp[0][j - 1];
+        }
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = match pc[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => sc[i - 1] == c && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[n][m]
+}
+
+proptest! {
+    /// The recursive matcher agrees with the DP reference on random
+    /// strings and patterns (over a small alphabet so wildcards interact).
+    #[test]
+    fn like_agrees_with_reference(
+        s in "[ab%_]{0,8}",
+        p in "[ab%_]{0,6}",
+    ) {
+        prop_assert_eq!(like_match(&s, &p), like_reference(&s, &p));
+    }
+
+    /// `%` is absorbing: pattern `%p%` matches iff some substring matches p
+    /// when p has no wildcards.
+    #[test]
+    fn percent_wraps_substring_search(s in "[ab]{0,8}", p in "[ab]{0,4}") {
+        let wrapped = format!("%{p}%");
+        let expect = s.contains(&p);
+        prop_assert_eq!(like_match(&s, &wrapped), expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregate identities against straight Rust computation.
+// ---------------------------------------------------------------------
+
+use starling::prelude::*;
+
+proptest! {
+    #[test]
+    fn aggregates_match_reference(vals in proptest::collection::vec(-50i64..50, 0..12)) {
+        let mut session = Session::new();
+        session.execute_script("create table t (a int)").unwrap();
+        for v in &vals {
+            session
+                .execute_script(&format!("insert into t values ({v})"))
+                .unwrap();
+        }
+        let out = session
+            .execute_script("select count(*), sum(a), min(a), max(a) from t")
+            .unwrap();
+        let starling::engine::session::ScriptOutput::Rows(rs) = out.last().unwrap()
+        else {
+            panic!()
+        };
+        let row = &rs.rows[0];
+        prop_assert_eq!(&row[0], &Value::Int(vals.len() as i64));
+        if vals.is_empty() {
+            prop_assert_eq!(&row[1], &Value::Null);
+            prop_assert_eq!(&row[2], &Value::Null);
+            prop_assert_eq!(&row[3], &Value::Null);
+        } else {
+            prop_assert_eq!(&row[1], &Value::Int(vals.iter().sum()));
+            prop_assert_eq!(&row[2], &Value::Int(*vals.iter().min().unwrap()));
+            prop_assert_eq!(&row[3], &Value::Int(*vals.iter().max().unwrap()));
+        }
+    }
+
+    /// GROUP BY totals equal a hand-rolled HashMap aggregation.
+    #[test]
+    fn group_by_matches_reference(
+        pairs in proptest::collection::vec((0i64..4, -20i64..20), 0..16)
+    ) {
+        let mut session = Session::new();
+        session.execute_script("create table t (k int, v int)").unwrap();
+        for (k, v) in &pairs {
+            session
+                .execute_script(&format!("insert into t values ({k}, {v})"))
+                .unwrap();
+        }
+        let out = session
+            .execute_script("select k, sum(v) from t group by k order by k")
+            .unwrap();
+        let starling::engine::session::ScriptOutput::Rows(rs) = out.last().unwrap()
+        else {
+            panic!()
+        };
+        let mut expect: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (k, v) in &pairs {
+            *expect.entry(*k).or_default() += v;
+        }
+        let got: Vec<(Value, Value)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].clone(), r[1].clone()))
+            .collect();
+        let want: Vec<(Value, Value)> = expect
+            .into_iter()
+            .map(|(k, v)| (Value::Int(k), Value::Int(v)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}
