@@ -117,8 +117,7 @@ pub(crate) mod tests {
             "create rule p on t when inserted then insert into u values (1) end;
              create rule q on u when inserted then insert into t values (1) end;",
         ];
-        let rows: Vec<ComparisonRow> =
-            corpus.iter().map(|s| compare_all(&ctx(s))).collect();
+        let rows: Vec<ComparisonRow> = corpus.iter().map(|s| compare_all(&ctx(s))).collect();
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.subsumption_violation(), None, "corpus[{i}]: {row:?}");
         }

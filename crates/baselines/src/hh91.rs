@@ -39,8 +39,7 @@ pub fn analyze(ctx: &AnalysisContext) -> Hh91Verdict {
     for i in 0..n {
         for j in (i + 1)..n {
             if !noncommutativity_reasons(&ctx.sigs[i], &ctx.sigs[j]).is_empty() {
-                noncommuting_pairs
-                    .push((ctx.name(i).to_owned(), ctx.name(j).to_owned()));
+                noncommuting_pairs.push((ctx.name(i).to_owned(), ctx.name(j).to_owned()));
             }
         }
     }

@@ -31,11 +31,7 @@ pub fn analyze(ctx: &AnalysisContext) -> Zh90Verdict {
     for i in 0..n {
         for j in (i + 1)..n {
             for op in &ctx.sigs[i].performs {
-                if ctx.sigs[j]
-                    .performs
-                    .iter()
-                    .any(|p| p.table() == op.table())
-                {
+                if ctx.sigs[j].performs.iter().any(|p| p.table() == op.table()) {
                     shared_writes.push((
                         ctx.name(i).to_owned(),
                         ctx.name(j).to_owned(),

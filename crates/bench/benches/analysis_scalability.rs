@@ -64,7 +64,7 @@ fn bench_analyses(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_analyses
 }
 criterion_main!(benches);

@@ -51,11 +51,7 @@ fn bench_rule_processing(c: &mut Criterion) {
         b.iter(|| {
             let snapshot = db.clone();
             let mut working = db.clone();
-            let ops = starling_engine::exec_graph::apply_user_actions(
-                &mut working,
-                &user,
-            )
-            .unwrap();
+            let ops = starling_engine::exec_graph::apply_user_actions(&mut working, &user).unwrap();
             let mut st = ExecState::new(working, rules.len(), &ops);
             Processor::new(&rules)
                 .with_limit(500)
@@ -98,7 +94,7 @@ fn bench_rule_processing(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_net_effect, bench_rule_processing
 }
 criterion_main!(benches);

@@ -18,12 +18,7 @@ fn bench_incremental(c: &mut Criterion) {
 
         let mut g = c.benchmark_group(format!("reanalysis_{k}_partitions"));
         g.bench_function("full", |b| {
-            b.iter(|| {
-                (
-                    analyze_termination(&edited),
-                    analyze_confluence(&edited),
-                )
-            })
+            b.iter(|| (analyze_termination(&edited), analyze_confluence(&edited)))
         });
         g.bench_function("incremental", |b| {
             b.iter_batched(
@@ -46,7 +41,7 @@ fn bench_incremental(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_incremental
 }
 criterion_main!(benches);

@@ -10,10 +10,9 @@ use starling_storage::{Database, Value};
 use starling_workloads::{audit, corpus, power_network};
 
 fn bench_corpus_exploration(c: &mut Criterion) {
-    let cfg = ExploreConfig {
-        max_states: 5_000,
-        max_paths: 10_000,
-    };
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
     let mut g = c.benchmark_group("explore_corpus");
     for entry in corpus() {
         // Skip entries that do not terminate (exploration would saturate
@@ -31,8 +30,7 @@ fn bench_corpus_exploration(c: &mut Criterion) {
         }
         db.insert("t", vec![Value::Int(0)]).unwrap();
         db.insert("u", vec![Value::Int(0)]).unwrap();
-        let Statement::Dml(action) = parse_statement("insert into t values (1)").unwrap()
-        else {
+        let Statement::Dml(action) = parse_statement("insert into t values (1)").unwrap() else {
             unreachable!()
         };
         let actions = vec![action];
@@ -60,7 +58,7 @@ fn bench_case_study_exploration(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(15);
+    config = Criterion.sample_size(15);
     targets = bench_corpus_exploration, bench_case_study_exploration
 }
 criterion_main!(benches);

@@ -20,7 +20,7 @@ fn bench_parser(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(30);
+    config = Criterion.sample_size(30);
     targets = bench_parser
 }
 criterion_main!(benches);

@@ -29,8 +29,7 @@ use starling_analysis::InteractiveSession;
 use starling_baselines::compare_all;
 use starling_bench::{build, corpus_config, scale_config};
 use starling_engine::{
-    consider_rule, explore, explore_from_ops, ExecState, ExploreConfig, RuleId,
-    RuleSet,
+    consider_rule, explore, explore_from_ops, ExecState, ExploreConfig, RuleId, RuleSet,
 };
 use starling_storage::Op;
 use starling_workloads::{constraints, power_network};
@@ -83,7 +82,10 @@ fn header(id: &str, title: &str) {
 
 /// E1 — Lemma 6.1 commutativity vs the Figure 1 diamond oracle.
 fn e1_commutativity() {
-    header("E1", "commutativity (Lemma 6.1 + condition 2') vs diamond oracle");
+    header(
+        "E1",
+        "commutativity (Lemma 6.1 + condition 2') vs diamond oracle",
+    );
     let mut total_pairs = 0usize;
     let mut static_commute = 0usize;
     let mut diamonds = 0usize;
@@ -106,25 +108,21 @@ fn e1_commutativity() {
         for i in 0..n {
             for j in (i + 1)..n {
                 total_pairs += 1;
-                let commute = noncommutativity_reasons(
-                    &rules.rules()[i].sig,
-                    &rules.rules()[j].sig,
-                )
-                .is_empty();
+                let commute =
+                    noncommutativity_reasons(&rules.rules()[i].sig, &rules.rules()[j].sig)
+                        .is_empty();
                 static_commute += usize::from(commute);
                 for salt in 0..4u64 {
                     let actions = w.user_transition(salt + 100);
                     let mut working = base_db.clone();
-                    let Ok(ops) = starling_engine::exec_graph::apply_user_actions(
-                        &mut working,
-                        &actions,
-                    ) else {
+                    let Ok(ops) =
+                        starling_engine::exec_graph::apply_user_actions(&mut working, &actions)
+                    else {
                         continue;
                     };
                     let state = ExecState::new(working, rules.len(), &ops);
                     let (ri, rj) = (RuleId(i), RuleId(j));
-                    if !state.is_triggered(&rules, ri) || !state.is_triggered(&rules, rj)
-                    {
+                    if !state.is_triggered(&rules, ri) || !state.is_triggered(&rules, rj) {
                         continue;
                     }
                     let mut s1 = state.clone();
@@ -162,10 +160,9 @@ fn e2_e3_e5_oracle_agreement() {
         "E2/E3/E5",
         "termination / confluence / observable determinism vs oracle",
     );
-    let cfg = ExploreConfig {
-        max_states: 2_000,
-        max_paths: 20_000,
-    };
+    let cfg = ExploreConfig::default()
+        .with_max_states(2_000)
+        .with_max_paths(20_000);
     let mut rows = Vec::new();
     #[derive(Default)]
     struct Agg {
@@ -192,8 +189,7 @@ fn e2_e3_e5_oracle_agreement() {
         for salt in 0..3u64 {
             let actions = w.user_transition(salt * 31 + 5);
             let mut working = base_db.clone();
-            let Ok(ops) =
-                starling_engine::exec_graph::apply_user_actions(&mut working, &actions)
+            let Ok(ops) = starling_engine::exec_graph::apply_user_actions(&mut working, &actions)
             else {
                 continue;
             };
@@ -226,15 +222,22 @@ fn e2_e3_e5_oracle_agreement() {
     }
 
     println!("property      accepted  oracle-refuted  rejected  rejected-but-clean*");
-    for (name, a) in [("termination", &term), ("confluence", &conf), ("observable", &obs)]
-    {
+    for (name, a) in [
+        ("termination", &term),
+        ("confluence", &conf),
+        ("observable", &obs),
+    ] {
         println!(
             "{name:<13} {:>8}  {:>14}  {:>8}  {:>18}",
             a.accepted, a.refuted, a.rejected, a.rejected_but_clean
         );
     }
     println!("* clean on every sampled initial state — conservatism, not error");
-    assert_eq!(term.refuted + conf.refuted + obs.refuted, 0, "soundness violated");
+    assert_eq!(
+        term.refuted + conf.refuted + obs.refuted,
+        0,
+        "soundness violated"
+    );
 }
 
 /// E4 — Sig(T') growth and partial-confluence verdicts.
@@ -258,8 +261,7 @@ fn e4_partial_confluence() {
         let (_w, rules, ctx) = build(&cfg);
         let all_tables: Vec<String> = (0..12).map(|i| format!("t{i}")).collect();
         for k in [1usize, 3, 6, 12] {
-            let subset: Vec<&str> =
-                all_tables.iter().take(k).map(String::as_str).collect();
+            let subset: Vec<&str> = all_tables.iter().take(k).map(String::as_str).collect();
             let sig = significant_rules(&ctx, &subset);
             let p = analyze_partial_confluence(&ctx, &subset);
             println!(
@@ -295,7 +297,11 @@ fn e6_subsumption() {
         let mut proper = [0usize; 3];
         let mut violations = 0usize;
         for seed in 0..n {
-            let cfg = if dense { corpus_config(seed) } else { sparse(seed) };
+            let cfg = if dense {
+                corpus_config(seed)
+            } else {
+                sparse(seed)
+            };
             let (_w, _rules, ctx) = build(&cfg);
             let row = compare_all(&ctx);
             violations += usize::from(row.subsumption_violation().is_some());
@@ -347,8 +353,13 @@ fn e7_power_network() {
     let t1 = analyze_termination(&ctx);
     println!("with user certificate: verdict = {:?}", t1.verdict);
 
-    let g = explore(&rules, &db, &w.user_actions().unwrap(), &ExploreConfig::default())
-        .unwrap();
+    let g = explore(
+        &rules,
+        &db,
+        &w.user_actions().unwrap(),
+        &ExploreConfig::default(),
+    )
+    .unwrap();
     println!(
         "oracle: {} states, terminates = {:?}",
         g.states.len(),
@@ -358,7 +369,10 @@ fn e7_power_network() {
 
 /// E8 — the iterative-confluence case study.
 fn e8_interactive_confluence() {
-    header("E8", "constraint maintenance: the Section 6.4 interactive loop");
+    header(
+        "E8",
+        "constraint maintenance: the Section 6.4 interactive loop",
+    );
     let w = constraints::workload();
     let (db, defs, _) = w.build().unwrap();
     let mut session = InteractiveSession::new(db.catalog().clone(), defs);
@@ -395,7 +409,10 @@ fn e8_interactive_confluence() {
 /// E9 — analysis scalability (quick wall-clock sweep; criterion benches
 /// give the rigorous numbers).
 fn e9_scalability() {
-    header("E9", "analysis wall time vs rule-set size (single-shot, see benches)");
+    header(
+        "E9",
+        "analysis wall time vs rule-set size (single-shot, see benches)",
+    );
     println!("rules  graph(us)  termination(us)  confluence(us)  observable(us)");
     for n in [10usize, 25, 50, 100, 200, 400] {
         let (_w, _rules, ctx) = build(&scale_config(n, 42));
@@ -509,8 +526,8 @@ fn e14_refinement() {
             continue;
         }
         rejected_plain += 1;
-        let refined_ctx = AnalysisContext::from_ruleset(&rules, Certifications::new())
-            .with_refinement();
+        let refined_ctx =
+            AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
         if analyze_confluence(&refined_ctx).requirement_holds() {
             recovered += 1;
         }
@@ -568,16 +585,14 @@ fn e13_masking_finding() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
     );
-    let user: Vec<_> = starling_sql::parse_script(
-        "delete from t0; insert into t2 values (1);",
-    )
-    .unwrap()
-    .into_iter()
-    .filter_map(|s| match s {
-        starling_sql::ast::Statement::Dml(x) => Some(x),
-        _ => None,
-    })
-    .collect();
+    let user: Vec<_> = starling_sql::parse_script("delete from t0; insert into t2 values (1);")
+        .unwrap()
+        .into_iter()
+        .filter_map(|s| match s {
+            starling_sql::ast::Statement::Dml(x) => Some(x),
+            _ => None,
+        })
+        .collect();
     let g = explore(&rules, session.db(), &user, &ExploreConfig::default()).unwrap();
     println!(
         "oracle: terminates = {:?}, distinct final DB states = {} (paper-exact \

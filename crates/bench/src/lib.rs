@@ -133,15 +133,13 @@ fn namespace_tokens(script: &str, p: usize) -> String {
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
-        let at_token_start = i == 0
-            || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        let at_token_start = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
         if at_token_start && (c == 't' || c == 'r') {
             let mut j = i + 1;
             while j < chars.len() && chars[j].is_ascii_digit() {
                 j += 1;
             }
-            let ends_token =
-                j == chars.len() || !(chars[j].is_alphanumeric() || chars[j] == '_');
+            let ends_token = j == chars.len() || !(chars[j].is_alphanumeric() || chars[j] == '_');
             if j > i + 1 && ends_token {
                 out.push_str(&format!("p{p}_"));
                 out.extend(&chars[i..j]);

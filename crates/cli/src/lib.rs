@@ -20,11 +20,44 @@ use starling_analysis::report::AnalysisReport;
 use starling_analysis::triggering_graph::TriggeringGraph;
 use starling_baselines::compare_all;
 use starling_engine::{
-    explore, EngineError, ExploreConfig, FirstEligible, RuleSet, Session,
+    explore, Budget, EngineError, ExploreConfig, FirstEligible, Outcome, RuleSet, RunResult,
+    Session, Verdict,
 };
 use starling_sql::ast::{Action, Directive, Statement};
 use starling_sql::parse_script;
 use starling_storage::Database;
+
+/// How a command concluded, beyond success/failure: `main` maps these to
+/// distinct process exit codes so scripts and CI can react to "the oracle
+/// ran out of budget" differently from "the script is wrong".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// Definitive result (exit 0). A definitive "no" — e.g. a detected
+    /// nontermination — is still a successful analysis.
+    Ok,
+    /// The transaction aborted mid-run (exit 2).
+    Aborted,
+    /// A resource budget was exhausted before a definitive answer (exit 3).
+    Inconclusive,
+}
+
+/// A command's rendered output plus its status.
+#[derive(Clone, Debug)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Status for the exit code.
+    pub status: CmdStatus,
+}
+
+impl CmdOutput {
+    fn ok(text: String) -> Self {
+        CmdOutput {
+            text,
+            status: CmdStatus::Ok,
+        }
+    }
+}
 
 /// A loaded script, split per the convention above.
 pub struct LoadedScript {
@@ -144,23 +177,32 @@ pub fn cmd_graph(src: &str, dot: bool) -> Result<String, EngineError> {
     Ok(out)
 }
 
+/// Renders a [`Verdict`] for the report: definitive answers stay terse
+/// ("yes"/"NO"), non-answers carry their reason.
+fn render_verdict(v: Verdict) -> String {
+    match v {
+        Verdict::Holds => "yes".to_owned(),
+        Verdict::Fails => "NO".to_owned(),
+        other => other.to_string(),
+    }
+}
+
 /// `starling explore`: the execution-graph oracle over the script's user
-/// transition. With `dot`, emits the graph as GraphViz instead of the
-/// verdict summary.
-pub fn cmd_explore(src: &str, max_states: usize, dot: bool) -> Result<String, EngineError> {
+/// transition, bounded by `cfg` (state/path budgets and optional deadline).
+/// With `dot`, emits the graph as GraphViz instead of the verdict summary.
+///
+/// The status is [`CmdStatus::Inconclusive`] when any budget ran out before
+/// a verdict; a definitive negative verdict is still [`CmdStatus::Ok`].
+pub fn cmd_explore(src: &str, cfg: &ExploreConfig, dot: bool) -> Result<CmdOutput, EngineError> {
     let script = load_script(src)?;
     if script.user_actions.is_empty() {
         return Err(EngineError::InvalidStatement(
             "explore needs DML after the rule definitions (the user transition)".into(),
         ));
     }
-    let cfg = ExploreConfig {
-        max_states,
-        ..ExploreConfig::default()
-    };
-    let g = explore(&script.rules, &script.db, &script.user_actions, &cfg)?;
+    let g = explore(&script.rules, &script.db, &script.user_actions, cfg)?;
     if dot {
-        return Ok(g.to_dot(&script.rules));
+        return Ok(CmdOutput::ok(g.to_dot(&script.rules)));
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -169,32 +211,133 @@ pub fn cmd_explore(src: &str, max_states: usize, dot: bool) -> Result<String, En
         g.states.len(),
         g.edges.len(),
         g.final_states.len(),
-        if g.truncated { " [TRUNCATED]" } else { "" }
+        match g.truncation {
+            Some(r) => format!(" [TRUNCATED: {r}]"),
+            None => String::new(),
+        }
     );
-    let verdict = |v: Option<bool>| match v {
-        Some(true) => "yes",
-        Some(false) => "NO",
-        None => "unknown (truncated or cyclic)",
-    };
-    let _ = writeln!(out, "  terminates on all paths: {}", verdict(g.terminates()));
-    let _ = writeln!(out, "  unique final state:      {}", verdict(g.confluent()));
-    let _ = writeln!(
-        out,
-        "  deterministic observables: {}",
-        verdict(g.observably_deterministic(&cfg))
-    );
+    let verdicts = [
+        ("terminates on all paths:", g.termination_verdict()),
+        ("unique final state:     ", g.confluence_verdict()),
+        (
+            "deterministic observables:",
+            g.observable_determinism_verdict(cfg),
+        ),
+    ];
+    for (label, v) in &verdicts {
+        let _ = writeln!(out, "  {label} {}", render_verdict(*v));
+    }
     let _ = writeln!(
         out,
         "  distinct final DB states: {}",
         g.final_db_digests().len()
     );
-    Ok(out)
+    let status = if verdicts
+        .iter()
+        .any(|(_, v)| matches!(v, Verdict::Inconclusive(_)))
+    {
+        CmdStatus::Inconclusive
+    } else {
+        CmdStatus::Ok
+    };
+    Ok(CmdOutput { text: out, status })
+}
+
+/// Diagnoses an `Outcome::LimitExceeded` run: extracts the repeating rule
+/// cycle from the tail of the consideration trace and cross-references it
+/// against the *static* triggering graph, so the user sees both what
+/// actually looped and that the analysis predicts the loop.
+pub fn diagnose_limit(run: &RunResult, rules: &RuleSet, ctx: &AnalysisContext) -> String {
+    let mut out = String::new();
+    let reason = run
+        .truncation
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "limit exceeded".to_owned());
+    let _ = writeln!(
+        out,
+        "rule processing stopped after {} consideration(s): {reason}",
+        run.considerations.len()
+    );
+    // The dynamic tail: names of the most recently considered rules.
+    let tail: Vec<&str> = run
+        .considerations
+        .iter()
+        .rev()
+        .take(64)
+        .map(|c| rules.get(c.rule).name())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if tail.is_empty() {
+        return out;
+    }
+    // Smallest period p such that the last 2p entries repeat.
+    let period = (1..=tail.len() / 2)
+        .find(|&p| (0..p).all(|k| tail[tail.len() - p + k] == tail[tail.len() - 2 * p + k]));
+    let Some(p) = period else {
+        let shown = &tail[tail.len().saturating_sub(8)..];
+        let _ = writeln!(
+            out,
+            "  no short repeating cycle in the consideration tail; last considered: {}",
+            shown.join(" -> ")
+        );
+        return out;
+    };
+    let cycle = &tail[tail.len() - p..];
+    let _ = writeln!(
+        out,
+        "  dynamic cycle in the consideration tail: {} -> {}",
+        cycle.join(" -> "),
+        cycle[0]
+    );
+    // Cross-reference each step of the dynamic cycle against the static
+    // triggering graph (paper Section 5): an edge the static analysis does
+    // not predict would indicate an analysis bug.
+    let mut confirmed = Vec::new();
+    let mut unexplained = Vec::new();
+    for k in 0..cycle.len() {
+        let (a, b) = (cycle[k], cycle[(k + 1) % cycle.len()]);
+        match (ctx.index_of(a), ctx.index_of(b)) {
+            (Some(i), Some(j)) if ctx.can_trigger(i, j) => {
+                confirmed.push(format!("{a} -> {b}"));
+            }
+            _ => unexplained.push(format!("{a} -> {b}")),
+        }
+    }
+    if unexplained.is_empty() {
+        let _ = writeln!(
+            out,
+            "  static triggering graph confirms every step: {}",
+            confirmed.join(", ")
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  static triggering graph does NOT predict: {} (confirmed: {})",
+            unexplained.join(", "),
+            if confirmed.is_empty() {
+                "none".to_owned()
+            } else {
+                confirmed.join(", ")
+            }
+        );
+    }
+    out
 }
 
 /// `starling run`: executes the script end-to-end (user transition included)
-/// with rule processing at commit, printing outcomes.
-pub fn cmd_run(src: &str) -> Result<String, EngineError> {
+/// with rule processing at commit, printing outcomes. The budget bounds the
+/// commit-time rule processing (`max_considerations`, `deadline`).
+///
+/// Statuses: [`CmdStatus::Aborted`] when the transaction aborted (the
+/// database was restored to the snapshot), [`CmdStatus::Inconclusive`] when
+/// rule processing hit a budget — with the dynamic cycle diagnosis from
+/// [`diagnose_limit`] appended.
+pub fn cmd_run(src: &str, budget: &Budget) -> Result<CmdOutput, EngineError> {
     let mut session = Session::new();
+    session.max_considerations = budget.max_considerations;
+    session.deadline = budget.deadline;
     let outputs = session.execute_script(src)?;
     let mut out = String::new();
     for o in outputs {
@@ -202,8 +345,7 @@ pub fn cmd_run(src: &str) -> Result<String, EngineError> {
             starling_engine::session::ScriptOutput::Rows(rs) => {
                 let _ = writeln!(out, "{}", rs.columns.join(" | "));
                 for row in &rs.rows {
-                    let vals: Vec<String> =
-                        row.iter().map(ToString::to_string).collect();
+                    let vals: Vec<String> = row.iter().map(ToString::to_string).collect();
                     let _ = writeln!(out, "{}", vals.join(" | "));
                 }
             }
@@ -238,6 +380,31 @@ pub fn cmd_run(src: &str) -> Result<String, EngineError> {
         run.fired_count(),
         run.outcome
     );
+    let mut status = CmdStatus::Ok;
+    match run.outcome {
+        Outcome::Aborted => {
+            status = CmdStatus::Aborted;
+            let cause = run
+                .error
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "unknown".to_owned());
+            let _ = writeln!(
+                out,
+                "transaction ABORTED: {cause}\ndatabase restored to the transaction snapshot"
+            );
+        }
+        Outcome::LimitExceeded => {
+            status = CmdStatus::Inconclusive;
+            let rules = session.ruleset()?.clone();
+            let ctx = AnalysisContext::from_ruleset(
+                &rules,
+                Certifications::from_directives(session.directives()),
+            );
+            let _ = write!(out, "{}", diagnose_limit(&run, &rules, &ctx));
+        }
+        Outcome::Quiescent | Outcome::RolledBack => {}
+    }
     for ev in &run.observables {
         match &ev.kind {
             starling_engine::ObservableKind::Rollback => {
@@ -246,15 +413,14 @@ pub fn cmd_run(src: &str) -> Result<String, EngineError> {
             starling_engine::ObservableKind::Rows(rs) => {
                 let _ = writeln!(out, "observable rows ({}):", rs.columns.join(", "));
                 for row in &rs.rows {
-                    let vals: Vec<String> =
-                        row.iter().map(ToString::to_string).collect();
+                    let vals: Vec<String> = row.iter().map(ToString::to_string).collect();
                     let _ = writeln!(out, "  {}", vals.join(" | "));
                 }
             }
         }
     }
     let _ = write!(out, "{}", session.db());
-    Ok(out)
+    Ok(CmdOutput { text: out, status })
 }
 
 /// `starling explain`: one rule's Section 3 signature and relations.
@@ -270,14 +436,21 @@ pub fn cmd_explain(src: &str, rule_name: &str) -> Result<String, EngineError> {
     let mut out = String::new();
     let _ = writeln!(out, "rule `{rule_name}` on `{}`", sig.table);
     let fmt_ops = |ops: &std::collections::BTreeSet<starling_storage::Op>| {
-        ops.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        ops.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let _ = writeln!(out, "  Triggered-By: {{{}}}", fmt_ops(&sig.triggered_by));
     let _ = writeln!(out, "  Performs:     {{{}}}", fmt_ops(&sig.performs));
     let _ = writeln!(
         out,
         "  Reads:        {{{}}}",
-        sig.reads.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        sig.reads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(out, "  Observable:   {}", sig.observable);
     let triggers: Vec<&str> = ctx.triggers(idx).into_iter().map(|j| ctx.name(j)).collect();
@@ -286,7 +459,11 @@ pub fn cmd_explain(src: &str, rule_name: &str) -> Result<String, EngineError> {
         .filter(|&j| ctx.can_trigger(j, idx))
         .map(|j| ctx.name(j))
         .collect();
-    let _ = writeln!(out, "  Triggered by rules: {{{}}}", triggered_by_rules.join(", "));
+    let _ = writeln!(
+        out,
+        "  Triggered by rules: {{{}}}",
+        triggered_by_rules.join(", ")
+    );
     let unordered: Vec<&str> = (0..ctx.len())
         .filter(|&j| j != idx && ctx.unordered(idx, j))
         .map(|j| ctx.name(j))
@@ -320,7 +497,10 @@ pub fn cmd_compare(src: &str) -> Result<String, EngineError> {
     let _ = writeln!(out, "zh90-analog      {}", mark(row.zh90));
     let _ = writeln!(out, "ras90-analog     {}", mark(row.ras90));
     if let Some((a, b)) = row.subsumption_violation() {
-        let _ = writeln!(out, "SUBSUMPTION VIOLATION: {a:?} accepted but {b:?} rejected");
+        let _ = writeln!(
+            out,
+            "SUBSUMPTION VIOLATION: {a:?} accepted but {b:?} rejected"
+        );
     }
     Ok(out)
 }
@@ -371,34 +551,110 @@ mod tests {
 
     #[test]
     fn explore_oracle() {
-        let text = cmd_explore(SCRIPT, 1000, false).unwrap();
-        assert!(text.contains("unique final state:      NO"), "{text}");
+        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), false).unwrap();
+        assert!(
+            out.text.contains("unique final state:      NO"),
+            "{}",
+            out.text
+        );
+        // A definitive NO is still a successful analysis.
+        assert_eq!(out.status, CmdStatus::Ok);
     }
 
     #[test]
     fn explore_dot_output() {
-        let dot = cmd_explore(SCRIPT, 1000, true).unwrap();
-        assert!(dot.starts_with("digraph execution"), "{dot}");
-        assert!(dot.contains("doublecircle"), "{dot}");
+        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), true).unwrap();
+        assert!(out.text.starts_with("digraph execution"), "{}", out.text);
+        assert!(out.text.contains("doublecircle"), "{}", out.text);
     }
 
     #[test]
     fn explore_requires_transition() {
         let src = "create table t (x int); \
                    create rule a on t when inserted then delete from t end;";
-        assert!(cmd_explore(src, 100, false).is_err());
+        assert!(cmd_explore(src, &ExploreConfig::default(), false).is_err());
+    }
+
+    #[test]
+    fn explore_truncation_is_inconclusive_with_reason() {
+        let src = "create table t (x int);
+                   create rule grow on t when inserted then \
+                     insert into t select x + 1 from inserted end;
+                   insert into t values (1);";
+        let cfg = ExploreConfig::default().with_max_states(20);
+        let out = cmd_explore(src, &cfg, false).unwrap();
+        assert_eq!(out.status, CmdStatus::Inconclusive);
+        assert!(
+            out.text.contains("[TRUNCATED: state budget exhausted]"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text.contains("inconclusive (state budget exhausted)"),
+            "{}",
+            out.text
+        );
     }
 
     #[test]
     fn run_executes_everything() {
-        let text = cmd_run(
+        let out = cmd_run(
             "create table t (x int);
              create rule bump on t when inserted then update t set x = x + 1 end;
              insert into t values (1);
              select x from t;",
+            &Budget::default(),
         )
         .unwrap();
-        assert!(text.contains("rule processing"), "{text}");
+        assert!(out.text.contains("rule processing"), "{}", out.text);
+        assert_eq!(out.status, CmdStatus::Ok);
+    }
+
+    #[test]
+    fn run_limit_reports_dynamic_cycle_with_static_cross_reference() {
+        let out = cmd_run(
+            "create table t (x int);
+             create table u (x int);
+             create rule ping on t when inserted then insert into u values (1) end;
+             create rule pong on u when inserted then insert into t values (1) end;
+             insert into t values (1);",
+            &Budget::default().with_max_considerations(40),
+        )
+        .unwrap();
+        assert_eq!(out.status, CmdStatus::Inconclusive);
+        assert!(
+            out.text.contains("consideration budget exhausted"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text
+                .contains("dynamic cycle in the consideration tail:"),
+            "{}",
+            out.text
+        );
+        // Both steps of the ping/pong loop are statically predicted.
+        assert!(
+            out.text
+                .contains("static triggering graph confirms every step"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("ping"), "{}", out.text);
+        assert!(out.text.contains("pong"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_zero_deadline_is_inconclusive() {
+        let out = cmd_run(
+            "create table t (x int);
+             create rule bump on t when inserted then update t set x = x + 1 end;
+             insert into t values (1);",
+            &Budget::default().with_deadline(std::time::Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(out.status, CmdStatus::Inconclusive);
+        assert!(out.text.contains("deadline exceeded"), "{}", out.text);
     }
 
     #[test]

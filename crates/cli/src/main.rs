@@ -8,10 +8,19 @@
 //! starling run <file>                            execute with rule processing
 //! starling compare <file>                        baseline comparison (Sec. 9)
 //! ```
+//!
+//! Exit codes: `0` success (including definitive negative verdicts), `1`
+//! usage or script error, `2` transaction aborted, `3` inconclusive (a
+//! resource budget ran out before a verdict).
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use starling_cli::{cmd_analyze, cmd_compare, cmd_explore, cmd_graph, cmd_run};
+use starling_cli::{
+    cmd_analyze, cmd_compare, cmd_explore, cmd_graph, cmd_run, CmdOutput, CmdStatus,
+};
+use starling_engine::Budget;
 
 const USAGE: &str = "\
 starling — analysis of database production rules (SIGMOD '92 reproduction)
@@ -30,51 +39,82 @@ COMMANDS:
     compare    Compare against HH91/ZH90/Ras90-analog criteria
 
 OPTIONS:
-    --protect t1,t2    (analyze) also check partial confluence w.r.t. the
-                       listed tables; repeatable
-    --dot              (graph/explore) emit GraphViz DOT
-    --max-states N     (explore) exploration bound
-    --refine           (analyze) enable the Section 9 predicate-level
-                       commutativity refinement
+    --protect t1,t2           (analyze) also check partial confluence w.r.t.
+                              the listed tables; repeatable
+    --dot                     (graph/explore) emit GraphViz DOT
+    --max-states N            (explore) state budget, default 20000
+    --max-considerations N    (run) rule-consideration budget, default 10000
+    --timeout MS              (explore/run) wall-clock budget in milliseconds
+    --refine                  (analyze) enable the Section 9 predicate-level
+                              commutativity refinement
+
+EXIT CODES:
+    0    success (definitive verdicts, including negative ones)
+    1    usage or script error
+    2    transaction aborted (database restored to the snapshot)
+    3    inconclusive: a budget (--max-states / --max-considerations /
+         --timeout) ran out before a verdict
 ";
 
+/// Exit code for usage/script errors.
+const EXIT_ERROR: u8 = 1;
+/// Exit code for an aborted transaction.
+const EXIT_ABORTED: u8 = 2;
+/// Exit code for budget-exhausted, inconclusive results.
+const EXIT_INCONCLUSIVE: u8 = 3;
+
 fn main() -> ExitCode {
+    // Panics are bugs (errors travel through Result): keep the one-line
+    // pointer so reports reach the tracker instead of dying in a backtrace.
+    // Writes ignore failure — a closed stderr (`starling ... 2>&1 | head`)
+    // must not turn a report into a panic-in-panic abort.
+    std::panic::set_hook(Box::new(|info| {
+        let _ = writeln!(
+            std::io::stderr(),
+            "starling internal error: {info}\n\
+             this is a bug — please report it at \
+             https://github.com/starling-db/starling/issues with the command \
+             line and script that triggered it"
+        );
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            let _ = write!(std::io::stdout(), "{}", out.text);
+            match out.status {
+                CmdStatus::Ok => ExitCode::SUCCESS,
+                CmdStatus::Aborted => ExitCode::from(EXIT_ABORTED),
+                CmdStatus::Inconclusive => ExitCode::from(EXIT_INCONCLUSIVE),
+            }
         }
         Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            let _ = writeln!(std::io::stderr(), "error: {msg}\n\n{USAGE}");
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<CmdOutput, String> {
     let command = args.first().ok_or("missing command")?;
     if command == "help" || command == "--help" || command == "-h" {
-        return Ok(USAGE.to_owned());
+        return Ok(CmdOutput {
+            text: USAGE.to_owned(),
+            status: CmdStatus::Ok,
+        });
     }
     let file = args.get(1).ok_or("missing script file")?;
-    let src = std::fs::read_to_string(file)
-        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
 
     let mut rule_arg: Option<String> = None;
     let mut protect: Vec<Vec<String>> = Vec::new();
     let mut dot = false;
     let mut refine = false;
-    let mut max_states = 20_000usize;
+    let mut budget = Budget::default();
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--protect" => {
-                let v = args
-                    .get(i + 1)
-                    .ok_or("--protect needs a table list")?;
+                let v = args.get(i + 1).ok_or("--protect needs a table list")?;
                 protect.push(v.split(',').map(|s| s.trim().to_owned()).collect());
                 i += 2;
             }
@@ -87,11 +127,28 @@ fn run(args: &[String]) -> Result<String, String> {
                 i += 1;
             }
             "--max-states" => {
-                max_states = args
+                budget.max_states = args
                     .get(i + 1)
                     .ok_or("--max-states needs a number")?
                     .parse()
                     .map_err(|e| format!("bad --max-states: {e}"))?;
+                i += 2;
+            }
+            "--max-considerations" => {
+                budget.max_considerations = args
+                    .get(i + 1)
+                    .ok_or("--max-considerations needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-considerations: {e}"))?;
+                i += 2;
+            }
+            "--timeout" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or("--timeout needs milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                budget.deadline = Some(Duration::from_millis(ms));
                 i += 2;
             }
             other if command == "explain" && rule_arg.is_none() => {
@@ -103,15 +160,27 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 
     let result = match command.as_str() {
-        "analyze" => cmd_analyze(&src, &protect, refine),
-        "graph" => cmd_graph(&src, dot),
-        "explore" => cmd_explore(&src, max_states, dot),
+        "analyze" => cmd_analyze(&src, &protect, refine).map(|text| CmdOutput {
+            text,
+            status: CmdStatus::Ok,
+        }),
+        "graph" => cmd_graph(&src, dot).map(|text| CmdOutput {
+            text,
+            status: CmdStatus::Ok,
+        }),
+        "explore" => cmd_explore(&src, &budget, dot),
         "explain" => {
             let rule = rule_arg.ok_or("explain needs a rule name")?;
-            starling_cli::cmd_explain(&src, &rule)
+            starling_cli::cmd_explain(&src, &rule).map(|text| CmdOutput {
+                text,
+                status: CmdStatus::Ok,
+            })
         }
-        "run" => cmd_run(&src),
-        "compare" => cmd_compare(&src),
+        "run" => cmd_run(&src, &budget),
+        "compare" => cmd_compare(&src).map(|text| CmdOutput {
+            text,
+            status: CmdStatus::Ok,
+        }),
         other => return Err(format!("unknown command `{other}`")),
     };
     result.map_err(|e| e.to_string())

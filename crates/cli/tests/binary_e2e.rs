@@ -3,13 +3,14 @@
 
 use std::process::Command;
 
-fn starling(args: &[&str]) -> (bool, String, String) {
+/// Runs the binary and returns `(exit_code, stdout, stderr)`.
+fn starling(args: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_starling"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code().expect("not killed by signal"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -37,22 +38,23 @@ const SCRIPT: &str = "
 
 #[test]
 fn help_prints_usage() {
-    let (ok, stdout, _) = starling(&["help"]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["help"]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("USAGE:"));
+    assert!(stdout.contains("EXIT CODES:"), "{stdout}");
 }
 
 #[test]
 fn missing_command_fails_with_usage() {
-    let (ok, _, stderr) = starling(&[]);
-    assert!(!ok);
+    let (code, _, stderr) = starling(&[]);
+    assert_eq!(code, 1);
     assert!(stderr.contains("missing command"));
 }
 
 #[test]
 fn unknown_file_fails() {
-    let (ok, _, stderr) = starling(&["analyze", "/nonexistent/path.rql"]);
-    assert!(!ok);
+    let (code, _, stderr) = starling(&["analyze", "/nonexistent/path.rql"]);
+    assert_eq!(code, 1);
     assert!(stderr.contains("cannot read"));
 }
 
@@ -61,28 +63,29 @@ fn analyze_explore_graph_compare_pipeline() {
     let path = script_file(SCRIPT);
     let p = path.to_str().unwrap();
 
-    let (ok, stdout, _) = starling(&["analyze", p]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["analyze", p]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("MAY NOT BE CONFLUENT"), "{stdout}");
 
-    let (ok, stdout, _) = starling(&["explore", p]);
-    assert!(ok);
+    // A definitive negative verdict is still a successful analysis: exit 0.
+    let (code, stdout, _) = starling(&["explore", p]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("unique final state:      NO"), "{stdout}");
 
-    let (ok, stdout, _) = starling(&["graph", p, "--dot"]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["graph", p, "--dot"]);
+    assert_eq!(code, 0);
     assert!(stdout.starts_with("digraph"), "{stdout}");
 
-    let (ok, stdout, _) = starling(&["compare", p]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["compare", p]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("hh91-analog"), "{stdout}");
 
-    let (ok, stdout, _) = starling(&["explain", p, "a"]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["explain", p, "a"]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("Triggered-By"), "{stdout}");
 
-    let (ok, stdout, _) = starling(&["run", p]);
-    assert!(ok);
+    let (code, stdout, _) = starling(&["run", p]);
+    assert_eq!(code, 0);
     assert!(stdout.contains("rule processing"), "{stdout}");
 
     std::fs::remove_file(path).ok();
@@ -91,22 +94,68 @@ fn analyze_explore_graph_compare_pipeline() {
 #[test]
 fn bad_script_reports_parse_error() {
     let path = script_file("create rule broken on");
-    let (ok, _, stderr) = starling(&["analyze", path.to_str().unwrap()]);
-    assert!(!ok);
+    let (code, _, stderr) = starling(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
     assert!(stderr.contains("parse error"), "{stderr}");
     std::fs::remove_file(path).ok();
 }
 
 #[test]
-fn explore_respects_max_states() {
-    // Unbounded growth truncates at the tiny bound.
+fn explore_truncation_exits_inconclusive() {
+    // Unbounded growth truncates at the tiny bound: exit code 3 and the
+    // truncation reason named in the report.
     let path = script_file(
         "create table t (x int);
          create rule grow on t when inserted then insert into t select x + 1 from inserted end;
          insert into t values (1);",
     );
-    let (ok, stdout, _) = starling(&["explore", path.to_str().unwrap(), "--max-states", "20"]);
-    assert!(ok);
-    assert!(stdout.contains("[TRUNCATED]"), "{stdout}");
+    let (code, stdout, _) = starling(&["explore", path.to_str().unwrap(), "--max-states", "20"]);
+    assert_eq!(code, 3);
+    assert!(
+        stdout.contains("[TRUNCATED: state budget exhausted]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("inconclusive"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_limit_exits_inconclusive_with_diagnosis() {
+    // A ping-pong pair never quiesces; a small consideration budget makes
+    // `run` stop, report the dynamic cycle, and exit 3.
+    let path = script_file(
+        "create table t (x int);
+         create table u (x int);
+         create rule ping on t when inserted then insert into u values (1) end;
+         create rule pong on u when inserted then insert into t values (1) end;
+         insert into t values (1);",
+    );
+    let (code, stdout, _) =
+        starling(&["run", path.to_str().unwrap(), "--max-considerations", "40"]);
+    assert_eq!(code, 3);
+    assert!(stdout.contains("dynamic cycle"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_zero_timeout_exits_inconclusive() {
+    let path = script_file(SCRIPT);
+    let (code, stdout, _) = starling(&["run", path.to_str().unwrap(), "--timeout", "0"]);
+    assert_eq!(code, 3);
+    assert!(stdout.contains("deadline exceeded"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_flag_value_is_a_usage_error() {
+    let path = script_file(SCRIPT);
+    let (code, _, stderr) = starling(&[
+        "explore",
+        path.to_str().unwrap(),
+        "--max-states",
+        "not-a-number",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("bad --max-states"), "{stderr}");
     std::fs::remove_file(path).ok();
 }

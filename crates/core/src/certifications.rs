@@ -92,7 +92,9 @@ impl Certifications {
 
     /// All termination certificates.
     pub fn termination_certificates(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.terminates.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.terminates
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// Number of certifications of both kinds.

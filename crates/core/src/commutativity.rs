@@ -96,7 +96,10 @@ impl fmt::Display for NoncommutativityReason {
                  re-trigger `{whom}` (condition 2\u{2032}, Starling extension)"
             ),
             NoncommutativityReason::WriteRead { who, op, whom } => {
-                write!(f, "`{who}` performs {op}, which `{whom}` reads (condition 3)")
+                write!(
+                    f,
+                    "`{who}` performs {op}, which `{whom}` reads (condition 3)"
+                )
             }
             NoncommutativityReason::InsertWrite { who, table, whom } => write!(
                 f,
@@ -297,11 +300,7 @@ mod tests {
             .collect()
     }
 
-    const TABLES: &[(&str, &[&str])] = &[
-        ("t", &["x", "y"]),
-        ("u", &["x"]),
-        ("v", &["x"]),
-    ];
+    const TABLES: &[(&str, &[&str])] = &[("t", &["x", "y"]), ("u", &["x"]), ("v", &["x"])];
 
     #[test]
     fn disjoint_rules_commute() {
@@ -322,10 +321,10 @@ mod tests {
             TABLES,
         );
         let rs = noncommutativity_reasons(&s[0], &s[1]);
-        assert!(rs
-            .iter()
-            .any(|r| matches!(r, NoncommutativityReason::Triggers { who, whom }
-                if who == "a" && whom == "b")));
+        assert!(rs.iter().any(
+            |r| matches!(r, NoncommutativityReason::Triggers { who, whom }
+                if who == "a" && whom == "b")
+        ));
     }
 
     #[test]
@@ -337,10 +336,10 @@ mod tests {
             TABLES,
         );
         let rs = noncommutativity_reasons(&s[0], &s[1]);
-        assert!(rs
-            .iter()
-            .any(|r| matches!(r, NoncommutativityReason::Untriggers { who, whom }
-                if who == "a" && whom == "b")));
+        assert!(rs.iter().any(
+            |r| matches!(r, NoncommutativityReason::Untriggers { who, whom }
+                if who == "a" && whom == "b")
+        ));
     }
 
     #[test]
@@ -353,10 +352,10 @@ mod tests {
             TABLES,
         );
         let rs = noncommutativity_reasons(&s[0], &s[1]);
-        assert!(rs
-            .iter()
-            .any(|r| matches!(r, NoncommutativityReason::WriteRead { who, whom, .. }
-                if who == "a" && whom == "b")));
+        assert!(rs.iter().any(
+            |r| matches!(r, NoncommutativityReason::WriteRead { who, whom, .. }
+                if who == "a" && whom == "b")
+        ));
     }
 
     #[test]
@@ -369,10 +368,10 @@ mod tests {
             TABLES,
         );
         let rs = noncommutativity_reasons(&s[0], &s[1]);
-        assert!(rs
-            .iter()
-            .any(|r| matches!(r, NoncommutativityReason::InsertWrite { who, table, whom }
-                if who == "a" && table == "u" && whom == "b")));
+        assert!(rs.iter().any(
+            |r| matches!(r, NoncommutativityReason::InsertWrite { who, table, whom }
+                if who == "a" && table == "u" && whom == "b")
+        ));
     }
 
     #[test]
@@ -399,10 +398,10 @@ mod tests {
             TABLES,
         );
         let rs = noncommutativity_reasons(&s[0], &s[1]);
-        assert!(rs
-            .iter()
-            .any(|r| matches!(r, NoncommutativityReason::Triggers { who, whom }
-                if who == "b" && whom == "a")));
+        assert!(rs.iter().any(
+            |r| matches!(r, NoncommutativityReason::Triggers { who, whom }
+                if who == "b" && whom == "a")
+        ));
     }
 
     #[test]

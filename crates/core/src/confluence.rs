@@ -141,8 +141,7 @@ pub fn analyze_confluence_of(ctx: &AnalysisContext, subset: &[usize]) -> Conflue
                     if commutes_idx(ctx, r1, r2) {
                         continue;
                     }
-                    let reasons =
-                        noncommutativity_reasons(&ctx.sigs[r1], &ctx.sigs[r2]);
+                    let reasons = noncommutativity_reasons(&ctx.sigs[r1], &ctx.sigs[r2]);
                     violations.push(ConfluenceViolation {
                         pair: (ctx.name(i).to_owned(), ctx.name(j).to_owned()),
                         conflict: (ctx.name(r1).to_owned(), ctx.name(r2).to_owned()),
@@ -330,12 +329,14 @@ mod tests {
         ));
         assert_eq!(a.verdict, ConfluenceVerdict::MayNotBeConfluent);
         // The conflict must be (h, rj) — generated by the (ri, rj) pair.
-        assert!(a
-            .violations
-            .iter()
-            .any(|v| v.conflict == ("h".to_owned(), "rj".to_owned())
-                && v.pair == ("ri".to_owned(), "rj".to_owned())),
-            "{:?}", a.violations);
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.conflict == ("h".to_owned(), "rj".to_owned())
+                    && v.pair == ("ri".to_owned(), "rj".to_owned())),
+            "{:?}",
+            a.violations
+        );
     }
 
     #[test]

@@ -105,10 +105,7 @@ impl AnalysisContext {
     /// operations in `O'` — a rule triggered by insertions into (or updates
     /// of) `t` can be untriggered by deletions from `t`, which may undo the
     /// triggering changes.
-    pub fn can_untrigger<'o>(
-        &self,
-        ops: impl IntoIterator<Item = &'o Op> + Clone,
-    ) -> Vec<usize> {
+    pub fn can_untrigger<'o>(&self, ops: impl IntoIterator<Item = &'o Op> + Clone) -> Vec<usize> {
         self.sigs
             .iter()
             .enumerate()

@@ -115,8 +115,7 @@ impl InteractiveSession {
         &mut self,
         max_rounds: usize,
     ) -> Result<Option<usize>, starling_engine::EngineError> {
-        let mut added = 0;
-        for _ in 0..max_rounds {
+        for added in 0..max_rounds {
             let report = self.analyze("auto-order step")?;
             let Some(v) = report.confluence.violations.first() else {
                 return Ok(Some(added));
@@ -125,7 +124,6 @@ impl InteractiveSession {
             if !self.add_ordering(&a, &b) {
                 return Ok(None);
             }
-            added += 1;
             // Adding an ordering can create a priority cycle; surface the
             // compile error naturally on the next analyze() call.
         }
@@ -201,7 +199,10 @@ mod tests {
              create rule c on v when inserted then update u set x = 3 end;",
         );
         let added = s.order_until_confluent(20).unwrap();
-        assert!(added.unwrap_or(0) >= 2, "expected at least two rounds: {added:?}");
+        assert!(
+            added.unwrap_or(0) >= 2,
+            "expected at least two rounds: {added:?}"
+        );
         let r = s.analyze("final").unwrap();
         assert!(r.confluence.requirement_holds());
         // History shows the violation count decreasing over rounds.

@@ -233,9 +233,6 @@ mod tests {
         assert!(e.sigs[0]
             .performs
             .contains(&starling_storage::Op::Insert(OBS_TABLE.into())));
-        assert!(!e.sigs[1]
-            .performs
-            .iter()
-            .any(|op| op.table() == OBS_TABLE));
+        assert!(!e.sigs[1].performs.iter().any(|op| op.table() == OBS_TABLE));
     }
 }

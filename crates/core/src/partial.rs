@@ -163,11 +163,7 @@ mod tests {
         AnalysisContext::from_ruleset(&rs, certs)
     }
 
-    const TABLES: &[(&str, &[&str])] = &[
-        ("data", &["x"]),
-        ("scratch", &["x"]),
-        ("t", &["x"]),
-    ];
+    const TABLES: &[(&str, &[&str])] = &[("data", &["x"]), ("scratch", &["x"]), ("t", &["x"])];
 
     /// Two rules that conflict only on a scratch table: not confluent, but
     /// confluent with respect to the data table.

@@ -139,7 +139,9 @@ fn partition_digest(ctx: &AnalysisContext, group: &[usize]) -> u64 {
     for (k, &i) in group.iter().enumerate() {
         for &j in &group[k + 1..] {
             h.write(&[u8::from(ctx.gt(i, j)), u8::from(ctx.gt(j, i))]);
-            h.write(&[u8::from(ctx.certs.commute_certified(ctx.name(i), ctx.name(j)))]);
+            h.write(&[u8::from(
+                ctx.certs.commute_certified(ctx.name(i), ctx.name(j)),
+            )]);
         }
     }
     h.finish()
@@ -246,11 +248,9 @@ mod tests {
 
     #[test]
     fn shared_read_merges_partitions() {
-        let c = ctx(
-            "create rule w on a1 when inserted then delete from a1 end;
+        let c = ctx("create rule w on a1 when inserted then delete from a1 end;
              create rule r on b1 when inserted \
-               if exists (select * from a1) then delete from b1 end;",
-        );
+               if exists (select * from a1) then delete from b1 end;");
         let p = partition_rules(&c);
         assert_eq!(p.len(), 1);
     }

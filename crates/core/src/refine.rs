@@ -76,9 +76,7 @@ fn reason_discharged(
         // predicates already proven to miss every inserted row (the
         // paper's example 1 needs this — the delete's WHERE clause is
         // itself a read).
-        NoncommutativityReason::WriteRead { who, op, whom }
-            if op.starts_with("(I, ") =>
-        {
+        NoncommutativityReason::WriteRead { who, op, whom } if op.starts_with("(I, ") => {
             let Some(table) = op
                 .strip_prefix("(I, ")
                 .and_then(|rest| rest.strip_suffix(')'))
@@ -99,9 +97,7 @@ fn reason_discharged(
         // updates land on rows the reader never selects, and the reader's
         // predicate evaluation on the writer's rows is fixed by the
         // disjointness column, not the written one.
-        NoncommutativityReason::WriteRead { who, op, whom }
-            if op.starts_with("(U, ") =>
-        {
+        NoncommutativityReason::WriteRead { who, op, whom } if op.starts_with("(U, ") => {
             let Some(colref) = op
                 .strip_prefix("(U, ")
                 .and_then(|rest| rest.strip_suffix(')'))
@@ -177,11 +173,7 @@ fn reads_only_in_write_predicates(def: &RuleDef, table: &str) -> bool {
                     }
                 }
                 InsertSource::Values(rows) => {
-                    if rows
-                        .iter()
-                        .flatten()
-                        .any(|e| expr_mentions_table(e, table))
-                    {
+                    if rows.iter().flatten().any(|e| expr_mentions_table(e, table)) {
                         return false;
                     }
                 }
@@ -191,19 +183,23 @@ fn reads_only_in_write_predicates(def: &RuleDef, table: &str) -> bool {
                     // Allowed only when the predicate is simple (checked by
                     // inserts_never_selected); a non-simple predicate could
                     // smuggle reads of `table` through subqueries.
-                    if d.where_clause.as_ref().is_some_and(|w| !is_simple_predicate(w)) {
+                    if d.where_clause
+                        .as_ref()
+                        .is_some_and(|w| !is_simple_predicate(w))
+                    {
                         return false;
                     }
-                } else if d.where_clause.as_ref().is_some_and(|w| expr_mentions_table(w, table)) {
+                } else if d
+                    .where_clause
+                    .as_ref()
+                    .is_some_and(|w| expr_mentions_table(w, table))
+                {
                     return false;
                 }
             }
             Action::Update(u) => {
                 if u.table == table {
-                    let simple = u
-                        .where_clause
-                        .as_ref()
-                        .map_or(true, is_simple_predicate)
+                    let simple = u.where_clause.as_ref().is_none_or(is_simple_predicate)
                         && u.sets.iter().all(|(_, e)| is_simple_predicate(e));
                     if !simple {
                         return false;
@@ -238,8 +234,7 @@ fn expr_mentions_table(e: &Expr, table: &str) -> bool {
         Expr::Neg(x) | Expr::Not(x) => expr_mentions_table(x, table),
         Expr::IsNull { expr, .. } => expr_mentions_table(expr, table),
         Expr::InList { expr, list, .. } => {
-            expr_mentions_table(expr, table)
-                || list.iter().any(|x| expr_mentions_table(x, table))
+            expr_mentions_table(expr, table) || list.iter().any(|x| expr_mentions_table(x, table))
         }
         Expr::InSelect { expr, select, .. } => {
             expr_mentions_table(expr, table) || select_mentions_table(select, table)
@@ -255,9 +250,7 @@ fn expr_mentions_table(e: &Expr, table: &str) -> bool {
             expr_mentions_table(expr, table) || expr_mentions_table(pattern, table)
         }
         Expr::Exists(s) | Expr::ScalarSubquery(s) => select_mentions_table(s, table),
-        Expr::Aggregate { arg, .. } => arg
-            .as_ref()
-            .is_some_and(|x| expr_mentions_table(x, table)),
+        Expr::Aggregate { arg, .. } => arg.as_ref().is_some_and(|x| expr_mentions_table(x, table)),
     }
 }
 
@@ -309,9 +302,7 @@ fn updates_disjoint(a: &RuleDef, b: &RuleDef, table: &str, col: &str) -> bool {
         def.actions
             .iter()
             .filter_map(|act| match act {
-                Action::Update(u)
-                    if u.table == table && u.sets.iter().any(|(c, _)| c == col) =>
-                {
+                Action::Update(u) if u.table == table && u.sets.iter().any(|(c, _)| c == col) => {
                     Some((u.where_clause.clone(), true))
                 }
                 _ => None,
@@ -335,12 +326,7 @@ fn updates_disjoint(a: &RuleDef, b: &RuleDef, table: &str, col: &str) -> bool {
 
 /// Example 1: every constant row inserted by `ins` must fail the predicate
 /// of every delete/update action of `w` on `table`.
-fn inserts_never_selected(
-    ins: &RuleDef,
-    w: &RuleDef,
-    table: &str,
-    catalog: &Catalog,
-) -> bool {
+fn inserts_never_selected(ins: &RuleDef, w: &RuleDef, table: &str, catalog: &Catalog) -> bool {
     let Ok(schema) = catalog.table(table) else {
         return false;
     };
@@ -568,9 +554,7 @@ fn collect_conjuncts(e: &Expr, out: &mut Vec<(String, Interval)>) -> Option<()> 
         Expr::Binary { op, lhs, rhs } => {
             let (col, lit, op) = match (&**lhs, &**rhs) {
                 (Expr::Column(c), Expr::Literal(v)) => (c.column.clone(), v.clone(), *op),
-                (Expr::Literal(v), Expr::Column(c)) => {
-                    (c.column.clone(), v.clone(), mirror(*op)?)
-                }
+                (Expr::Literal(v), Expr::Column(c)) => (c.column.clone(), v.clone(), mirror(*op)?),
                 _ => return None,
             };
             let slot = match out.iter_mut().find(|(name, _)| *name == col) {

@@ -71,7 +71,11 @@ impl AnalysisReport {
 
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Starling rule analysis ({} rules) ===", self.rule_count)?;
+        writeln!(
+            f,
+            "=== Starling rule analysis ({} rules) ===",
+            self.rule_count
+        )?;
 
         // Termination.
         writeln!(f)?;
@@ -111,13 +115,11 @@ impl fmt::Display for AnalysisReport {
                         rule,
                         justification,
                     } => writeln!(f, "    user certificate on `{rule}`: {justification}")?,
-                    crate::termination::CycleCertificate::DeleteOnly { rule, tables } => {
-                        writeln!(
-                            f,
-                            "    auto: `{rule}` only deletes from {} (action eventually has no effect)",
-                            tables.join(", ")
-                        )?
-                    }
+                    crate::termination::CycleCertificate::DeleteOnly { rule, tables } => writeln!(
+                        f,
+                        "    auto: `{rule}` only deletes from {} (action eventually has no effect)",
+                        tables.join(", ")
+                    )?,
                     crate::termination::CycleCertificate::MonotoneUpdate { rule, column } => {
                         writeln!(
                             f,

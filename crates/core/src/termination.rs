@@ -186,13 +186,8 @@ pub(crate) fn analyze_termination_indexed(
 
 /// Attempts to auto-certify rule `rule` within the SCC `scc` (context
 /// indices) via the paper's §5 special cases.
-pub fn auto_certify(
-    ctx: &AnalysisContext,
-    rule: usize,
-    scc: &[usize],
-) -> Option<CycleCertificate> {
-    delete_only_certificate(ctx, rule, scc)
-        .or_else(|| monotone_certificate(ctx, rule, scc))
+pub fn auto_certify(ctx: &AnalysisContext, rule: usize, scc: &[usize]) -> Option<CycleCertificate> {
+    delete_only_certificate(ctx, rule, scc).or_else(|| monotone_certificate(ctx, rule, scc))
 }
 
 fn delete_only_certificate(

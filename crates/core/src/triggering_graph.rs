@@ -179,10 +179,7 @@ impl TriggeringGraph {
         }
         for (i, name) in self.names.iter().enumerate() {
             if in_cycle[i] {
-                let _ = writeln!(
-                    s,
-                    "  \"{name}\" [style=filled, fillcolor=\"#ffcccc\"];"
-                );
+                let _ = writeln!(s, "  \"{name}\" [style=filled, fillcolor=\"#ffcccc\"];");
             } else {
                 let _ = writeln!(s, "  \"{name}\";");
             }

@@ -28,6 +28,25 @@ pub enum EngineError {
     InvalidStatement(String),
 }
 
+impl EngineError {
+    /// The underlying [`StorageError`], whichever layer wrapped it: storage
+    /// failures reach the engine either directly or via the SQL evaluator
+    /// ([`SqlError::Storage`]), and callers triaging an abort should not
+    /// have to care which.
+    pub fn storage_cause(&self) -> Option<&StorageError> {
+        match self {
+            EngineError::Storage(e) | EngineError::Sql(SqlError::Storage(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True when the root cause is an injected fault (see
+    /// `starling_storage::FaultPlan`), as opposed to a genuine error.
+    pub fn is_injected_fault(&self) -> bool {
+        self.storage_cause().is_some_and(StorageError::is_injected)
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -22,6 +22,7 @@ use starling_sql::ast::Action;
 use starling_sql::eval::{exec_action, ActionOutcome};
 use starling_storage::Database;
 
+use crate::budget::{Budget, TruncationReason, Verdict};
 use crate::error::EngineError;
 use crate::observable::{stream_digest, ObservableEvent};
 use crate::ops::TupleOp;
@@ -29,24 +30,9 @@ use crate::processor::consider_rule;
 use crate::ruleset::{RuleId, RuleSet};
 use crate::state::ExecState;
 
-/// Exploration bounds.
-#[derive(Clone, Copy, Debug)]
-pub struct ExploreConfig {
-    /// Maximum distinct states to expand before giving up.
-    pub max_states: usize,
-    /// Maximum root-to-leaf paths enumerated by
-    /// [`ExecGraph::observable_streams`].
-    pub max_paths: usize,
-}
-
-impl Default for ExploreConfig {
-    fn default() -> Self {
-        ExploreConfig {
-            max_states: 20_000,
-            max_paths: 50_000,
-        }
-    }
-}
+/// Exploration bounds: the oracle reads `max_states`, `max_paths`, and
+/// `deadline` from a shared [`Budget`].
+pub type ExploreConfig = Budget;
 
 /// One node of the execution graph.
 #[derive(Clone, Debug)]
@@ -93,12 +79,17 @@ pub struct ExecGraph {
     pub final_states: Vec<usize>,
     /// Final database states (one per final state index).
     pub final_dbs: Vec<(usize, Database)>,
-    /// True when exploration stopped early on `max_states`; all oracle
-    /// verdicts become `None`.
-    pub truncated: bool,
+    /// `Some` when exploration stopped early (state budget or deadline);
+    /// the graph is then a partial prefix and all oracle verdicts become
+    /// inconclusive, carrying this reason.
+    pub truncation: Option<TruncationReason>,
 }
 
 impl ExecGraph {
+    /// Whether exploration stopped before exhausting the state space.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
     /// Whether the graph contains a directed cycle (⇒ an infinite execution
     /// path exists ⇒ nontermination is possible).
     pub fn has_cycle(&self) -> bool {
@@ -139,14 +130,21 @@ impl ExecGraph {
         false
     }
 
-    /// Oracle verdict: does every execution sequence terminate?
-    /// `None` when the exploration was truncated.
-    pub fn terminates(&self) -> Option<bool> {
-        if self.truncated {
-            None
-        } else {
-            Some(!self.has_cycle())
+    /// Reason-carrying oracle verdict: does every execution sequence
+    /// terminate? [`Verdict::Inconclusive`] when exploration was truncated.
+    pub fn termination_verdict(&self) -> Verdict {
+        match self.truncation {
+            Some(r) => Verdict::Inconclusive(r),
+            None if self.has_cycle() => Verdict::Fails,
+            None => Verdict::Holds,
         }
+    }
+
+    /// Oracle verdict: does every execution sequence terminate?
+    /// `None` when the exploration was truncated (see
+    /// [`Self::termination_verdict`] for the reason).
+    pub fn terminates(&self) -> Option<bool> {
+        self.termination_verdict().to_option()
     }
 
     /// Distinct final database digests.
@@ -166,41 +164,63 @@ impl ExecGraph {
             .collect()
     }
 
+    /// Reason-carrying verdict: is this execution confluent (unique final
+    /// database state)? [`Verdict::NotApplicable`] when some path does not
+    /// terminate (confluence per the paper presumes termination);
+    /// [`Verdict::Inconclusive`] when exploration was truncated.
+    pub fn confluence_verdict(&self) -> Verdict {
+        match self.termination_verdict() {
+            Verdict::Holds if self.final_db_digests().len() <= 1 => Verdict::Holds,
+            Verdict::Holds => Verdict::Fails,
+            Verdict::Fails => Verdict::NotApplicable,
+            v => v,
+        }
+    }
+
     /// Oracle verdict: is this execution confluent (unique final database
     /// state)? `None` when truncated or when some path does not terminate
-    /// (confluence per the paper presumes termination).
+    /// (see [`Self::confluence_verdict`] to tell those apart).
     pub fn confluent(&self) -> Option<bool> {
-        match self.terminates() {
-            Some(true) => Some(self.final_db_digests().len() <= 1),
-            _ => None,
+        self.confluence_verdict().to_option()
+    }
+
+    /// Reason-carrying verdict for partial confluence with respect to
+    /// `tables` (Section 7).
+    pub fn partial_confluence_verdict(&self, tables: &[&str]) -> Verdict {
+        match self.termination_verdict() {
+            Verdict::Holds if self.final_table_digests(tables).len() <= 1 => Verdict::Holds,
+            Verdict::Holds => Verdict::Fails,
+            Verdict::Fails => Verdict::NotApplicable,
+            v => v,
         }
     }
 
     /// Oracle verdict for partial confluence with respect to `tables`.
     pub fn partially_confluent(&self, tables: &[&str]) -> Option<bool> {
-        match self.terminates() {
-            Some(true) => Some(self.final_table_digests(tables).len() <= 1),
-            _ => None,
-        }
+        self.partial_confluence_verdict(tables).to_option()
     }
 
     /// All distinct observable streams over root-to-final paths, as
-    /// order-sensitive digests. `None` if the graph has a cycle, was
-    /// truncated, or the path bound was exceeded.
-    pub fn observable_streams(&self, cfg: &ExploreConfig) -> Option<BTreeSet<u64>> {
-        if self.truncated || self.has_cycle() {
-            return None;
+    /// order-sensitive digests — or the [`Verdict`] explaining why they
+    /// cannot be enumerated: inconclusive (truncated exploration or path
+    /// budget exhausted) or not applicable (cyclic graph: infinitely many
+    /// paths).
+    pub fn try_observable_streams(&self, cfg: &ExploreConfig) -> Result<BTreeSet<u64>, Verdict> {
+        if let Some(r) = self.truncation {
+            return Err(Verdict::Inconclusive(r));
+        }
+        if self.has_cycle() {
+            return Err(Verdict::NotApplicable);
         }
         let mut streams = BTreeSet::new();
         let mut paths = 0usize;
         // DFS over paths, carrying the stream so far.
-        let mut stack: Vec<(usize, Vec<ObservableEvent>)> =
-            vec![(0, Vec::new())];
+        let mut stack: Vec<(usize, Vec<ObservableEvent>)> = vec![(0, Vec::new())];
         while let Some((node, stream)) = stack.pop() {
             if self.states[node].is_final {
                 paths += 1;
                 if paths > cfg.max_paths {
-                    return None;
+                    return Err(Verdict::Inconclusive(TruncationReason::Paths));
                 }
                 streams.insert(stream_digest(&stream));
                 continue;
@@ -212,13 +232,30 @@ impl ExecGraph {
                 stack.push((edge.to, s));
             }
         }
-        Some(streams)
+        Ok(streams)
+    }
+
+    /// All distinct observable streams over root-to-final paths, as
+    /// order-sensitive digests. `None` if the graph has a cycle, was
+    /// truncated, or the path bound was exceeded (see
+    /// [`Self::try_observable_streams`] for which).
+    pub fn observable_streams(&self, cfg: &ExploreConfig) -> Option<BTreeSet<u64>> {
+        self.try_observable_streams(cfg).ok()
+    }
+
+    /// Reason-carrying verdict: observably deterministic?
+    pub fn observable_determinism_verdict(&self, cfg: &ExploreConfig) -> Verdict {
+        match self.try_observable_streams(cfg) {
+            Ok(s) if s.len() <= 1 => Verdict::Holds,
+            Ok(_) => Verdict::Fails,
+            Err(v) => v,
+        }
     }
 
     /// Oracle verdict: observably deterministic? `None` under the same
     /// conditions as [`Self::observable_streams`].
     pub fn observably_deterministic(&self, cfg: &ExploreConfig) -> Option<bool> {
-        self.observable_streams(cfg).map(|s| s.len() <= 1)
+        self.observable_determinism_verdict(cfg).to_option()
     }
 
     /// GraphViz DOT rendering of the execution graph: nodes are states
@@ -269,11 +306,7 @@ impl ExecGraph {
             } else {
                 ""
             };
-            let _ = writeln!(
-                s,
-                "  s{} -> s{} [label=\"{name}\"{style}];",
-                e.from, e.to
-            );
+            let _ = writeln!(s, "  s{} -> s{} [label=\"{name}\"{style}];", e.from, e.to);
         }
         s.push_str("}\n");
         s
@@ -327,13 +360,14 @@ pub fn explore_from_ops(
     cfg: &ExploreConfig,
 ) -> Result<ExecGraph, EngineError> {
     let initial = ExecState::new(db, rules.len(), initial_ops);
+    let clock = cfg.start_clock();
 
     let mut graph = ExecGraph {
         states: Vec::new(),
         edges: Vec::new(),
         final_states: Vec::new(),
         final_dbs: Vec::new(),
-        truncated: false,
+        truncation: None,
     };
     // digest -> state index
     let mut index: BTreeMap<u64, usize> = BTreeMap::new();
@@ -342,11 +376,11 @@ pub fn explore_from_ops(
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     let add_state = |st: ExecState,
-                         graph: &mut ExecGraph,
-                         index: &mut BTreeMap<u64, usize>,
-                         concrete: &mut Vec<ExecState>,
-                         queue: &mut VecDeque<usize>,
-                         rules: &RuleSet|
+                     graph: &mut ExecGraph,
+                     index: &mut BTreeMap<u64, usize>,
+                     concrete: &mut Vec<ExecState>,
+                     queue: &mut VecDeque<usize>,
+                     rules: &RuleSet|
      -> usize {
         let digest = st.digest();
         if let Some(&i) = index.get(&digest) {
@@ -383,7 +417,11 @@ pub fn explore_from_ops(
 
     while let Some(i) = queue.pop_front() {
         if graph.states.len() > cfg.max_states {
-            graph.truncated = true;
+            graph.truncation = Some(TruncationReason::States);
+            break;
+        }
+        if clock.expired() {
+            graph.truncation = Some(TruncationReason::Deadline);
             break;
         }
         if graph.states[i].is_final {
@@ -466,7 +504,10 @@ mod tests {
     #[test]
     fn single_rule_linear_graph() {
         let db = db_with(&[("t", &["a"])]);
-        let rs = rules(&db, "create rule r on t when inserted then delete from t end");
+        let rs = rules(
+            &db,
+            "create rule r on t when inserted then delete from t end",
+        );
         let g = explore(
             &rs,
             &db,
@@ -486,7 +527,8 @@ mod tests {
         let mut db = db_with(&[("t", &["a"])]);
         // A self-triggering toggle: states (a=0, pending) and (a=1, pending)
         // recur forever — the graph has a cycle.
-        db.insert("t", vec![starling_storage::Value::Int(0)]).unwrap();
+        db.insert("t", vec![starling_storage::Value::Int(0)])
+            .unwrap();
         let rs = rules(
             &db,
             "create rule tgl on t when updated(a) then \
@@ -639,21 +681,114 @@ mod tests {
             "create rule grow on t when inserted then \
                insert into t select a + 1 from inserted end",
         );
-        let cfg = ExploreConfig {
-            max_states: 50,
-            max_paths: 100,
-        };
+        let cfg = ExploreConfig::default()
+            .with_max_states(50)
+            .with_max_paths(100);
         let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
-        assert!(g.truncated);
+        assert!(g.truncated());
+        assert_eq!(g.truncation, Some(TruncationReason::States));
         assert_eq!(g.terminates(), None);
         assert_eq!(g.confluent(), None);
         assert_eq!(g.observably_deterministic(&cfg), None);
+        // The reason-carrying verdicts name the exhausted budget.
+        assert_eq!(
+            g.termination_verdict(),
+            Verdict::Inconclusive(TruncationReason::States)
+        );
+        assert_eq!(
+            g.confluence_verdict(),
+            Verdict::Inconclusive(TruncationReason::States)
+        );
+        assert_eq!(
+            g.observable_determinism_verdict(&cfg),
+            Verdict::Inconclusive(TruncationReason::States)
+        );
+    }
+
+    /// A zero wall-clock deadline yields a partial graph with
+    /// `TruncationReason::Deadline` and inconclusive verdicts — no panic,
+    /// no bare unexplained `None`.
+    #[test]
+    fn zero_deadline_truncates_with_reason() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule r on t when inserted then delete from t end",
+        );
+        let cfg = ExploreConfig::default().with_deadline(std::time::Duration::ZERO);
+        let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
+        assert_eq!(g.truncation, Some(TruncationReason::Deadline));
+        // Partial graph: the initial state exists even though nothing was
+        // expanded.
+        assert!(!g.states.is_empty());
+        assert_eq!(g.terminates(), None);
+        assert_eq!(
+            g.termination_verdict(),
+            Verdict::Inconclusive(TruncationReason::Deadline)
+        );
+        assert_eq!(
+            g.confluence_verdict(),
+            Verdict::Inconclusive(TruncationReason::Deadline)
+        );
+        assert_eq!(
+            g.observable_determinism_verdict(&cfg),
+            Verdict::Inconclusive(TruncationReason::Deadline)
+        );
+    }
+
+    /// Nontermination makes confluence/observability *not applicable*, which
+    /// is different from an exhausted budget.
+    #[test]
+    fn cyclic_graph_verdicts_are_not_applicable() {
+        let mut db = db_with(&[("t", &["a"])]);
+        db.insert("t", vec![starling_storage::Value::Int(0)])
+            .unwrap();
+        let rs = rules(
+            &db,
+            "create rule tgl on t when updated(a) then \
+               update t set a = 1 - a end",
+        );
+        let cfg = ExploreConfig::default();
+        let g = explore(&rs, &db, &actions(&["update t set a = 1 - a"]), &cfg).unwrap();
+        assert_eq!(g.termination_verdict(), Verdict::Fails);
+        assert_eq!(g.confluence_verdict(), Verdict::NotApplicable);
+        assert_eq!(
+            g.observable_determinism_verdict(&cfg),
+            Verdict::NotApplicable
+        );
+    }
+
+    /// The path budget is reported distinctly from the state budget.
+    #[test]
+    fn path_budget_exhaustion_reported() {
+        let db = db_with(&[("t", &["a"])]);
+        // Three unordered observable rules: 3! = 6 root-to-final paths.
+        let rs = rules(
+            &db,
+            "create rule o1 on t when inserted then select 1 end;
+             create rule o2 on t when inserted then select 2 end;
+             create rule o3 on t when inserted then select 3 end;",
+        );
+        let cfg = ExploreConfig::default().with_max_paths(2);
+        let g = explore(&rs, &db, &actions(&["insert into t values (1)"]), &cfg).unwrap();
+        // Exploration itself completed…
+        assert!(!g.truncated());
+        assert_eq!(g.terminates(), Some(true));
+        // …but path enumeration is over budget.
+        assert_eq!(
+            g.observable_determinism_verdict(&cfg),
+            Verdict::Inconclusive(TruncationReason::Paths)
+        );
+        assert_eq!(g.observable_streams(&cfg), None);
     }
 
     #[test]
     fn rollback_in_user_actions_rejected() {
         let db = db_with(&[("t", &["a"])]);
-        let rs = rules(&db, "create rule r on t when inserted then delete from t end");
+        let rs = rules(
+            &db,
+            "create rule r on t when inserted then delete from t end",
+        );
         assert!(explore(&rs, &db, &actions(&["rollback"]), &ExploreConfig::default()).is_err());
     }
 }

@@ -45,6 +45,7 @@
 //! # Ok::<(), starling_engine::EngineError>(())
 //! ```
 
+pub mod budget;
 pub mod error;
 pub mod exec_graph;
 pub mod observable;
@@ -56,6 +57,7 @@ pub mod session;
 pub mod state;
 pub mod strategy;
 
+pub use budget::{Budget, BudgetClock, TruncationReason, Verdict};
 pub use error::EngineError;
 pub use exec_graph::{explore, explore_from_ops, ExecGraph, ExploreConfig};
 pub use observable::{ObservableEvent, ObservableKind};

@@ -162,7 +162,9 @@ impl NetEffect {
                 );
                 per_table.insert(*id, NetChange::Inserted(row.clone()));
             }
-            TupleOp::Update { id, old, new, cols, .. } => match per_table.entry(*id) {
+            TupleOp::Update {
+                id, old, new, cols, ..
+            } => match per_table.entry(*id) {
                 Entry::Vacant(v) => {
                     v.insert(NetChange::Updated {
                         old: old.clone(),
@@ -233,9 +235,7 @@ impl NetEffect {
         per_table.values().any(|c| match (op, c) {
             (Op::Insert(_), NetChange::Inserted(_)) => true,
             (Op::Delete(_), NetChange::Deleted(_)) => true,
-            (Op::Update(colref), NetChange::Updated { cols, .. }) => {
-                cols.contains(&colref.column)
-            }
+            (Op::Update(colref), NetChange::Updated { cols, .. }) => cols.contains(&colref.column),
             _ => false,
         })
     }
@@ -267,9 +267,9 @@ impl NetEffect {
 
     /// Iterates `(table, tuple id, net change)`.
     pub fn iter(&self) -> impl Iterator<Item = (&str, TupleId, &NetChange)> {
-        self.changes.iter().flat_map(|(t, m)| {
-            m.iter().map(move |(id, c)| (t.as_str(), *id, c))
-        })
+        self.changes
+            .iter()
+            .flat_map(|(t, m)| m.iter().map(move |(id, c)| (t.as_str(), *id, c)))
     }
 }
 
@@ -413,7 +413,13 @@ mod tests {
 
     #[test]
     fn incremental_equals_batch() {
-        let ops = vec![ins(1, 10), upd(1, 10, 20), upd(2, 1, 2), del(2, 2), ins(3, 7)];
+        let ops = vec![
+            ins(1, 10),
+            upd(1, 10, 20),
+            upd(2, 1, 2),
+            del(2, 2),
+            ins(3, 7),
+        ];
         let batch = NetEffect::from_ops(&ops);
         let mut inc = NetEffect::new();
         inc.absorb_all(&ops[..2]);

@@ -23,10 +23,7 @@ impl PriorityOrder {
     ///
     /// `names` is used only for error reporting; `names.len()` defines the
     /// number of rules.
-    pub fn from_edges(
-        names: &[String],
-        edges: &[(usize, usize)],
-    ) -> Result<Self, EngineError> {
+    pub fn from_edges(names: &[String], edges: &[(usize, usize)]) -> Result<Self, EngineError> {
         let n = names.len();
         let mut gt = vec![false; n * n];
         for &(hi, lo) in edges {
@@ -119,8 +116,7 @@ mod tests {
 
     #[test]
     fn cycle_rejected() {
-        let err = PriorityOrder::from_edges(&names(3), &[(0, 1), (1, 2), (2, 0)])
-            .unwrap_err();
+        let err = PriorityOrder::from_edges(&names(3), &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
         let EngineError::PriorityCycle(rs) = err else {
             panic!()
         };

@@ -10,6 +10,7 @@
 use starling_sql::eval::{exec_action, ActionOutcome};
 use starling_storage::Database;
 
+use crate::budget::{Budget, TruncationReason};
 use crate::error::EngineError;
 use crate::observable::{ObservableEvent, ObservableKind};
 use crate::ops::TupleOp;
@@ -33,9 +34,13 @@ pub enum Outcome {
     Quiescent,
     /// A rule action rolled the transaction back.
     RolledBack,
-    /// The consideration limit was exceeded — rule processing may not
-    /// terminate.
+    /// A resource budget was exhausted (see [`RunResult::truncation`] for
+    /// which) — rule processing may not terminate.
     LimitExceeded,
+    /// An engine error occurred mid-run; the transaction was aborted
+    /// crash-consistently (the state was restored to the transaction
+    /// snapshot). [`RunResult::error`] carries the cause.
+    Aborted,
 }
 
 /// The result of running rule processing at an assertion point.
@@ -47,6 +52,12 @@ pub struct RunResult {
     pub observables: Vec<ObservableEvent>,
     /// How the run ended.
     pub outcome: Outcome,
+    /// Which budget was exhausted; `Some` iff the outcome is
+    /// [`Outcome::LimitExceeded`].
+    pub truncation: Option<TruncationReason>,
+    /// The error that aborted the run; `Some` iff the outcome is
+    /// [`Outcome::Aborted`].
+    pub error: Option<EngineError>,
 }
 
 impl RunResult {
@@ -169,15 +180,18 @@ pub struct Processor<'r> {
     rules: &'r RuleSet,
     /// Upper bound on considerations before declaring [`Outcome::LimitExceeded`].
     pub max_considerations: usize,
+    /// Optional wall-clock bound on a run.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl<'r> Processor<'r> {
     /// A processor over a rule set with the default limit (10 000
-    /// considerations).
+    /// considerations) and no deadline.
     pub fn new(rules: &'r RuleSet) -> Self {
         Processor {
             rules,
             max_considerations: 10_000,
+            deadline: None,
         }
     }
 
@@ -187,19 +201,43 @@ impl<'r> Processor<'r> {
         self
     }
 
+    /// Adopts the processor-relevant bounds of a [`Budget`]
+    /// (`max_considerations` and `deadline`).
+    pub fn with_budget(mut self, budget: &Budget) -> Self {
+        self.max_considerations = budget.max_considerations;
+        self.deadline = budget.deadline;
+        self
+    }
+
     /// Runs rule processing from `state` to quiescence (or rollback /
-    /// limit). `txn_snapshot` is the database at transaction start, restored
-    /// on rollback.
+    /// budget exhaustion / abort). `txn_snapshot` is the database at
+    /// transaction start, restored on rollback — and on abort.
+    ///
+    /// **Crash consistency**: if considering a rule fails with an
+    /// [`EngineError`] (including injected storage faults), the run does
+    /// *not* leave `state` mid-mutation. The database is restored to
+    /// `txn_snapshot`, all pending transitions are cleared, and the result
+    /// carries [`Outcome::Aborted`] with the error in
+    /// [`RunResult::error`]. The `Result` wrapper is reserved for future
+    /// setup-level failures; run-level errors surface through the outcome.
     pub fn run(
         &self,
         state: &mut ExecState,
         txn_snapshot: &Database,
         strategy: &mut dyn ChoiceStrategy,
     ) -> Result<RunResult, EngineError> {
+        let budget = Budget {
+            max_considerations: self.max_considerations,
+            deadline: self.deadline,
+            ..Budget::default()
+        };
+        let clock = budget.start_clock();
         let mut result = RunResult {
             considerations: Vec::new(),
             observables: Vec::new(),
             outcome: Outcome::Quiescent,
+            truncation: None,
+            error: None,
         };
         loop {
             let triggered = state.triggered(self.rules);
@@ -209,12 +247,30 @@ impl<'r> Processor<'r> {
             }
             if result.considerations.len() >= self.max_considerations {
                 result.outcome = Outcome::LimitExceeded;
+                result.truncation = Some(TruncationReason::Considerations);
+                return Ok(result);
+            }
+            if clock.expired() {
+                result.outcome = Outcome::LimitExceeded;
+                result.truncation = Some(TruncationReason::Deadline);
                 return Ok(result);
             }
             let eligible = self.rules.priority().choose(&triggered);
             debug_assert!(!eligible.is_empty());
             let picked = strategy.choose(&eligible);
-            let step = consider_rule(self.rules, state, picked, txn_snapshot)?;
+            let step = match consider_rule(self.rules, state, picked, txn_snapshot) {
+                Ok(step) => step,
+                Err(e) => {
+                    // Crash-consistent abort: the failed consideration may
+                    // have partially executed its actions. Discard every
+                    // effect since transaction start.
+                    state.db = txn_snapshot.clone();
+                    state.clear_pending();
+                    result.outcome = Outcome::Aborted;
+                    result.error = Some(e);
+                    return Ok(result);
+                }
+            };
             result.considerations.push(Consideration {
                 rule: picked,
                 fired: step.fired,
@@ -323,6 +379,62 @@ mod tests {
             .unwrap();
         assert_eq!(res.outcome, Outcome::LimitExceeded);
         assert_eq!(res.considerations.len(), 50);
+        assert_eq!(res.truncation, Some(TruncationReason::Considerations));
+        assert!(res.error.is_none());
+    }
+
+    /// A zero wall-clock deadline stops the run before any consideration
+    /// and names the deadline as the exhausted budget.
+    #[test]
+    fn zero_deadline_reports_deadline_truncation() {
+        let mut db = db_with(&[("t", &["a"]), ("u", &["b"])]);
+        let rs = rules(
+            &db,
+            "create rule ping on t when inserted then insert into u values (1) end;
+             create rule pong on u when inserted then insert into t values (1) end;",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[1]);
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .with_budget(&Budget::default().with_deadline(std::time::Duration::ZERO))
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::LimitExceeded);
+        assert_eq!(res.truncation, Some(TruncationReason::Deadline));
+        assert!(res.considerations.is_empty());
+    }
+
+    /// An injected storage fault mid-run aborts crash-consistently: the
+    /// state is exactly the transaction snapshot, nothing in between.
+    #[test]
+    fn injected_fault_aborts_crash_consistently() {
+        use starling_storage::{FaultPlan, FaultSpec, StorageError};
+        let mut db = db_with(&[("t", &["a"]), ("u", &["b"])]);
+        let rs = rules(
+            &db,
+            "create rule copy on t when inserted then \
+               insert into u select a from inserted end",
+        );
+        let snapshot = db.clone();
+        let op = ins(&mut db, "t", &[7]);
+        // Kill the rule action's insert into u.
+        db.install_fault_plan(FaultPlan::single(FaultSpec::nth(0).on_table("u")));
+        let mut st = ExecState::new(db, rs.len(), &[op]);
+        let res = Processor::new(&rs)
+            .run(&mut st, &snapshot, &mut FirstEligible)
+            .unwrap();
+        assert_eq!(res.outcome, Outcome::Aborted);
+        let err = res.error.as_ref().expect("abort carries its cause");
+        assert!(err.is_injected_fault(), "{err}");
+        assert!(matches!(
+            err.storage_cause(),
+            Some(StorageError::Injected { .. })
+        ));
+        // The database is the snapshot — the user's insert into t is gone
+        // too, not just the rule's half-done work.
+        assert_eq!(st.db.state_digest(), snapshot.state_digest());
+        assert!(st.triggered(&rs).is_empty());
     }
 
     /// A false condition means the rule is considered but does not fire, and
@@ -367,10 +479,7 @@ mod tests {
         assert_eq!(res.outcome, Outcome::RolledBack);
         assert!(st.db.table("t").unwrap().is_empty());
         assert_eq!(res.observables.len(), 1);
-        assert!(matches!(
-            res.observables[0].kind,
-            ObservableKind::Rollback
-        ));
+        assert!(matches!(res.observables[0].kind, ObservableKind::Rollback));
     }
 
     /// Priorities decide which of two triggered rules runs first.

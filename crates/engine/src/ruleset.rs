@@ -147,10 +147,8 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_table(
-            TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Int)]).unwrap(),
-        )
-        .unwrap();
+        c.add_table(TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Int)]).unwrap())
+            .unwrap();
         c
     }
 

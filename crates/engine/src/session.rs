@@ -13,7 +13,7 @@ use starling_storage::Database;
 
 use crate::error::EngineError;
 use crate::ops::TupleOp;
-use crate::processor::{Processor, RunResult};
+use crate::processor::{Outcome, Processor, RunResult};
 use crate::ruleset::RuleSet;
 use crate::state::ExecState;
 use crate::strategy::ChoiceStrategy;
@@ -50,6 +50,8 @@ pub struct Session {
     directives: Vec<Directive>,
     /// Consideration limit for assertion points.
     pub max_considerations: usize,
+    /// Optional wall-clock bound on each assertion point's rule processing.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Session {
@@ -63,12 +65,21 @@ impl Session {
             pending_ops: Vec::new(),
             directives: Vec::new(),
             max_considerations: 10_000,
+            deadline: None,
         }
     }
 
     /// The current database.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// Installs a storage fault plan on the session's database (robustness
+    /// testing; see [`starling_storage::fault`]). Snapshots taken after
+    /// installation share the plan's counters, so an already-fired fault
+    /// stays fired across rollback.
+    pub fn install_fault_plan(&mut self, plan: starling_storage::FaultPlan) {
+        self.db.install_fault_plan(plan);
     }
 
     /// The rule definitions, in creation order.
@@ -93,11 +104,24 @@ impl Session {
     /// Parses and executes a script, one statement at a time. DML
     /// accumulates into the pending user transition; rules are processed
     /// only at [`Session::assert_rules`] / [`Session::commit`].
+    ///
+    /// **Failure model**: a parse error executes nothing. If a statement
+    /// fails mid-script, the enclosing transaction is aborted — the
+    /// database is restored to the transaction snapshot and the pending
+    /// transition is discarded — before the error is returned. Outputs of
+    /// the statements that ran before the failure are not returned; their
+    /// effects are rolled back with everything else.
     pub fn execute_script(&mut self, src: &str) -> Result<Vec<ScriptOutput>, EngineError> {
         let stmts = parse_script(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
-            out.push(self.execute(&s)?);
+            match self.execute(&s) {
+                Ok(o) => out.push(o),
+                Err(e) => {
+                    self.rollback();
+                    return Err(e);
+                }
+            }
         }
         Ok(out)
     }
@@ -142,8 +166,7 @@ impl Session {
                 precedes,
                 follows,
             } => {
-                let Some(def) = self.rule_defs.iter_mut().find(|r| &r.name == name)
-                else {
+                let Some(def) = self.rule_defs.iter_mut().find(|r| &r.name == name) else {
                     return Err(EngineError::InvalidStatement(format!(
                         "alter rule: no rule named `{name}`"
                     )));
@@ -168,11 +191,21 @@ impl Session {
             Statement::Dml(action) => {
                 starling_sql::validate::validate_dml(action, self.db.catalog())?;
                 self.ensure_txn();
-                match exec_action(action, &mut self.db, None)? {
+                // A failing DML statement (e.g. an injected storage fault)
+                // may have partially mutated the database. Statement-level
+                // atomicity is transaction-level here: abort to the
+                // snapshot rather than expose a half-applied statement.
+                let outcome = match exec_action(action, &mut self.db, None) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        self.rollback();
+                        return Err(e.into());
+                    }
+                };
+                match outcome {
                     ActionOutcome::Effects(fx) => {
                         let n = fx.len();
-                        self.pending_ops
-                            .extend(fx.into_iter().map(TupleOp::from));
+                        self.pending_ops.extend(fx.into_iter().map(TupleOp::from));
                         Ok(ScriptOutput::Modified(n))
                     }
                     ActionOutcome::Rows(rs) => Ok(ScriptOutput::Rows(rs)),
@@ -191,8 +224,32 @@ impl Session {
         }
     }
 
+    /// Aborts the current transaction with `error`: restores the snapshot,
+    /// discards the pending transition, and packages the cause as an
+    /// [`Outcome::Aborted`] result.
+    fn abort_txn(&mut self, error: EngineError) -> RunResult {
+        self.rollback();
+        RunResult {
+            considerations: Vec::new(),
+            observables: Vec::new(),
+            outcome: Outcome::Aborted,
+            truncation: None,
+            error: Some(error),
+        }
+    }
+
     /// Runs rule processing at an assertion point over the pending user
     /// transition. The pending transition is consumed.
+    ///
+    /// **Failure model**: any error at the assertion point — rule-set
+    /// compilation (e.g. a priority cycle introduced by `alter rule`) or a
+    /// failure while considering a rule — aborts the transaction
+    /// crash-consistently: the database is restored to the transaction
+    /// snapshot, the pending transition is discarded (never silently lost
+    /// with the mutated state kept, as older versions did), and the result
+    /// carries [`Outcome::Aborted`] with the cause in
+    /// [`RunResult::error`]. The `Err` arm is reserved for future
+    /// setup-level failures that do not touch the transaction.
     pub fn assert_rules(
         &mut self,
         strategy: &mut dyn ChoiceStrategy,
@@ -200,25 +257,36 @@ impl Session {
         self.ensure_txn();
         let snapshot = self.txn_snapshot.clone().expect("txn exists");
         let limit = self.max_considerations;
+        // Compile before consuming the pending transition, and abort (not
+        // just error) if the rule set is unusable: the user transition
+        // cannot be processed, so it must not survive half-applied.
+        let rules = match self.ruleset() {
+            Ok(r) => r.clone(),
+            Err(e) => return Ok(self.abort_txn(e)),
+        };
         let ops = std::mem::take(&mut self.pending_ops);
-        let rules = self.ruleset()?.clone();
         let mut state = ExecState::new(self.db.clone(), rules.len(), &ops);
-        let result = Processor::new(&rules)
-            .with_limit(limit)
-            .run(&mut state, &snapshot, strategy)?;
+        let mut processor = Processor::new(&rules).with_limit(limit);
+        processor.deadline = self.deadline;
+        let result = match processor.run(&mut state, &snapshot, strategy) {
+            Ok(r) => r,
+            Err(e) => return Ok(self.abort_txn(e)),
+        };
         self.db = state.db;
-        if result.outcome == crate::processor::Outcome::RolledBack {
-            self.txn_snapshot = None;
+        match result.outcome {
+            // The processor already restored the snapshot into `state.db`;
+            // both ends of the transaction are closed out here.
+            Outcome::RolledBack | Outcome::Aborted => {
+                self.txn_snapshot = None;
+            }
+            Outcome::Quiescent | Outcome::LimitExceeded => {}
         }
         Ok(result)
     }
 
     /// Commits the transaction: runs an assertion point, then clears the
     /// snapshot.
-    pub fn commit(
-        &mut self,
-        strategy: &mut dyn ChoiceStrategy,
-    ) -> Result<RunResult, EngineError> {
+    pub fn commit(&mut self, strategy: &mut dyn ChoiceStrategy) -> Result<RunResult, EngineError> {
         let result = self.assert_rules(strategy)?;
         self.txn_snapshot = None;
         Ok(result)
@@ -316,7 +384,9 @@ mod tests {
         s.execute_script("create table t (a int); insert into t values (3)")
             .unwrap();
         let out = s.execute_script("select a from t").unwrap();
-        let ScriptOutput::Rows(rs) = &out[0] else { panic!() };
+        let ScriptOutput::Rows(rs) = &out[0] else {
+            panic!()
+        };
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
     }
 
@@ -345,6 +415,80 @@ mod tests {
 
         assert!(s.execute_script("drop rule zz").is_err());
         assert!(s.execute_script("alter rule zz precedes a").is_err());
+    }
+
+    #[test]
+    fn mid_script_error_aborts_transaction() {
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.execute_script("insert into t values (1)").unwrap();
+        s.commit(&mut FirstEligible).unwrap();
+        // Second statement fails: the first one's effect must not survive.
+        let err = s
+            .execute_script("insert into t values (2); insert into nope values (3)")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Sql(_)));
+        assert_eq!(s.db().table("t").unwrap().len(), 1);
+        // The session is usable afterwards: a fresh transaction commits.
+        s.execute_script("insert into t values (4)").unwrap();
+        s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(s.db().table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn injected_fault_at_assertion_point_aborts() {
+        use starling_storage::{FaultPlan, FaultSpec};
+        let mut s = Session::new();
+        s.execute_script(
+            "create table t (a int);
+             create table log (a int);
+             create rule audit on t when inserted then \
+               insert into log select a from inserted end;",
+        )
+        .unwrap();
+        // Kill the rule's insert into log. The user's insert into t lands
+        // first (op #0 is on t; the spec only matches log).
+        s.install_fault_plan(FaultPlan::single(FaultSpec::nth(0).on_table("log")));
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Aborted);
+        assert!(
+            run.error
+                .as_ref()
+                .is_some_and(EngineError::is_injected_fault),
+            "{:?}",
+            run.error
+        );
+        // Crash-consistent: the whole transaction is gone, not just the
+        // rule's half — and the pending transition was discarded.
+        assert!(s.db().table("t").unwrap().is_empty());
+        assert!(s.db().table("log").unwrap().is_empty());
+        // The fault is one-shot, so the retry commits cleanly.
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Quiescent);
+        assert_eq!(s.db().table("t").unwrap().len(), 1);
+        assert_eq!(s.db().table("log").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ruleset_compile_error_at_assertion_point_aborts() {
+        let mut s = Session::new();
+        s.execute_script(
+            "create table t (a int);
+             create rule a on t when inserted then update t set a = 1 end;
+             create rule b on t when inserted then update t set a = 2 end;",
+        )
+        .unwrap();
+        // Introduce a priority cycle, then try to commit a pending insert.
+        s.execute_script("alter rule a precedes b; alter rule b precedes a")
+            .unwrap();
+        s.execute_script("insert into t values (9)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Aborted);
+        assert!(matches!(run.error, Some(EngineError::PriorityCycle(_))));
+        // The pending insert was aborted, not silently kept.
+        assert!(s.db().table("t").unwrap().is_empty());
     }
 
     #[test]

@@ -145,10 +145,8 @@ mod tests {
 
     fn setup() -> (Database, RuleSet) {
         let mut db = Database::new();
-        db.create_table(
-            TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Int)]).unwrap(),
-        )
-        .unwrap();
+        db.create_table(TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Int)]).unwrap())
+            .unwrap();
         let defs: Vec<_> = parse_script(
             "create rule on_ins on t when inserted then delete from t end;
              create rule on_del on t when deleted then update t set a = 0 end;",

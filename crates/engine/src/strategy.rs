@@ -46,7 +46,11 @@ impl SeededRandom {
     /// A strategy from a seed (0 is mapped to a fixed non-zero state).
     pub fn new(seed: u64) -> Self {
         SeededRandom {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

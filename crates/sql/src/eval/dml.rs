@@ -94,10 +94,7 @@ pub fn exec_action(
         Action::Delete(stmt) => exec_delete(stmt, db, transitions).map(ActionOutcome::Effects),
         Action::Update(stmt) => exec_update(stmt, db, transitions).map(ActionOutcome::Effects),
         Action::Select(stmt) => {
-            let ctx = EvalCtx {
-                db,
-                transitions,
-            };
+            let ctx = EvalCtx { db, transitions };
             let mut env = Env::new(&ctx);
             eval_select(stmt, &mut env).map(ActionOutcome::Rows)
         }
@@ -112,10 +109,7 @@ fn exec_insert(
 ) -> Result<Vec<DmlEffect>, SqlError> {
     // Phase 1: evaluate all source rows against the pre-statement state.
     let rows: Vec<Row> = {
-        let ctx = EvalCtx {
-            db,
-            transitions,
-        };
+        let ctx = EvalCtx { db, transitions };
         let mut env = Env::new(&ctx);
         match &stmt.source {
             InsertSource::Values(tuples) => {
@@ -210,10 +204,7 @@ fn exec_update(
     let targets = matching_tuples(&stmt.table, stmt.where_clause.as_ref(), db, transitions)?;
     let mut planned: Vec<(TupleId, Row, Row)> = Vec::with_capacity(targets.len());
     {
-        let ctx = EvalCtx {
-            db,
-            transitions,
-        };
+        let ctx = EvalCtx { db, transitions };
         let mut env = Env::new(&ctx);
         for (id, old) in targets {
             env.push(vec![RowBinding {
@@ -259,15 +250,11 @@ fn matching_tuples(
     transitions: Option<&TransitionBinding>,
 ) -> Result<Vec<(TupleId, Row)>, SqlError> {
     let tbl = db.table(table)?;
-    let candidates: Vec<(TupleId, Row)> =
-        tbl.iter().map(|(id, r)| (id, r.clone())).collect();
+    let candidates: Vec<(TupleId, Row)> = tbl.iter().map(|(id, r)| (id, r.clone())).collect();
     let Some(w) = where_clause else {
         return Ok(candidates);
     };
-    let ctx = EvalCtx {
-        db,
-        transitions,
-    };
+    let ctx = EvalCtx { db, transitions };
     let mut env = Env::new(&ctx);
     let mut out = Vec::new();
     for (id, row) in candidates {
@@ -391,7 +378,12 @@ mod tests {
         // Swap-style update: all rhs evaluated against the old state.
         let fx = effects(&mut d, "update t set a = b / 10, b = a * 100");
         assert_eq!(fx.len(), 2);
-        let rows: Vec<Row> = d.table("t").unwrap().iter().map(|(_, r)| r.clone()).collect();
+        let rows: Vec<Row> = d
+            .table("t")
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect();
         assert_eq!(
             rows,
             vec![

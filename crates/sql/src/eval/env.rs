@@ -166,10 +166,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        d.create_table(
-            TableSchema::new("u", vec![ColumnDef::new("a", ValueType::Int)]).unwrap(),
-        )
-        .unwrap();
+        d.create_table(TableSchema::new("u", vec![ColumnDef::new("a", ValueType::Int)]).unwrap())
+            .unwrap();
         d
     }
 

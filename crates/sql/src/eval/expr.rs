@@ -27,10 +27,11 @@ pub fn eval_expr(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
         Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, env),
         Expr::Neg(x) => match eval_expr(x, env)? {
             Value::Null => Ok(Value::Null),
-            Value::Int(i) => Ok(Value::Int(
-                i.checked_neg()
-                    .ok_or_else(|| SqlError::eval("integer overflow in negation"))?,
-            )),
+            Value::Int(i) => {
+                Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                    SqlError::eval("integer overflow in negation")
+                })?))
+            }
             Value::Float(f) => Ok(Value::Float(-f)),
             v => Err(SqlError::eval(format!("cannot negate {v}"))),
         },
@@ -121,14 +122,10 @@ pub fn eval_expr(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
             match rs.rows.len() {
                 0 => Ok(Value::Null),
                 1 => Ok(rs.rows[0][0].clone()),
-                n => Err(SqlError::eval(format!(
-                    "scalar subquery returned {n} rows"
-                ))),
+                n => Err(SqlError::eval(format!("scalar subquery returned {n} rows"))),
             }
         }
-        Expr::Aggregate { .. } => Err(SqlError::eval(
-            "aggregate evaluated outside a select list",
-        )),
+        Expr::Aggregate { .. } => Err(SqlError::eval("aggregate evaluated outside a select list")),
     }
 }
 
@@ -145,12 +142,7 @@ pub fn is_true(v: &Value) -> bool {
     matches!(v, Value::Bool(true))
 }
 
-fn eval_binary(
-    op: BinOp,
-    lhs: &Expr,
-    rhs: &Expr,
-    env: &mut Env<'_>,
-) -> Result<Value, SqlError> {
+fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
     match op {
         BinOp::And => {
             // Kleene AND with short circuit on FALSE.
@@ -176,9 +168,7 @@ fn eval_binary(
                 return Ok(Value::Null);
             }
             let Some(ord) = l.sql_cmp(&r) else {
-                return Err(SqlError::eval(format!(
-                    "cannot compare {l} with {r}"
-                )));
+                return Err(SqlError::eval(format!("cannot compare {l} with {r}")));
             };
             let b = match op {
                 BinOp::Eq => ord == Ordering::Equal,

@@ -54,11 +54,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        for (id, name, sal, dno) in [
-            (1, "ann", 100, 1),
-            (2, "bob", 200, 1),
-            (3, "cay", 300, 2),
-        ] {
+        for (id, name, sal, dno) in [(1, "ann", 100, 1), (2, "bob", 200, 1), (3, "cay", 300, 2)] {
             d.insert(
                 "emp",
                 vec![
@@ -70,8 +66,10 @@ mod tests {
             )
             .unwrap();
         }
-        d.insert("dept", vec![Value::Int(1), Value::Int(1000)]).unwrap();
-        d.insert("dept", vec![Value::Int(2), Value::Int(2000)]).unwrap();
+        d.insert("dept", vec![Value::Int(1), Value::Int(1000)])
+            .unwrap();
+        d.insert("dept", vec![Value::Int(2), Value::Int(2000)])
+            .unwrap();
         d
     }
 
@@ -124,8 +122,7 @@ mod tests {
         let rs = query(&d, "select sum(salary) from emp");
         assert_eq!(rs.rows[0][0], Value::Int(100 + 10 + 200 + 10 + 300));
 
-        let ActionOutcome::Effects(fx) = run(&mut d, "delete from emp where salary < 150")
-        else {
+        let ActionOutcome::Effects(fx) = run(&mut d, "delete from emp where salary < 150") else {
             panic!()
         };
         assert_eq!(fx.len(), 1);

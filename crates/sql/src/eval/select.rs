@@ -37,7 +37,14 @@ pub fn eval_select(s: &SelectStmt, env: &mut Env<'_>) -> Result<ResultSet, SqlEr
 
     // Enumerate matching frames (combinations passing WHERE).
     let mut frames: Vec<Frame> = Vec::new();
-    enumerate(&sources, 0, &mut Vec::new(), env, s.where_clause.as_ref(), &mut frames)?;
+    enumerate(
+        &sources,
+        0,
+        &mut Vec::new(),
+        env,
+        s.where_clause.as_ref(),
+        &mut frames,
+    )?;
 
     let aggregated = s.items.iter().any(|i| match i {
         SelectItem::Expr { expr, .. } => contains_aggregate(expr),
@@ -77,17 +84,11 @@ pub fn eval_select(s: &SelectStmt, env: &mut Env<'_>) -> Result<ResultSet, SqlEr
             for item in &s.items {
                 match item {
                     SelectItem::Wildcard => {
-                        return Err(SqlError::eval(
-                            "cannot use `*` with aggregates or GROUP BY",
-                        ))
+                        return Err(SqlError::eval("cannot use `*` with aggregates or GROUP BY"))
                     }
-                    SelectItem::Expr { expr, .. } => row.push(eval_grouped_expr(
-                        expr,
-                        env,
-                        &group,
-                        &s.group_by,
-                        &key,
-                    )?),
+                    SelectItem::Expr { expr, .. } => {
+                        row.push(eval_grouped_expr(expr, env, &group, &s.group_by, &key)?)
+                    }
                 }
             }
             let k: Result<Vec<Value>, SqlError> = s
@@ -146,14 +147,8 @@ pub fn eval_select(s: &SelectStmt, env: &mut Env<'_>) -> Result<ResultSet, SqlEr
 }
 
 /// Evaluates the `ORDER BY` keys for the current frame.
-fn eval_sort_keys(
-    order_by: &[OrderItem],
-    env: &mut Env<'_>,
-) -> Result<Vec<Value>, SqlError> {
-    order_by
-        .iter()
-        .map(|o| eval_expr(&o.expr, env))
-        .collect()
+fn eval_sort_keys(order_by: &[OrderItem], env: &mut Env<'_>) -> Result<Vec<Value>, SqlError> {
+    order_by.iter().map(|o| eval_expr(&o.expr, env)).collect()
 }
 
 /// Rows and binding metadata of one from-item.
@@ -163,10 +158,7 @@ struct Source {
     rows: Vec<Row>,
 }
 
-fn materialize_from(
-    from: &[FromItem],
-    env: &Env<'_>,
-) -> Result<Vec<Source>, SqlError> {
+fn materialize_from(from: &[FromItem], env: &Env<'_>) -> Result<Vec<Source>, SqlError> {
     let mut out = Vec::with_capacity(from.len());
     for item in from {
         let (table, rows) = match &item.table {
@@ -274,11 +266,7 @@ fn output_columns(s: &SelectStmt, env: &Env<'_>) -> Result<Vec<String>, SqlError
                         TableRef::Base(t) => t.clone(),
                         TableRef::Transition(_) => match env.ctx.transitions {
                             Some(b) => b.table.clone(),
-                            None => {
-                                return Err(SqlError::eval(
-                                    "transition table outside a rule",
-                                ))
-                            }
+                            None => return Err(SqlError::eval("transition table outside a rule")),
                         },
                     };
                     let schema = env.ctx.db.catalog().table(&table)?;
@@ -313,9 +301,7 @@ pub fn contains_aggregate(e: &Expr) -> bool {
         Expr::Between {
             expr, low, high, ..
         } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
-        Expr::Like { expr, pattern, .. } => {
-            contains_aggregate(expr) || contains_aggregate(pattern)
-        }
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
         Expr::Exists(_) | Expr::ScalarSubquery(_) => false,
     }
 }
@@ -436,11 +422,7 @@ fn eval_aggregate(
     }
 }
 
-fn sql_extreme(
-    acc: Option<Value>,
-    v: &Value,
-    want_min: bool,
-) -> Result<Option<Value>, SqlError> {
+fn sql_extreme(acc: Option<Value>, v: &Value, want_min: bool) -> Result<Option<Value>, SqlError> {
     match acc {
         None => Ok(Some(v.clone())),
         Some(a) => match a.sql_cmp(v) {
@@ -478,10 +460,7 @@ mod tests {
         for (a, b) in [(1, Some(10)), (2, None), (3, Some(30)), (3, Some(30))] {
             d.insert(
                 "t",
-                vec![
-                    Value::Int(a),
-                    b.map(Value::Int).unwrap_or(Value::Null),
-                ],
+                vec![Value::Int(a), b.map(Value::Int).unwrap_or(Value::Null)],
             )
             .unwrap();
         }
@@ -536,7 +515,10 @@ mod tests {
     #[test]
     fn aggregates() {
         let d = db();
-        let rs = query(&d, "select count(*), count(b), sum(a), min(b), max(b), avg(a) from t");
+        let rs = query(
+            &d,
+            "select count(*), count(b), sum(a), min(b), max(b), avg(a) from t",
+        );
         assert_eq!(
             rs.rows,
             vec![vec![
@@ -554,10 +536,7 @@ mod tests {
     fn aggregate_over_empty_group() {
         let d = db();
         let rs = query(&d, "select count(*), sum(a), min(a) from t where a > 100");
-        assert_eq!(
-            rs.rows,
-            vec![vec![Value::Int(0), Value::Null, Value::Null]]
-        );
+        assert_eq!(rs.rows, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
     }
 
     #[test]
@@ -675,7 +654,10 @@ mod order_by_tests {
     #[test]
     fn ascending_and_descending() {
         let d = db();
-        assert_eq!(col_a(&query(&d, "select a from t order by a")), vec![1, 1, 2, 3]);
+        assert_eq!(
+            col_a(&query(&d, "select a from t order by a")),
+            vec![1, 1, 2, 3]
+        );
         assert_eq!(
             col_a(&query(&d, "select a from t order by a desc")),
             vec![3, 2, 1, 1]
@@ -756,7 +738,8 @@ mod group_by_tests {
         )
         .unwrap();
         for (dno, sal) in [(1, 100), (1, 200), (2, 300), (2, 100), (3, 50)] {
-            d.insert("emp", vec![Value::Int(dno), Value::Int(sal)]).unwrap();
+            d.insert("emp", vec![Value::Int(dno), Value::Int(sal)])
+                .unwrap();
         }
         d
     }
@@ -780,7 +763,10 @@ mod group_by_tests {
     #[test]
     fn basic_grouping() {
         let d = db();
-        let rs = query(&d, "select dno, sum(sal), count(*) from emp group by dno order by dno");
+        let rs = query(
+            &d,
+            "select dno, sum(sal), count(*) from emp group by dno order by dno",
+        );
         assert_eq!(
             rs.rows,
             vec![
@@ -844,7 +830,11 @@ mod group_by_tests {
         );
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(3)]]
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(1)],
+                vec![Value::Int(3)]
+            ]
         );
     }
 
@@ -876,7 +866,10 @@ mod group_by_tests {
     fn distinct_after_grouping() {
         let d = db();
         // count(*) per dno is [2,2,1]; distinct collapses the two 2s.
-        let rs = query(&d, "select distinct count(*) from emp group by dno order by count(*)");
+        let rs = query(
+            &d,
+            "select distinct count(*) from emp group by dno order by count(*)",
+        );
         assert_eq!(rs.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }
 }

@@ -67,8 +67,8 @@ pub mod token;
 pub mod validate;
 
 pub use ast::{
-    Action, ColumnRef, CreateTable, Expr, FromItem, InsertSource, RuleDef,
-    SelectItem, SelectStmt, Statement, TransitionTable, TriggerEvent,
+    Action, ColumnRef, CreateTable, Expr, FromItem, InsertSource, RuleDef, SelectItem, SelectStmt,
+    Statement, TransitionTable, TriggerEvent,
 };
 pub use error::SqlError;
 pub use parser::{parse_expr, parse_script, parse_statement};

@@ -194,9 +194,7 @@ impl Parser {
                     }
                 }
                 if precedes.is_empty() && follows.is_empty() {
-                    return Err(
-                        self.err("alter rule needs a `precedes` or `follows` clause")
-                    );
+                    return Err(self.err("alter rule needs a `precedes` or `follows` clause"));
                 }
                 Ok(Statement::AlterRule {
                     name,
@@ -270,9 +268,7 @@ impl Parser {
         if self.eat(&TokenKind::LParen) {
             match self.bump() {
                 TokenKind::Int(_) => {}
-                other => {
-                    return Err(self.err(format!("expected type length, found {other}")))
-                }
+                other => return Err(self.err(format!("expected type length, found {other}"))),
             }
             self.expect(&TokenKind::RParen)?;
         }
@@ -364,9 +360,7 @@ impl Parser {
                     s
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected justification string, found {other}"
-                    )))
+                    return Err(self.err(format!("expected justification string, found {other}")))
                 }
             };
             Ok(Statement::Directive(Directive::Terminates {
@@ -410,9 +404,7 @@ impl Parser {
         // only via the keyword after: column list always followed by VALUES
         // or SELECT keyword.
         let mut columns = None;
-        if matches!(self.peek(), TokenKind::LParen)
-            && matches!(self.peek2(), TokenKind::Ident(_))
-        {
+        if matches!(self.peek(), TokenKind::LParen) && matches!(self.peek2(), TokenKind::Ident(_)) {
             self.bump(); // (
             let cols = self.ident_list()?;
             self.expect(&TokenKind::RParen)?;
@@ -499,9 +491,9 @@ impl Parser {
         }
         let mut from = Vec::new();
         if self.eat_kw(Keyword::From) {
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
             while self.eat(&TokenKind::Comma) {
-                from.push(self.from_item()?);
+                from.push(self.parse_from_item()?);
             }
         }
         let where_clause = if self.eat_kw(Keyword::Where) {
@@ -563,11 +555,12 @@ impl Parser {
         Ok(SelectItem::Expr { expr, alias })
     }
 
-    fn from_item(&mut self) -> Result<FromItem, SqlError> {
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlError> {
         let table = self.table_name()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(s) if TransitionTable::from_name(s).is_none())
+        // An alias follows either an explicit `as` or as a bare identifier
+        // that cannot be a transition-table name.
+        let alias = if self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(s) if TransitionTable::from_name(s).is_none())
         {
             Some(self.ident()?)
         } else {
@@ -1002,10 +995,9 @@ mod tests {
             Expr::Binary { .. }
         ));
         // ORDER BY parses with directions and multiple keys.
-        let Statement::Dml(Action::Select(s)) = parse_statement(
-            "select a from t where a > 0 order by a desc, b, c asc",
-        )
-        .unwrap() else {
+        let Statement::Dml(Action::Select(s)) =
+            parse_statement("select a from t where a > 0 order by a desc, b, c asc").unwrap()
+        else {
             panic!()
         };
         assert_eq!(s.order_by.len(), 3);

@@ -127,11 +127,7 @@ impl<'a> Scope<'a> {
     pub fn innermost_tables(&self) -> Vec<(String, Option<TransitionTable>)> {
         self.frames
             .last()
-            .map(|f| {
-                f.iter()
-                    .map(|b| (b.table.clone(), b.transition))
-                    .collect()
-            })
+            .map(|f| f.iter().map(|b| (b.table.clone(), b.transition)).collect())
             .unwrap_or_default()
     }
 
@@ -177,9 +173,7 @@ impl<'a> Scope<'a> {
                 }
             }
         }
-        Err(SqlError::validate(format!(
-            "cannot resolve column `{col}`"
-        )))
+        Err(SqlError::validate(format!("cannot resolve column `{col}`")))
     }
 }
 
@@ -468,10 +462,8 @@ mod tests {
 
     #[test]
     fn performs_extraction() {
-        let s = sig(
-            "create rule r on emp when inserted then \
-             update dept set budget = 0; delete from emp; insert into dept values (1, 2) end",
-        );
+        let s = sig("create rule r on emp when inserted then \
+             update dept set budget = 0; delete from emp; insert into dept values (1, 2) end");
         assert!(s.performs.contains(&Op::update("dept", "budget")));
         assert!(s.performs.contains(&Op::Delete("emp".into())));
         assert!(s.performs.contains(&Op::Insert("dept".into())));
@@ -480,11 +472,9 @@ mod tests {
 
     #[test]
     fn reads_from_condition_and_action() {
-        let s = sig(
-            "create rule r on emp when inserted \
+        let s = sig("create rule r on emp when inserted \
              if exists (select * from inserted where salary > 10) \
-             then delete from dept where budget < 0 end",
-        );
+             then delete from dept where budget < 0 end");
         // `select *` from transition table reads all of emp's columns.
         assert!(s.reads.contains(&ColRef::new("emp", "id")));
         assert!(s.reads.contains(&ColRef::new("emp", "salary")));
@@ -494,32 +484,26 @@ mod tests {
 
     #[test]
     fn transition_reads_map_to_rule_table() {
-        let s = sig(
-            "create rule r on emp when updated(salary) \
+        let s = sig("create rule r on emp when updated(salary) \
              if exists (select * from new_updated as n, old_updated o where n.salary > o.salary) \
-             then rollback end",
-        );
+             then rollback end");
         assert!(s.reads.contains(&ColRef::new("emp", "salary")));
         assert!(!s.reads.iter().any(|c| c.table == "new_updated"));
     }
 
     #[test]
     fn correlated_subquery_resolution() {
-        let s = sig(
-            "create rule r on emp when inserted \
+        let s = sig("create rule r on emp when inserted \
              then delete from dept where not exists \
-               (select * from emp where emp.dno = dept.dno) end",
-        );
+               (select * from emp where emp.dno = dept.dno) end");
         assert!(s.reads.contains(&ColRef::new("emp", "dno")));
         assert!(s.reads.contains(&ColRef::new("dept", "dno")));
     }
 
     #[test]
     fn update_set_exprs_read() {
-        let s = sig(
-            "create rule r on emp when inserted \
-             then update emp set salary = salary + 1 where id > 0 end",
-        );
+        let s = sig("create rule r on emp when inserted \
+             then update emp set salary = salary + 1 where id > 0 end");
         assert!(s.reads.contains(&ColRef::new("emp", "salary")));
         assert!(s.reads.contains(&ColRef::new("emp", "id")));
     }
@@ -528,17 +512,14 @@ mod tests {
     fn observability() {
         assert!(sig("create rule r on emp when inserted then rollback end").observable);
         assert!(sig("create rule r on emp when inserted then select id from emp end").observable);
-        assert!(
-            !sig("create rule r on emp when inserted then delete from emp end").observable
-        );
+        assert!(!sig("create rule r on emp when inserted then delete from emp end").observable);
     }
 
     #[test]
     fn unknown_column_in_updated_rejected() {
-        let Statement::CreateRule(r) = parse_statement(
-            "create rule r on emp when updated(nope) then rollback end",
-        )
-        .unwrap() else {
+        let Statement::CreateRule(r) =
+            parse_statement("create rule r on emp when updated(nope) then rollback end").unwrap()
+        else {
             panic!()
         };
         assert!(RuleSignature::of_rule(&r, &catalog()).is_err());

@@ -28,19 +28,72 @@ impl fmt::Display for Pos {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Alter, And, As, Asc, Avg, Between, Bool, Boolean, By, Commute, Count,
-    Create, Declare, Delete, Deleted, Desc, Distinct, Drop, End, Exists,
-    False, Float,
-    Follows, From, Group, Having, If, In, Insert, Inserted, Int, Integer,
-    Into, Is, Like,
-    Max, Min, Not, Null, On, Or, Order, Precedes, Real, Rollback, Rule,
-    Select, Set, String_, Sum, Table, Terminates, Text, Then, True, Update,
-    Updated, Values, Varchar, When, Where,
+    Alter,
+    And,
+    As,
+    Asc,
+    Avg,
+    Between,
+    Bool,
+    Boolean,
+    By,
+    Commute,
+    Count,
+    Create,
+    Declare,
+    Delete,
+    Deleted,
+    Desc,
+    Distinct,
+    Drop,
+    End,
+    Exists,
+    False,
+    Float,
+    Follows,
+    From,
+    Group,
+    Having,
+    If,
+    In,
+    Insert,
+    Inserted,
+    Int,
+    Integer,
+    Into,
+    Is,
+    Like,
+    Max,
+    Min,
+    Not,
+    Null,
+    On,
+    Or,
+    Order,
+    Precedes,
+    Real,
+    Rollback,
+    Rule,
+    Select,
+    Set,
+    String_,
+    Sum,
+    Table,
+    Terminates,
+    Text,
+    Then,
+    True,
+    Update,
+    Updated,
+    Values,
+    Varchar,
+    When,
+    Where,
 }
 
 impl Keyword {
     /// Recognizes a keyword from an identifier (already lowercased).
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_ident(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "alter" => Alter,
@@ -271,10 +324,10 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for s in ["select", "when", "precedes", "rollback", "end"] {
-            let k = Keyword::from_str(s).unwrap();
+            let k = Keyword::from_ident(s).unwrap();
             assert_eq!(k.as_str(), s);
         }
-        assert_eq!(Keyword::from_str("emp"), None);
+        assert_eq!(Keyword::from_ident("emp"), None);
     }
 
     #[test]
@@ -288,7 +341,10 @@ mod tests {
             TokenKind::Keyword(Keyword::Select).to_string(),
             "keyword `select`"
         );
-        assert_eq!(TokenKind::Ident("emp".into()).to_string(), "identifier `emp`");
+        assert_eq!(
+            TokenKind::Ident("emp".into()).to_string(),
+            "identifier `emp`"
+        );
         assert_eq!(TokenKind::Ne.to_string(), "`<>`");
     }
 }

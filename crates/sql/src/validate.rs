@@ -349,9 +349,7 @@ fn check_expr(
                 ));
             }
             match arg {
-                Some(x) => {
-                    check_expr(x, catalog, scope, allowed, ExprPos::InsideAggregate)
-                }
+                Some(x) => check_expr(x, catalog, scope, allowed, ExprPos::InsideAggregate),
                 None => Ok(()),
             }
         }
@@ -459,7 +457,10 @@ mod tests {
         assert!(check_stmt("select count(*) from emp").is_ok());
         assert!(check_stmt("select sum(salary) + 1 from emp").is_ok());
         let e = check_stmt("select id from emp where sum(salary) > 1").unwrap_err();
-        assert!(e.to_string().contains("only allowed in a select list"), "{e}");
+        assert!(
+            e.to_string().contains("only allowed in a select list"),
+            "{e}"
+        );
         let e = check_stmt("select sum(sum(salary)) from emp").unwrap_err();
         assert!(e.to_string().contains("nested aggregate"), "{e}");
     }
@@ -467,8 +468,7 @@ mod tests {
     #[test]
     fn subqueries_single_column() {
         assert!(check_stmt("select id from emp where dno in (select dno from dept)").is_ok());
-        let e =
-            check_stmt("select id from emp where dno in (select * from dept)").unwrap_err();
+        let e = check_stmt("select id from emp where dno in (select * from dept)").unwrap_err();
         assert!(e.to_string().contains("exactly one column"), "{e}");
         let e = check_stmt("select id from emp where id = (select * from dept)").unwrap_err();
         assert!(e.to_string().contains("exactly one column"), "{e}");

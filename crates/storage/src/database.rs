@@ -2,9 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::digest::{CanonicalDigest, Fnv64};
 use crate::error::StorageError;
+use crate::fault::{FaultOpKind, FaultPlan, FaultState};
 use crate::schema::{Catalog, TableSchema};
 use crate::table::Table;
 use crate::tuple::{Row, TupleId};
@@ -15,11 +17,29 @@ use crate::value::Value;
 ///
 /// `Database` is `Clone`; the execution-graph explorer snapshots states
 /// freely, and `ROLLBACK` restores the assertion-point snapshot.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// An optional [`FaultPlan`] can be installed for robustness testing; its
+/// state is shared across clones (a snapshot and the live database count
+/// operations against the same plan) and is excluded from equality and
+/// digests.
+#[derive(Clone, Debug)]
 pub struct Database {
     catalog: Catalog,
     tables: BTreeMap<String, Table>,
     next_tuple_id: u64,
+    fault: Option<Arc<FaultState>>,
+}
+
+impl Eq for Database {}
+
+impl PartialEq for Database {
+    /// Equality over contents only: an installed fault plan is test
+    /// scaffolding, not database state.
+    fn eq(&self, other: &Self) -> bool {
+        self.catalog == other.catalog
+            && self.tables == other.tables
+            && self.next_tuple_id == other.next_tuple_id
+    }
 }
 
 impl Database {
@@ -29,7 +49,39 @@ impl Database {
             catalog: Catalog::new(),
             tables: BTreeMap::new(),
             next_tuple_id: 1,
+            fault: None,
         }
+    }
+
+    /// Installs a fault plan with fresh counters. All subsequent clones
+    /// (snapshots) share the plan's state; see [`crate::fault`].
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Removes any installed fault plan from this handle (clones that
+    /// already share the state keep it).
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// The installed fault injector state, if any.
+    pub fn fault_state(&self) -> Option<&Arc<FaultState>> {
+        self.fault.as_ref()
+    }
+
+    /// Consults the fault plan before a mutating operation.
+    fn check_fault(&self, op: FaultOpKind, table: &str) -> Result<(), StorageError> {
+        if let Some(state) = &self.fault {
+            if let Some(op_index) = state.observe(op, table) {
+                return Err(StorageError::Injected {
+                    op_index,
+                    op,
+                    table: table.to_owned(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The catalog.
@@ -72,6 +124,7 @@ impl Database {
 
     /// Inserts a row, allocating a fresh tuple id. Returns the id.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<TupleId, StorageError> {
+        self.check_fault(FaultOpKind::Insert, table)?;
         // Check before allocating so a failed insert does not burn an id
         // (keeps digests of equivalent states identical).
         self.table(table)?.schema().check_row(&row)?;
@@ -88,6 +141,7 @@ impl Database {
         id: TupleId,
         row: Row,
     ) -> Result<(), StorageError> {
+        self.check_fault(FaultOpKind::Insert, table)?;
         self.table_mut(table)?.insert(id, row)?;
         self.next_tuple_id = self.next_tuple_id.max(id.0 + 1);
         Ok(())
@@ -95,16 +149,13 @@ impl Database {
 
     /// Deletes a tuple, returning its final values.
     pub fn delete(&mut self, table: &str, id: TupleId) -> Result<Row, StorageError> {
+        self.check_fault(FaultOpKind::Delete, table)?;
         self.table_mut(table)?.delete(id)
     }
 
     /// Replaces a tuple's values, returning the old values.
-    pub fn update(
-        &mut self,
-        table: &str,
-        id: TupleId,
-        row: Row,
-    ) -> Result<Row, StorageError> {
+    pub fn update(&mut self, table: &str, id: TupleId, row: Row) -> Result<Row, StorageError> {
+        self.check_fault(FaultOpKind::Update, table)?;
         self.table_mut(table)?.update(id, row)
     }
 
@@ -116,6 +167,7 @@ impl Database {
         column: &str,
         value: Value,
     ) -> Result<Row, StorageError> {
+        self.check_fault(FaultOpKind::Update, table)?;
         self.table_mut(table)?.update_column(id, column, value)
     }
 
@@ -206,8 +258,12 @@ mod tests {
     #[test]
     fn insert_allocates_monotonic_ids() {
         let mut d = db();
-        let a = d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
-        let b = d.insert("emp", vec![Value::Int(2), Value::Int(200)]).unwrap();
+        let a = d
+            .insert("emp", vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
+        let b = d
+            .insert("emp", vec![Value::Int(2), Value::Int(200)])
+            .unwrap();
         assert!(b > a);
         assert_eq!(d.table("emp").unwrap().len(), 2);
     }
@@ -221,16 +277,19 @@ mod tests {
         // Next successful insert in both copies yields identical states.
         let mut d2 = before;
         d.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
-        d2.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        d2.insert("emp", vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
         assert_eq!(d.state_digest(), d2.state_digest());
     }
 
     #[test]
     fn snapshot_and_restore() {
         let mut d = db();
-        d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        d.insert("emp", vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         let snap = d.clone();
-        d.insert("emp", vec![Value::Int(2), Value::Int(200)]).unwrap();
+        d.insert("emp", vec![Value::Int(2), Value::Int(200)])
+            .unwrap();
         assert_ne!(d.state_digest(), snap.state_digest());
         let d = snap; // rollback
         assert_eq!(d.table("emp").unwrap().len(), 1);
@@ -239,12 +298,12 @@ mod tests {
     #[test]
     fn update_and_delete_through_db() {
         let mut d = db();
-        let id = d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
-        d.update_column("emp", id, "salary", Value::Int(150)).unwrap();
-        assert_eq!(
-            d.table("emp").unwrap().get(id).unwrap()[1],
-            Value::Int(150)
-        );
+        let id = d
+            .insert("emp", vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
+        d.update_column("emp", id, "salary", Value::Int(150))
+            .unwrap();
+        assert_eq!(d.table("emp").unwrap().get(id).unwrap()[1], Value::Int(150));
         let old = d.delete("emp", id).unwrap();
         assert_eq!(old[1], Value::Int(150));
     }
@@ -255,7 +314,9 @@ mod tests {
         let mut d2 = db();
         // Burn an id in d2 via insert+delete of the same content later
         // replayed with explicit ids — contents equal, digests equal.
-        let id = d2.insert("emp", vec![Value::Int(9), Value::Int(9)]).unwrap();
+        let id = d2
+            .insert("emp", vec![Value::Int(9), Value::Int(9)])
+            .unwrap();
         d2.delete("emp", id).unwrap();
         assert_eq!(d1.state_digest(), d2.state_digest());
         d1.insert_with_id("emp", TupleId(50), vec![Value::Int(1), Value::Int(1)])
@@ -281,7 +342,10 @@ mod tests {
             d.insert("nope", vec![]),
             Err(StorageError::UnknownTable(_))
         ));
-        assert!(matches!(d.table("nope"), Err(StorageError::UnknownTable(_))));
+        assert!(matches!(
+            d.table("nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -308,14 +372,72 @@ mod tests {
             d1.digest_of_tables(&["emp"])
         );
         // And a divergent emp shows through the subset digest.
-        d2.insert("emp", vec![Value::Int(9), Value::Int(9)]).unwrap();
+        d2.insert("emp", vec![Value::Int(9), Value::Int(9)])
+            .unwrap();
         assert_ne!(d1.digest_of_tables(&["emp"]), d2.digest_of_tables(&["emp"]));
+    }
+
+    #[test]
+    fn fault_plan_kills_nth_matching_op() {
+        use crate::fault::{FaultOpKind, FaultPlan, FaultSpec};
+        let mut d = db();
+        d.install_fault_plan(FaultPlan::single(
+            FaultSpec::nth(1)
+                .on_table("emp")
+                .on_kind(FaultOpKind::Insert),
+        ));
+        d.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        let err = d
+            .insert("emp", vec![Value::Int(2), Value::Int(2)])
+            .unwrap_err();
+        assert!(err.is_injected());
+        assert!(matches!(
+            err,
+            StorageError::Injected {
+                op_index: 1,
+                op: FaultOpKind::Insert,
+                ..
+            }
+        ));
+        // Injected failure leaves contents untouched and the fault is
+        // one-shot: the retry succeeds.
+        assert_eq!(d.table("emp").unwrap().len(), 1);
+        d.insert("emp", vec![Value::Int(2), Value::Int(2)]).unwrap();
+    }
+
+    #[test]
+    fn fault_state_is_shared_with_snapshots() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut d = db();
+        d.install_fault_plan(FaultPlan::single(FaultSpec::nth(1)));
+        let mut snap = d.clone();
+        // Op #0 on the live db passes; op #1 — issued on the *snapshot* —
+        // trips the shared counter.
+        d.insert("emp", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        assert!(snap
+            .insert("emp", vec![Value::Int(1), Value::Int(1)])
+            .unwrap_err()
+            .is_injected());
+        assert_eq!(d.fault_state().unwrap().ops_observed(), 2);
+    }
+
+    #[test]
+    fn fault_plan_invisible_to_equality_and_digest() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let d1 = db();
+        let mut d2 = db();
+        d2.install_fault_plan(FaultPlan::single(FaultSpec::nth(99)));
+        assert_eq!(d1, d2);
+        assert_eq!(d1.state_digest(), d2.state_digest());
+        d2.clear_fault_plan();
+        assert!(d2.fault_state().is_none());
     }
 
     #[test]
     fn display_dump() {
         let mut d = db();
-        d.insert("emp", vec![Value::Int(1), Value::Int(100)]).unwrap();
+        d.insert("emp", vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         let s = d.to_string();
         assert!(s.contains("emp (1 rows)"));
         assert!(s.contains("#1: [1, 100]"));

@@ -35,6 +35,22 @@ pub enum StorageError {
     NoSuchTuple { table: String, id: TupleId },
     /// A tuple with this id already exists in the table.
     DuplicateTupleId { table: String, id: TupleId },
+    /// A fault injected by an installed [`crate::fault::FaultPlan`]. The
+    /// fields identify the operation the plan killed: its global 0-based
+    /// index among mutating operations, the operation kind, and the table.
+    Injected {
+        op_index: u64,
+        op: crate::fault::FaultOpKind,
+        table: String,
+    },
+}
+
+impl StorageError {
+    /// Whether this error was produced by fault injection (as opposed to a
+    /// genuine storage-level violation).
+    pub fn is_injected(&self) -> bool {
+        matches!(self, StorageError::Injected { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -54,10 +70,7 @@ impl fmt::Display for StorageError {
                 table,
                 expected,
                 found,
-            } => write!(
-                f,
-                "table `{table}` expects {expected} values, got {found}"
-            ),
+            } => write!(f, "table `{table}` expects {expected} values, got {found}"),
             StorageError::TypeMismatch {
                 table,
                 column,
@@ -76,6 +89,14 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateTupleId { table, id } => {
                 write!(f, "tuple {id} already exists in table `{table}`")
             }
+            StorageError::Injected {
+                op_index,
+                op,
+                table,
+            } => write!(
+                f,
+                "injected fault: {op} on table `{table}` (mutating op #{op_index})"
+            ),
         }
     }
 }
@@ -110,5 +131,16 @@ mod tests {
             .to_string(),
             "no tuple #3 in table `t`"
         );
+        let injected = StorageError::Injected {
+            op_index: 4,
+            op: crate::fault::FaultOpKind::Delete,
+            table: "t".into(),
+        };
+        assert_eq!(
+            injected.to_string(),
+            "injected fault: delete on table `t` (mutating op #4)"
+        );
+        assert!(injected.is_injected());
+        assert!(!StorageError::UnknownTable("t".into()).is_injected());
     }
 }

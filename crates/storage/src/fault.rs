@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! A [`FaultPlan`] installed on a [`crate::Database`] makes the N-th
+//! mutating operation matching a table/kind pattern fail with
+//! [`crate::StorageError::Injected`]. Every error path in the engine and
+//! oracle above the storage layer becomes testable: atomicity of abort,
+//! budget accounting under failure, CLI exit codes.
+//!
+//! Design points:
+//!
+//! * **Deterministic** — a plan either names its trigger point explicitly
+//!   ([`FaultSpec::nth`]) or derives it from a seed
+//!   ([`FaultPlan::seeded`]); replaying the same workload with the same
+//!   plan fails at the same operation.
+//! * **Shared across snapshots** — the injector state lives behind an
+//!   `Arc`, so cloning a `Database` (transaction snapshots, execution-graph
+//!   branching) shares the same counters: restoring a snapshot does not
+//!   re-arm an already-fired fault, and the operation count is global per
+//!   installation.
+//! * **Invisible to semantics** — the injector is excluded from equality,
+//!   digests, and display; two databases with the same contents are the
+//!   same state whether or not a plan is installed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kind of mutating storage operation, for fault matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOpKind {
+    /// Tuple insertion (`insert`, `insert_with_id`).
+    Insert,
+    /// Tuple deletion.
+    Delete,
+    /// Tuple update (whole-row or single-column).
+    Update,
+}
+
+impl fmt::Display for FaultOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultOpKind::Insert => "insert",
+            FaultOpKind::Delete => "delete",
+            FaultOpKind::Update => "update",
+        })
+    }
+}
+
+/// One fault trigger: fail the `after`-th mutating operation (0-based,
+/// counted over operations matching this spec's pattern). One-shot: a spec
+/// fires at most once per installation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Restrict matching to this table (`None` = any table).
+    pub table: Option<String>,
+    /// Restrict matching to this operation kind (`None` = any kind).
+    pub kind: Option<FaultOpKind>,
+    /// How many matching operations succeed before the fault fires.
+    pub after: u64,
+}
+
+impl FaultSpec {
+    /// Fails the `after`-th mutating operation of any kind on any table.
+    pub fn nth(after: u64) -> Self {
+        FaultSpec {
+            table: None,
+            kind: None,
+            after,
+        }
+    }
+
+    /// Restricts the spec to one table.
+    pub fn on_table(mut self, table: impl Into<String>) -> Self {
+        self.table = Some(table.into());
+        self
+    }
+
+    /// Restricts the spec to one operation kind.
+    pub fn on_kind(mut self, kind: FaultOpKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    fn matches(&self, kind: FaultOpKind, table: &str) -> bool {
+        self.kind.is_none_or(|k| k == kind) && self.table.as_deref().is_none_or(|t| t == table)
+    }
+}
+
+/// A set of fault triggers, installable on a [`crate::Database`] via
+/// [`crate::Database::install_fault_plan`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (never fires).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single spec.
+    pub fn single(spec: FaultSpec) -> Self {
+        FaultPlan { specs: vec![spec] }
+    }
+
+    /// Adds a spec.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// A deterministic single-fault plan derived from a seed: fails one
+    /// any-table, any-kind operation with index in `[0, horizon)` chosen by
+    /// a splitmix64 step of the seed. Same seed, same horizon ⇒ same fault.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        assert!(horizon > 0, "seeded fault plan needs a nonzero horizon");
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        FaultPlan::single(FaultSpec::nth(z % horizon))
+    }
+
+    /// The plan's specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+}
+
+/// Shared injector state: the plan plus per-spec counters. Lives behind an
+/// `Arc` on the database so snapshots share it.
+pub struct FaultState {
+    plan: FaultPlan,
+    ops_observed: AtomicU64,
+    matched: Vec<AtomicU64>,
+    fired: Vec<AtomicBool>,
+}
+
+impl FaultState {
+    /// Fresh state for a plan (all counters zero).
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        let n = plan.specs.len();
+        Arc::new(FaultState {
+            plan,
+            ops_observed: AtomicU64::new(0),
+            matched: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fired: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// Total mutating operations observed since installation.
+    pub fn ops_observed(&self) -> u64 {
+        self.ops_observed.load(Ordering::Relaxed)
+    }
+
+    /// Whether any spec has fired.
+    pub fn any_fired(&self) -> bool {
+        self.fired.iter().any(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Observes one mutating operation; returns the global operation index
+    /// of a newly fired fault, if one fires here.
+    pub fn observe(&self, kind: FaultOpKind, table: &str) -> Option<u64> {
+        let op_index = self.ops_observed.fetch_add(1, Ordering::Relaxed);
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if !spec.matches(kind, table) {
+                continue;
+            }
+            let m = self.matched[i].fetch_add(1, Ordering::Relaxed);
+            if m == spec.after && !self.fired[i].swap(true, Ordering::Relaxed) {
+                return Some(op_index);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .field("ops_observed", &self.ops_observed())
+            .field("any_fired", &self.any_fired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matching() {
+        let any = FaultSpec::nth(0);
+        assert!(any.matches(FaultOpKind::Insert, "t"));
+        let scoped = FaultSpec::nth(0).on_table("t").on_kind(FaultOpKind::Delete);
+        assert!(scoped.matches(FaultOpKind::Delete, "t"));
+        assert!(!scoped.matches(FaultOpKind::Delete, "u"));
+        assert!(!scoped.matches(FaultOpKind::Insert, "t"));
+    }
+
+    #[test]
+    fn nth_counts_matching_ops_only() {
+        let st = FaultState::new(FaultPlan::single(FaultSpec::nth(1).on_table("t")));
+        // Non-matching op does not advance the spec counter.
+        assert_eq!(st.observe(FaultOpKind::Insert, "u"), None);
+        // First match passes (after = 1 means one match succeeds first).
+        assert_eq!(st.observe(FaultOpKind::Insert, "t"), None);
+        // Second match fires, reporting the global op index (0-based).
+        assert_eq!(st.observe(FaultOpKind::Delete, "t"), Some(2));
+        // One-shot: never fires again.
+        assert_eq!(st.observe(FaultOpKind::Insert, "t"), None);
+        assert_eq!(st.ops_observed(), 4);
+        assert!(st.any_fired());
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded(seed, 17);
+            let b = FaultPlan::seeded(seed, 17);
+            assert_eq!(a, b);
+            assert!(a.specs()[0].after < 17);
+        }
+        // Different seeds spread over the horizon.
+        let distinct: std::collections::BTreeSet<u64> = (0..50u64)
+            .map(|s| FaultPlan::seeded(s, 17).specs()[0].after)
+            .collect();
+        assert!(distinct.len() > 5);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod database;
 pub mod digest;
 pub mod error;
+pub mod fault;
 pub mod ops;
 pub mod schema;
 pub mod table;
@@ -53,6 +54,7 @@ pub mod value;
 pub use database::Database;
 pub use digest::{CanonicalDigest, Fnv64};
 pub use error::StorageError;
+pub use fault::{FaultOpKind, FaultPlan, FaultSpec, FaultState};
 pub use ops::Op;
 pub use schema::{Catalog, ColRef, ColumnDef, TableSchema};
 pub use table::Table;

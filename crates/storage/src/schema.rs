@@ -68,10 +68,7 @@ pub struct TableSchema {
 
 impl TableSchema {
     /// Builds a schema, rejecting duplicate column names.
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<ColumnDef>,
-    ) -> Result<Self, StorageError> {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self, StorageError> {
         let name = name.into();
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p.name == c.name) {

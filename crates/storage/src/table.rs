@@ -64,10 +64,12 @@ impl Table {
 
     /// Deletes a row, returning its final values.
     pub fn delete(&mut self, id: TupleId) -> Result<Row, StorageError> {
-        self.rows.remove(&id).ok_or_else(|| StorageError::NoSuchTuple {
-            table: self.schema.name.clone(),
-            id,
-        })
+        self.rows
+            .remove(&id)
+            .ok_or_else(|| StorageError::NoSuchTuple {
+                table: self.schema.name.clone(),
+                id,
+            })
     }
 
     /// Replaces a row's values wholesale, returning the old values.
@@ -89,12 +91,13 @@ impl Table {
         column: &str,
         value: Value,
     ) -> Result<Row, StorageError> {
-        let idx = self.schema.column_index(column).ok_or_else(|| {
-            StorageError::UnknownColumn {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StorageError::UnknownColumn {
                 table: self.schema.name.clone(),
                 column: column.to_owned(),
-            }
-        })?;
+            })?;
         self.schema.columns[idx].check(&self.schema.name, &value)?;
         match self.rows.get_mut(&id) {
             Some(slot) => {
@@ -211,7 +214,8 @@ mod tests {
     #[test]
     fn update_column_preserves_identity() {
         let mut t = tbl();
-        t.insert(TupleId(5), vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(TupleId(5), vec![Value::Int(1), Value::Null])
+            .unwrap();
         let old = t.update_column(TupleId(5), "a", Value::Int(9)).unwrap();
         assert_eq!(old[0], Value::Int(1));
         assert_eq!(t.get(TupleId(5)).unwrap()[0], Value::Int(9));
@@ -228,7 +232,8 @@ mod tests {
     #[test]
     fn whole_row_update() {
         let mut t = tbl();
-        t.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
         let old = t
             .update(TupleId(1), vec![Value::Int(2), Value::from("y")])
             .unwrap();
@@ -244,18 +249,23 @@ mod tests {
         let mut t1 = tbl();
         let mut t2 = tbl();
         assert_eq!(t1.digest(), t2.digest());
-        t1.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        t1.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
         assert_ne!(t1.digest(), t2.digest());
-        t2.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
+        t2.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
         assert_eq!(t1.digest(), t2.digest());
     }
 
     #[test]
     fn scan_order_is_deterministic() {
         let mut t = tbl();
-        t.insert(TupleId(3), vec![Value::Int(3), Value::Null]).unwrap();
-        t.insert(TupleId(1), vec![Value::Int(1), Value::Null]).unwrap();
-        t.insert(TupleId(2), vec![Value::Int(2), Value::Null]).unwrap();
+        t.insert(TupleId(3), vec![Value::Int(3), Value::Null])
+            .unwrap();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        t.insert(TupleId(2), vec![Value::Int(2), Value::Null])
+            .unwrap();
         let ids: Vec<_> = t.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
     }

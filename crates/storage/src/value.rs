@@ -145,12 +145,8 @@ impl Ord for Value {
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
             // Mixed numerics order numerically, breaking exact ties by
             // putting Int first so Int(1) != Float(1.0) structurally.
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(b).then(Ordering::Less)
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
-            }
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) => a.rank().cmp(&b.rank()),
         }

@@ -93,8 +93,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let ops =
-            starling_engine::exec_graph::apply_user_actions(&mut working, &actions).unwrap();
+        let ops = starling_engine::exec_graph::apply_user_actions(&mut working, &actions).unwrap();
         let mut st = starling_engine::ExecState::new(working, rs.len(), &ops);
         let res = Processor::new(&rs)
             .with_limit(500)

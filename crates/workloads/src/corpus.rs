@@ -233,10 +233,7 @@ mod tests {
         for (name, expect_discharged) in
             [("bounded_increment", true), ("delete_cascade_cycle", true)]
         {
-            let entry = corpus()
-                .into_iter()
-                .find(|e| e.name == name)
-                .unwrap();
+            let entry = corpus().into_iter().find(|e| e.name == name).unwrap();
             let rs = entry.compile();
             let ctx = AnalysisContext::from_ruleset(&rs, Certifications::new());
             let term = analyze_termination(&ctx);

@@ -20,15 +20,20 @@
 //!   introduction's motivating applications).
 //! * [`corpus`] — small named rule sets with known ground-truth properties,
 //!   shared by tests and benches.
+//! * [`fault_sweep`] — exhaustive atomicity checking under injected storage
+//!   faults: replay a transaction with a fault at every mutating-op index
+//!   and verify the database is always snapshot-or-committed.
 
 pub mod audit;
 pub mod constraints;
 pub mod corpus;
+pub mod fault_sweep;
 pub mod power_network;
 pub mod random;
 pub mod versioning;
 
 pub use corpus::{corpus, CorpusEntry};
+pub use fault_sweep::{fault_sweep, SweepReport};
 pub use random::{GeneratedWorkload, RandomConfig};
 
 use starling_engine::RuleSet;
@@ -87,9 +92,7 @@ impl Workload {
     }
 
     /// The user transition as parsed actions.
-    pub fn user_actions(
-        &self,
-    ) -> Result<Vec<starling_sql::ast::Action>, starling_sql::SqlError> {
+    pub fn user_actions(&self) -> Result<Vec<starling_sql::ast::Action>, starling_sql::SqlError> {
         Ok(parse_script(&self.user_transition)?
             .into_iter()
             .filter_map(|s| match s {
@@ -112,11 +115,11 @@ mod tests {
             audit::workload(),
             versioning::workload(),
         ] {
-            let (db, rs) = w.compile().unwrap_or_else(|e| {
-                panic!("workload `{}` failed to compile: {e}", w.name)
-            });
+            let (db, rs) = w
+                .compile()
+                .unwrap_or_else(|e| panic!("workload `{}` failed to compile: {e}", w.name));
             assert!(!rs.is_empty(), "{}", w.name);
-            assert!(db.catalog().len() > 0, "{}", w.name);
+            assert!(!db.catalog().is_empty(), "{}", w.name);
             assert!(!w.user_actions().unwrap().is_empty(), "{}", w.name);
         }
     }

@@ -127,7 +127,9 @@ mod tests {
         // The overloaded line tripped and the cascade removed it and its
         // now-dangling parts.
         let line = st.db.table("line").unwrap();
-        assert!(line.iter().all(|(_, r)| r[4] <= starling_storage::Value::Int(100)));
+        assert!(line
+            .iter()
+            .all(|(_, r)| r[4] <= starling_storage::Value::Int(100)));
     }
 
     #[test]

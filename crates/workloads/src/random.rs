@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 
 use starling_engine::RuleSet;
 use starling_sql::ast::*;
-use starling_storage::{
-    Catalog, ColumnDef, Database, TableSchema, Value, ValueType,
-};
+use starling_storage::{Catalog, ColumnDef, Database, TableSchema, Value, ValueType};
 
 /// Parameters of the random workload generator.
 #[derive(Clone, Debug)]
@@ -70,8 +68,7 @@ impl GeneratedWorkload {
     /// Compiles the rule set (infallible for generated workloads; panics on
     /// generator bugs, which the property tests would catch first).
     pub fn compile(&self) -> RuleSet {
-        RuleSet::compile(&self.defs, &self.catalog)
-            .expect("generated workload must compile")
+        RuleSet::compile(&self.defs, &self.catalog).expect("generated workload must compile")
     }
 
     /// A database over the catalog, seeded with `rows_per_table` rows of
@@ -97,7 +94,9 @@ impl GeneratedWorkload {
     pub fn user_transition(&self, salt: u64) -> Vec<Action> {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ salt);
         let n = rng.gen_range(1..=3);
-        (0..n).map(|_| random_dml(&mut rng, &self.catalog)).collect()
+        (0..n)
+            .map(|_| random_dml(&mut rng, &self.catalog))
+            .collect()
     }
 
     /// The rules as a parseable script.
@@ -171,9 +170,7 @@ fn random_rule(rng: &mut StdRng, cfg: &RandomConfig, idx: usize) -> RuleDef {
             match &event {
                 TriggerEvent::Inserted => TableRef::Transition(TransitionTable::Inserted),
                 TriggerEvent::Deleted => TableRef::Transition(TransitionTable::Deleted),
-                TriggerEvent::Updated(_) => {
-                    TableRef::Transition(TransitionTable::NewUpdated)
-                }
+                TriggerEvent::Updated(_) => TableRef::Transition(TransitionTable::NewUpdated),
             }
         } else {
             TableRef::Base(table.clone())
@@ -188,7 +185,11 @@ fn random_rule(rng: &mut StdRng, cfg: &RandomConfig, idx: usize) -> RuleDef {
                 alias: None,
             }],
             where_clause: Some(Expr::bin(
-                if rng.gen_bool(0.5) { BinOp::Gt } else { BinOp::Lt },
+                if rng.gen_bool(0.5) {
+                    BinOp::Gt
+                } else {
+                    BinOp::Lt
+                },
                 Expr::col(&col),
                 Expr::int(bound),
             )),
@@ -201,9 +202,7 @@ fn random_rule(rng: &mut StdRng, cfg: &RandomConfig, idx: usize) -> RuleDef {
     };
 
     let n_actions = rng.gen_range(1..=cfg.max_actions);
-    let mut actions: Vec<Action> = (0..n_actions)
-        .map(|_| random_action(rng, cfg))
-        .collect();
+    let mut actions: Vec<Action> = (0..n_actions).map(|_| random_action(rng, cfg)).collect();
     if rng.gen_bool(cfg.p_observable) {
         let t = table_name(rng, cfg);
         let c = col_name(rng, cfg);
@@ -254,11 +253,7 @@ fn random_action(rng: &mut StdRng, cfg: &RandomConfig) -> Action {
             let set_expr = if rng.gen_bool(0.5) {
                 Expr::int(rng.gen_range(0..10))
             } else {
-                Expr::bin(
-                    BinOp::Add,
-                    Expr::col(&col),
-                    Expr::int(rng.gen_range(1..4)),
-                )
+                Expr::bin(BinOp::Add, Expr::col(&col), Expr::int(rng.gen_range(1..4)))
             };
             Action::Update(UpdateStmt {
                 sets: vec![(col, set_expr)],
@@ -272,7 +267,11 @@ fn random_action(rng: &mut StdRng, cfg: &RandomConfig) -> Action {
 fn bound_predicate(rng: &mut StdRng, cfg: &RandomConfig) -> Option<Expr> {
     if rng.gen_bool(0.7) {
         Some(Expr::bin(
-            if rng.gen_bool(0.5) { BinOp::Lt } else { BinOp::Gt },
+            if rng.gen_bool(0.5) {
+                BinOp::Lt
+            } else {
+                BinOp::Gt
+            },
             Expr::col(&col_name(rng, cfg)),
             Expr::int(rng.gen_range(0..10)),
         ))
@@ -303,7 +302,9 @@ fn random_dml(rng: &mut StdRng, catalog: &Catalog) -> Action {
         }),
         _ => Action::Update(UpdateStmt {
             sets: vec![(
-                schema.columns[rng.gen_range(0..schema.arity())].name.clone(),
+                schema.columns[rng.gen_range(0..schema.arity())]
+                    .name
+                    .clone(),
                 Expr::int(rng.gen_range(0..10)),
             )],
             where_clause: Some(Expr::bin(

@@ -125,8 +125,7 @@ mod tests {
             .collect();
         let snapshot2 = with_version.clone();
         let mut working2 = with_version.clone();
-        let ops2 =
-            starling_engine::exec_graph::apply_user_actions(&mut working2, &del).unwrap();
+        let ops2 = starling_engine::exec_graph::apply_user_actions(&mut working2, &del).unwrap();
         let mut st2 = starling_engine::ExecState::new(working2, rules.len(), &ops2);
         let res = Processor::new(&rules)
             .with_limit(200)

@@ -60,8 +60,7 @@ fn main() {
 
     // 2. The Section 9 refinement proves the shards disjoint; what remains
     //    is the genuine consume/reorder interaction.
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     let conf = analyze_confluence(&refined);
     println!(
         "with refinement: {} violation(s) remain",
@@ -72,8 +71,7 @@ fn main() {
     }
 
     // 3. The interactive loop orders the rest.
-    let mut interactive =
-        InteractiveSession::new(session.db().catalog().clone(), defs.clone());
+    let mut interactive = InteractiveSession::new(session.db().catalog().clone(), defs.clone());
     let added = interactive.order_until_confluent(10).unwrap();
     println!("interactive loop added {added:?} ordering(s)");
 

@@ -55,8 +55,7 @@ fn main() {
     let user = w.user_actions().expect("user transition parses");
     let snapshot = db.clone();
     let mut working = db.clone();
-    let ops =
-        starling::engine::exec_graph::apply_user_actions(&mut working, &user).unwrap();
+    let ops = starling::engine::exec_graph::apply_user_actions(&mut working, &user).unwrap();
     let mut state = ExecState::new(working, rules.len(), &ops);
     let run = Processor::new(&rules)
         .with_limit(1000)

@@ -74,7 +74,8 @@ fn main() {
         s.execute(&starling::sql::ast::Statement::CreateRule(d.clone()))
             .unwrap();
     }
-    s.execute_script("insert into orders values (1, 1, 5)").unwrap();
+    s.execute_script("insert into orders values (1, 1, 5)")
+        .unwrap();
     let run = s.commit(&mut FirstEligible).unwrap();
     println!(
         "--- execution: {} considerations, {} fired, outcome {:?} ---",

@@ -105,9 +105,6 @@ fn e4_partial_confluence_on_case_study() {
     // not commute with it — the verdict is informative either way; what we
     // assert is the machinery: Sig is a subset of all rules containing the
     // dept-writer.
-    assert!(partial
-        .significant
-        .iter()
-        .any(|r| r == "maintain_totals"));
+    assert!(partial.significant.iter().any(|r| r == "maintain_totals"));
     assert!(partial.significant.len() <= rules.len());
 }

@@ -42,11 +42,7 @@ fn statically_commuting_pairs_form_diamonds() {
         let mut commuting: Vec<(usize, usize)> = Vec::new();
         for i in 0..rules.len() {
             for j in (i + 1)..rules.len() {
-                if noncommutativity_reasons(
-                    &rules.rules()[i].sig,
-                    &rules.rules()[j].sig,
-                )
-                .is_empty()
+                if noncommutativity_reasons(&rules.rules()[i].sig, &rules.rules()[j].sig).is_empty()
                 {
                     commuting.push((i, j));
                 }
@@ -59,8 +55,7 @@ fn statically_commuting_pairs_form_diamonds() {
         for salt in 0..8u64 {
             let actions = w.user_transition(salt + 100);
             let mut working = base_db.clone();
-            let Ok(ops) =
-                starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
+            let Ok(ops) = starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
             else {
                 continue;
             };
@@ -131,25 +126,20 @@ fn noncommutativity_flags_are_not_vacuous() {
         for salt in 0..4u64 {
             let actions = w.user_transition(salt + 100);
             let mut working = base_db.clone();
-            let Ok(ops) =
-                starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
+            let Ok(ops) = starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
             else {
                 continue;
             };
             let state = ExecState::new(working, rules.len(), &ops);
             for i in 0..rules.len() {
                 for j in (i + 1)..rules.len() {
-                    if noncommutativity_reasons(
-                        &rules.rules()[i].sig,
-                        &rules.rules()[j].sig,
-                    )
-                    .is_empty()
+                    if noncommutativity_reasons(&rules.rules()[i].sig, &rules.rules()[j].sig)
+                        .is_empty()
                     {
                         continue;
                     }
                     let (ri, rj) = (RuleId(i), RuleId(j));
-                    if !state.is_triggered(&rules, ri) || !state.is_triggered(&rules, rj)
-                    {
+                    if !state.is_triggered(&rules, ri) || !state.is_triggered(&rules, rj) {
                         continue;
                     }
                     let mut s1 = state.clone();

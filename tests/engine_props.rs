@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 
-use starling::engine::{
-    ExecState, FirstEligible, PriorityOrder, Processor, RuleId, Scripted,
-};
+use starling::engine::{ExecState, FirstEligible, PriorityOrder, Processor, RuleId, Scripted};
 use starling::workloads::random::{generate, RandomConfig};
 
 /// Random DAG edges over `n` rules: only downward edges `(i, j)` with

@@ -2,7 +2,10 @@
 //! header comments claim (exercised through the CLI library, exactly as the
 //! `starling` binary would).
 
-use starling_cli::{cmd_analyze, cmd_compare, cmd_explain, cmd_explore, cmd_graph, cmd_run};
+use starling_cli::{
+    cmd_analyze, cmd_compare, cmd_explain, cmd_explore, cmd_graph, cmd_run, CmdStatus,
+};
+use starling_engine::Budget;
 
 fn read(name: &str) -> String {
     let path = format!("{}/scripts/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -15,7 +18,10 @@ fn salary_rules_full_cli_surface() {
     let report = cmd_analyze(&src, &[vec!["dept".to_owned()]], false).unwrap();
     // Certifications are honored; cycles are discharged.
     assert!(report.contains("TERMINATION: guaranteed"), "{report}");
-    assert!(report.contains("PARTIAL CONFLUENCE w.r.t. {dept}"), "{report}");
+    assert!(
+        report.contains("PARTIAL CONFLUENCE w.r.t. {dept}"),
+        "{report}"
+    );
 
     let graph = cmd_graph(&src, false).unwrap();
     assert!(graph.contains("4 rules"), "{graph}");
@@ -25,14 +31,20 @@ fn salary_rules_full_cli_surface() {
     assert!(explain.contains("Triggered-By:"), "{explain}");
     assert!(explain.contains("(U, dept.total_sal)"), "{explain}");
 
-    let explore = cmd_explore(&src, 20_000, false).unwrap();
-    assert!(explore.contains("terminates on all paths: yes"), "{explore}");
+    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
+    assert_eq!(explore.status, CmdStatus::Ok);
+    assert!(
+        explore.text.contains("terminates on all paths: yes"),
+        "{}",
+        explore.text
+    );
 
     let compare = cmd_compare(&src).unwrap();
     assert!(!compare.contains("SUBSUMPTION VIOLATION"), "{compare}");
 
-    let run = cmd_run(&src).unwrap();
-    assert!(run.contains("rule processing"), "{run}");
+    let run = cmd_run(&src, &Budget::default()).unwrap();
+    assert_eq!(run.status, CmdStatus::Ok);
+    assert!(run.text.contains("rule processing"), "{}", run.text);
 }
 
 #[test]
@@ -41,10 +53,11 @@ fn masking_script_shows_the_finding() {
     let report = cmd_analyze(&src, &[], false).unwrap();
     assert!(report.contains("condition 2\u{2032}"), "{report}");
 
-    let explore = cmd_explore(&src, 20_000, false).unwrap();
+    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
     assert!(
-        explore.contains("distinct final DB states: 2"),
-        "{explore}"
+        explore.text.contains("distinct final DB states: 2"),
+        "{}",
+        explore.text
     );
 }
 
@@ -58,6 +71,11 @@ fn sharded_counters_oracle_confluent_despite_static_rejection() {
     let refined = cmd_analyze(&src, &[], true).unwrap();
     assert!(refined.contains("CONFLUENCE: guaranteed"), "{refined}");
 
-    let explore = cmd_explore(&src, 20_000, false).unwrap();
-    assert!(explore.contains("unique final state:      yes"), "{explore}");
+    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
+    assert_eq!(explore.status, CmdStatus::Ok);
+    assert!(
+        explore.text.contains("unique final state:      yes"),
+        "{}",
+        explore.text
+    );
 }

@@ -70,10 +70,7 @@ fn figure_4_commuting_closures_reach_common_state() {
 
     // The Definition 6.5 closure for the unordered pair (ri, rj) pulls h
     // into R1 (h ∈ Triggers(ri) and h > rj).
-    let (i, j) = (
-        ctx.index_of("ri").unwrap(),
-        ctx.index_of("rj").unwrap(),
-    );
+    let (i, j) = (ctx.index_of("ri").unwrap(), ctx.index_of("rj").unwrap());
     let h = ctx.index_of("h").unwrap();
     let cl = pair_closure(&ctx, i, j);
     assert!(cl.r1.contains(&i) && cl.r1.contains(&h), "{cl:?}");

@@ -27,10 +27,9 @@ use starling::workloads::random::{generate, RandomConfig};
 
 #[test]
 fn lemma_4_1_holds_on_every_explored_edge() {
-    let cfg = ExploreConfig {
-        max_states: 800,
-        max_paths: 1,
-    };
+    let cfg = ExploreConfig::default()
+        .with_max_states(800)
+        .with_max_paths(1);
     let mut edges_checked = 0usize;
 
     for seed in 0..50u64 {
@@ -50,8 +49,7 @@ fn lemma_4_1_holds_on_every_explored_edge() {
         let base_db = w.seed_database();
         let actions = w.user_transition(13);
         let mut working = base_db.clone();
-        let Ok(ops) =
-            starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
+        let Ok(ops) = starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
         else {
             continue;
         };
@@ -59,10 +57,8 @@ fn lemma_4_1_holds_on_every_explored_edge() {
 
         for edge in &g.edges {
             edges_checked += 1;
-            let tr1: BTreeSet<RuleId> =
-                g.states[edge.from].triggered.iter().copied().collect();
-            let tr2: BTreeSet<RuleId> =
-                g.states[edge.to].triggered.iter().copied().collect();
+            let tr1: BTreeSet<RuleId> = g.states[edge.from].triggered.iter().copied().collect();
+            let tr2: BTreeSet<RuleId> = g.states[edge.to].triggered.iter().copied().collect();
             let r = edge.rule;
             let sig = &rules.get(r).sig;
 
@@ -77,7 +73,10 @@ fn lemma_4_1_holds_on_every_explored_edge() {
 
             // Property 2: O' ⊆ Performs(r); empty if the condition failed.
             if !edge.fired {
-                assert!(edge.ops.is_empty(), "seed {seed}: unfired rule executed ops");
+                assert!(
+                    edge.ops.is_empty(),
+                    "seed {seed}: unfired rule executed ops"
+                );
             }
             for op in &edge.ops {
                 assert!(
@@ -111,8 +110,7 @@ fn lemma_4_1_holds_on_every_explored_edge() {
             }
 
             // Property 3b: dropped rules are r or untriggerable by O'.
-            let can_untrigger: Vec<usize> =
-                ctx.can_untrigger(edge.ops.iter());
+            let can_untrigger: Vec<usize> = ctx.can_untrigger(edge.ops.iter());
             for &dropped in tr1.difference(&tr2) {
                 assert!(
                     dropped == r || can_untrigger.contains(&dropped.0),

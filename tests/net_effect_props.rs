@@ -12,10 +12,10 @@ use starling::storage::{CanonicalDigest, TupleId, Value};
 fn tuple_history(id: u64) -> impl Strategy<Value = Vec<TupleOp>> {
     let val = any::<i8>().prop_map(|v| Value::Int(v as i64));
     (
-        any::<bool>(),               // starts with insert (fresh tuple)?
+        any::<bool>(),                    // starts with insert (fresh tuple)?
         prop::collection::vec(val, 0..4), // update chain values
-        any::<bool>(),               // ends with delete?
-        any::<i8>(),                 // base value for pre-existing tuples
+        any::<bool>(),                    // ends with delete?
+        any::<i8>(),                      // base value for pre-existing tuples
     )
         .prop_map(move |(insert, updates, delete, base)| {
             let mut ops = Vec::new();
@@ -151,10 +151,8 @@ fn expr_string() -> impl Strategy<Value = String> {
     ];
     pred.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("({a} and {b})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("({a} or {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
             inner.clone().prop_map(|a| format!("(not {a})")),
         ]
     })

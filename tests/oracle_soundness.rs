@@ -49,10 +49,9 @@ struct Stats {
 
 #[test]
 fn static_guarantees_hold_on_the_oracle() {
-    let cfg = ExploreConfig {
-        max_states: 2_000,
-        max_paths: 20_000,
-    };
+    let cfg = ExploreConfig::default()
+        .with_max_states(2_000)
+        .with_max_paths(20_000);
     let mut stats = Stats {
         term_guaranteed: 0,
         conf_guaranteed: 0,
@@ -86,15 +85,14 @@ fn static_guarantees_hold_on_the_oracle() {
         for salt in 0..3u64 {
             let actions = w.user_transition(salt.wrapping_mul(0x9e37) + 1);
             let mut working = base_db.clone();
-            let Ok(ops) =
-                starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
+            let Ok(ops) = starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
             else {
                 continue; // e.g. transition violates a NOT NULL — skip probe
             };
-            let g = explore_from_ops(&rules, &base_db, working, &ops, &cfg)
-                .expect("exploration runs");
+            let g =
+                explore_from_ops(&rules, &base_db, working, &ops, &cfg).expect("exploration runs");
             stats.graphs += 1;
-            if g.truncated {
+            if g.truncated() {
                 stats.truncated += 1;
             }
 
@@ -143,10 +141,9 @@ fn static_guarantees_hold_on_the_oracle() {
 /// yet behaves fine on a sampled state (the price of decidability).
 #[test]
 fn conservatism_is_observable_in_the_corpus() {
-    let cfg = ExploreConfig {
-        max_states: 2_000,
-        max_paths: 20_000,
-    };
+    let cfg = ExploreConfig::default()
+        .with_max_states(2_000)
+        .with_max_paths(20_000);
     let mut found = false;
     for seed in 0..120 {
         let w = generate(&small_config(seed));
@@ -160,8 +157,7 @@ fn conservatism_is_observable_in_the_corpus() {
         let base_db = w.seed_database();
         let actions = w.user_transition(7);
         let mut working = base_db.clone();
-        let Ok(ops) =
-            starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
+        let Ok(ops) = starling::engine::exec_graph::apply_user_actions(&mut working, &actions)
         else {
             continue;
         };

@@ -21,11 +21,8 @@ fn partitioned_verdicts_equal_whole_set_verdicts() {
 
         // Every cycle the whole-set analysis finds lives in exactly one
         // partition, and vice versa.
-        let whole_cycles: std::collections::BTreeSet<Vec<String>> = whole_term
-            .cycles
-            .iter()
-            .map(|c| c.rules.clone())
-            .collect();
+        let whole_cycles: std::collections::BTreeSet<Vec<String>> =
+            whole_term.cycles.iter().map(|c| c.rules.clone()).collect();
         let part_cycles: std::collections::BTreeSet<Vec<String>> = parts
             .iter()
             .flat_map(|p| p.termination.cycles.iter().map(|c| c.rules.clone()))
@@ -123,15 +120,13 @@ mod starling_bench_helpers {
         let mut i = 0;
         while i < chars.len() {
             let c = chars[i];
-            let at_start =
-                i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+            let at_start = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
             if at_start && (c == 't' || c == 'r') {
                 let mut j = i + 1;
                 while j < chars.len() && chars[j].is_ascii_digit() {
                     j += 1;
                 }
-                let ends = j == chars.len()
-                    || !(chars[j].is_alphanumeric() || chars[j] == '_');
+                let ends = j == chars.len() || !(chars[j].is_alphanumeric() || chars[j] == '_');
                 if j > i + 1 && ends {
                     out.push_str(&format!("p{p}_"));
                     out.extend(&chars[i..j]);

@@ -59,8 +59,7 @@ fn disjoint_updates_refined_and_oracle_confirmed() {
 
     // Refined analysis: the WHERE clauses k = 1 / k = 2 are provably
     // disjoint — the pair commutes.
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     let conf = analyze_confluence(&refined);
     assert!(conf.requirement_holds(), "{:?}", conf.violations);
 
@@ -96,8 +95,7 @@ fn insert_outside_delete_predicate_refined() {
     assert!(!analyze_confluence(&plain).requirement_holds());
 
     // prio = 9 never satisfies prio < 3: refinement discharges condition 4.
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     let conf = analyze_confluence(&refined);
     assert!(conf.requirement_holds(), "{:?}", conf.violations);
 
@@ -127,8 +125,7 @@ fn overlapping_insert_delete_not_refined() {
         then delete from q where prio < 3 end;
     ";
     let (db, rules) = build(setup, rules_src);
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     assert!(!analyze_confluence(&refined).requirement_holds());
 
     let g = explore(
@@ -157,8 +154,7 @@ fn overlapping_updates_not_refined() {
         then update shard set v = 20 where k >= 0 end;
     ";
     let (db, rules) = build(setup, rules_src);
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     assert!(!analyze_confluence(&refined).requirement_holds());
     let g = explore(
         &rules,
@@ -185,7 +181,6 @@ fn unguarded_update_not_refined() {
         then update shard set v = 20 end;
     ";
     let (_db, rules) = build(setup, rules_src);
-    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new())
-        .with_refinement();
+    let refined = AnalysisContext::from_ruleset(&rules, Certifications::new()).with_refinement();
     assert!(!analyze_confluence(&refined).requirement_holds());
 }

@@ -1,0 +1,210 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This stub keeps Starling's bench targets compiling
+//! and turns `cargo bench` into a smoke run: each benchmark body executes
+//! **once** and its wall-clock time is printed. No statistics, no reports —
+//! but every benchmarked code path still runs, so the benches double as
+//! integration smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (forwards to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes batches (ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation (recorded nowhere by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs one benchmark body.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs `routine` once, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+    }
+
+    /// Runs `setup` then `routine` once.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input));
+    }
+
+    /// Like `iter_batched`, with a by-ref routine.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        black_box(routine(&mut input));
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let start = Instant::now();
+    f(&mut Bencher);
+    println!("bench {label:<50} smoke-ran in {:?}", start.elapsed());
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Sets the sample count (ignored: the stub runs each body once).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets the warm-up time (ignored).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Final reporting hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates throughput (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the group sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` (bench targets build with `--test`), skip
+            // the smoke run: benches are exercised by `cargo bench`.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,125 @@
+//! Offline, generate-only stub of `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This stub implements the subset of its API that
+//! Starling's property tests use — `Strategy` with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, `any`, `Just`, ranges, tuples,
+//! `collection::vec`, `sample::subsequence`, simple `[class]{m,n}` string
+//! patterns, `prop_oneof!`, and the `proptest!` / `prop_assert*!` macros —
+//! over a deterministic splitmix64 generator seeded from the test name.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the assertion
+//!   message but is not minimized;
+//! * **fixed determinism** — every run of a given test sees the same case
+//!   sequence (override the case count with `PROPTEST_CASES`);
+//! * **uniform recursion depth** — `prop_recursive` picks uniformly among
+//!   expansion levels instead of sizing subtrees.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The prelude: everything the tests `use proptest::prelude::*` for.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias mirroring `proptest::prelude::prop`: lets tests write
+    /// `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Property-test assertion: fails the current case without panicking
+/// through the generator loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -1,0 +1,54 @@
+//! Sampling strategies: order-preserving subsequences.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`subsequence`].
+#[derive(Clone)]
+pub struct Subsequence<T: Clone> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.items.len();
+        let len = self.size.pick(rng).min(n);
+        // Partial Fisher-Yates over the index set, then restore order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..len {
+            let j = rng.usize_in(i, n);
+            idx.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idx[..len].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+/// An order-preserving random subsequence of `items` whose length is drawn
+/// from `size` (clamped to the number of items).
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_length() {
+        let mut rng = TestRng::for_test("subseq");
+        let s = subsequence((0..10).collect::<Vec<i32>>(), 0..=10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 10);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "order preserved: {v:?}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! String strategies from `&str` patterns.
+//!
+//! Supports the one pattern shape Starling's tests use — `[class]{m,n}`
+//! (character class with literal chars and `a-z` ranges, bounded repeat) —
+//! and falls back to treating the pattern as a literal otherwise.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, lo, hi)) => {
+                let len = rng.usize_in(lo, hi + 1);
+                (0..len)
+                    .map(|_| chars[rng.usize_in(0, chars.len())])
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[class]{m,n}` / `[class]{n}` into (alphabet, min, max).
+fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a > b {
+                return None;
+            }
+            for c in (a as u32)..=(b as u32) {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let rep = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .to_owned();
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n: usize = rep.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_repeat_shapes() {
+        let mut rng = TestRng::for_test("string-pat");
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "[ab%_]{0,8}".generate(&mut rng);
+            assert!(t.len() <= 8);
+            assert!(t.chars().all(|c| "ab%_".contains(c)), "{t}");
+        }
+    }
+
+    #[test]
+    fn literal_fallback() {
+        let mut rng = TestRng::for_test("string-lit");
+        assert_eq!("hello".generate(&mut rng), "hello");
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched. Starling's workload generator needs only a seeded, reproducible
+//! RNG with `gen_range` and `gen_bool`; this stub provides that surface over
+//! a splitmix64 core. Streams differ from the real `rand`, but every use in
+//! the repo treats the stream as an opaque deterministic function of the
+//! seed, so that is fine.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range (the subset of
+/// `rand::distributions::uniform::SampleRange` Starling needs).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single(self, rng: &mut dyn RngCore) -> $t {
+                let lo = self.start as i128;
+                let span = (self.end as i128) - lo;
+                assert!(span > 0, "cannot sample from empty range");
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single(self, rng: &mut dyn RngCore) -> $t {
+                let lo = *self.start() as i128;
+                let span = (*self.end() as i128) - lo + 1;
+                assert!(span > 0, "cannot sample from empty range");
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+impl_int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// User-facing random-value methods, blanket-provided over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded RNG of this stub: splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: i64 = a.gen_range(-5..5);
+            assert_eq!(x, b.gen_range(-5..5));
+            assert!((-5..5).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: usize = c.gen_range(0..3);
+            assert!(v < 3);
+            let w: i32 = c.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

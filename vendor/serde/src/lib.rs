@@ -1,0 +1,37 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. Starling derives `Serialize` on its report types purely as a
+//! forward-compatibility marker (nothing serializes them yet); this stub
+//! provides a marker trait with the same name so those derives and bounds
+//! compile unchanged. Swapping the real `serde` back in later requires no
+//! source changes — only removing the `[patch.crates-io]` entry.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Derivable via `#[derive(Serialize)]` (see the sibling `serde_derive`
+/// stub), and usable as a bound. It has no methods: no serializer backend
+/// exists in this offline build.
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+// Impls for common std types so manual `T: Serialize` bounds over
+// containers keep working if introduced later.
+macro_rules! impl_marker {
+    ($($t:ty),* $(,)?) => { $(impl Serialize for $t {})* };
+}
+impl_marker!(
+    bool, char, str, String, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32,
+    f64
+);
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}

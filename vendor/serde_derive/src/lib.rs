@@ -1,0 +1,35 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) cannot be fetched. Starling only
+//! uses `#[derive(Serialize)]` as a forward-compatibility marker on plain
+//! (non-generic) report types, so this stub emits the corresponding marker
+//! impl and nothing else.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` marker impl for a non-generic
+/// `struct`/`enum`/`union`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name: the identifier following `struct`/`enum`/`union`.
+fn type_name(ts: TokenStream) -> String {
+    let mut iter = ts.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("derive(Serialize): could not find a type name in the input")
+}
