@@ -1,0 +1,256 @@
+//! Oracle throughput harness: measures exhaustive execution-graph
+//! exploration over the corpus, the case studies, and the state-heavy
+//! stress workload, and records the numbers in `BENCH_oracle.json` so the
+//! perf trajectory of the explorer is tracked across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_oracle [--smoke] [--label NAME] [--out PATH]
+//! ```
+//!
+//! * `--smoke` — one exploration per case (CI keep-alive mode; numbers are
+//!   still recorded but labelled `smoke`);
+//! * `--label` — the entry label stored in the JSON (e.g. `pre-PR`);
+//! * `--out` — output path (default `BENCH_oracle.json`); the file holds a
+//!   JSON array and each run **appends** one entry, preserving history.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use starling_engine::{explore, ExecGraph, ExploreConfig, RuleSet};
+use starling_sql::ast::{Action, Statement};
+use starling_sql::parse_statement;
+use starling_storage::{Database, Value};
+use starling_workloads::{audit, corpus, power_network, stress, CorpusEntry};
+
+/// One benchmark case: a compiled rule set, an initial database, a user
+/// transition, and the exploration budget.
+struct Case {
+    name: String,
+    rules: RuleSet,
+    db: Database,
+    actions: Vec<Action>,
+    cfg: ExploreConfig,
+}
+
+/// Measured numbers for one case.
+struct Measurement {
+    name: String,
+    states: usize,
+    edges: usize,
+    iters: u32,
+    total: Duration,
+}
+
+impl Measurement {
+    fn ms_per_explore(&self) -> f64 {
+        self.total.as_secs_f64() * 1e3 / f64::from(self.iters)
+    }
+
+    fn states_per_sec(&self) -> f64 {
+        (self.states as f64) * f64::from(self.iters) / self.total.as_secs_f64()
+    }
+}
+
+fn corpus_cases() -> Vec<Case> {
+    // Mirrors `bench_corpus_exploration` in benches/oracle.rs: the
+    // terminating corpus entries under the same budget and seeding.
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
+    let mut cases = Vec::new();
+    for entry in corpus() {
+        if !matches!(
+            entry.name,
+            "independent" | "cascade_ordered" | "unordered_writers" | "ordered_observables"
+        ) {
+            continue;
+        }
+        let rules = entry.compile();
+        let mut db = Database::new();
+        for schema in CorpusEntry::catalog().tables() {
+            db.create_table(schema.clone()).unwrap();
+        }
+        db.insert("t", vec![Value::Int(0)]).unwrap();
+        db.insert("u", vec![Value::Int(0)]).unwrap();
+        let Statement::Dml(action) = parse_statement("insert into t values (1)").unwrap() else {
+            unreachable!()
+        };
+        cases.push(Case {
+            name: format!("corpus/{}", entry.name),
+            rules,
+            db,
+            actions: vec![action],
+            cfg,
+        });
+    }
+    cases
+}
+
+fn case_study_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for w in [power_network::workload(), audit::workload()] {
+        let (db, rules) = w.compile().unwrap();
+        let actions = w.user_actions().unwrap();
+        cases.push(Case {
+            name: format!("case_study/{}", w.name),
+            rules,
+            db,
+            actions,
+            cfg: ExploreConfig::default(),
+        });
+    }
+    cases
+}
+
+fn stress_case() -> Case {
+    Case {
+        name: "stress/fan_chain".to_owned(),
+        rules: stress::compile(),
+        db: stress::database(),
+        actions: stress::user_actions(),
+        cfg: ExploreConfig::default()
+            .with_max_states(200_000)
+            .with_max_paths(1_000_000),
+    }
+}
+
+fn run_case(case: &Case, smoke: bool) -> Measurement {
+    let explore_once = || -> ExecGraph {
+        explore(&case.rules, &case.db, &case.actions, &case.cfg).expect("bench case explores")
+    };
+    // Warm-up establishes the graph size (and pages in everything).
+    let g = explore_once();
+    assert!(
+        !g.truncated(),
+        "bench case {} truncated — budget too small to measure honestly",
+        case.name
+    );
+    let (states, edges) = (g.states.len(), g.edges.len());
+
+    let target = Duration::from_millis(1_500);
+    let max_iters: u32 = if smoke { 1 } else { 200_000 };
+    let mut iters: u32 = 0;
+    let start = Instant::now();
+    while iters < max_iters {
+        std::hint::black_box(explore_once());
+        iters += 1;
+        if start.elapsed() >= target {
+            break;
+        }
+    }
+    Measurement {
+        name: case.name.clone(),
+        states,
+        edges,
+        iters,
+        total: start.elapsed(),
+    }
+}
+
+/// Renders one history entry as a JSON object.
+fn entry_json(label: &str, smoke: bool, measurements: &[Measurement]) -> String {
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(s, "  {{");
+    let _ = writeln!(s, "    \"label\": \"{}\",", label.replace('"', "'"));
+    let _ = writeln!(s, "    \"unix_time\": {epoch},");
+    let _ = writeln!(
+        s,
+        "    \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "    \"cases\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"states\": {}, \"edges\": {}, \"iters\": {}, \
+             \"wall_s\": {:.6}, \"ms_per_explore\": {:.4}, \"states_per_s\": {:.1}}}{sep}",
+            m.name,
+            m.states,
+            m.edges,
+            m.iters,
+            m.total.as_secs_f64(),
+            m.ms_per_explore(),
+            m.states_per_sec(),
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = write!(s, "  }}");
+    s
+}
+
+/// Appends `entry` to the JSON array in `path` (creating the file if
+/// needed). The file is a plain array; history accumulates.
+fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let Some(without_close) = trimmed.strip_suffix(']') else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{path} does not end in ']' — not a JSON array"),
+                ));
+            };
+            let without_close = without_close.trim_end();
+            if without_close == "[" {
+                format!("[\n{entry}\n]\n")
+            } else {
+                format!("{without_close},\n{entry}\n]\n")
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!("[\n{entry}\n]\n"),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut label = "current".to_owned();
+    let mut out = "BENCH_oracle.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_oracle [--smoke] [--label NAME] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cases = corpus_cases();
+    cases.extend(case_study_cases());
+    cases.push(stress_case());
+
+    let mut measurements = Vec::new();
+    for case in &cases {
+        let m = run_case(case, smoke);
+        println!(
+            "{:<28} {:>7} states {:>7} edges  {:>5} iters  {:>10.3} ms/explore  {:>12.0} states/s",
+            m.name,
+            m.states,
+            m.edges,
+            m.iters,
+            m.ms_per_explore(),
+            m.states_per_sec(),
+        );
+        measurements.push(m);
+    }
+
+    let entry = entry_json(&label, smoke, &measurements);
+    if let Err(e) = append_entry(&out, &entry) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("recorded entry \"{label}\" in {out}");
+}

@@ -250,7 +250,23 @@ pub fn commutes(a: &RuleSignature, b: &RuleSignature, certs: &Certifications) ->
 /// Index-based variant over a context; honors certifications and, when
 /// [`AnalysisContext::refine`] is set, the Section 9 predicate-level
 /// refinement.
+///
+/// Pair verdicts are memoized in the context (the confluence analyses ask
+/// about the same pair once per subset and once per generating-pair closure
+/// containing it): each Lemma 6.1 derivation runs at most once per context.
 pub fn commutes_idx(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
+    // Commutativity is symmetric; normalize the key so both query orders
+    // share one slot.
+    let key = (i.min(j), i.max(j));
+    if let Some(&hit) = ctx.pair_cache.commutes.borrow().get(&key) {
+        return hit;
+    }
+    let result = commutes_idx_uncached(ctx, i, j);
+    ctx.pair_cache.commutes.borrow_mut().insert(key, result);
+    result
+}
+
+fn commutes_idx_uncached(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
     if commutes(&ctx.sigs[i], &ctx.sigs[j], &ctx.certs) {
         return true;
     }
@@ -259,6 +275,25 @@ pub fn commutes_idx(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
         return crate::refine::refine_reasons(ctx, i, j, reasons).is_empty();
     }
     false
+}
+
+/// [`noncommutativity_reasons`] over context indices, memoized per ordered
+/// pair (the reported direction matters for display, so `(i, j)` and
+/// `(j, i)` cache separately).
+pub fn noncommutativity_reasons_idx(
+    ctx: &AnalysisContext,
+    i: usize,
+    j: usize,
+) -> Vec<NoncommutativityReason> {
+    if let Some(hit) = ctx.pair_cache.reasons.borrow().get(&(i, j)) {
+        return hit.clone();
+    }
+    let reasons = noncommutativity_reasons(&ctx.sigs[i], &ctx.sigs[j]);
+    ctx.pair_cache
+        .reasons
+        .borrow_mut()
+        .insert((i, j), reasons.clone());
+    reasons
 }
 
 #[cfg(test)]
@@ -439,6 +474,41 @@ mod tests {
         assert!(rs
             .iter()
             .any(|r| matches!(r, NoncommutativityReason::WriteRead { .. })));
+    }
+
+    /// The memoized index-level queries agree with the signature-level
+    /// ground truth on every pair, on first and repeated queries, and the
+    /// cache is dropped when its inputs change.
+    #[test]
+    fn memoized_pair_results_match_ground_truth() {
+        let mut ctx = crate::context::tests::ctx_from(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted then update u set x = 2 end;
+             create rule c on t when inserted then insert into v values (1) end;",
+            TABLES,
+        );
+        for _round in 0..2 {
+            for i in 0..ctx.len() {
+                for j in 0..ctx.len() {
+                    assert_eq!(
+                        commutes_idx(&ctx, i, j),
+                        commutes(&ctx.sigs[i], &ctx.sigs[j], &ctx.certs),
+                        "pair ({i}, {j})"
+                    );
+                    assert_eq!(
+                        noncommutativity_reasons_idx(&ctx, i, j),
+                        noncommutativity_reasons(&ctx.sigs[i], &ctx.sigs[j]),
+                        "pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+        // Certifying after the fact requires a cache clear — and then the
+        // new verdict shows through.
+        assert!(!commutes_idx(&ctx, 0, 1));
+        ctx.certs.certify_commute("a", "b");
+        ctx.clear_pair_cache();
+        assert!(commutes_idx(&ctx, 0, 1));
     }
 
     #[test]

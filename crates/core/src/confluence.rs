@@ -17,7 +17,7 @@
 
 use serde::Serialize;
 
-use crate::commutativity::{commutes_idx, noncommutativity_reasons, NoncommutativityReason};
+use crate::commutativity::{commutes_idx, noncommutativity_reasons_idx, NoncommutativityReason};
 use crate::context::AnalysisContext;
 
 /// The Definition 6.5 closure for one unordered pair.
@@ -141,7 +141,7 @@ pub fn analyze_confluence_of(ctx: &AnalysisContext, subset: &[usize]) -> Conflue
                     if commutes_idx(ctx, r1, r2) {
                         continue;
                     }
-                    let reasons = noncommutativity_reasons(&ctx.sigs[r1], &ctx.sigs[r2]);
+                    let reasons = noncommutativity_reasons_idx(ctx, r1, r2);
                     violations.push(ConfluenceViolation {
                         pair: (ctx.name(i).to_owned(), ctx.name(j).to_owned()),
                         conflict: (ctx.name(r1).to_owned(), ctx.name(r2).to_owned()),

@@ -6,11 +6,38 @@
 //! directly so that Section 8's *extended* definitions (signatures augmented
 //! with the fictional `Obs` table) can reuse every algorithm unchanged.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use starling_engine::{PriorityOrder, RuleId, RuleSet};
 use starling_sql::RuleSignature;
 use starling_storage::Op;
 
 use crate::certifications::Certifications;
+use crate::commutativity::NoncommutativityReason;
+
+/// Memoized per-pair Lemma 6.1 results, keyed by `(i, j)` rule indices.
+///
+/// `analyze_confluence_of` re-derives commutativity for the same pair from
+/// every subset and every generating-pair closure that contains it; the
+/// inputs (signatures, certifications, refinement flag) are fixed for a
+/// context's lifetime, so the pair verdicts are too. Interior mutability
+/// keeps the analysis entry points `&ctx`. Not `Sync` — a context is
+/// analyzed from one thread (clones carry their own cache).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PairCache {
+    /// `commutes_idx` results (certification- and refinement-aware).
+    pub(crate) commutes: RefCell<HashMap<(usize, usize), bool>>,
+    /// `noncommutativity_reasons` results, in the `(i, j)` direction.
+    pub(crate) reasons: RefCell<HashMap<(usize, usize), Vec<NoncommutativityReason>>>,
+}
+
+impl PairCache {
+    fn clear(&self) {
+        self.commutes.borrow_mut().clear();
+        self.reasons.borrow_mut().clear();
+    }
+}
 
 /// Everything the static analyses need to know about a rule set.
 #[derive(Clone, Debug)]
@@ -33,6 +60,10 @@ pub struct AnalysisContext {
     /// the conflicting writes are provably disjoint. Off by default
     /// (paper-faithful behavior).
     pub refine: bool,
+    /// Memoized pair results. Valid as long as `sigs`/`certs`/`refine` are
+    /// unchanged; code that mutates them after construction must call
+    /// [`Self::clear_pair_cache`].
+    pub(crate) pair_cache: PairCache,
 }
 
 impl AnalysisContext {
@@ -45,6 +76,7 @@ impl AnalysisContext {
             defs: rules.rules().iter().map(|r| Some(r.def.clone())).collect(),
             catalog: Some(rules.catalog().clone()),
             refine: false,
+            pair_cache: PairCache::default(),
         }
     }
 
@@ -52,7 +84,15 @@ impl AnalysisContext {
     /// "less conservative methods").
     pub fn with_refinement(mut self) -> Self {
         self.refine = true;
+        // Cached pair verdicts were computed without the refinement.
+        self.pair_cache.clear();
         self
+    }
+
+    /// Drops all memoized pair results. Must be called after mutating
+    /// `sigs`, `certs`, or `refine` on an already-queried context.
+    pub fn clear_pair_cache(&mut self) {
+        self.pair_cache.clear();
     }
 
     /// The rule definition for rule `i`, when available.
@@ -163,7 +203,7 @@ impl AnalysisContext {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use starling_sql::ast::Statement;
     use starling_sql::parse_script;
     use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};

@@ -76,7 +76,8 @@ pub mod triggering_graph;
 
 pub use certifications::Certifications;
 pub use commutativity::{
-    commutes, noncommutativity_reasons, noncommutativity_reasons_lemma61, NoncommutativityReason,
+    commutes, commutes_idx, noncommutativity_reasons, noncommutativity_reasons_idx,
+    noncommutativity_reasons_lemma61, NoncommutativityReason,
 };
 pub use confluence::{ConfluenceAnalysis, ConfluenceVerdict, ConfluenceViolation};
 pub use context::AnalysisContext;

@@ -63,6 +63,9 @@ pub fn extend_with_obs(ctx: &AnalysisContext) -> AnalysisContext {
                 .insert(starling_storage::Op::Insert(OBS_TABLE.to_owned()));
         }
     }
+    // The clone carried the source context's memoized pair verdicts, which
+    // the widened signatures invalidate.
+    extended.clear_pair_cache();
     extended
 }
 

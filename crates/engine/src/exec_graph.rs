@@ -16,7 +16,7 @@
 //! transitions, the oracle checks one — so oracle violations refute a static
 //! "guaranteed" verdict, never the converse.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 
 use starling_sql::ast::Action;
 use starling_sql::eval::{exec_action, ActionOutcome};
@@ -26,7 +26,7 @@ use crate::budget::{Budget, TruncationReason, Verdict};
 use crate::error::EngineError;
 use crate::observable::{stream_digest, ObservableEvent};
 use crate::ops::TupleOp;
-use crate::processor::consider_rule;
+use crate::processor::{consider_fired_rule, rule_fires, StepOutcome};
 use crate::ruleset::{RuleId, RuleSet};
 use crate::state::ExecState;
 
@@ -35,7 +35,7 @@ use crate::state::ExecState;
 pub type ExploreConfig = Budget;
 
 /// One node of the execution graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StateNode {
     /// Canonical digest of `(D, TR)`.
     pub digest: u64,
@@ -50,7 +50,7 @@ pub struct StateNode {
 }
 
 /// One edge: the consideration of a rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeInfo {
     /// Source state index.
     pub from: usize,
@@ -69,7 +69,7 @@ pub struct EdgeInfo {
 }
 
 /// A fully explored execution graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecGraph {
     /// States, index 0 is the initial state.
     pub states: Vec<StateNode>,
@@ -77,7 +77,9 @@ pub struct ExecGraph {
     pub edges: Vec<EdgeInfo>,
     /// Indices of final states.
     pub final_states: Vec<usize>,
-    /// Final database states (one per final state index).
+    /// Final database states (one per final state index). These are
+    /// copy-on-write handles: keeping every final database alive costs
+    /// refcounts, not copies.
     pub final_dbs: Vec<(usize, Database)>,
     /// `Some` when exploration stopped early (state budget or deadline);
     /// the graph is then a partial prefix and all oracle verdicts become
@@ -148,15 +150,21 @@ impl ExecGraph {
     }
 
     /// Distinct final database digests.
+    ///
+    /// Reads the `db_digest` cached on each [`StateNode`] at discovery
+    /// time — no database is re-hashed.
     pub fn final_db_digests(&self) -> BTreeSet<u64> {
-        self.final_dbs
+        self.final_states
             .iter()
-            .map(|(_, db)| db.state_digest())
+            .map(|&i| self.states[i].db_digest)
             .collect()
     }
 
     /// Distinct digests of a *subset* of tables in final states (partial
     /// confluence, Section 7).
+    ///
+    /// Combines the per-table digest caches maintained by the storage
+    /// layer: O(subset size) per final state, independent of row counts.
     pub fn final_table_digests(&self, tables: &[&str]) -> BTreeSet<u64> {
         self.final_dbs
             .iter()
@@ -267,9 +275,9 @@ impl ExecGraph {
         let mut s = String::from("digraph execution {\n  rankdir=TB;\n");
         let final_digests: Vec<u64> = {
             let mut ds: Vec<u64> = self
-                .final_dbs
+                .final_states
                 .iter()
-                .map(|(_, db)| db.state_digest())
+                .map(|&i| self.states[i].db_digest)
                 .collect();
             ds.sort_unstable();
             ds.dedup();
@@ -278,12 +286,7 @@ impl ExecGraph {
         let palette = ["#cce5ff", "#ffd6cc", "#d6ffcc", "#f0ccff", "#fff3cc"];
         for (i, st) in self.states.iter().enumerate() {
             if st.is_final {
-                let db_digest = self
-                    .final_dbs
-                    .iter()
-                    .find(|(idx, _)| *idx == i)
-                    .map(|(_, db)| db.state_digest())
-                    .unwrap_or(st.db_digest);
+                let db_digest = st.db_digest;
                 let color = final_digests
                     .iter()
                     .position(|&d| d == db_digest)
@@ -350,6 +353,31 @@ pub fn explore(
     explore_from_ops(rules, base_db, db, &ops, cfg)
 }
 
+/// [`explore`], expanding each BFS level across threads.
+///
+/// The resulting graph — state numbering, edge order, truncation, every
+/// digest set — is **byte-identical** to the sequential [`explore`]
+/// (asserted by tests): levels are merged into the graph in the same
+/// `(parent index, rule id)` order the sequential explorer produces, and
+/// expanding one state depends only on that state, never on the graph built
+/// so far. The deadline budget is the one exception — wall-clock truncation
+/// cuts wherever the clock expires in either mode.
+///
+/// Falls back to sequential expansion when a fault plan is installed
+/// (injection counters are shared across snapshots, so expansion *order*
+/// decides which operation dies) and for small levels (thread dispatch
+/// costs more than the work).
+pub fn explore_parallel(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+) -> Result<ExecGraph, EngineError> {
+    let mut db = base_db.clone();
+    let ops = apply_user_actions(&mut db, user_actions)?;
+    explore_from_ops_parallel(rules, base_db, db, &ops, cfg)
+}
+
 /// Exploration entry point when the initial transition is already available
 /// as operations applied to `db`.
 pub fn explore_from_ops(
@@ -359,6 +387,76 @@ pub fn explore_from_ops(
     initial_ops: &[TupleOp],
     cfg: &ExploreConfig,
 ) -> Result<ExecGraph, EngineError> {
+    explore_impl(rules, base_db, db, initial_ops, cfg, false)
+}
+
+/// [`explore_from_ops`] with level-parallel expansion (see
+/// [`explore_parallel`] for the determinism contract).
+pub fn explore_from_ops_parallel(
+    rules: &RuleSet,
+    base_db: &Database,
+    db: Database,
+    initial_ops: &[TupleOp],
+    cfg: &ExploreConfig,
+) -> Result<ExecGraph, EngineError> {
+    explore_impl(rules, base_db, db, initial_ops, cfg, true)
+}
+
+/// One expanded edge awaiting its merge into the graph: the rule
+/// considered, the successor state, and the step record.
+type Expansion = (RuleId, ExecState, StepOutcome);
+
+/// Expands every eligible rule choice from `src`. Pure with respect to the
+/// graph: the result depends only on `(src, eligible, rules, base_db)`,
+/// which is what makes level-parallel expansion safe.
+fn expand_state(
+    rules: &RuleSet,
+    src: &ExecState,
+    eligible: &[RuleId],
+    base_db: &Database,
+) -> Result<Vec<Expansion>, EngineError> {
+    let mut out = Vec::with_capacity(eligible.len());
+    for &rule in eligible {
+        // Deciding whether the rule fires *before* touching the successor
+        // keeps non-firing edges on the cheap path: their successor differs
+        // from the source only in the considered rule's pending transition,
+        // so a copy-on-write clone plus `reset_pending` is the whole edge —
+        // no binding re-derivation, no action machinery.
+        let fires = rule_fires(rules, src, rule)?;
+        let mut next = src.clone();
+        let step = if fires {
+            consider_fired_rule(rules, &mut next, rule, base_db)?
+        } else {
+            next.reset_pending(rule);
+            StepOutcome::unfired()
+        };
+        out.push((rule, next, step));
+    }
+    Ok(out)
+}
+
+/// Levels at least this large are dispatched across threads in parallel
+/// mode; smaller levels expand inline (thread dispatch would dominate).
+const PARALLEL_MIN_LEVEL: usize = 8;
+
+fn explore_impl(
+    rules: &RuleSet,
+    base_db: &Database,
+    db: Database,
+    initial_ops: &[TupleOp],
+    cfg: &ExploreConfig,
+    parallel: bool,
+) -> Result<ExecGraph, EngineError> {
+    // Fault-plan injection counters are shared across snapshots and advance
+    // on every observed operation, so expansion *order* decides which
+    // operation dies: with a plan installed, always run sequentially.
+    let parallel = parallel && base_db.fault_state().is_none() && db.fault_state().is_none();
+    let workers = if parallel {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        1
+    };
+
     let initial = ExecState::new(db, rules.len(), initial_ops);
     let clock = cfg.start_clock();
 
@@ -369,17 +467,21 @@ pub fn explore_from_ops(
         final_dbs: Vec::new(),
         truncation: None,
     };
-    // digest -> state index
-    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    // digest -> state index. Digests are already uniformly distributed, so
+    // a hash index beats an ordered map; iteration order is never observed.
+    let mut index: HashMap<u64, usize> = HashMap::new();
     // Concrete states kept alongside (needed to expand).
     let mut concrete: Vec<ExecState> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    // The BFS frontier under construction: states discovered while merging
+    // level L form level L+1, in discovery order (the sequential explorer's
+    // queue order).
+    let mut frontier: Vec<usize> = Vec::new();
 
     let add_state = |st: ExecState,
                      graph: &mut ExecGraph,
-                     index: &mut BTreeMap<u64, usize>,
+                     index: &mut HashMap<u64, usize>,
                      concrete: &mut Vec<ExecState>,
-                     queue: &mut VecDeque<usize>,
+                     frontier: &mut Vec<usize>,
                      rules: &RuleSet|
      -> usize {
         let digest = st.digest();
@@ -398,11 +500,12 @@ pub fn explore_from_ops(
         });
         if is_final {
             graph.final_states.push(i);
+            // A copy-on-write handle: refcount bump, not a copy.
             graph.final_dbs.push((i, st.db.clone()));
         }
         index.insert(digest, i);
         concrete.push(st);
-        queue.push_back(i);
+        frontier.push(i);
         i
     };
 
@@ -411,45 +514,93 @@ pub fn explore_from_ops(
         &mut graph,
         &mut index,
         &mut concrete,
-        &mut queue,
+        &mut frontier,
         rules,
     );
 
-    while let Some(i) = queue.pop_front() {
-        if graph.states.len() > cfg.max_states {
-            graph.truncation = Some(TruncationReason::States);
-            break;
-        }
-        if clock.expired() {
-            graph.truncation = Some(TruncationReason::Deadline);
-            break;
-        }
-        if graph.states[i].is_final {
-            continue;
-        }
-        let eligible = rules.priority().choose(&graph.states[i].triggered);
-        for rule in eligible {
-            let mut next = concrete[i].clone();
-            let step = consider_rule(rules, &mut next, rule, base_db)?;
-            let to = add_state(
-                next,
-                &mut graph,
-                &mut index,
-                &mut concrete,
-                &mut queue,
-                rules,
-            );
-            let e = graph.edges.len();
-            graph.edges.push(EdgeInfo {
-                from: i,
-                to,
-                rule,
-                fired: step.fired,
-                rolled_back: step.rolled_back,
-                observables: step.observables,
-                ops: step.ops,
+    'levels: while !frontier.is_empty() {
+        let level = std::mem::take(&mut frontier);
+        // Eligible choices per level state; fixed before expansion begins
+        // (the level's nodes are already in the graph).
+        let eligible: Vec<Vec<RuleId>> = level
+            .iter()
+            .map(|&i| {
+                if graph.states[i].is_final {
+                    Vec::new()
+                } else {
+                    rules.priority().choose(&graph.states[i].triggered)
+                }
+            })
+            .collect();
+
+        // Parallel mode: expand the whole level on scoped threads up front.
+        // Workers only read `concrete`/`eligible`; results land in
+        // per-chunk slots, so no locks and no ordering races.
+        let mut batch: Vec<Option<Result<Vec<Expansion>, EngineError>>> = Vec::new();
+        if workers > 1 && level.len() >= PARALLEL_MIN_LEVEL {
+            batch.resize_with(level.len(), || None);
+            let chunk = level.len().div_ceil(workers);
+            let concrete = &concrete;
+            let eligible = &eligible;
+            std::thread::scope(|s| {
+                let mut slots: &mut [Option<Result<Vec<Expansion>, EngineError>>] = &mut batch;
+                for (k0, idxs) in level.chunks(chunk).enumerate() {
+                    let (head, tail) = slots.split_at_mut(idxs.len());
+                    slots = tail;
+                    let base = k0 * chunk;
+                    s.spawn(move || {
+                        for (off, (&i, slot)) in idxs.iter().zip(head.iter_mut()).enumerate() {
+                            let elig = &eligible[base + off];
+                            if elig.is_empty() {
+                                continue;
+                            }
+                            *slot = Some(expand_state(rules, &concrete[i], elig, base_db));
+                        }
+                    });
+                }
             });
-            graph.states[i].out_edges.push(e);
+        }
+
+        // Merge in (parent index, rule id) order — exactly the sequential
+        // explorer's order, so state numbering, edge order, and truncation
+        // points match it byte for byte.
+        for (k, &i) in level.iter().enumerate() {
+            if graph.states.len() > cfg.max_states {
+                graph.truncation = Some(TruncationReason::States);
+                break 'levels;
+            }
+            if clock.expired() {
+                graph.truncation = Some(TruncationReason::Deadline);
+                break 'levels;
+            }
+            if graph.states[i].is_final {
+                continue;
+            }
+            let expansions = match batch.get_mut(k).and_then(Option::take) {
+                Some(r) => r?,
+                None => expand_state(rules, &concrete[i], &eligible[k], base_db)?,
+            };
+            for (rule, next, step) in expansions {
+                let to = add_state(
+                    next,
+                    &mut graph,
+                    &mut index,
+                    &mut concrete,
+                    &mut frontier,
+                    rules,
+                );
+                let e = graph.edges.len();
+                graph.edges.push(EdgeInfo {
+                    from: i,
+                    to,
+                    rule,
+                    fired: step.fired,
+                    rolled_back: step.rolled_back,
+                    observables: step.observables,
+                    ops: step.ops,
+                });
+                graph.states[i].out_edges.push(e);
+            }
         }
     }
     Ok(graph)
@@ -780,6 +931,123 @@ mod tests {
             Verdict::Inconclusive(TruncationReason::Paths)
         );
         assert_eq!(g.observable_streams(&cfg), None);
+    }
+
+    /// The parallel explorer must produce a **byte-identical** graph to the
+    /// sequential one: same state numbering, same edge order, same
+    /// everything. Exercised across shapes — diamond, cycle, rollback, and
+    /// a fan-out wide enough to cross `PARALLEL_MIN_LEVEL` so the threaded
+    /// path actually runs.
+    #[test]
+    fn parallel_explore_is_byte_identical() {
+        let cfg = ExploreConfig::default();
+        let shapes: Vec<(Database, &str, Vec<&str>)> = vec![
+            (
+                db_with(&[("t", &["a"]), ("x", &["v"]), ("y", &["v"])]),
+                "create rule wx on t when inserted then insert into x values (1) end;
+                 create rule wy on t when inserted then insert into y values (2) end;",
+                vec!["insert into t values (1)"],
+            ),
+            (
+                db_with(&[("t", &["a"])]),
+                // Four unordered observables: levels reach 24 states, well
+                // past the parallel dispatch threshold.
+                "create rule o1 on t when inserted then select 1 end;
+                 create rule o2 on t when inserted then select 2 end;
+                 create rule o3 on t when inserted then select 3 end;
+                 create rule o4 on t when inserted then select 4 end;",
+                vec!["insert into t values (1)"],
+            ),
+            (
+                db_with(&[("t", &["a"])]),
+                "create rule guard on t when inserted then rollback end",
+                vec!["insert into t values (1)"],
+            ),
+        ];
+        for (db, src, acts) in shapes {
+            let rs = rules(&db, src);
+            let seq = explore(&rs, &db, &actions(&acts), &cfg).unwrap();
+            let par = explore_parallel(&rs, &db, &actions(&acts), &cfg).unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(seq.final_db_digests(), par.final_db_digests());
+            assert_eq!(seq.observable_streams(&cfg), par.observable_streams(&cfg));
+        }
+    }
+
+    /// Parallel exploration with a cycle: identical graph, identical
+    /// verdicts.
+    #[test]
+    fn parallel_explore_matches_on_cycles() {
+        let mut db = db_with(&[("t", &["a"])]);
+        db.insert("t", vec![starling_storage::Value::Int(0)])
+            .unwrap();
+        let rs = rules(
+            &db,
+            "create rule tgl on t when updated(a) then \
+               update t set a = 1 - a end",
+        );
+        let cfg = ExploreConfig::default();
+        let acts = actions(&["update t set a = 1 - a"]);
+        let seq = explore(&rs, &db, &acts, &cfg).unwrap();
+        let par = explore_parallel(&rs, &db, &acts, &cfg).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(par.terminates(), Some(false));
+    }
+
+    /// State-budget truncation cuts at the same state index in both modes
+    /// (truncation is part of the byte-identical contract; only the
+    /// wall-clock deadline is exempt).
+    #[test]
+    fn parallel_explore_truncates_identically() {
+        let db = db_with(&[("t", &["a"])]);
+        let rs = rules(
+            &db,
+            "create rule grow on t when inserted then \
+               insert into t select a + 1 from inserted end",
+        );
+        let cfg = ExploreConfig::default()
+            .with_max_states(50)
+            .with_max_paths(100);
+        let acts = actions(&["insert into t values (1)"]);
+        let seq = explore(&rs, &db, &acts, &cfg).unwrap();
+        let par = explore_parallel(&rs, &db, &acts, &cfg).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(par.truncation, Some(TruncationReason::States));
+    }
+
+    /// With a fault plan installed the parallel entry point falls back to
+    /// sequential expansion, so injection points stay deterministic.
+    #[test]
+    fn parallel_explore_with_fault_plan_is_deterministic() {
+        use starling_storage::{FaultPlan, FaultSpec};
+        let mk = || {
+            let mut db = db_with(&[("t", &["a"]), ("x", &["v"]), ("y", &["v"])]);
+            db.install_fault_plan(FaultPlan::single(FaultSpec::nth(3)));
+            db
+        };
+        let rs = rules(
+            &mk(),
+            "create rule wx on t when inserted then insert into x values (1) end;
+             create rule wy on t when inserted then insert into y values (2) end;",
+        );
+        let cfg = ExploreConfig::default();
+        let acts = actions(&["insert into t values (1)"]);
+        // Two parallel runs from identical fresh fault states agree with a
+        // sequential run — because the fallback *is* the sequential path.
+        let seq = explore(&rs, &mk(), &acts, &cfg);
+        let par1 = explore_parallel(&rs, &mk(), &acts, &cfg);
+        let par2 = explore_parallel(&rs, &mk(), &acts, &cfg);
+        match (seq, par1, par2) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                assert_eq!(a, b);
+                assert_eq!(b, c);
+            }
+            (Err(a), Err(b), Err(c)) => {
+                assert_eq!(a.to_string(), b.to_string());
+                assert_eq!(b.to_string(), c.to_string());
+            }
+            other => panic!("divergent outcomes: {other:?}"),
+        }
     }
 
     #[test]

@@ -59,11 +59,17 @@ pub mod strategy;
 
 pub use budget::{Budget, BudgetClock, TruncationReason, Verdict};
 pub use error::EngineError;
-pub use exec_graph::{explore, explore_from_ops, ExecGraph, ExploreConfig};
+pub use exec_graph::{
+    explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, ExecGraph,
+    ExploreConfig,
+};
 pub use observable::{ObservableEvent, ObservableKind};
 pub use ops::{NetChange, NetEffect, TupleOp};
 pub use priority::PriorityOrder;
-pub use processor::{consider_rule, Consideration, Outcome, Processor, RunResult, StepOutcome};
+pub use processor::{
+    consider_fired_rule, consider_rule, rule_fires, Consideration, Outcome, Processor, RunResult,
+    StepOutcome,
+};
 pub use ruleset::{CompiledRule, RuleId, RuleSet};
 pub use session::Session;
 pub use state::ExecState;

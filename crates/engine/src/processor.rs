@@ -81,6 +81,32 @@ pub struct StepOutcome {
     pub ops: std::collections::BTreeSet<starling_storage::Op>,
 }
 
+/// Whether rule `id`'s condition holds in `state` against its current
+/// pending transition — **without mutating anything**.
+///
+/// This is the condition check of [`consider_rule`] factored out so the
+/// execution-graph explorer can decide whether an edge fires *before*
+/// cloning the source state: a non-firing consideration changes nothing but
+/// the rule's pending transition, so its successor can be built by a cheap
+/// copy-on-write clone plus [`ExecState::reset_pending`], skipping the
+/// action machinery entirely.
+pub fn rule_fires(rules: &RuleSet, state: &ExecState, id: RuleId) -> Result<bool, EngineError> {
+    let rule = rules.get(id);
+    match &rule.def.condition {
+        None => Ok(true),
+        Some(cond) => {
+            let binding = state.transition_binding(rules, id);
+            let ctx = starling_sql::eval::EvalCtx {
+                db: &state.db,
+                transitions: Some(&binding),
+            };
+            let mut env = starling_sql::eval::Env::new(&ctx);
+            let v = starling_sql::eval::expr::eval_bool(cond, &mut env)?;
+            Ok(starling_sql::eval::expr::is_true(&v))
+        }
+    }
+}
+
 /// Considers rule `id` from `state`, mutating it in place: the edge
 /// relation of the execution-graph model (Lemma 4.1), shared by the
 /// [`Processor`] and the [`crate::exec_graph`] explorer.
@@ -98,33 +124,46 @@ pub fn consider_rule(
     id: RuleId,
     txn_snapshot: &Database,
 ) -> Result<StepOutcome, EngineError> {
+    if rule_fires(rules, state, id)? {
+        consider_fired_rule(rules, state, id, txn_snapshot)
+    } else {
+        state.reset_pending(id);
+        Ok(StepOutcome::unfired())
+    }
+}
+
+impl StepOutcome {
+    /// The outcome of a consideration whose condition was false: nothing
+    /// executed, nothing observed.
+    pub fn unfired() -> Self {
+        StepOutcome {
+            fired: false,
+            rolled_back: false,
+            observables: Vec::new(),
+            ops: std::collections::BTreeSet::new(),
+        }
+    }
+}
+
+/// Considers rule `id` assuming its condition has already been checked and
+/// holds (see [`rule_fires`]): fixes the transition tables, resets the
+/// pending transition, and executes the actions.
+pub fn consider_fired_rule(
+    rules: &RuleSet,
+    state: &mut ExecState,
+    id: RuleId,
+    txn_snapshot: &Database,
+) -> Result<StepOutcome, EngineError> {
     let rule = rules.get(id);
     let binding = state.transition_binding(rules, id);
     state.reset_pending(id);
 
-    // Condition check against the triggering transition.
-    let fired = match &rule.def.condition {
-        None => true,
-        Some(cond) => {
-            let ctx = starling_sql::eval::EvalCtx {
-                db: &state.db,
-                transitions: Some(&binding),
-            };
-            let mut env = starling_sql::eval::Env::new(&ctx);
-            let v = starling_sql::eval::expr::eval_bool(cond, &mut env)?;
-            starling_sql::eval::expr::is_true(&v)
-        }
-    };
-
     let mut outcome = StepOutcome {
-        fired,
+        fired: true,
         rolled_back: false,
         observables: Vec::new(),
         ops: std::collections::BTreeSet::new(),
     };
-    if !fired {
-        return Ok(outcome);
-    }
 
     for action in &rule.def.actions {
         match exec_action(action, &mut state.db, Some(&binding))? {

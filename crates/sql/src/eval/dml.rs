@@ -128,10 +128,10 @@ fn exec_insert(
     };
 
     // Map through the explicit column list, filling gaps with NULL.
-    let schema = db.catalog().table(&stmt.table)?.clone();
     let full_rows: Vec<Row> = match &stmt.columns {
         None => rows,
         Some(cols) => {
+            let schema = db.catalog().table(&stmt.table)?;
             let mut indices = Vec::with_capacity(cols.len());
             for c in cols {
                 indices.push(schema.column_index(c).ok_or_else(|| {
@@ -141,9 +141,10 @@ fn exec_insert(
                     ))
                 })?);
             }
+            let arity = schema.arity();
             rows.into_iter()
                 .map(|r| {
-                    let mut full = vec![Value::Null; schema.arity()];
+                    let mut full = vec![Value::Null; arity];
                     for (i, v) in indices.iter().zip(r) {
                         full[*i] = v;
                     }
@@ -189,16 +190,19 @@ fn exec_update(
     db: &mut Database,
     transitions: Option<&TransitionBinding>,
 ) -> Result<Vec<DmlEffect>, SqlError> {
-    let schema = db.catalog().table(&stmt.table)?.clone();
-    let mut set_indices = Vec::with_capacity(stmt.sets.len());
-    for (c, _) in &stmt.sets {
-        set_indices.push(schema.column_index(c).ok_or_else(|| {
-            SqlError::validate(format!(
-                "update target `{}` has no column `{c}`",
-                stmt.table
-            ))
-        })?);
-    }
+    let set_indices: Vec<usize> = {
+        let schema = db.catalog().table(&stmt.table)?;
+        let mut indices = Vec::with_capacity(stmt.sets.len());
+        for (c, _) in &stmt.sets {
+            indices.push(schema.column_index(c).ok_or_else(|| {
+                SqlError::validate(format!(
+                    "update target `{}` has no column `{c}`",
+                    stmt.table
+                ))
+            })?);
+        }
+        indices
+    };
 
     // Phase 1: pick targets and compute new rows against the old state.
     let targets = matching_tuples(&stmt.table, stmt.where_clause.as_ref(), db, transitions)?;
@@ -250,23 +254,32 @@ fn matching_tuples(
     transitions: Option<&TransitionBinding>,
 ) -> Result<Vec<(TupleId, Row)>, SqlError> {
     let tbl = db.table(table)?;
-    let candidates: Vec<(TupleId, Row)> = tbl.iter().map(|(id, r)| (id, r.clone())).collect();
     let Some(w) = where_clause else {
-        return Ok(candidates);
+        return Ok(tbl.iter().map(|(id, r)| (id, r.clone())).collect());
     };
     let ctx = EvalCtx { db, transitions };
     let mut env = Env::new(&ctx);
     let mut out = Vec::new();
-    for (id, row) in candidates {
+    // The binding names are the same every iteration; thread them through
+    // the popped frame so each candidate costs one row clone and nothing
+    // else, and only matching rows keep theirs.
+    let mut name = table.to_owned();
+    let mut table_name = table.to_owned();
+    for (id, row) in tbl.iter() {
         env.push(vec![RowBinding {
-            name: table.to_owned(),
-            table: table.to_owned(),
+            name,
+            table: table_name,
             row: row.clone(),
         }]);
         let v = eval_bool(w, &mut env);
-        env.pop();
+        let binding = env
+            .pop_frame()
+            .and_then(|mut f| f.pop())
+            .expect("frame pushed above");
+        name = binding.name;
+        table_name = binding.table;
         if is_true(&v?) {
-            out.push((id, row));
+            out.push((id, binding.row));
         }
     }
     Ok(out)

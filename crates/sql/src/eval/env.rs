@@ -94,6 +94,12 @@ impl<'a> Env<'a> {
         self.frames.pop();
     }
 
+    /// Pops and returns the innermost frame, so callers that bound owned
+    /// rows can take them back without cloning.
+    pub fn pop_frame(&mut self) -> Option<Frame> {
+        self.frames.pop()
+    }
+
     /// Number of frames (used by tests and assertions).
     pub fn depth(&self) -> usize {
         self.frames.len()

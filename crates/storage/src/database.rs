@@ -22,10 +22,19 @@ use crate::value::Value;
 /// state is shared across clones (a snapshot and the live database count
 /// operations against the same plan) and is excluded from equality and
 /// digests.
+///
+/// # Copy-on-write snapshots
+///
+/// Both the catalog and the table map live behind `Arc`s, and each
+/// [`Table`] shares its row storage the same way, so `clone()` is a few
+/// refcount bumps regardless of database size. The first mutation through
+/// a shared handle re-shares: it clones the table *map* (cheap — each entry
+/// is itself a shared handle) and then only the touched table's rows.
+/// Observable behavior is identical to a deep clone (property-tested).
 #[derive(Clone, Debug)]
 pub struct Database {
-    catalog: Catalog,
-    tables: BTreeMap<String, Table>,
+    catalog: Arc<Catalog>,
+    tables: Arc<BTreeMap<String, Table>>,
     next_tuple_id: u64,
     fault: Option<Arc<FaultState>>,
 }
@@ -46,8 +55,8 @@ impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database {
-            catalog: Catalog::new(),
-            tables: BTreeMap::new(),
+            catalog: Arc::new(Catalog::new()),
+            tables: Arc::new(BTreeMap::new()),
             next_tuple_id: 1,
             fault: None,
         }
@@ -91,8 +100,8 @@ impl Database {
 
     /// Creates a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), StorageError> {
-        self.catalog.add_table(schema.clone())?;
-        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Arc::make_mut(&mut self.catalog).add_table(schema.clone())?;
+        Arc::make_mut(&mut self.tables).insert(schema.name.clone(), Table::new(schema));
         Ok(())
     }
 
@@ -104,7 +113,9 @@ impl Database {
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
-        self.tables
+        // Unshares only the *map of handles*; each untouched table keeps
+        // sharing its row storage with every snapshot.
+        Arc::make_mut(&mut self.tables)
             .get_mut(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
@@ -112,6 +123,12 @@ impl Database {
     /// All tables, ordered by name.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
         self.tables.values()
+    }
+
+    /// Whether this handle still shares its table map with `other`
+    /// (diagnostic; used by the CoW tests).
+    pub fn shares_tables_with(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.tables, &other.tables)
     }
 
     /// Allocates a fresh tuple id. Ids are global across tables and never
@@ -431,6 +448,32 @@ mod tests {
         assert_eq!(d1.state_digest(), d2.state_digest());
         d2.clear_fault_plan();
         assert!(d2.fault_state().is_none());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut d = db();
+        d.create_table(TableSchema::new("log", vec![ColumnDef::new("m", ValueType::Int)]).unwrap())
+            .unwrap();
+        d.insert("emp", vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
+        let snap = d.clone();
+        assert!(d.shares_tables_with(&snap));
+        // Mutating `log` unshares the map of handles but leaves `emp`'s row
+        // storage shared between the live database and the snapshot.
+        d.insert("log", vec![Value::Int(7)]).unwrap();
+        assert!(!d.shares_tables_with(&snap));
+        assert!(d
+            .table("emp")
+            .unwrap()
+            .shares_storage_with(snap.table("emp").unwrap()));
+        assert!(!d
+            .table("log")
+            .unwrap()
+            .shares_storage_with(snap.table("log").unwrap()));
+        // The snapshot is untouched by the divergent mutation.
+        assert_eq!(snap.table("log").unwrap().len(), 0);
+        assert_eq!(d.table("log").unwrap().len(), 1);
     }
 
     #[test]

@@ -1,29 +1,62 @@
-//! A single stored table: schema plus identified rows.
+//! A single stored table: schema plus identified rows, with copy-on-write
+//! storage and an incrementally maintained content digest.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::digest::{CanonicalDigest, Fnv64};
+use crate::digest::{mix64, CanonicalDigest, Fnv64};
 use crate::error::StorageError;
 use crate::schema::TableSchema;
 use crate::tuple::{Row, Tuple, TupleId};
 use crate::value::Value;
 
+/// The shared, copy-on-write payload of a table: rows plus the cached
+/// content digest. Cloning a [`Table`] (and therefore a whole
+/// [`crate::Database`]) only bumps the `Arc` refcount; the first mutation
+/// through a shared handle clones this core — and only this table's core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TableCore {
+    rows: BTreeMap<TupleId, Row>,
+    /// Order-independent multiset digest of the row contents (tuple ids
+    /// excluded), maintained incrementally: each mutation folds the touched
+    /// row's digest in or out, so reading the table digest never re-hashes
+    /// the rows. Invariant: always equals
+    /// [`Table::recompute_content_digest`] (property-tested).
+    content: u64,
+}
+
 /// A stored table.
 ///
 /// Rows are keyed by [`TupleId`] in a `BTreeMap`, giving deterministic scan
-/// order and cheap structural cloning for snapshots.
+/// order; the map lives behind an `Arc` so snapshots are refcount bumps and
+/// mutation copies only the touched table (copy-on-write).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
-    schema: TableSchema,
-    rows: BTreeMap<TupleId, Row>,
+    schema: Arc<TableSchema>,
+    core: Arc<TableCore>,
+}
+
+/// Digest of one row's contents as it enters the multiset combination.
+///
+/// The raw FNV digest is passed through [`mix64`] so the wrapping-sum
+/// combination in [`TableCore::content`] is collision-resistant against the
+/// regular structure of short rows.
+#[inline]
+fn row_entry_digest(row: &Row) -> u64 {
+    let mut h = Fnv64::new();
+    row.as_slice().digest_into(&mut h);
+    mix64(h.finish())
 }
 
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
         Table {
-            schema,
-            rows: BTreeMap::new(),
+            schema: Arc::new(schema),
+            core: Arc::new(TableCore {
+                rows: BTreeMap::new(),
+                content: 0,
+            }),
         }
     }
 
@@ -39,12 +72,18 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.core.rows.len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.core.rows.is_empty()
+    }
+
+    /// Whether this handle shares its row storage with another handle
+    /// (diagnostic; used by the CoW tests).
+    pub fn shares_storage_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     /// Inserts a row under a caller-allocated id.
@@ -52,36 +91,51 @@ impl Table {
     /// The id must be fresh; [`crate::Database`] allocates ids globally.
     pub fn insert(&mut self, id: TupleId, row: Row) -> Result<(), StorageError> {
         self.schema.check_row(&row)?;
-        if self.rows.contains_key(&id) {
+        if self.core.rows.contains_key(&id) {
             return Err(StorageError::DuplicateTupleId {
                 table: self.schema.name.clone(),
                 id,
             });
         }
-        self.rows.insert(id, row);
+        let entry = row_entry_digest(&row);
+        let core = Arc::make_mut(&mut self.core);
+        core.rows.insert(id, row);
+        core.content = core.content.wrapping_add(entry);
         Ok(())
     }
 
     /// Deletes a row, returning its final values.
     pub fn delete(&mut self, id: TupleId) -> Result<Row, StorageError> {
-        self.rows
-            .remove(&id)
-            .ok_or_else(|| StorageError::NoSuchTuple {
+        if !self.core.rows.contains_key(&id) {
+            return Err(StorageError::NoSuchTuple {
                 table: self.schema.name.clone(),
                 id,
-            })
+            });
+        }
+        let core = Arc::make_mut(&mut self.core);
+        let old = core.rows.remove(&id).expect("presence checked above");
+        core.content = core.content.wrapping_sub(row_entry_digest(&old));
+        Ok(old)
     }
 
     /// Replaces a row's values wholesale, returning the old values.
     pub fn update(&mut self, id: TupleId, row: Row) -> Result<Row, StorageError> {
         self.schema.check_row(&row)?;
-        match self.rows.get_mut(&id) {
-            Some(slot) => Ok(std::mem::replace(slot, row)),
-            None => Err(StorageError::NoSuchTuple {
+        if !self.core.rows.contains_key(&id) {
+            return Err(StorageError::NoSuchTuple {
                 table: self.schema.name.clone(),
                 id,
-            }),
+            });
         }
+        let entry = row_entry_digest(&row);
+        let core = Arc::make_mut(&mut self.core);
+        let slot = core.rows.get_mut(&id).expect("presence checked above");
+        let old = std::mem::replace(slot, row);
+        core.content = core
+            .content
+            .wrapping_sub(row_entry_digest(&old))
+            .wrapping_add(entry);
+        Ok(old)
     }
 
     /// Updates one column of a row, returning the previous full row.
@@ -99,61 +153,82 @@ impl Table {
                 column: column.to_owned(),
             })?;
         self.schema.columns[idx].check(&self.schema.name, &value)?;
-        match self.rows.get_mut(&id) {
-            Some(slot) => {
-                let old = slot.clone();
-                slot[idx] = value;
-                Ok(old)
-            }
-            None => Err(StorageError::NoSuchTuple {
+        if !self.core.rows.contains_key(&id) {
+            return Err(StorageError::NoSuchTuple {
                 table: self.schema.name.clone(),
                 id,
-            }),
+            });
         }
+        let core = Arc::make_mut(&mut self.core);
+        let slot = core.rows.get_mut(&id).expect("presence checked above");
+        let old = slot.clone();
+        slot[idx] = value;
+        core.content = core
+            .content
+            .wrapping_sub(row_entry_digest(&old))
+            .wrapping_add(row_entry_digest(slot));
+        Ok(old)
     }
 
     /// A row by id.
     pub fn get(&self, id: TupleId) -> Option<&Row> {
-        self.rows.get(&id)
+        self.core.rows.get(&id)
     }
 
     /// Whether a tuple with this id exists.
     pub fn contains(&self, id: TupleId) -> bool {
-        self.rows.contains_key(&id)
+        self.core.rows.contains_key(&id)
     }
 
     /// Iterates `(id, row)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Row)> {
-        self.rows.iter().map(|(id, row)| (*id, row))
+        self.core.rows.iter().map(|(id, row)| (*id, row))
     }
 
     /// Iterates owned [`Tuple`]s in id order.
     pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
-        self.rows
+        self.core
+            .rows
             .iter()
             .map(|(id, row)| Tuple::new(*id, row.clone()))
     }
 
     /// All tuple ids, in order.
     pub fn ids(&self) -> Vec<TupleId> {
-        self.rows.keys().copied().collect()
+        self.core.rows.keys().copied().collect()
+    }
+
+    /// The cached content digest: an order-independent multiset digest of
+    /// the row contents (ids excluded), maintained incrementally by every
+    /// mutation. O(1).
+    pub fn content_digest(&self) -> u64 {
+        self.core.content
+    }
+
+    /// Recomputes the content digest from scratch by hashing every row.
+    /// Must always equal [`Self::content_digest`] — the incremental-digest
+    /// property tests compare the two after randomized operation sequences.
+    pub fn recompute_content_digest(&self) -> u64 {
+        self.core
+            .rows
+            .values()
+            .fold(0u64, |acc, row| acc.wrapping_add(row_entry_digest(row)))
     }
 }
 
 impl CanonicalDigest for Table {
-    /// Digests the table as a **sorted multiset of rows**, deliberately
-    /// ignoring tuple ids: two database states with the same contents are
-    /// the same observable state even when different execution orders
-    /// allocated ids differently. (Tuple identity matters *within* a
-    /// transition — the net-effect algebra — never across final states.)
+    /// Digests the table as a **multiset of rows**, deliberately ignoring
+    /// tuple ids: two database states with the same contents are the same
+    /// observable state even when different execution orders allocated ids
+    /// differently. (Tuple identity matters *within* a transition — the
+    /// net-effect algebra — never across final states.)
+    ///
+    /// Reads the incrementally maintained cache: O(name length), never
+    /// O(rows).
     fn digest_into(&self, h: &mut Fnv64) {
         h.write_str(&self.schema.name);
-        h.write_usize(self.rows.len());
-        let mut rows: Vec<&Row> = self.rows.values().collect();
-        rows.sort_unstable();
-        for row in rows {
-            row.as_slice().digest_into(h);
-        }
+        h.write_usize(self.core.rows.len());
+        h.write_u64(self.core.content);
     }
 }
 
@@ -268,5 +343,77 @@ mod tests {
             .unwrap();
         let ids: Vec<_> = t.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut t = tbl();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        let snap = t.clone();
+        assert!(t.shares_storage_with(&snap));
+        // First mutation through one handle unshares it…
+        t.insert(TupleId(2), vec![Value::Int(2), Value::Null])
+            .unwrap();
+        assert!(!t.shares_storage_with(&snap));
+        // …and the snapshot still sees the old contents.
+        assert_eq!(snap.len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn failed_mutations_do_not_unshare() {
+        let mut t = tbl();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        let snap = t.clone();
+        // Every error path returns before copy-on-write triggers.
+        assert!(t
+            .insert(TupleId(1), vec![Value::Int(9), Value::Null])
+            .is_err());
+        assert!(t.delete(TupleId(77)).is_err());
+        assert!(t
+            .update(TupleId(77), vec![Value::Int(9), Value::Null])
+            .is_err());
+        assert!(t.update_column(TupleId(1), "zz", Value::Int(0)).is_err());
+        assert!(t.shares_storage_with(&snap));
+    }
+
+    #[test]
+    fn incremental_digest_matches_recompute() {
+        let mut t = tbl();
+        assert_eq!(t.content_digest(), t.recompute_content_digest());
+        t.insert(TupleId(1), vec![Value::Int(1), Value::from("x")])
+            .unwrap();
+        t.insert(TupleId(2), vec![Value::Int(2), Value::Null])
+            .unwrap();
+        assert_eq!(t.content_digest(), t.recompute_content_digest());
+        t.update(TupleId(1), vec![Value::Int(7), Value::Null])
+            .unwrap();
+        assert_eq!(t.content_digest(), t.recompute_content_digest());
+        t.update_column(TupleId(2), "a", Value::Int(9)).unwrap();
+        assert_eq!(t.content_digest(), t.recompute_content_digest());
+        t.delete(TupleId(1)).unwrap();
+        assert_eq!(t.content_digest(), t.recompute_content_digest());
+        t.delete(TupleId(2)).unwrap();
+        assert_eq!(t.content_digest(), 0);
+    }
+
+    /// The content digest ignores tuple ids and insertion order: the same
+    /// multiset of rows digests identically however it was produced.
+    #[test]
+    fn content_digest_is_id_and_order_independent() {
+        let mut a = tbl();
+        a.insert(TupleId(1), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        a.insert(TupleId(2), vec![Value::Int(2), Value::Null])
+            .unwrap();
+        let mut b = tbl();
+        b.insert(TupleId(9), vec![Value::Int(2), Value::Null])
+            .unwrap();
+        b.insert(TupleId(4), vec![Value::Int(1), Value::Null])
+            .unwrap();
+        assert_eq!(a.content_digest(), b.content_digest());
+        assert_eq!(a.digest(), b.digest());
     }
 }

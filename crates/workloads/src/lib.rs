@@ -30,6 +30,7 @@ pub mod corpus;
 pub mod fault_sweep;
 pub mod power_network;
 pub mod random;
+pub mod stress;
 pub mod versioning;
 
 pub use corpus::{corpus, CorpusEntry};

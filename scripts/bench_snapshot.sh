@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Oracle perf snapshot: runs the criterion benches in quick mode (the
+# vendored criterion stub executes each body once) and then the
+# `bench_oracle` harness, which measures exploration throughput and appends
+# an entry (states/sec, wall time per corpus case) to BENCH_oracle.json.
+#
+# Usage: scripts/bench_snapshot.sh [--smoke] [--label NAME] [--out PATH]
+#
+#   --smoke   one exploration per case — CI keep-alive mode
+#   --label   history label for the JSON entry (default: current)
+#   --out     JSON path (default: BENCH_oracle.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=()
+LABEL="current"
+OUT="BENCH_oracle.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=(--smoke); shift ;;
+    --label) LABEL="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Quick-mode criterion pass: every oracle bench body runs once, so the
+# bench code itself cannot rot.
+cargo bench -p starling-bench --bench oracle
+
+# Measured pass: throughput numbers recorded in the JSON history.
+cargo run --release -q -p starling-bench --bin bench_oracle -- \
+  "${SMOKE[@]+"${SMOKE[@]}"}" --label "$LABEL" --out "$OUT"
