@@ -22,7 +22,7 @@ use starling_engine::{explore, ExecGraph, ExploreConfig, RuleSet};
 use starling_sql::ast::{Action, Statement};
 use starling_sql::parse_statement;
 use starling_storage::{Database, Value};
-use starling_workloads::{audit, corpus, power_network, stress, CorpusEntry};
+use starling_workloads::{audit, cond_stress, corpus, power_network, stress, CorpusEntry};
 
 /// One benchmark case: a compiled rule set, an initial database, a user
 /// transition, and the exploration budget.
@@ -102,6 +102,30 @@ fn case_study_cases() -> Vec<Case> {
         });
     }
     cases
+}
+
+fn cond_cases() -> Vec<Case> {
+    // Condition-heavy cases: small graphs whose cost is dominated by rule
+    // condition evaluation over `cond_stress::BIG_ROWS` reference rows.
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
+    vec![
+        Case {
+            name: "cond/eq_join".to_owned(),
+            rules: cond_stress::join_rules(),
+            db: cond_stress::database(),
+            actions: cond_stress::user_actions(),
+            cfg,
+        },
+        Case {
+            name: "cond/scan_filter".to_owned(),
+            rules: cond_stress::filter_rules(),
+            db: cond_stress::database(),
+            actions: cond_stress::user_actions(),
+            cfg,
+        },
+    ]
 }
 
 fn stress_case() -> Case {
@@ -230,6 +254,7 @@ fn main() {
 
     let mut cases = corpus_cases();
     cases.extend(case_study_cases());
+    cases.extend(cond_cases());
     cases.push(stress_case());
 
     let mut measurements = Vec::new();

@@ -7,7 +7,11 @@
 //! (*quiescence*), a rollback occurs, or the consideration limit is hit
 //! (possible nontermination).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
 use starling_sql::eval::{exec_action, ActionOutcome};
+use starling_sql::plan::{eval_condition, execute_action};
 use starling_storage::Database;
 
 use crate::budget::{Budget, TruncationReason};
@@ -17,6 +21,30 @@ use crate::ops::TupleOp;
 use crate::ruleset::{RuleId, RuleSet};
 use crate::state::ExecState;
 use crate::strategy::ChoiceStrategy;
+
+/// Whether rule evaluation must bypass compiled plans and re-interpret the
+/// raw ASTs (the differential-oracle escape hatch).
+///
+/// Controlled by the `STARLING_FORCE_INTERP` environment variable (any
+/// non-empty value other than `0`), read once per process. The differential
+/// tests flip the in-process override instead so both paths can run in one
+/// process.
+pub fn force_interp() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    FORCE_INTERP_OVERRIDE.load(Ordering::Relaxed)
+        || *FROM_ENV.get_or_init(|| {
+            std::env::var("STARLING_FORCE_INTERP").is_ok_and(|v| !v.is_empty() && v != "0")
+        })
+}
+
+static FORCE_INTERP_OVERRIDE: AtomicBool = AtomicBool::new(false);
+
+/// Test-only switch forcing interpreter evaluation process-wide, without
+/// touching the environment. Not part of the public API contract.
+#[doc(hidden)]
+pub fn set_force_interp_for_tests(on: bool) {
+    FORCE_INTERP_OVERRIDE.store(on, Ordering::Relaxed);
+}
 
 /// Record of one rule consideration.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,16 +120,21 @@ pub struct StepOutcome {
 /// action machinery entirely.
 pub fn rule_fires(rules: &RuleSet, state: &ExecState, id: RuleId) -> Result<bool, EngineError> {
     let rule = rules.get(id);
-    match &rule.def.condition {
-        None => Ok(true),
-        Some(cond) => {
+    match (&rule.def.condition, &rule.plan.condition) {
+        (None, _) => Ok(true),
+        (Some(cond), plan) => {
             let binding = state.transition_binding(rules, id);
-            let ctx = starling_sql::eval::EvalCtx {
-                db: &state.db,
-                transitions: Some(&binding),
+            let v = match plan {
+                Some(plan) if !force_interp() => eval_condition(plan, &state.db, Some(&binding))?,
+                _ => {
+                    let ctx = starling_sql::eval::EvalCtx {
+                        db: &state.db,
+                        transitions: Some(&binding),
+                    };
+                    let mut env = starling_sql::eval::Env::new(&ctx);
+                    starling_sql::eval::expr::eval_bool(cond, &mut env)?
+                }
             };
-            let mut env = starling_sql::eval::Env::new(&ctx);
-            let v = starling_sql::eval::expr::eval_bool(cond, &mut env)?;
             Ok(starling_sql::eval::expr::is_true(&v))
         }
     }
@@ -165,8 +198,14 @@ pub fn consider_fired_rule(
         ops: std::collections::BTreeSet::new(),
     };
 
-    for action in &rule.def.actions {
-        match exec_action(action, &mut state.db, Some(&binding))? {
+    let use_plans = !force_interp();
+    for (action, plan) in rule.def.actions.iter().zip(&rule.plan.actions) {
+        let acted = if use_plans {
+            execute_action(plan, &mut state.db, Some(&binding))?
+        } else {
+            exec_action(action, &mut state.db, Some(&binding))?
+        };
+        match acted {
             ActionOutcome::Effects(fx) => {
                 let ops: Vec<TupleOp> = fx.into_iter().map(TupleOp::from).collect();
                 for op in &ops {

@@ -20,7 +20,7 @@ impl fmt::Display for RuleId {
     }
 }
 
-/// A validated rule with its precomputed static signature.
+/// A validated rule with its precomputed static signature and physical plan.
 #[derive(Clone, Debug)]
 pub struct CompiledRule {
     /// Index in the rule set.
@@ -29,6 +29,9 @@ pub struct CompiledRule {
     pub def: RuleDef,
     /// `Triggered-By` / `Performs` / `Reads` / `Observable` (Section 3).
     pub sig: RuleSignature,
+    /// Compiled condition/action plans (see [`starling_sql::plan`]),
+    /// built once here and evaluated on every consideration.
+    pub plan: starling_sql::plan::RulePlan,
 }
 
 impl CompiledRule {
@@ -79,10 +82,12 @@ impl RuleSet {
             for fl in &def.follows {
                 edges.push((resolve(fl)?.0, i));
             }
+            let plan = starling_sql::plan::compile_rule(def, catalog);
             rules.push(CompiledRule {
                 id: RuleId(i),
                 def: def.clone(),
                 sig,
+                plan,
             });
         }
 

@@ -25,16 +25,7 @@ pub fn eval_expr(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
             .map(|(v, _)| v)
             .ok_or_else(|| SqlError::eval(format!("cannot resolve column `{c}`"))),
         Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, env),
-        Expr::Neg(x) => match eval_expr(x, env)? {
-            Value::Null => Ok(Value::Null),
-            Value::Int(i) => {
-                Ok(Value::Int(i.checked_neg().ok_or_else(|| {
-                    SqlError::eval("integer overflow in negation")
-                })?))
-            }
-            Value::Float(f) => Ok(Value::Float(-f)),
-            v => Err(SqlError::eval(format!("cannot negate {v}"))),
-        },
+        Expr::Neg(x) => neg_value(eval_expr(x, env)?),
         Expr::Not(x) => Ok(not3(eval_bool(x, env)?)),
         Expr::IsNull { expr, negated } => {
             let v = eval_expr(expr, env)?;
@@ -103,15 +94,7 @@ pub fn eval_expr(e: &Expr, env: &mut Env<'_>) -> Result<Value, SqlError> {
         } => {
             let v = eval_expr(expr, env)?;
             let p = eval_expr(pattern, env)?;
-            match (v, p) {
-                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (Value::Str(s), Value::Str(pat)) => {
-                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
-                }
-                (a, b) => Err(SqlError::eval(format!(
-                    "LIKE requires strings, got {a} and {b}"
-                ))),
-            }
+            like_values(v, p, *negated)
         }
         Expr::Exists(sub) => {
             let rs = select::eval_select(sub, env)?;
@@ -164,21 +147,7 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env<'_>) -> Result<V
         op if op.is_comparison() => {
             let l = eval_expr(lhs, env)?;
             let r = eval_expr(rhs, env)?;
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
-            }
-            let Some(ord) = l.sql_cmp(&r) else {
-                return Err(SqlError::eval(format!("cannot compare {l} with {r}")));
-            };
-            let b = match op {
-                BinOp::Eq => ord == Ordering::Equal,
-                BinOp::Ne => ord != Ordering::Equal,
-                BinOp::Lt => ord == Ordering::Less,
-                BinOp::Le => ord != Ordering::Greater,
-                BinOp::Gt => ord == Ordering::Greater,
-                _ => ord != Ordering::Less, // Ge
-            };
-            Ok(Value::Bool(b))
+            compare_values(op, &l, &r)
         }
         op => {
             // Arithmetic.
@@ -192,7 +161,52 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env<'_>) -> Result<V
     }
 }
 
-fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+/// Unary minus on an evaluated operand (shared with the plan executor).
+pub(crate) fn neg_value(v: Value) -> Result<Value, SqlError> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => {
+            Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                SqlError::eval("integer overflow in negation")
+            })?))
+        }
+        Value::Float(f) => Ok(Value::Float(-f)),
+        v => Err(SqlError::eval(format!("cannot negate {v}"))),
+    }
+}
+
+/// `LIKE` on evaluated operands (shared with the plan executor).
+pub(crate) fn like_values(v: Value, p: Value, negated: bool) -> Result<Value, SqlError> {
+    match (v, p) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Str(s), Value::Str(pat)) => Ok(Value::Bool(like_match(&s, &pat) != negated)),
+        (a, b) => Err(SqlError::eval(format!(
+            "LIKE requires strings, got {a} and {b}"
+        ))),
+    }
+}
+
+/// A comparison operator on evaluated operands (shared with the plan
+/// executor): `NULL` operands yield unknown, incomparable values error.
+pub(crate) fn compare_values(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let Some(ord) = l.sql_cmp(r) else {
+        return Err(SqlError::eval(format!("cannot compare {l} with {r}")));
+    };
+    let b = match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        _ => ord != Ordering::Less, // Ge
+    };
+    Ok(Value::Bool(b))
+}
+
+pub(crate) fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => {
             let a = *a;
@@ -248,11 +262,11 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
 }
 
 /// SQL equality as a 3VL primitive.
-fn sql_eq(a: &Value, b: &Value) -> Option<bool> {
+pub(crate) fn sql_eq(a: &Value, b: &Value) -> Option<bool> {
     a.sql_cmp(b).map(|o| o == Ordering::Equal)
 }
 
-fn cmp_bool(a: &Value, b: &Value, f: impl Fn(Ordering) -> bool) -> Value {
+pub(crate) fn cmp_bool(a: &Value, b: &Value, f: impl Fn(Ordering) -> bool) -> Value {
     match a.sql_cmp(b) {
         Some(o) => Value::Bool(f(o)),
         None => Value::Null,
@@ -285,7 +299,7 @@ pub fn not3(a: Value) -> Value {
     }
 }
 
-fn in_result(found: bool, any_unknown: bool, negated: bool) -> Value {
+pub(crate) fn in_result(found: bool, any_unknown: bool, negated: bool) -> Value {
     let base = if found {
         Value::Bool(true)
     } else if any_unknown {

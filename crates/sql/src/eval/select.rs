@@ -117,10 +117,12 @@ pub fn eval_select(s: &SelectStmt, env: &mut Env<'_>) -> Result<ResultSet, SqlEr
         let mut kept_rows = Vec::with_capacity(rows.len());
         let mut kept_keys = Vec::with_capacity(rows.len());
         for (row, key) in rows.into_iter().zip(sort_keys) {
-            if seen.insert(row.clone()) {
-                kept_rows.push(row);
-                kept_keys.push(key);
+            if seen.contains(&row) {
+                continue;
             }
+            seen.insert(row.clone());
+            kept_rows.push(row);
+            kept_keys.push(key);
         }
         rows = kept_rows;
         sort_keys = kept_keys;
@@ -140,7 +142,12 @@ pub fn eval_select(s: &SelectStmt, env: &mut Env<'_>) -> Result<ResultSet, SqlEr
             }
             std::cmp::Ordering::Equal
         });
-        rows = indexed.into_iter().map(|i| rows[i].clone()).collect();
+        // Apply the permutation by moving rows out (each index appears
+        // exactly once), not by cloning every row.
+        rows = indexed
+            .into_iter()
+            .map(|i| std::mem::take(&mut rows[i]))
+            .collect();
     }
 
     Ok(ResultSet { columns, rows })

@@ -62,6 +62,7 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod refs;
 pub mod token;
 pub mod validate;

@@ -1,0 +1,918 @@
+//! Lowering validated ASTs into physical plans.
+//!
+//! Compilation is total: any construct outside the compilable subset makes
+//! the enclosing unit (select, condition, or whole action) fall back to an
+//! `Interp` node carrying the original AST, so plan execution is *always*
+//! semantically the interpreter — just faster on the common paths.
+
+use std::collections::BTreeSet;
+
+use starling_storage::{Catalog, Database, Value, ValueType};
+
+use crate::ast::{Action, BinOp, Expr, InsertSource, RuleDef, SelectItem, SelectStmt, TableRef};
+use crate::eval::env::{Env, EvalCtx};
+use crate::eval::expr::eval_expr;
+use crate::eval::select::contains_aggregate;
+
+use super::{
+    ActionPlan, CompiledSelect, CondPlan, DeletePlan, InsertPlan, InsertSourcePlan, JoinKey, PExpr,
+    RulePlan, SelectPlan, Slot, SourceMeta, SourcePlan, UpdatePlan,
+};
+
+/// Compiles a whole rule: condition plus every action. Never fails — units
+/// outside the compilable subset become `Interp` fallbacks.
+pub fn compile_rule(def: &RuleDef, catalog: &Catalog) -> RulePlan {
+    RulePlan {
+        condition: def
+            .condition
+            .as_ref()
+            .map(|e| compile_condition(e, catalog, Some(&def.table))),
+        actions: def
+            .actions
+            .iter()
+            .map(|a| compile_action(a, catalog, Some(&def.table)))
+            .collect(),
+    }
+}
+
+/// Compiles a boolean condition expression (evaluated with no row scope).
+pub fn compile_condition(e: &Expr, catalog: &Catalog, rule_table: Option<&str>) -> CondPlan {
+    let mut c = Compiler::new(catalog, rule_table);
+    match c.compile_expr(e) {
+        Ok((pred, _)) => CondPlan::Compiled {
+            pred,
+            cache_slots: c.caches,
+        },
+        Err(Bail) => CondPlan::Interp(e.clone()),
+    }
+}
+
+/// Compiles one action statement.
+pub fn compile_action(a: &Action, catalog: &Catalog, rule_table: Option<&str>) -> ActionPlan {
+    let mut c = Compiler::new(catalog, rule_table);
+    match c.compile_action_inner(a) {
+        Ok(plan) => plan,
+        Err(Bail) => ActionPlan::Interp(a.clone()),
+    }
+}
+
+/// Compiles a standalone select; returns the plan and its cache-slot count.
+pub fn compile_select(
+    s: &SelectStmt,
+    catalog: &Catalog,
+    rule_table: Option<&str>,
+) -> (SelectPlan, usize) {
+    let mut c = Compiler::new(catalog, rule_table);
+    let (plan, _, _) = c.compile_subquery(s);
+    (plan, c.caches)
+}
+
+/// Marker for "outside the compilable subset": the enclosing unit falls
+/// back to the interpreter.
+struct Bail;
+
+type CResult<T> = Result<T, Bail>;
+
+/// Static type of a compiled expression: `X` means "a value of variant `X`
+/// or NULL at runtime"; `Null` means always NULL; `Any` means unknown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum STy {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Null,
+    Any,
+}
+
+impl STy {
+    fn of_value(v: &Value) -> STy {
+        match v {
+            Value::Null => STy::Null,
+            Value::Bool(_) => STy::Bool,
+            Value::Int(_) => STy::Int,
+            Value::Float(_) => STy::Float,
+            Value::Str(_) => STy::Str,
+        }
+    }
+
+    fn of_decl(ty: ValueType) -> STy {
+        match ty {
+            ValueType::Bool => STy::Bool,
+            ValueType::Int => STy::Int,
+            // A Float column accepts Int values too, so its static type is
+            // only "numeric" — which `Any` approximates conservatively for
+            // join-key purposes; comparisons still see it as numeric below.
+            ValueType::Float => STy::Float,
+            ValueType::Str => STy::Str,
+        }
+    }
+
+    fn is_numeric(self) -> bool {
+        matches!(self, STy::Int | STy::Float)
+    }
+
+    /// Whether `sql_cmp` between these static types can never fail.
+    fn comparable(self, other: STy) -> bool {
+        if self == STy::Null || other == STy::Null {
+            return true;
+        }
+        if self == STy::Any || other == STy::Any {
+            return false;
+        }
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+
+    /// Whether a value of this type always passes `eval_bool`.
+    fn boolish(self) -> bool {
+        matches!(self, STy::Bool | STy::Null)
+    }
+}
+
+/// Static facts about a compiled expression.
+struct Info {
+    /// Resolved column references as (absolute scope index, source index).
+    refs: BTreeSet<(usize, usize)>,
+    /// Whether the expression may reference anything (an `Interp` subplan
+    /// whose references are unknown).
+    refs_all: bool,
+    /// Static result type.
+    ty: STy,
+    /// Whether evaluation can never raise an error.
+    infallible: bool,
+}
+
+impl Info {
+    fn constant(ty: STy) -> Info {
+        Info {
+            refs: BTreeSet::new(),
+            refs_all: false,
+            ty,
+            infallible: true,
+        }
+    }
+
+    /// Absorbs a subexpression's references and fallibility (type is set by
+    /// the caller).
+    fn absorb(&mut self, other: &Info) {
+        self.refs.extend(other.refs.iter().copied());
+        self.refs_all |= other.refs_all;
+        self.infallible &= other.infallible;
+    }
+}
+
+struct Compiler<'c> {
+    catalog: &'c Catalog,
+    rule_table: Option<&'c str>,
+    /// Scope stack mirroring the evaluator's frame stack, outermost first.
+    scopes: Vec<Vec<SourceMeta>>,
+    /// Subquery cache slots allocated so far in the current unit.
+    caches: usize,
+    /// Empty database for constant folding via the interpreter.
+    scratch: Database,
+}
+
+impl<'c> Compiler<'c> {
+    fn new(catalog: &'c Catalog, rule_table: Option<&'c str>) -> Self {
+        Compiler {
+            catalog,
+            rule_table,
+            scopes: Vec::new(),
+            caches: 0,
+            scratch: Database::new(),
+        }
+    }
+
+    /// Resolves a column reference exactly as `Env::lookup` would,
+    /// innermost scope first. Returns the slot, its static type, and the
+    /// absolute scope index it resolved in.
+    fn resolve(&self, qualifier: Option<&str>, column: &str) -> CResult<(Slot, STy, usize)> {
+        for (abs, scope) in self.scopes.iter().enumerate().rev() {
+            let depth = self.scopes.len() - 1 - abs;
+            match qualifier {
+                Some(q) => {
+                    if let Some((si, m)) = scope.iter().enumerate().find(|(_, m)| m.name == q) {
+                        // `Env::lookup` stops at a name match even when the
+                        // column is absent (runtime error) — mirror by
+                        // bailing to the interpreter.
+                        let schema = self.catalog.table(&m.table).map_err(|_| Bail)?;
+                        let col = schema.column_index(column).ok_or(Bail)?;
+                        let ty = STy::of_decl(schema.columns[col].ty);
+                        return Ok((
+                            Slot {
+                                depth,
+                                source: si,
+                                col,
+                            },
+                            ty,
+                            abs,
+                        ));
+                    }
+                }
+                None => {
+                    let mut found = None;
+                    for (si, m) in scope.iter().enumerate() {
+                        let Ok(schema) = self.catalog.table(&m.table) else {
+                            continue;
+                        };
+                        if let Some(col) = schema.column_index(column) {
+                            if found.is_some() {
+                                return Err(Bail); // ambiguous
+                            }
+                            found = Some((si, col, STy::of_decl(schema.columns[col].ty)));
+                        }
+                    }
+                    if let Some((si, col, ty)) = found {
+                        return Ok((
+                            Slot {
+                                depth,
+                                source: si,
+                                col,
+                            },
+                            ty,
+                            abs,
+                        ));
+                    }
+                }
+            }
+        }
+        Err(Bail)
+    }
+
+    /// Tries to fold a node whose operands are all constants by evaluating
+    /// the equivalent literal AST with the interpreter. Nodes that error at
+    /// compile time are kept unfolded so the error still surfaces (in the
+    /// same place) at runtime.
+    fn fold(&self, synth: Expr, unfolded: PExpr) -> (PExpr, Option<Value>) {
+        let ctx = EvalCtx {
+            db: &self.scratch,
+            transitions: None,
+        };
+        let mut env = Env::new(&ctx);
+        match eval_expr(&synth, &mut env) {
+            Ok(v) => (PExpr::Const(v.clone()), Some(v)),
+            Err(_) => (unfolded, None),
+        }
+    }
+
+    fn compile_expr(&mut self, e: &Expr) -> CResult<(PExpr, Info)> {
+        match e {
+            Expr::Literal(v) => Ok((PExpr::Const(v.clone()), Info::constant(STy::of_value(v)))),
+            Expr::Column(c) => {
+                let (slot, ty, abs) = self.resolve(c.qualifier.as_deref(), &c.column)?;
+                let mut info = Info::constant(ty);
+                info.refs.insert((abs, slot.source));
+                Ok((PExpr::Slot(slot), info))
+            }
+            Expr::Binary { op, lhs, rhs } => self.compile_binary(*op, lhs, rhs),
+            Expr::Neg(x) => {
+                let (px, xi) = self.compile_expr(x)?;
+                let ty = match xi.ty {
+                    STy::Int => STy::Int,
+                    STy::Float => STy::Float,
+                    STy::Null => STy::Null,
+                    _ => STy::Any,
+                };
+                let mut info = Info::constant(ty);
+                info.absorb(&xi);
+                // Int negation can overflow; Float and Null cannot fail.
+                info.infallible &= matches!(xi.ty, STy::Float | STy::Null);
+                if let PExpr::Const(v) = &px {
+                    let synth = Expr::Neg(Box::new(Expr::Literal(v.clone())));
+                    let (folded, fv) = self.fold(synth, PExpr::Neg(Box::new(px.clone())));
+                    if let Some(v) = fv {
+                        return Ok((folded, Info::constant(STy::of_value(&v))));
+                    }
+                    return Ok((folded, info));
+                }
+                Ok((PExpr::Neg(Box::new(px)), info))
+            }
+            Expr::Not(x) => {
+                let (px, xi) = self.compile_expr(x)?;
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&xi);
+                info.infallible &= xi.ty.boolish();
+                if let PExpr::Const(v) = &px {
+                    let synth = Expr::Not(Box::new(Expr::Literal(v.clone())));
+                    let (folded, fv) = self.fold(synth, PExpr::Not(Box::new(px.clone())));
+                    if let Some(v) = fv {
+                        return Ok((folded, Info::constant(STy::of_value(&v))));
+                    }
+                    return Ok((folded, info));
+                }
+                Ok((PExpr::Not(Box::new(px)), info))
+            }
+            Expr::IsNull { expr, negated } => {
+                let (px, xi) = self.compile_expr(expr)?;
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&xi);
+                if let PExpr::Const(v) = &px {
+                    return Ok((
+                        PExpr::Const(Value::Bool(v.is_null() != *negated)),
+                        Info::constant(STy::Bool),
+                    ));
+                }
+                Ok((
+                    PExpr::IsNull {
+                        expr: Box::new(px),
+                        negated: *negated,
+                    },
+                    info,
+                ))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let (pe, ei) = self.compile_expr(expr)?;
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&ei);
+                let mut plist = Vec::with_capacity(list.len());
+                for item in list {
+                    let (pi, ii) = self.compile_expr(item)?;
+                    info.infallible &= ei.ty.comparable(ii.ty);
+                    info.absorb(&ii);
+                    plist.push(pi);
+                }
+                Ok((
+                    PExpr::InList {
+                        expr: Box::new(pe),
+                        list: plist,
+                        negated: *negated,
+                    },
+                    info,
+                ))
+            }
+            Expr::InSelect {
+                expr,
+                select,
+                negated,
+            } => {
+                let (pe, ei) = self.compile_expr(expr)?;
+                let (plan, tys, si) = self.compile_subquery(select);
+                let cache = self.alloc_cache(&si);
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&ei);
+                info.absorb(&si);
+                info.infallible &=
+                    tys.len() == 1 && ei.ty.comparable(tys[0]) && compiled_infallible(&plan);
+                Ok((
+                    PExpr::InSelect {
+                        expr: Box::new(pe),
+                        select: Box::new(plan),
+                        negated: *negated,
+                        cache,
+                    },
+                    info,
+                ))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let (pe, ei) = self.compile_expr(expr)?;
+                let (pl, li) = self.compile_expr(low)?;
+                let (ph, hi) = self.compile_expr(high)?;
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&ei);
+                info.absorb(&li);
+                info.absorb(&hi);
+                info.infallible &= ei.ty.comparable(li.ty) && ei.ty.comparable(hi.ty);
+                Ok((
+                    PExpr::Between {
+                        expr: Box::new(pe),
+                        low: Box::new(pl),
+                        high: Box::new(ph),
+                        negated: *negated,
+                    },
+                    info,
+                ))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let (pe, ei) = self.compile_expr(expr)?;
+                let (pp, pi) = self.compile_expr(pattern)?;
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&ei);
+                info.absorb(&pi);
+                info.infallible &=
+                    matches!(ei.ty, STy::Str | STy::Null) && matches!(pi.ty, STy::Str | STy::Null);
+                Ok((
+                    PExpr::Like {
+                        expr: Box::new(pe),
+                        pattern: Box::new(pp),
+                        negated: *negated,
+                    },
+                    info,
+                ))
+            }
+            Expr::Exists(select) => {
+                let (plan, _, si) = self.compile_subquery(select);
+                let cache = self.alloc_cache(&si);
+                let mut info = Info::constant(STy::Bool);
+                info.absorb(&si);
+                info.infallible &= compiled_infallible(&plan);
+                Ok((
+                    PExpr::Exists {
+                        select: Box::new(plan),
+                        cache,
+                    },
+                    info,
+                ))
+            }
+            Expr::ScalarSubquery(select) => {
+                let (plan, tys, si) = self.compile_subquery(select);
+                let cache = self.alloc_cache(&si);
+                let mut info = Info::constant(tys.first().copied().unwrap_or(STy::Any));
+                info.absorb(&si);
+                // More than one result row is a runtime error, so a scalar
+                // subquery is never statically infallible.
+                info.infallible = false;
+                Ok((
+                    PExpr::Scalar {
+                        select: Box::new(plan),
+                        cache,
+                    },
+                    info,
+                ))
+            }
+            Expr::Aggregate { .. } => Err(Bail),
+        }
+    }
+
+    fn compile_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> CResult<(PExpr, Info)> {
+        let (pl, li) = self.compile_expr(lhs)?;
+        // Short-circuit folds that are exact under 3VL evaluation order:
+        // a FALSE (resp. TRUE) left operand returns before the right
+        // operand is ever evaluated, so the right side can be dropped.
+        if op == BinOp::And {
+            if let PExpr::Const(Value::Bool(false)) = pl {
+                return Ok((PExpr::Const(Value::Bool(false)), Info::constant(STy::Bool)));
+            }
+        }
+        if op == BinOp::Or {
+            if let PExpr::Const(Value::Bool(true)) = pl {
+                return Ok((PExpr::Const(Value::Bool(true)), Info::constant(STy::Bool)));
+            }
+        }
+        let (pr, ri) = self.compile_expr(rhs)?;
+
+        let ty = if matches!(op, BinOp::And | BinOp::Or) || op.is_comparison() {
+            STy::Bool
+        } else {
+            arith_ty(li.ty, ri.ty)
+        };
+        let mut info = Info::constant(ty);
+        info.absorb(&li);
+        info.absorb(&ri);
+        info.infallible &= if matches!(op, BinOp::And | BinOp::Or) {
+            li.ty.boolish() && ri.ty.boolish()
+        } else if op.is_comparison() {
+            li.ty.comparable(ri.ty)
+        } else {
+            // Arithmetic can overflow or divide by zero.
+            false
+        };
+
+        if let (PExpr::Const(a), PExpr::Const(b)) = (&pl, &pr) {
+            let synth = Expr::bin(op, Expr::Literal(a.clone()), Expr::Literal(b.clone()));
+            let unfolded = PExpr::Binary {
+                op,
+                lhs: Box::new(pl.clone()),
+                rhs: Box::new(pr.clone()),
+            };
+            let (folded, fv) = self.fold(synth, unfolded);
+            if let Some(v) = fv {
+                return Ok((folded, Info::constant(STy::of_value(&v))));
+            }
+            return Ok((folded, info));
+        }
+        Ok((
+            PExpr::Binary {
+                op,
+                lhs: Box::new(pl),
+                rhs: Box::new(pr),
+            },
+            info,
+        ))
+    }
+
+    /// Allocates a cache slot for a subquery that cannot observe any
+    /// enclosing row scope (its result is fixed for a whole statement
+    /// execution).
+    fn alloc_cache(&mut self, si: &Info) -> Option<usize> {
+        if si.refs.is_empty() && !si.refs_all {
+            let slot = self.caches;
+            self.caches += 1;
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
+    /// Compiles a subquery, falling back to `Interp` on `Bail`. Returns the
+    /// plan, the static types of its output columns (empty for `Interp`),
+    /// and an `Info` describing references to *enclosing* scopes.
+    fn compile_subquery(&mut self, s: &SelectStmt) -> (SelectPlan, Vec<STy>, Info) {
+        match self.compile_select_inner(s) {
+            Ok((cs, tys, info)) => (SelectPlan::Compiled(cs), tys, info),
+            Err(Bail) => {
+                // The interpreter resolves names dynamically, so an Interp
+                // subplan may reference anything and fail in any way.
+                let info = Info {
+                    refs: BTreeSet::new(),
+                    refs_all: true,
+                    ty: STy::Any,
+                    infallible: false,
+                };
+                (SelectPlan::Interp(s.clone()), Vec::new(), info)
+            }
+        }
+    }
+
+    fn compile_select_inner(
+        &mut self,
+        s: &SelectStmt,
+    ) -> CResult<(CompiledSelect, Vec<STy>, Info)> {
+        // Grouped and aggregate selects keep the interpreter's dedicated
+        // machinery.
+        let aggregated = s.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+            SelectItem::Wildcard => false,
+        });
+        if aggregated
+            || !s.group_by.is_empty()
+            || s.having.is_some()
+            || s.order_by.iter().any(|o| contains_aggregate(&o.expr))
+        {
+            return Err(Bail);
+        }
+
+        // Sources and binding metadata.
+        let mut metas = Vec::with_capacity(s.from.len());
+        let mut sources = Vec::with_capacity(s.from.len());
+        for item in &s.from {
+            let (table, sref) = match &item.table {
+                TableRef::Base(t) => {
+                    self.catalog.table(t).map_err(|_| Bail)?;
+                    (t.clone(), super::SourceRef::Base(t.clone()))
+                }
+                TableRef::Transition(tt) => {
+                    let table = self.rule_table.ok_or(Bail)?.to_owned();
+                    self.catalog.table(&table).map_err(|_| Bail)?;
+                    (table, super::SourceRef::Transition(*tt))
+                }
+            };
+            metas.push(SourceMeta {
+                name: item.binding().to_owned(),
+                table,
+            });
+            sources.push(SourcePlan {
+                sref,
+                pushed: Vec::new(),
+                join: None,
+            });
+        }
+
+        // Output column names (mirrors `output_columns`).
+        let mut columns = Vec::new();
+        for (i, item) in s.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for m in &metas {
+                        let schema = self.catalog.table(&m.table).map_err(|_| Bail)?;
+                        columns.extend(schema.column_names().map(str::to_owned));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => columns.push(match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column(c) => c.column.clone(),
+                        _ => format!("col{}", i + 1),
+                    },
+                }),
+            }
+        }
+
+        self.scopes.push(metas.clone());
+        let my_abs = self.scopes.len() - 1;
+        let body = self.compile_select_body(s, my_abs, metas, sources, columns);
+        self.scopes.pop();
+        let (cs, tys, mut info) = body?;
+        // References to this select's own scope are satisfied internally;
+        // only outer references propagate.
+        info.refs.retain(|(abs, _)| *abs < my_abs);
+        Ok((cs, tys, info))
+    }
+
+    /// The scoped part of select compilation (the caller pushes and pops
+    /// the scope around this, on success and failure alike).
+    fn compile_select_body(
+        &mut self,
+        s: &SelectStmt,
+        my_abs: usize,
+        metas: Vec<SourceMeta>,
+        mut sources: Vec<SourcePlan>,
+        columns: Vec<String>,
+    ) -> CResult<(CompiledSelect, Vec<STy>, Info)> {
+        let mut info = Info::constant(STy::Any);
+
+        // Projection, with wildcards pre-expanded into slots.
+        let mut proj = Vec::new();
+        let mut tys = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (si, m) in metas.iter().enumerate() {
+                        let schema = self.catalog.table(&m.table).map_err(|_| Bail)?;
+                        for col in 0..schema.arity() {
+                            proj.push(PExpr::Slot(Slot {
+                                depth: 0,
+                                source: si,
+                                col,
+                            }));
+                            tys.push(STy::of_decl(schema.columns[col].ty));
+                            info.refs.insert((my_abs, si));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, .. } => {
+                    let (pe, ei) = self.compile_expr(expr)?;
+                    tys.push(ei.ty);
+                    info.absorb(&ei);
+                    proj.push(pe);
+                }
+            }
+        }
+
+        // WHERE: flatten the AND-tree into conjuncts. When every conjunct
+        // is infallible *and* statically boolean, no conjunct can ever
+        // raise (not even `eval_bool`'s type error), so reordering cannot
+        // change results (keep-iff-all-TRUE is order-independent without
+        // errors) and each conjunct is pushed to the earliest point it can
+        // run; otherwise the whole clause stays a single leaf filter in
+        // original order.
+        let mut pre = Vec::new();
+        let mut filter = None;
+        if let Some(w) = &s.where_clause {
+            let mut conjuncts = Vec::new();
+            flatten_and(w, &mut conjuncts);
+            let mut compiled = Vec::with_capacity(conjuncts.len());
+            for c in &conjuncts {
+                compiled.push(self.compile_expr(c)?);
+            }
+            for (_, ci) in &compiled {
+                info.absorb(ci);
+            }
+            if compiled
+                .iter()
+                .all(|(_, ci)| ci.infallible && ci.ty.boolish())
+            {
+                for (pc, ci) in compiled {
+                    let last_local = ci
+                        .refs
+                        .iter()
+                        .filter(|(abs, _)| *abs == my_abs)
+                        .map(|(_, si)| *si)
+                        .max();
+                    match last_local {
+                        None => pre.push(pc),
+                        Some(si) => {
+                            if sources[si].join.is_none() {
+                                sources[si].join = self.detect_join(&pc, si);
+                            }
+                            sources[si].pushed.push(pc);
+                        }
+                    }
+                }
+            } else {
+                // Left-fold reassembly preserves the original leaf
+                // evaluation order and short-circuit points exactly.
+                let mut it = compiled.into_iter().map(|(pc, _)| pc);
+                let first = it.next().expect("where clause has a conjunct");
+                filter = Some(it.fold(first, |acc, pc| PExpr::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(acc),
+                    rhs: Box::new(pc),
+                }));
+            }
+        }
+
+        let mut order_by = Vec::with_capacity(s.order_by.len());
+        for o in &s.order_by {
+            let (pe, ei) = self.compile_expr(&o.expr)?;
+            info.absorb(&ei);
+            order_by.push((pe, o.desc));
+        }
+
+        let cs = CompiledSelect {
+            sources,
+            metas,
+            pre,
+            filter,
+            proj,
+            distinct: s.distinct,
+            order_by,
+            columns,
+            infallible: info.infallible,
+        };
+        Ok((cs, tys, info))
+    }
+
+    fn compile_action_inner(&mut self, a: &Action) -> CResult<ActionPlan> {
+        match a {
+            Action::Rollback => Ok(ActionPlan::Rollback),
+            Action::Select(s) => {
+                let (plan, _, _) = self.compile_subquery(s);
+                Ok(ActionPlan::Select {
+                    plan,
+                    cache_slots: self.caches,
+                })
+            }
+            Action::Insert(stmt) => {
+                let source = match &stmt.source {
+                    InsertSource::Values(tuples) => {
+                        let mut out = Vec::with_capacity(tuples.len());
+                        for t in tuples {
+                            let mut row = Vec::with_capacity(t.len());
+                            for e in t {
+                                row.push(self.compile_expr(e)?.0);
+                            }
+                            out.push(row);
+                        }
+                        InsertSourcePlan::Values(out)
+                    }
+                    InsertSource::Select(s) => InsertSourcePlan::Select(self.compile_subquery(s).0),
+                };
+                let schema = self.catalog.table(&stmt.table).map_err(|_| Bail)?;
+                let arity = schema.arity();
+                let col_map = match &stmt.columns {
+                    None => None,
+                    Some(cols) => {
+                        let mut indices = Vec::with_capacity(cols.len());
+                        for c in cols {
+                            indices.push(schema.column_index(c).ok_or(Bail)?);
+                        }
+                        Some(indices)
+                    }
+                };
+                Ok(ActionPlan::Insert(InsertPlan {
+                    table: stmt.table.clone(),
+                    source,
+                    col_map,
+                    arity,
+                    cache_slots: self.caches,
+                }))
+            }
+            Action::Delete(stmt) => {
+                self.catalog.table(&stmt.table).map_err(|_| Bail)?;
+                let meta = SourceMeta {
+                    name: stmt.table.clone(),
+                    table: stmt.table.clone(),
+                };
+                let pred = match &stmt.where_clause {
+                    None => None,
+                    Some(w) => Some(self.compile_in_scope(&meta, w)?),
+                };
+                Ok(ActionPlan::Delete(DeletePlan {
+                    table: stmt.table.clone(),
+                    meta,
+                    pred,
+                    cache_slots: self.caches,
+                }))
+            }
+            Action::Update(stmt) => {
+                let schema = self.catalog.table(&stmt.table).map_err(|_| Bail)?;
+                let mut set_indices = Vec::with_capacity(stmt.sets.len());
+                for (c, _) in &stmt.sets {
+                    set_indices.push(schema.column_index(c).ok_or(Bail)?);
+                }
+                let meta = SourceMeta {
+                    name: stmt.table.clone(),
+                    table: stmt.table.clone(),
+                };
+                let pred = match &stmt.where_clause {
+                    None => None,
+                    Some(w) => Some(self.compile_in_scope(&meta, w)?),
+                };
+                let mut sets = Vec::with_capacity(stmt.sets.len());
+                for (_, e) in &stmt.sets {
+                    sets.push(self.compile_in_scope(&meta, e)?);
+                }
+                Ok(ActionPlan::Update(UpdatePlan {
+                    table: stmt.table.clone(),
+                    meta: meta.clone(),
+                    set_indices,
+                    set_cols: stmt.sets.iter().map(|(c, _)| c.clone()).collect(),
+                    sets,
+                    pred,
+                    cache_slots: self.caches,
+                }))
+            }
+        }
+    }
+
+    /// Compiles an expression under a single-source scan scope (DELETE and
+    /// UPDATE bind the target table's row exactly like the interpreter's
+    /// `matching_tuples`).
+    fn compile_in_scope(&mut self, meta: &SourceMeta, e: &Expr) -> CResult<PExpr> {
+        self.scopes.push(vec![meta.clone()]);
+        let r = self.compile_expr(e);
+        self.scopes.pop();
+        r.map(|(pe, _)| pe)
+    }
+
+    /// Recognizes a pushed conjunct of the shape `this.col = probe` (or the
+    /// mirror image) where `probe` is a column of an earlier source or an
+    /// outer scope, and the two columns share a declared non-float
+    /// primitive type — the case where a structural hash index agrees with
+    /// SQL equality (`NULL` build keys are skipped, `NULL` probes never
+    /// match; a `Float` column may also store `Int` values, so floats are
+    /// excluded).
+    fn detect_join(&self, pc: &PExpr, si: usize) -> Option<JoinKey> {
+        let PExpr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = pc
+        else {
+            return None;
+        };
+        let (build, probe) = match (lhs.as_ref(), rhs.as_ref()) {
+            (PExpr::Slot(b), PExpr::Slot(p)) if slot_is_local(b, si) && !slot_is_local(p, si) => {
+                (b, p)
+            }
+            (PExpr::Slot(p), PExpr::Slot(b)) if slot_is_local(b, si) && !slot_is_local(p, si) => {
+                (b, p)
+            }
+            _ => return None,
+        };
+        // The probe must be bound before this source: an earlier source in
+        // the same scope, or any outer scope.
+        if probe.depth == 0 && probe.source >= si {
+            return None;
+        }
+        let build_ty = self.slot_decl_ty(build)?;
+        let probe_ty = self.slot_decl_ty(probe)?;
+        if build_ty != probe_ty || build_ty == ValueType::Float {
+            return None;
+        }
+        Some(JoinKey {
+            build_col: build.col,
+            probe: Box::new(PExpr::Slot(*probe)),
+        })
+    }
+
+    /// Declared column type of a slot, resolved against the compile-time
+    /// scope stack (the innermost scope is the select being compiled).
+    fn slot_decl_ty(&self, s: &Slot) -> Option<ValueType> {
+        let scope = self
+            .scopes
+            .get(self.scopes.len().checked_sub(1 + s.depth)?)?;
+        let meta = scope.get(s.source)?;
+        let schema = self.catalog.table(&meta.table).ok()?;
+        Some(schema.columns.get(s.col)?.ty)
+    }
+}
+
+/// Splits an `AND`-tree into its conjuncts, in evaluation order.
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
+        flatten_and(lhs, out);
+        flatten_and(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn slot_is_local(s: &Slot, si: usize) -> bool {
+    s.depth == 0 && s.source == si
+}
+
+/// Result type of an arithmetic operator over static operand types.
+fn arith_ty(a: STy, b: STy) -> STy {
+    let int_ok = |t: STy| matches!(t, STy::Int | STy::Null);
+    let num_ok = |t: STy| matches!(t, STy::Int | STy::Float | STy::Null);
+    if int_ok(a) && int_ok(b) {
+        STy::Int
+    } else if num_ok(a) && num_ok(b) {
+        STy::Float
+    } else {
+        STy::Any
+    }
+}
+
+fn compiled_infallible(p: &SelectPlan) -> bool {
+    matches!(p, SelectPlan::Compiled(cs) if cs.infallible)
+}

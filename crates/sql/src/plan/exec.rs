@@ -1,0 +1,689 @@
+//! Plan execution over borrowed storage rows.
+//!
+//! The executor keeps a stack of row frames exactly like the interpreter's
+//! [`Env`], but frames hold *borrowed* row references (`&Row`) instead of
+//! cloned rows, and column access is positional. `Interp` fallback nodes
+//! rebuild an interpreter environment from the current frames, so mixed
+//! plans still agree with pure interpretation.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use starling_storage::{Database, Row, TupleId, Value};
+
+use crate::ast::BinOp;
+use crate::error::SqlError;
+use crate::eval::dml::exec_action;
+use crate::eval::env::{Env, EvalCtx, RowBinding, TransitionBinding};
+use crate::eval::expr::{
+    and3, arith, cmp_bool, compare_values, eval_bool, in_result, is_true, like_values, neg_value,
+    not3, sql_eq,
+};
+use crate::eval::select::eval_select;
+use crate::eval::{ActionOutcome, DmlEffect, ResultSet};
+
+use super::{
+    ActionPlan, CompiledSelect, CondPlan, DeletePlan, InsertPlan, InsertSourcePlan, PExpr,
+    SelectPlan, SourceMeta, SourceRef, UpdatePlan,
+};
+
+/// Evaluates a compiled rule condition (3VL result, like `eval_bool`).
+pub fn eval_condition(
+    plan: &CondPlan,
+    db: &Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<Value, SqlError> {
+    match plan {
+        CondPlan::Interp(e) => {
+            let ctx = EvalCtx { db, transitions };
+            let mut env = Env::new(&ctx);
+            eval_bool(e, &mut env)
+        }
+        CondPlan::Compiled { pred, cache_slots } => {
+            let mut ex = Exec::new(db, transitions, *cache_slots);
+            ex.eval_bool_p(pred)
+        }
+    }
+}
+
+/// Executes a select plan from an empty row scope.
+pub fn execute_select(
+    plan: &SelectPlan,
+    cache_slots: usize,
+    db: &Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ResultSet, SqlError> {
+    let mut ex = Exec::new(db, transitions, cache_slots);
+    ex.run_select_plan(plan)
+}
+
+/// Executes a compiled action statement, mirroring
+/// [`crate::eval::exec_action`]'s two-phase semantics (including partial
+/// state on mid-apply insert failures).
+pub fn execute_action(
+    plan: &ActionPlan,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ActionOutcome, SqlError> {
+    match plan {
+        ActionPlan::Interp(a) => exec_action(a, db, transitions),
+        ActionPlan::Rollback => Ok(ActionOutcome::Rollback),
+        ActionPlan::Select { plan, cache_slots } => {
+            let mut ex = Exec::new(db, transitions, *cache_slots);
+            ex.run_select_plan(plan).map(ActionOutcome::Rows)
+        }
+        ActionPlan::Insert(ip) => exec_insert_plan(ip, db, transitions),
+        ActionPlan::Delete(dp) => exec_delete_plan(dp, db, transitions),
+        ActionPlan::Update(up) => exec_update_plan(up, db, transitions),
+    }
+}
+
+fn exec_insert_plan(
+    ip: &InsertPlan,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ActionOutcome, SqlError> {
+    // Phase 1: evaluate all source rows against the pre-statement state.
+    let rows: Vec<Row> = {
+        let mut ex = Exec::new(&*db, transitions, ip.cache_slots);
+        match &ip.source {
+            InsertSourcePlan::Values(tuples) => {
+                let mut out = Vec::with_capacity(tuples.len());
+                for t in tuples {
+                    let mut row = Vec::with_capacity(t.len());
+                    for pe in t {
+                        row.push(ex.eval(pe)?);
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            InsertSourcePlan::Select(sp) => ex.run_select_plan(sp)?.rows,
+        }
+    };
+    let full_rows: Vec<Row> = match &ip.col_map {
+        None => rows,
+        Some(indices) => rows
+            .into_iter()
+            .map(|r| {
+                let mut full = vec![Value::Null; ip.arity];
+                for (i, v) in indices.iter().zip(r) {
+                    full[*i] = v;
+                }
+                full
+            })
+            .collect(),
+    };
+
+    // Phase 2: apply.
+    let mut effects = Vec::with_capacity(full_rows.len());
+    for row in full_rows {
+        let id = db.insert(&ip.table, row.clone())?;
+        effects.push(DmlEffect::Insert {
+            table: ip.table.clone(),
+            id,
+            row,
+        });
+    }
+    Ok(ActionOutcome::Effects(effects))
+}
+
+fn exec_delete_plan(
+    dp: &DeletePlan,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ActionOutcome, SqlError> {
+    let victims = scan_matching(db, transitions, &dp.meta, dp.pred.as_ref(), dp.cache_slots)?;
+    let mut effects = Vec::with_capacity(victims.len());
+    for (id, _) in victims {
+        let old = db.delete(&dp.table, id)?;
+        effects.push(DmlEffect::Delete {
+            table: dp.table.clone(),
+            id,
+            old,
+        });
+    }
+    Ok(ActionOutcome::Effects(effects))
+}
+
+fn exec_update_plan(
+    up: &UpdatePlan,
+    db: &mut Database,
+    transitions: Option<&TransitionBinding>,
+) -> Result<ActionOutcome, SqlError> {
+    // Phase 1: pick targets and compute new rows against the old state.
+    let targets = scan_matching(db, transitions, &up.meta, up.pred.as_ref(), up.cache_slots)?;
+    let mut planned: Vec<(TupleId, Row, Row)> = Vec::with_capacity(targets.len());
+    {
+        let mut ex = Exec::new(&*db, transitions, up.cache_slots);
+        let metas = std::slice::from_ref(&up.meta);
+        for (id, old) in &targets {
+            ex.scopes.push(Frame {
+                metas,
+                rows: vec![Some(old)],
+            });
+            let mut new = old.clone();
+            let mut err = None;
+            for (idx, pe) in up.set_indices.iter().zip(&up.sets) {
+                match ex.eval(pe) {
+                    Ok(v) => new[*idx] = v,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            ex.scopes.pop();
+            if let Some(e) = err {
+                return Err(e);
+            }
+            planned.push((*id, old.clone(), new));
+        }
+    }
+
+    // Phase 2: apply.
+    let mut effects = Vec::with_capacity(planned.len());
+    for (id, old, new) in planned {
+        db.update(&up.table, id, new.clone())?;
+        effects.push(DmlEffect::Update {
+            table: up.table.clone(),
+            id,
+            old,
+            new,
+            cols: up.set_cols.clone(),
+        });
+    }
+    Ok(ActionOutcome::Effects(effects))
+}
+
+/// Tuples of the scan table satisfying the compiled predicate, in id
+/// order (the interpreter's `matching_tuples`, minus the per-row clones —
+/// only matching rows are copied out).
+fn scan_matching(
+    db: &Database,
+    transitions: Option<&TransitionBinding>,
+    meta: &SourceMeta,
+    pred: Option<&PExpr>,
+    cache_slots: usize,
+) -> Result<Vec<(TupleId, Row)>, SqlError> {
+    let tbl = db.table(&meta.table)?;
+    let Some(p) = pred else {
+        return Ok(tbl.iter().map(|(id, r)| (id, r.clone())).collect());
+    };
+    let mut ex = Exec::new(db, transitions, cache_slots);
+    let metas = std::slice::from_ref(meta);
+    let mut out = Vec::new();
+    for (id, row) in tbl.iter() {
+        ex.scopes.push(Frame {
+            metas,
+            rows: vec![Some(row)],
+        });
+        let v = ex.eval_bool_p(p);
+        ex.scopes.pop();
+        if is_true(&v?) {
+            out.push((id, row.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// One frame of bound source rows. `rows[i]` is `None` until the
+/// enumerator binds source `i` (plan resolution guarantees no expression
+/// reads an unbound slot).
+struct Frame<'a, 'p> {
+    metas: &'p [SourceMeta],
+    rows: Vec<Option<&'a Row>>,
+}
+
+/// Cached result of an uncorrelated subquery, fixed for one statement
+/// execution.
+#[derive(Clone)]
+enum Cached {
+    /// An `EXISTS` verdict (early-exit path).
+    Bool(bool),
+    /// Materialized subquery rows.
+    Rows(Rc<Vec<Row>>),
+}
+
+/// The plan executor: database, transition binding, frame stack, and
+/// subquery caches.
+struct Exec<'a, 'p> {
+    db: &'a Database,
+    transitions: Option<&'a TransitionBinding>,
+    scopes: Vec<Frame<'a, 'p>>,
+    caches: Vec<Option<Cached>>,
+}
+
+impl<'a, 'p> Exec<'a, 'p> {
+    fn new(
+        db: &'a Database,
+        transitions: Option<&'a TransitionBinding>,
+        cache_slots: usize,
+    ) -> Self {
+        Exec {
+            db,
+            transitions,
+            scopes: Vec::new(),
+            caches: vec![None; cache_slots],
+        }
+    }
+
+    /// Mirrors `eval_expr` over compiled nodes, delegating to the shared
+    /// 3VL primitives so semantics cannot drift.
+    fn eval(&mut self, e: &'p PExpr) -> Result<Value, SqlError> {
+        match e {
+            PExpr::Const(v) => Ok(v.clone()),
+            PExpr::Slot(s) => {
+                let unbound = || SqlError::eval("internal: unbound plan slot");
+                let fi = self
+                    .scopes
+                    .len()
+                    .checked_sub(1 + s.depth)
+                    .ok_or_else(unbound)?;
+                let row = self.scopes[fi]
+                    .rows
+                    .get(s.source)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(unbound)?;
+                Ok(row[s.col].clone())
+            }
+            PExpr::Binary { op, lhs, rhs } => match *op {
+                BinOp::And => {
+                    // Kleene AND with short circuit on FALSE.
+                    let l = self.eval_bool_p(lhs)?;
+                    if l == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = self.eval_bool_p(rhs)?;
+                    Ok(and3(l, r))
+                }
+                BinOp::Or => {
+                    let l = self.eval_bool_p(lhs)?;
+                    if l == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = self.eval_bool_p(rhs)?;
+                    Ok(or3_like(l, r))
+                }
+                op if op.is_comparison() => {
+                    let l = self.eval(lhs)?;
+                    let r = self.eval(rhs)?;
+                    compare_values(op, &l, &r)
+                }
+                op => {
+                    let l = self.eval(lhs)?;
+                    let r = self.eval(rhs)?;
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    arith(op, &l, &r)
+                }
+            },
+            PExpr::Neg(x) => neg_value(self.eval(x)?),
+            PExpr::Not(x) => Ok(not3(self.eval_bool_p(x)?)),
+            PExpr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            PExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = self.eval(expr)?;
+                let mut any_unknown = false;
+                let mut found = false;
+                for cand in list {
+                    let v = self.eval(cand)?;
+                    match sql_eq(&needle, &v) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                Ok(in_result(found, any_unknown, *negated))
+            }
+            PExpr::InSelect {
+                expr,
+                select,
+                negated,
+                cache,
+            } => {
+                let needle = self.eval(expr)?;
+                let rows = self.select_rows(select, *cache)?;
+                let mut any_unknown = false;
+                let mut found = false;
+                for row in rows.iter() {
+                    match sql_eq(&needle, &row[0]) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                Ok(in_result(found, any_unknown, *negated))
+            }
+            PExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let lo = self.eval(low)?;
+                let hi = self.eval(high)?;
+                let ge_lo = cmp_bool(&v, &lo, |o| o != Ordering::Less);
+                let le_hi = cmp_bool(&v, &hi, |o| o != Ordering::Greater);
+                let both = and3(ge_lo, le_hi);
+                Ok(if *negated { not3(both) } else { both })
+            }
+            PExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let p = self.eval(pattern)?;
+                like_values(v, p, *negated)
+            }
+            PExpr::Exists { select, cache } => Ok(Value::Bool(self.exists(select, *cache)?)),
+            PExpr::Scalar { select, cache } => {
+                let rows = self.select_rows(select, *cache)?;
+                match rows.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(rows[0][0].clone()),
+                    n => Err(SqlError::eval(format!("scalar subquery returned {n} rows"))),
+                }
+            }
+        }
+    }
+
+    /// Mirrors `eval_bool`: the result must be boolean-valued (3VL).
+    fn eval_bool_p(&mut self, e: &'p PExpr) -> Result<Value, SqlError> {
+        match self.eval(e)? {
+            v @ (Value::Bool(_) | Value::Null) => Ok(v),
+            v => Err(SqlError::eval(format!("expected boolean, got {v}"))),
+        }
+    }
+
+    /// `EXISTS` with cache and (for infallible compiled subplans) early
+    /// exit at the first matching row.
+    fn exists(&mut self, plan: &'p SelectPlan, cache: Option<usize>) -> Result<bool, SqlError> {
+        if let Some(slot) = cache {
+            match &self.caches[slot] {
+                Some(Cached::Bool(b)) => return Ok(*b),
+                Some(Cached::Rows(r)) => return Ok(!r.is_empty()),
+                None => {}
+            }
+        }
+        let found = match plan {
+            SelectPlan::Compiled(cs) if cs.infallible => {
+                let mut found = false;
+                self.exec_compiled(cs, &mut |_| {
+                    found = true;
+                    Ok(true)
+                })?;
+                found
+            }
+            // Fallible subqueries are fully materialized so errors surface
+            // exactly as under interpretation.
+            _ => !self.select_rows(plan, cache)?.is_empty(),
+        };
+        if let Some(slot) = cache {
+            if self.caches[slot].is_none() {
+                self.caches[slot] = Some(Cached::Bool(found));
+            }
+        }
+        Ok(found)
+    }
+
+    /// Materialized rows of a subquery, with caching for uncorrelated ones.
+    fn select_rows(
+        &mut self,
+        plan: &'p SelectPlan,
+        cache: Option<usize>,
+    ) -> Result<Rc<Vec<Row>>, SqlError> {
+        if let Some(slot) = cache {
+            if let Some(Cached::Rows(r)) = &self.caches[slot] {
+                return Ok(Rc::clone(r));
+            }
+        }
+        let rs = self.run_select_plan(plan)?;
+        let rc = Rc::new(rs.rows);
+        if let Some(slot) = cache {
+            self.caches[slot] = Some(Cached::Rows(Rc::clone(&rc)));
+        }
+        Ok(rc)
+    }
+
+    /// Runs a select plan to a full result set.
+    fn run_select_plan(&mut self, plan: &'p SelectPlan) -> Result<ResultSet, SqlError> {
+        match plan {
+            SelectPlan::Compiled(cs) => self.exec_select_result(cs),
+            SelectPlan::Interp(stmt) => {
+                // Rebuild the interpreter environment from the current
+                // frames (outermost first), cloning only the bound rows.
+                let ctx = EvalCtx {
+                    db: self.db,
+                    transitions: self.transitions,
+                };
+                let mut env = Env::new(&ctx);
+                for frame in &self.scopes {
+                    let bindings: Vec<RowBinding> = frame
+                        .metas
+                        .iter()
+                        .zip(&frame.rows)
+                        .filter_map(|(m, r)| {
+                            r.map(|row| RowBinding {
+                                name: m.name.clone(),
+                                table: m.table.clone(),
+                                row: row.clone(),
+                            })
+                        })
+                        .collect();
+                    env.push(bindings);
+                }
+                eval_select(stmt, &mut env)
+            }
+        }
+    }
+
+    /// Full pipeline: enumerate, project, DISTINCT, ORDER BY.
+    fn exec_select_result(&mut self, cs: &'p CompiledSelect) -> Result<ResultSet, SqlError> {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        self.exec_compiled(cs, &mut |ex| {
+            let mut row = Vec::with_capacity(cs.proj.len());
+            for p in &cs.proj {
+                row.push(ex.eval(p)?);
+            }
+            let mut k = Vec::with_capacity(cs.order_by.len());
+            for (p, _) in &cs.order_by {
+                k.push(ex.eval(p)?);
+            }
+            rows.push(row);
+            keys.push(k);
+            Ok(false)
+        })?;
+
+        if cs.distinct {
+            let mut seen: BTreeSet<Row> = BTreeSet::new();
+            let mut kept_rows = Vec::with_capacity(rows.len());
+            let mut kept_keys = Vec::with_capacity(rows.len());
+            for (row, key) in rows.into_iter().zip(keys) {
+                if seen.contains(&row) {
+                    continue;
+                }
+                seen.insert(row.clone());
+                kept_rows.push(row);
+                kept_keys.push(key);
+            }
+            rows = kept_rows;
+            keys = kept_keys;
+        }
+
+        if !cs.order_by.is_empty() {
+            let mut indexed: Vec<usize> = (0..rows.len()).collect();
+            indexed.sort_by(|&a, &b| {
+                for (i, (_, desc)) in cs.order_by.iter().enumerate() {
+                    let ord = keys[a][i].cmp(&keys[b][i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            rows = indexed
+                .into_iter()
+                .map(|i| std::mem::take(&mut rows[i]))
+                .collect();
+        }
+
+        Ok(ResultSet {
+            columns: cs.columns.clone(),
+            rows,
+        })
+    }
+
+    /// Collects source rows (borrowed), pushes the frame, evaluates `pre`
+    /// conjuncts once, and enumerates matching combinations; `on_leaf`
+    /// runs per surviving leaf and returns `true` to stop early.
+    fn exec_compiled(
+        &mut self,
+        cs: &'p CompiledSelect,
+        on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
+    ) -> Result<(), SqlError> {
+        let db = self.db;
+        let transitions = self.transitions;
+        let mut srcs: Vec<Vec<&'a Row>> = Vec::with_capacity(cs.sources.len());
+        for sp in &cs.sources {
+            match &sp.sref {
+                SourceRef::Base(t) => srcs.push(db.table(t)?.rows().collect()),
+                SourceRef::Transition(tt) => {
+                    let b = transitions.ok_or_else(|| {
+                        SqlError::eval(format!(
+                            "transition table `{}` referenced outside a rule",
+                            tt.name()
+                        ))
+                    })?;
+                    srcs.push(b.rows(*tt).iter().collect());
+                }
+            }
+        }
+        self.scopes.push(Frame {
+            metas: &cs.metas,
+            rows: vec![None; cs.sources.len()],
+        });
+        let result = self.exec_enum(cs, &srcs, on_leaf);
+        self.scopes.pop();
+        result
+    }
+
+    fn exec_enum(
+        &mut self,
+        cs: &'p CompiledSelect,
+        srcs: &[Vec<&'a Row>],
+        on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
+    ) -> Result<(), SqlError> {
+        // Source-independent conjuncts: any non-TRUE value empties the
+        // result (all conjuncts here are infallible by construction, so
+        // hoisting them out of the product is unobservable).
+        for p in &cs.pre {
+            if !is_true(&self.eval_bool_p(p)?) {
+                return Ok(());
+            }
+        }
+        let mut joins: Vec<Option<BTreeMap<Value, Vec<usize>>>> = vec![None; cs.sources.len()];
+        self.enum_rec(cs, srcs, &mut joins, 0, on_leaf).map(|_| ())
+    }
+
+    fn enum_rec(
+        &mut self,
+        cs: &'p CompiledSelect,
+        srcs: &[Vec<&'a Row>],
+        joins: &mut [Option<BTreeMap<Value, Vec<usize>>>],
+        i: usize,
+        on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
+    ) -> Result<bool, SqlError> {
+        if i == cs.sources.len() {
+            if let Some(f) = &cs.filter {
+                if !is_true(&self.eval_bool_p(f)?) {
+                    return Ok(false);
+                }
+            }
+            return on_leaf(self);
+        }
+        if let Some(jk) = &cs.sources[i].join {
+            let probe = self.eval(&jk.probe)?;
+            if probe.is_null() {
+                return Ok(false);
+            }
+            if joins[i].is_none() {
+                // Lazy build: index this source's rows by the join column,
+                // in scan order (so matches enumerate in the same order a
+                // nested loop would), skipping NULL keys (never equal).
+                let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+                for (pos, row) in srcs[i].iter().enumerate() {
+                    let key = &row[jk.build_col];
+                    if !key.is_null() {
+                        map.entry(key.clone()).or_default().push(pos);
+                    }
+                }
+                joins[i] = Some(map);
+            }
+            let hits = joins[i]
+                .as_ref()
+                .expect("join index built above")
+                .get(&probe)
+                .cloned()
+                .unwrap_or_default();
+            for pos in hits {
+                if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                    return Ok(true);
+                }
+            }
+        } else {
+            for pos in 0..srcs[i].len() {
+                if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Binds source `i` to row `pos`, checks its pushed conjuncts, and
+    /// recurses to the next source.
+    fn bind_and_descend(
+        &mut self,
+        cs: &'p CompiledSelect,
+        srcs: &[Vec<&'a Row>],
+        joins: &mut [Option<BTreeMap<Value, Vec<usize>>>],
+        i: usize,
+        pos: usize,
+        on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
+    ) -> Result<bool, SqlError> {
+        let fi = self.scopes.len() - 1;
+        self.scopes[fi].rows[i] = Some(srcs[i][pos]);
+        for p in &cs.sources[i].pushed {
+            if !is_true(&self.eval_bool_p(p)?) {
+                return Ok(false);
+            }
+        }
+        self.enum_rec(cs, srcs, joins, i + 1, on_leaf)
+    }
+}
+
+/// Kleene OR (the `or3` primitive, aliased to keep the `eval` match arms
+/// symmetric with the interpreter's short-circuit structure).
+fn or3_like(a: Value, b: Value) -> Value {
+    crate::eval::expr::or3(a, b)
+}

@@ -1,0 +1,332 @@
+//! Compiled physical plans for rule conditions and actions.
+//!
+//! The evaluator in [`crate::eval`] re-interprets raw ASTs: every execution
+//! resolves column names by string lookup, clones each `FROM` table into a
+//! `Vec<Row>`, and enumerates the full cross product. Rules are the
+//! opposite workload — a *fixed* condition and action list evaluated
+//! thousands of times over changing states — so this module lowers
+//! validated ASTs once into plans with:
+//!
+//! * columns resolved to positional [`Slot`]s (scope depth, source index,
+//!   column index) against the catalog;
+//! * constant subexpressions folded at compile time;
+//! * single-table predicates pushed into the owning scan ([`SourcePlan::
+//!   pushed`]), with conjuncts free of local references hoisted out of the
+//!   enumeration entirely ([`CompiledSelect::pre`]);
+//! * equality joins executed by hash lookup ([`JoinKey`]) instead of
+//!   nested-loop cross product;
+//! * execution over *borrowed* rows from storage (no per-source table
+//!   copies, no per-row binding clones); and
+//! * uncorrelated subqueries computed once per statement execution and
+//!   cached (`cache` slots).
+//!
+//! Compilation is **total**: anything outside the compilable subset
+//! (grouped/aggregate selects, unresolvable names, transition tables
+//! outside a rule) falls back to an `Interp` plan node that carries the
+//! original AST and delegates to [`crate::eval`] at execution time. The
+//! interpreter therefore stays the semantic oracle; the invariant —
+//! enforced by `tests/plan_props.rs` — is that a compiled plan and the
+//! interpreter produce identical results (or both fail) on every input.
+//!
+//! Predicate pushdown and conjunct reordering are only applied when *every*
+//! `WHERE` conjunct is statically infallible (cannot raise an evaluation
+//! error), because reordering fallible conjuncts could change which error
+//! surfaces or turn an error into a result. Otherwise the whole `WHERE`
+//! is kept as a single filter evaluated at the leaves in original order.
+
+mod compile;
+mod exec;
+
+use starling_storage::Value;
+
+use crate::ast::{Action, Expr, SelectStmt, TransitionTable};
+
+pub use compile::{compile_action, compile_condition, compile_rule, compile_select};
+pub use exec::{eval_condition, execute_action, execute_select};
+
+/// A resolved column reference: `depth` scopes out from the innermost
+/// (0 = the enclosing select's own scope), then `source` within that
+/// scope's `FROM` list, then `col` within the source's row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Scope distance from the innermost frame at evaluation time.
+    pub depth: usize,
+    /// Source (FROM item) index within that scope.
+    pub source: usize,
+    /// Column index within the source's row.
+    pub col: usize,
+}
+
+/// Binding metadata of one compiled source (mirrors the interpreter's
+/// `RowBinding` names so `Interp` fallbacks can rebuild an [`crate::eval::
+/// Env`] mid-plan).
+#[derive(Clone, Debug)]
+pub struct SourceMeta {
+    /// In-scope binding name (alias or table name).
+    pub name: String,
+    /// Schema table the rows conform to.
+    pub table: String,
+}
+
+/// Where a compiled source's rows come from.
+#[derive(Clone, Debug)]
+pub enum SourceRef {
+    /// A base table, scanned from storage by name.
+    Base(String),
+    /// One of the rule's transition tables, bound at evaluation time.
+    Transition(TransitionTable),
+}
+
+/// An equality-join key: rows of this source are indexed by `build_col`
+/// and probed with `probe` (which only references earlier sources and
+/// outer scopes), replacing the nested-loop scan with a hash lookup.
+///
+/// Only emitted when the build column's declared type and the probe's
+/// static type are the same non-float primitive, so the index's structural
+/// equality coincides with SQL equality (`NULL` never matches).
+#[derive(Clone, Debug)]
+pub struct JoinKey {
+    /// Column of this source the index is built on.
+    pub build_col: usize,
+    /// Probe expression over earlier sources / outer scopes.
+    pub probe: Box<PExpr>,
+}
+
+/// One compiled `FROM` item.
+#[derive(Clone, Debug)]
+pub struct SourcePlan {
+    /// Row provenance.
+    pub sref: SourceRef,
+    /// Conjuncts evaluable as soon as this source's row is bound
+    /// (references only sources up to this one, plus outer scopes).
+    pub pushed: Vec<PExpr>,
+    /// Optional hash-join key for this source.
+    pub join: Option<JoinKey>,
+}
+
+/// A compiled scalar/predicate expression. Structure mirrors
+/// [`crate::ast::Expr`] with names resolved and constants folded;
+/// evaluation semantics (3VL, error behavior) are identical.
+#[derive(Clone, Debug)]
+pub enum PExpr {
+    /// A constant (literal or folded subexpression).
+    Const(Value),
+    /// A resolved column reference.
+    Slot(Slot),
+    /// Binary operator (comparison, arithmetic, `AND`/`OR`).
+    Binary {
+        /// The operator.
+        op: crate::ast::BinOp,
+        /// Left operand.
+        lhs: Box<PExpr>,
+        /// Right operand.
+        rhs: Box<PExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<PExpr>),
+    /// Logical negation.
+    Not(Box<PExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<PExpr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// `[NOT] IN (list)`.
+    InList {
+        /// Needle.
+        expr: Box<PExpr>,
+        /// Candidates.
+        list: Vec<PExpr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `[NOT] IN (subquery)`.
+    InSelect {
+        /// Needle.
+        expr: Box<PExpr>,
+        /// Subquery plan.
+        select: Box<SelectPlan>,
+        /// `NOT IN` when true.
+        negated: bool,
+        /// Cache slot when the subquery is uncorrelated.
+        cache: Option<usize>,
+    },
+    /// `[NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested value.
+        expr: Box<PExpr>,
+        /// Lower bound.
+        low: Box<PExpr>,
+        /// Upper bound.
+        high: Box<PExpr>,
+        /// `NOT BETWEEN` when true.
+        negated: bool,
+    },
+    /// `[NOT] LIKE`.
+    Like {
+        /// Tested value.
+        expr: Box<PExpr>,
+        /// Pattern.
+        pattern: Box<PExpr>,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// `EXISTS (subquery)`. When the subquery is compiled and infallible,
+    /// execution stops at the first matching row.
+    Exists {
+        /// Subquery plan.
+        select: Box<SelectPlan>,
+        /// Cache slot when the subquery is uncorrelated.
+        cache: Option<usize>,
+    },
+    /// A scalar subquery (0 rows → `NULL`, >1 rows → error).
+    Scalar {
+        /// Subquery plan.
+        select: Box<SelectPlan>,
+        /// Cache slot when the subquery is uncorrelated.
+        cache: Option<usize>,
+    },
+}
+
+/// A select: either fully compiled, or the original AST for interpreter
+/// fallback (grouped/aggregate queries, unresolvable names).
+#[derive(Clone, Debug)]
+pub enum SelectPlan {
+    /// Compiled pipeline.
+    Compiled(CompiledSelect),
+    /// Interpreter fallback (evaluated via [`crate::eval::eval_select`]
+    /// with the current plan scopes rebuilt as an environment).
+    Interp(SelectStmt),
+}
+
+/// A fully compiled select pipeline.
+#[derive(Clone, Debug)]
+pub struct CompiledSelect {
+    /// Sources in `FROM` order, with pushed predicates and join keys.
+    pub sources: Vec<SourcePlan>,
+    /// Binding metadata per source (for `Interp` sub-fallbacks).
+    pub metas: Vec<SourceMeta>,
+    /// Conjuncts with no references to this select's own sources:
+    /// evaluated once before enumeration; any non-TRUE value empties the
+    /// result.
+    pub pre: Vec<PExpr>,
+    /// The residual `WHERE` filter evaluated at each leaf (only present
+    /// when pushdown was not legal; `pushed`/`pre` are then empty).
+    pub filter: Option<PExpr>,
+    /// Projection expressions (wildcards pre-expanded to slots).
+    pub proj: Vec<PExpr>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// ORDER BY keys with per-key descending flags.
+    pub order_by: Vec<(PExpr, bool)>,
+    /// Output column names (precomputed, matching the interpreter).
+    pub columns: Vec<String>,
+    /// Whether execution can never raise an evaluation error. Gates the
+    /// `EXISTS` early-exit.
+    pub infallible: bool,
+}
+
+/// A compiled rule condition.
+#[derive(Clone, Debug)]
+pub enum CondPlan {
+    /// Compiled predicate plus the number of subquery cache slots it uses.
+    Compiled {
+        /// The predicate.
+        pred: PExpr,
+        /// Cache slots to allocate per evaluation.
+        cache_slots: usize,
+    },
+    /// Interpreter fallback.
+    Interp(Expr),
+}
+
+/// The compiled form of one rule: condition plan plus one plan per action.
+#[derive(Clone, Debug)]
+pub struct RulePlan {
+    /// Condition plan (`None` for unconditional rules).
+    pub condition: Option<CondPlan>,
+    /// Action plans, in definition order.
+    pub actions: Vec<ActionPlan>,
+}
+
+/// A compiled action statement.
+#[derive(Clone, Debug)]
+pub enum ActionPlan {
+    /// Compiled `INSERT`.
+    Insert(InsertPlan),
+    /// Compiled `DELETE`.
+    Delete(DeletePlan),
+    /// Compiled `UPDATE`.
+    Update(UpdatePlan),
+    /// Compiled `SELECT` (observable action).
+    Select {
+        /// The select plan.
+        plan: SelectPlan,
+        /// Cache slots to allocate per execution.
+        cache_slots: usize,
+    },
+    /// `ROLLBACK`.
+    Rollback,
+    /// Interpreter fallback for the whole statement.
+    Interp(Action),
+}
+
+/// Source rows of a compiled `INSERT`.
+#[derive(Clone, Debug)]
+pub enum InsertSourcePlan {
+    /// `VALUES` tuples.
+    Values(Vec<Vec<PExpr>>),
+    /// `INSERT ... SELECT`.
+    Select(SelectPlan),
+}
+
+/// A compiled `INSERT`: evaluate sources against the pre-statement state,
+/// widen through the column map, then apply.
+#[derive(Clone, Debug)]
+pub struct InsertPlan {
+    /// Target table.
+    pub table: String,
+    /// Row source.
+    pub source: InsertSourcePlan,
+    /// Resolved explicit column list (`None` = full-row inserts).
+    pub col_map: Option<Vec<usize>>,
+    /// Target table arity (for NULL-filling with a column list).
+    pub arity: usize,
+    /// Cache slots to allocate per execution.
+    pub cache_slots: usize,
+}
+
+/// A compiled `DELETE`: scan, filter, then apply.
+#[derive(Clone, Debug)]
+pub struct DeletePlan {
+    /// Target table.
+    pub table: String,
+    /// Binding metadata for the scan frame.
+    pub meta: SourceMeta,
+    /// Compiled `WHERE` (absent = delete all).
+    pub pred: Option<PExpr>,
+    /// Cache slots to allocate per execution.
+    pub cache_slots: usize,
+}
+
+/// A compiled `UPDATE`: scan, filter, evaluate `SET` expressions against
+/// the old rows, then apply.
+#[derive(Clone, Debug)]
+pub struct UpdatePlan {
+    /// Target table.
+    pub table: String,
+    /// Binding metadata for the scan / SET frames.
+    pub meta: SourceMeta,
+    /// Resolved `SET` target column indices.
+    pub set_indices: Vec<usize>,
+    /// `SET` column names (for effect reporting).
+    pub set_cols: Vec<String>,
+    /// Compiled `SET` right-hand sides, in statement order.
+    pub sets: Vec<PExpr>,
+    /// Compiled `WHERE` (absent = update all).
+    pub pred: Option<PExpr>,
+    /// Cache slots to allocate per execution.
+    pub cache_slots: usize,
+}

@@ -185,6 +185,12 @@ impl Table {
         self.core.rows.iter().map(|(id, row)| (*id, row))
     }
 
+    /// Iterates borrowed rows in id order (the scan primitive for compiled
+    /// plans: no per-row clones, no id bookkeeping).
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.core.rows.values()
+    }
+
     /// Iterates owned [`Tuple`]s in id order.
     pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
         self.core

@@ -20,11 +20,15 @@
 //!   introduction's motivating applications).
 //! * [`corpus`] — small named rule sets with known ground-truth properties,
 //!   shared by tests and benches.
+//! * [`cond_stress`] — condition-heavy rule programs (joins and filters
+//!   over a large reference table) for benchmarking SQL evaluation inside
+//!   the oracle.
 //! * [`fault_sweep`] — exhaustive atomicity checking under injected storage
 //!   faults: replay a transaction with a fault at every mutating-op index
 //!   and verify the database is always snapshot-or-committed.
 
 pub mod audit;
+pub mod cond_stress;
 pub mod constraints;
 pub mod corpus;
 pub mod fault_sweep;

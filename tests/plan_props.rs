@@ -1,0 +1,697 @@
+//! Differential tests: compiled plans ≡ the interpreter.
+//!
+//! The plan layer (`starling::sql::plan`) is a performance path only — the
+//! AST interpreter stays the semantic oracle. These tests enforce the
+//! contract on three levels:
+//!
+//! 1. **Statements** — hand-written SQL covering NULL/3VL edge cases,
+//!    joins, subqueries, DISTINCT/ORDER BY, and error paths (division by
+//!    zero, multi-row scalar subqueries), plus seeded-random SELECTs and
+//!    DML over a mixed-type fixture. Compiled execution must produce the
+//!    same result set / effects / final state, or fail iff the interpreter
+//!    fails (error *messages* may differ; only existence must match).
+//! 2. **Rule conditions** — every corpus and case-study rule condition,
+//!    compiled and evaluated against transition bindings.
+//! 3. **Execution graphs** — full oracle exploration with plans (default)
+//!    vs `set_force_interp_for_tests(true)` must yield identical graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use starling::engine::processor::set_force_interp_for_tests;
+use starling::engine::{explore, ExploreConfig, RuleSet};
+use starling::sql::ast::{
+    Action, BinOp, ColumnRef, Expr, FromItem, InsertSource, InsertStmt, OrderItem, SelectItem,
+    SelectStmt, Statement, TableRef, UpdateStmt,
+};
+use starling::sql::eval::expr::eval_bool;
+use starling::sql::eval::{eval_select, exec_action, Env, EvalCtx, TransitionBinding};
+use starling::sql::plan::{
+    compile_action, compile_condition, compile_select, eval_condition, execute_action,
+    execute_select,
+};
+use starling::sql::{parse_expr, parse_statement};
+use starling::storage::{Catalog, ColumnDef, Database, TableSchema, Value, ValueType};
+use starling::workloads::{audit, cond_stress, corpus, power_network, random, CorpusEntry};
+
+/// Fixture: three tables with nullable columns, NULLs, duplicate values
+/// (for DISTINCT), zeros (for division errors), and LIKE-able strings.
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::nullable("b", ValueType::Int),
+                ColumnDef::nullable("s", ValueType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::nullable("b", ValueType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(TableSchema::new("v", vec![ColumnDef::new("a", ValueType::Int)]).unwrap())
+        .unwrap();
+
+    let s = |x: &str| Value::Str(x.to_owned());
+    let rows_t = [
+        (0, Value::Null, s("abc")),
+        (1, Value::Int(1), s("a%c")),
+        (2, Value::Int(2), Value::Null),
+        (3, Value::Int(5), s("xyz")),
+        (0, Value::Int(7), s("ab")),
+    ];
+    for (a, b, sv) in rows_t {
+        db.insert("t", vec![Value::Int(a), b, sv]).unwrap();
+    }
+    let rows_u = [
+        (1, Value::Int(1)),
+        (2, Value::Null),
+        (3, Value::Int(0)),
+        (1, Value::Int(4)),
+    ];
+    for (a, b) in rows_u {
+        db.insert("u", vec![Value::Int(a), b]).unwrap();
+    }
+    for a in [0, 2, 9] {
+        db.insert("v", vec![Value::Int(a)]).unwrap();
+    }
+    db
+}
+
+fn parsed_select(sql: &str) -> SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Dml(Action::Select(s)) => s,
+        other => panic!("not a select: {sql} -> {other:?}"),
+    }
+}
+
+fn parsed_action(sql: &str) -> Action {
+    match parse_statement(sql).unwrap() {
+        Statement::Dml(a) => a,
+        other => panic!("not DML: {sql} -> {other:?}"),
+    }
+}
+
+/// Asserts the plan/interpreter contract for one SELECT: identical result
+/// sets, or both fail.
+fn assert_select_agrees(s: &SelectStmt, db: &Database, what: &str) {
+    let ctx = EvalCtx {
+        db,
+        transitions: None,
+    };
+    let mut env = Env::new(&ctx);
+    let interp = eval_select(s, &mut env);
+    let (plan, slots) = compile_select(s, db.catalog(), None);
+    let planned = execute_select(&plan, slots, db, None);
+    match (interp, planned) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: results diverge"),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!("{what}: interp {a:?} vs plan {b:?}"),
+    }
+}
+
+/// Asserts the contract for one action: identical outcome and final state,
+/// or both fail with identical final state (partial-apply semantics
+/// included).
+fn assert_action_agrees(a: &Action, db: &Database, what: &str) {
+    let mut db_interp = db.clone();
+    let mut db_plan = db.clone();
+    let interp = exec_action(a, &mut db_interp, None);
+    let plan = compile_action(a, db.catalog(), None);
+    let planned = execute_action(&plan, &mut db_plan, None);
+    match (interp, planned) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y, "{what}: outcomes diverge"),
+        (Err(_), Err(_)) => {}
+        (x, y) => panic!("{what}: interp {x:?} vs plan {y:?}"),
+    }
+    assert_eq!(
+        db_interp.state_digest(),
+        db_plan.state_digest(),
+        "{what}: final states diverge"
+    );
+}
+
+#[test]
+fn curated_selects_agree() {
+    let db = fixture();
+    let cases = [
+        // Scans, pushdown, DISTINCT, ORDER BY.
+        "select * from t",
+        "select distinct a from t order by a desc",
+        "select a, b from t where b > 1",
+        "select a from t where a = 1 and b = 1",
+        "select distinct a, b from t order by b desc, a",
+        "select a + 1, b * 2 from t order by a",
+        // Equality joins (hash path) and cross products.
+        "select t.a, u.b from t, u where t.a = u.a",
+        "select * from t, u where t.a = u.a and u.b > 0 order by t.a desc, u.b",
+        "select t.a, v.a from t, v",
+        "select x.a, y.a from t x, t y where x.a = y.a and x.b < y.b",
+        // Subqueries: EXISTS, IN, scalar; correlated and not.
+        "select a from t where exists (select * from u where u.a = t.a)",
+        "select a from t where exists (select * from v where a > 100)",
+        "select a from t where a in (select a from u)",
+        "select a from t where a not in (select b from u)",
+        "select a from t where a in (select a from u where u.b = t.b)",
+        "select a from t where a > (select a from v where a > 100)",
+        "select a from t where a = (select a from v)",
+        "select (select a from v where a = 9) from t",
+        // 3VL and NULL propagation.
+        "select a from t where b is null",
+        "select a from t where b is not null",
+        "select a from t where b in (1, 3)",
+        "select a from t where b not in (1, 3)",
+        "select a from t where b between 1 and 5",
+        "select a from t where b not between 1 and 5",
+        "select a from t where not (a > 1)",
+        "select a from t where b > 1 or s like 'a%'",
+        // LIKE (including NULL operands via column s).
+        "select s from t where s like 'a%'",
+        "select s from t where s like 'a_c'",
+        "select s from t where s not like '%b%'",
+        // Constant folding and error paths.
+        "select 1 + 2 * 3 from t",
+        "select 10 / 0 from t",
+        "select a / (a - a) from t",
+        "select a from t where a > 1 and 10 / 0 > 1",
+        "select -a from t",
+        // Aggregates and grouping (interpreter fallback, still must agree).
+        "select count(*) from t",
+        "select a, count(*) from t group by a order by a",
+        "select sum(b), min(s) from t",
+        "select a from t group by a having count(*) > 1",
+        "select a, max(b) from t group by a order by max(b) desc",
+        // No FROM clause.
+        "select 1 + 1",
+        // Transition table outside a rule: both must fail.
+        "select * from inserted",
+    ];
+    for sql in cases {
+        assert_select_agrees(&parsed_select(sql), &db, sql);
+    }
+}
+
+#[test]
+fn curated_actions_agree() {
+    let db = fixture();
+    let cases = [
+        "insert into t values (7, 8, 'new')",
+        "insert into t values (7, null, null), (8, 0, 'q')",
+        "insert into t (b, a) values (5, 6)",
+        "insert into v select a from u where b > 0",
+        "insert into u select a, b from t where a in (select a from v)",
+        "insert into v values (10 / 0)",
+        "insert into v select a / (a - 2) from t",
+        "delete from v",
+        "delete from t where b is null",
+        "delete from t where a in (select a from u where b > 0)",
+        "delete from u where 10 / b > 2",
+        "update t set b = b + 1 where a > 0",
+        "update t set a = 0, b = a where b is not null",
+        "update u set b = 10 / (a - 1)",
+        "update t set b = (select a from v where a > 5) where a = 1",
+        "select a from t where b > 2",
+        "rollback",
+    ];
+    for sql in cases {
+        assert_action_agrees(&parsed_action(sql), &db, sql);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random statement generation.
+// ---------------------------------------------------------------------------
+
+const TABLES: [(&str, &[&str]); 3] = [("t", &["a", "b", "s"]), ("u", &["a", "b"]), ("v", &["a"])];
+
+fn gen_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..8) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Str(["a", "ab", "a%", "x_z", "abc"][rng.gen_range(0..5usize)].to_owned()),
+        _ => Value::Int(rng.gen_range(-2..10)),
+    }
+}
+
+/// A column reference from the visible bindings (innermost last), sometimes
+/// qualified — and sometimes deliberately ambiguous or dangling, which must
+/// fail identically under both evaluators.
+fn gen_column(rng: &mut StdRng, scope: &[(String, &'static [&'static str])]) -> Expr {
+    if scope.is_empty() || rng.gen_bool(0.05) {
+        return Expr::Column(ColumnRef {
+            qualifier: None,
+            column: "nosuch".to_owned(),
+        });
+    }
+    let (name, cols) = &scope[rng.gen_range(0..scope.len())];
+    let column = cols[rng.gen_range(0..cols.len())].to_owned();
+    let qualifier = if rng.gen_bool(0.5) {
+        Some(name.clone())
+    } else {
+        None
+    };
+    Expr::Column(ColumnRef { qualifier, column })
+}
+
+fn gen_expr(rng: &mut StdRng, scope: &[(String, &'static [&'static str])], depth: u32) -> Expr {
+    let pick = if depth == 0 {
+        rng.gen_range(0..2)
+    } else {
+        rng.gen_range(0..12)
+    };
+    let sub = |rng: &mut StdRng| Box::new(gen_expr(rng, scope, depth.saturating_sub(1)));
+    match pick {
+        0 => Expr::Literal(gen_value(rng)),
+        1 => gen_column(rng, scope),
+        2 => Expr::Binary {
+            op: [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][rng.gen_range(0..4usize)],
+            lhs: sub(rng),
+            rhs: sub(rng),
+        },
+        3 => Expr::Binary {
+            op: [
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+            ][rng.gen_range(0..6usize)],
+            lhs: sub(rng),
+            rhs: sub(rng),
+        },
+        4 => Expr::Binary {
+            op: if rng.gen_bool(0.5) {
+                BinOp::And
+            } else {
+                BinOp::Or
+            },
+            lhs: sub(rng),
+            rhs: sub(rng),
+        },
+        5 => Expr::Neg(sub(rng)),
+        6 => Expr::Not(sub(rng)),
+        7 => Expr::IsNull {
+            expr: sub(rng),
+            negated: rng.gen_bool(0.5),
+        },
+        8 => Expr::InList {
+            expr: sub(rng),
+            list: (0..rng.gen_range(1..4))
+                .map(|_| gen_expr(rng, scope, depth - 1))
+                .collect(),
+            negated: rng.gen_bool(0.5),
+        },
+        9 => Expr::Between {
+            expr: sub(rng),
+            low: sub(rng),
+            high: sub(rng),
+            negated: rng.gen_bool(0.5),
+        },
+        10 => Expr::Like {
+            expr: sub(rng),
+            pattern: sub(rng),
+            negated: rng.gen_bool(0.5),
+        },
+        _ => {
+            let select = Box::new(gen_select(rng, scope, depth - 1));
+            match rng.gen_range(0..3) {
+                0 => Expr::Exists(select),
+                1 => Expr::InSelect {
+                    expr: sub(rng),
+                    select,
+                    negated: rng.gen_bool(0.5),
+                },
+                _ => Expr::ScalarSubquery(select),
+            }
+        }
+    }
+}
+
+fn gen_select(
+    rng: &mut StdRng,
+    outer: &[(String, &'static [&'static str])],
+    depth: u32,
+) -> SelectStmt {
+    let n_from = rng.gen_range(0..=2usize);
+    let mut from = Vec::with_capacity(n_from);
+    let mut scope: Vec<(String, &'static [&'static str])> = outer.to_vec();
+    for k in 0..n_from {
+        let (table, cols) = TABLES[rng.gen_range(0..TABLES.len())];
+        let alias = if rng.gen_bool(0.4) {
+            Some(format!("x{k}"))
+        } else {
+            None
+        };
+        scope.push((alias.clone().unwrap_or_else(|| table.to_owned()), cols));
+        from.push(FromItem {
+            table: TableRef::Base(table.to_owned()),
+            alias,
+        });
+    }
+
+    let items = if !from.is_empty() && rng.gen_bool(0.2) {
+        vec![SelectItem::Wildcard]
+    } else {
+        (0..rng.gen_range(1..=3))
+            .map(|_| SelectItem::Expr {
+                expr: gen_expr(rng, &scope, depth),
+                alias: None,
+            })
+            .collect()
+    };
+    let where_clause = if rng.gen_bool(0.7) {
+        Some(gen_expr(rng, &scope, depth))
+    } else {
+        None
+    };
+    let order_by = (0..rng.gen_range(0..=2))
+        .map(|_| OrderItem {
+            expr: gen_expr(rng, &scope, depth.min(1)),
+            desc: rng.gen_bool(0.5),
+        })
+        .collect();
+    SelectStmt {
+        distinct: rng.gen_bool(0.3),
+        items,
+        from,
+        where_clause,
+        group_by: vec![],
+        having: None,
+        order_by,
+    }
+}
+
+fn gen_action(rng: &mut StdRng, depth: u32) -> Action {
+    let (table, cols) = TABLES[rng.gen_range(0..TABLES.len())];
+    let scope: Vec<(String, &'static [&'static str])> = vec![(table.to_owned(), cols)];
+    let pred = |rng: &mut StdRng| {
+        if rng.gen_bool(0.8) {
+            Some(gen_expr(rng, &scope, depth))
+        } else {
+            None
+        }
+    };
+    match rng.gen_range(0..3) {
+        0 => {
+            let source = if rng.gen_bool(0.5) {
+                InsertSource::Values(
+                    (0..rng.gen_range(1..=2))
+                        .map(|_| (0..cols.len()).map(|_| gen_expr(rng, &[], depth)).collect())
+                        .collect(),
+                )
+            } else {
+                InsertSource::Select(gen_select(rng, &[], depth))
+            };
+            Action::Insert(InsertStmt {
+                table: table.to_owned(),
+                columns: None,
+                source,
+            })
+        }
+        1 => Action::Delete(starling::sql::ast::DeleteStmt {
+            table: table.to_owned(),
+            where_clause: pred(rng),
+        }),
+        _ => {
+            let sets = (0..rng.gen_range(1..=2))
+                .map(|_| {
+                    (
+                        cols[rng.gen_range(0..cols.len())].to_owned(),
+                        gen_expr(rng, &scope, depth),
+                    )
+                })
+                .collect();
+            Action::Update(UpdateStmt {
+                table: table.to_owned(),
+                sets,
+                where_clause: pred(rng),
+            })
+        }
+    }
+}
+
+#[test]
+fn random_selects_agree() {
+    let db = fixture();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = gen_select(&mut rng, &[], 3);
+        assert_select_agrees(&s, &db, &format!("seed {seed}: {s:?}"));
+    }
+}
+
+#[test]
+fn random_actions_agree() {
+    let db = fixture();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xac7104);
+        let a = gen_action(&mut rng, 2);
+        assert_action_agrees(&a, &db, &format!("seed {seed}: {a:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule conditions: corpus, case studies, and transition-table binding.
+// ---------------------------------------------------------------------------
+
+/// Asserts the contract for one rule condition under a transition binding.
+fn assert_condition_agrees(
+    cond: &Expr,
+    catalog: &Catalog,
+    rule_table: &str,
+    db: &Database,
+    binding: &TransitionBinding,
+    what: &str,
+) {
+    let ctx = EvalCtx {
+        db,
+        transitions: Some(binding),
+    };
+    let mut env = Env::new(&ctx);
+    let interp = eval_bool(cond, &mut env);
+    let plan = compile_condition(cond, catalog, Some(rule_table));
+    let planned = eval_condition(&plan, db, Some(binding));
+    match (interp, planned) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: condition values diverge"),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!("{what}: interp {a:?} vs plan {b:?}"),
+    }
+}
+
+/// Every corpus and case-study rule condition, evaluated under empty and
+/// nonempty transition bindings.
+#[test]
+fn corpus_and_case_study_conditions_agree() {
+    // Corpus rules run against the standard 4-table catalog.
+    let mut db = Database::new();
+    for schema in CorpusEntry::catalog().tables() {
+        db.create_table(schema.clone()).unwrap();
+    }
+    db.insert("t", vec![Value::Int(0)]).unwrap();
+    db.insert("u", vec![Value::Int(3)]).unwrap();
+    for entry in corpus() {
+        let rules = entry.compile();
+        for r in rules.rules() {
+            let Some(cond) = &r.def.condition else {
+                continue;
+            };
+            let empty = TransitionBinding::empty(&r.def.table);
+            let full = TransitionBinding {
+                table: r.def.table.clone(),
+                inserted: vec![vec![Value::Int(1)], vec![Value::Int(7)]],
+                deleted: vec![vec![Value::Int(2)]],
+                new_updated: vec![vec![Value::Int(5)]],
+                old_updated: vec![vec![Value::Int(4)]],
+            };
+            for (tag, b) in [("empty", &empty), ("full", &full)] {
+                assert_condition_agrees(
+                    cond,
+                    rules.catalog(),
+                    &r.def.table,
+                    &db,
+                    b,
+                    &format!("corpus/{} rule {} ({tag})", entry.name, r.name()),
+                );
+            }
+        }
+    }
+
+    // Case studies: conditions against the seeded databases, with bindings
+    // drawn from each rule's own table rows.
+    for w in [power_network::workload(), audit::workload()] {
+        let (db, rules) = w.compile().unwrap();
+        for r in rules.rules() {
+            let Some(cond) = &r.def.condition else {
+                continue;
+            };
+            let rows: Vec<_> = db
+                .table(&r.def.table)
+                .unwrap()
+                .rows()
+                .take(2)
+                .cloned()
+                .collect();
+            let empty = TransitionBinding::empty(&r.def.table);
+            let full = TransitionBinding {
+                table: r.def.table.clone(),
+                inserted: rows.clone(),
+                deleted: rows.clone(),
+                new_updated: rows.clone(),
+                old_updated: rows,
+            };
+            for (tag, b) in [("empty", &empty), ("full", &full)] {
+                assert_condition_agrees(
+                    cond,
+                    rules.catalog(),
+                    &r.def.table,
+                    &db,
+                    b,
+                    &format!("case_study/{} rule {} ({tag})", w.name, r.name()),
+                );
+            }
+        }
+    }
+}
+
+/// Conditions over transition tables with NULLs and joins, bound to the
+/// fixture schema.
+#[test]
+fn transition_conditions_agree() {
+    let db = fixture();
+    let binding = TransitionBinding {
+        table: "t".to_owned(),
+        inserted: vec![
+            vec![Value::Int(1), Value::Null, Value::Str("ab".into())],
+            vec![Value::Int(9), Value::Int(2), Value::Null],
+        ],
+        deleted: vec![vec![Value::Int(0), Value::Int(7), Value::Str("x".into())]],
+        new_updated: vec![vec![Value::Int(2), Value::Int(3), Value::Null]],
+        old_updated: vec![vec![Value::Int(2), Value::Int(1), Value::Null]],
+    };
+    let conds = [
+        "exists (select * from inserted where a > 1)",
+        "exists (select * from inserted where b is null)",
+        "exists (select * from inserted i, u where i.a = u.a and u.b > 0)",
+        "exists (select * from deleted where a in (select a from v))",
+        "exists (select * from new_updated n, old_updated o where n.a = o.a and n.b > o.b)",
+        "(select b from new_updated) > 2",
+        "not exists (select * from inserted where s like 'a%')",
+        "exists (select distinct a from inserted order by a desc)",
+    ];
+    for src in conds {
+        let cond = parse_expr(src).unwrap();
+        assert_condition_agrees(&cond, db.catalog(), "t", &db, &binding, src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution graphs: plan path vs forced interpretation.
+// ---------------------------------------------------------------------------
+
+fn graph_fingerprint(
+    rules: &RuleSet,
+    db: &Database,
+    actions: &[Action],
+    cfg: &ExploreConfig,
+    what: &str,
+) -> (usize, usize, Vec<u64>) {
+    let g = explore(rules, db, actions, cfg).unwrap();
+    assert!(!g.truncated(), "{what}: exploration truncated");
+    let mut digests: Vec<u64> = g
+        .final_dbs
+        .iter()
+        .map(|(_, fdb)| fdb.state_digest())
+        .collect();
+    digests.sort_unstable();
+    (g.states.len(), g.edges.len(), digests)
+}
+
+/// Full oracle exploration must be bit-identical between the compiled-plan
+/// path (default) and forced interpretation (`STARLING_FORCE_INTERP`'s
+/// in-process test override).
+#[test]
+fn exploration_graphs_agree_with_forced_interp() {
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
+
+    let mut cases: Vec<(String, RuleSet, Database, Vec<Action>)> = Vec::new();
+
+    // Terminating corpus entries.
+    for entry in corpus() {
+        if !matches!(
+            entry.name,
+            "independent" | "cascade_ordered" | "unordered_writers" | "ordered_observables"
+        ) {
+            continue;
+        }
+        let rules = entry.compile();
+        let mut db = Database::new();
+        for schema in CorpusEntry::catalog().tables() {
+            db.create_table(schema.clone()).unwrap();
+        }
+        db.insert("t", vec![Value::Int(0)]).unwrap();
+        db.insert("u", vec![Value::Int(0)]).unwrap();
+        let action = parsed_action("insert into t values (1)");
+        cases.push((format!("corpus/{}", entry.name), rules, db, vec![action]));
+    }
+
+    // Condition-heavy workloads (the bench cases).
+    cases.push((
+        "cond/eq_join".to_owned(),
+        cond_stress::join_rules(),
+        cond_stress::database(),
+        cond_stress::user_actions(),
+    ));
+    cases.push((
+        "cond/scan_filter".to_owned(),
+        cond_stress::filter_rules(),
+        cond_stress::database(),
+        cond_stress::user_actions(),
+    ));
+
+    // Case study (audit terminates quickly; power_network is covered by the
+    // pinned-digest case-study tests, whose expectations predate the plan
+    // layer).
+    {
+        let w = audit::workload();
+        let (db, rules) = w.compile().unwrap();
+        let actions = w.user_actions().unwrap();
+        cases.push((format!("case_study/{}", w.name), rules, db, actions));
+    }
+
+    // Random workloads.
+    for seed in 0..6u64 {
+        let w = random::generate(&random::RandomConfig {
+            seed,
+            n_rules: 5,
+            ..random::RandomConfig::default()
+        });
+        let rules = w.compile();
+        let db = w.seed_database();
+        let actions = w.user_transition(0xd1ff);
+        cases.push((format!("random/seed{seed}"), rules, db, actions));
+    }
+
+    for (name, rules, db, actions) in &cases {
+        set_force_interp_for_tests(false);
+        let with_plans = graph_fingerprint(rules, db, actions, &cfg, name);
+        set_force_interp_for_tests(true);
+        let with_interp = graph_fingerprint(rules, db, actions, &cfg, name);
+        set_force_interp_for_tests(false);
+        assert_eq!(with_plans, with_interp, "{name}: graphs diverge");
+    }
+}
