@@ -1,0 +1,257 @@
+//! Server load generator: measures the aggregate cost of N rule-engine
+//! sessions served concurrently by `starling-server` against the same N
+//! sessions run as sequential one-shot `starling explore` CLI invocations,
+//! and records the numbers in `BENCH_server.json`.
+//!
+//! The workload is deliberately seed-heavy: every one-shot invocation pays
+//! process spawn + script parse + seed execution + rule compilation before
+//! doing any useful work, while the server pays them once — the shared
+//! program cache hands every later session a copy-on-write snapshot and a
+//! refcounted compiled rule set. The speedup measured here is that
+//! amortization (the harness does not assume extra cores).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]
+//! ```
+//!
+//! * `--smoke` — small seed and few sessions (CI keep-alive mode);
+//! * `--sessions` — number of sessions (default 64, smoke default 8);
+//! * `--label` / `--out` — as in `bench_oracle`; the output file holds a
+//!   JSON array and each run **appends** one entry, preserving history.
+//!
+//! Requires the release CLI next to this binary (`cargo build --release
+//! -p starling-cli -p starling-bench`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use starling_server::{Client, ScriptCache, Server};
+use starling_sql::json::Json;
+
+/// Builds the seed-heavy workload: schema, `seed_rows` seed inserts, an
+/// audit rule and a capping rule, and a one-row user transition probed by
+/// `explore`.
+fn workload_script(seed_rows: usize) -> String {
+    let mut s = String::with_capacity(seed_rows * 40 + 512);
+    s.push_str("create table account (id int, balance int);\n");
+    s.push_str("create table audit_log (id int, balance int);\n");
+    for i in 0..seed_rows {
+        let _ = writeln!(s, "insert into account values ({i}, {});", (i * 37) % 1000);
+    }
+    s.push_str(
+        "create rule audit on account when inserted then \
+           insert into audit_log select id, balance from inserted end;\n\
+         create rule cap on account when inserted, updated(balance) \
+           if exists (select * from account where balance > 100000) \
+           then update account set balance = 100000 where balance > 100000 end;\n\
+         insert into account values (999001, 55);\n",
+    );
+    s
+}
+
+/// The release `starling` binary, expected beside this one.
+fn cli_path() -> PathBuf {
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("starling");
+    assert!(
+        p.exists(),
+        "{} not found — build it first: cargo build --release -p starling-cli",
+        p.display()
+    );
+    p
+}
+
+/// N sequential one-shot CLI invocations (spawn + parse + seed + compile +
+/// explore each time). Returns total wall time.
+fn run_baseline(cli: &PathBuf, script_path: &std::path::Path, sessions: usize) -> Duration {
+    let start = Instant::now();
+    for _ in 0..sessions {
+        let out = Command::new(cli)
+            .arg("explore")
+            .arg(script_path)
+            .args(["--max-states", "10000", "--json"])
+            .output()
+            .expect("spawn starling explore");
+        assert!(
+            out.status.success(),
+            "baseline explore failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    start.elapsed()
+}
+
+/// N concurrent sessions against an in-process server: each connects,
+/// loads the script (one cache miss total), explores, digests, quits.
+/// Returns (total wall time, cache hits, cache misses).
+fn run_server(script: &str, sessions: usize) -> (Duration, u64, u64) {
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let load = Json::obj([("op", Json::from("load")), ("script", Json::from(script))]).to_string();
+    // Attach-by-digest: sessions try the cheap path first and only the
+    // loser(s) of the initial race upload the full script.
+    let attach = Json::obj([
+        ("op", Json::from("load")),
+        (
+            "digest",
+            Json::from(format!("{:016x}", ScriptCache::digest(script))),
+        ),
+    ])
+    .to_string();
+    let explore = r#"{"op":"explore","budget":{"max_states":10000}}"#.to_owned();
+    let digest = r#"{"op":"digest"}"#.to_owned();
+
+    let start = Instant::now();
+    let digests: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let (load, attach, explore, digest) = (&load, &attach, &explore, &digest);
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let ok = |line: &str, c: &mut Client| {
+                        let resp = c.raw_request(line).expect("request");
+                        let resp = Json::parse(&resp).expect("response json");
+                        assert_eq!(
+                            resp.get("ok"),
+                            Some(&Json::Bool(true)),
+                            "error response: {resp}"
+                        );
+                        resp.get("result").cloned().unwrap_or(Json::Null)
+                    };
+                    let attached = c.raw_request(attach).expect("request");
+                    if !attached.contains("\"ok\":true") {
+                        ok(load, &mut c);
+                    }
+                    ok(explore, &mut c);
+                    let d = ok(digest, &mut c)
+                        .get("digest")
+                        .and_then(Json::as_str)
+                        .expect("digest string")
+                        .to_owned();
+                    c.quit().expect("quit");
+                    d
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    // Sanity: snapshot isolation means every session saw the same state.
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "sessions diverged: {digests:?}"
+    );
+    let (hits, misses) = server.shared().cache.stats();
+    server.shutdown();
+    server.join();
+    (wall, hits, misses)
+}
+
+/// Appends `entry` to the JSON array in `path` (creating the file if
+/// needed), preserving history — same convention as `bench_oracle`.
+fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let Some(without_close) = trimmed.strip_suffix(']') else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{path} does not end in ']' — not a JSON array"),
+                ));
+            };
+            let without_close = without_close.trim_end();
+            if without_close == "[" {
+                format!("[\n{entry}\n]\n")
+            } else {
+                format!("{without_close},\n{entry}\n]\n")
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!("[\n{entry}\n]\n"),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut sessions: Option<usize> = None;
+    let mut label = "current".to_owned();
+    let mut out = "BENCH_server.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--sessions" => {
+                sessions = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sessions needs a number"),
+                )
+            }
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sessions = sessions.unwrap_or(if smoke { 8 } else { 64 });
+    let seed_rows = if smoke { 200 } else { 4000 };
+
+    let script = workload_script(seed_rows);
+    let script_path = std::env::temp_dir().join(format!("bench_server_{}.rql", std::process::id()));
+    std::fs::write(&script_path, &script).expect("write workload script");
+
+    let cli = cli_path();
+    println!("workload: {seed_rows} seed rows, {sessions} sessions");
+    let baseline = run_baseline(&cli, &script_path, sessions);
+    println!(
+        "baseline: {sessions} one-shot CLI invocations  {:>8.3} s  ({:.1} ms/session)",
+        baseline.as_secs_f64(),
+        baseline.as_secs_f64() * 1e3 / sessions as f64,
+    );
+    let (server, hits, misses) = run_server(&script, sessions);
+    println!(
+        "server:   {sessions} concurrent sessions       {:>8.3} s  ({:.1} ms/session, \
+         cache {hits} hits / {misses} misses)",
+        server.as_secs_f64(),
+        server.as_secs_f64() * 1e3 / sessions as f64,
+    );
+    let speedup = baseline.as_secs_f64() / server.as_secs_f64();
+    println!("aggregate speedup: {speedup:.2}x");
+    let _ = std::fs::remove_file(&script_path);
+
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!(
+        "  {{\n    \"label\": \"{}\",\n    \"unix_time\": {epoch},\n    \"mode\": \"{}\",\n    \
+         \"sessions\": {sessions},\n    \"seed_rows\": {seed_rows},\n    \
+         \"baseline_wall_s\": {:.6},\n    \"server_wall_s\": {:.6},\n    \
+         \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \
+         \"speedup\": {speedup:.3}\n  }}",
+        label.replace('"', "'"),
+        if smoke { "smoke" } else { "full" },
+        baseline.as_secs_f64(),
+        server.as_secs_f64(),
+    );
+    if let Err(e) = append_entry(&out, &entry) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("recorded entry \"{label}\" in {out}");
+}

@@ -29,7 +29,7 @@ use starling_analysis::InteractiveSession;
 use starling_baselines::compare_all;
 use starling_bench::{build, corpus_config, scale_config};
 use starling_engine::{
-    consider_rule, explore, explore_from_ops, ExecState, ExploreConfig, RuleId, RuleSet,
+    consider_rule, explore, explore_from_ops, EvalMode, ExecState, ExploreConfig, RuleId, RuleSet,
 };
 use starling_storage::Op;
 use starling_workloads::{constraints, power_network};
@@ -126,11 +126,11 @@ fn e1_commutativity() {
                         continue;
                     }
                     let mut s1 = state.clone();
-                    consider_rule(&rules, &mut s1, ri, &base_db).unwrap();
-                    consider_rule(&rules, &mut s1, rj, &base_db).unwrap();
+                    consider_rule(&rules, &mut s1, ri, &base_db, EvalMode::default()).unwrap();
+                    consider_rule(&rules, &mut s1, rj, &base_db, EvalMode::default()).unwrap();
                     let mut s2 = state.clone();
-                    consider_rule(&rules, &mut s2, rj, &base_db).unwrap();
-                    consider_rule(&rules, &mut s2, ri, &base_db).unwrap();
+                    consider_rule(&rules, &mut s2, rj, &base_db, EvalMode::default()).unwrap();
+                    consider_rule(&rules, &mut s2, ri, &base_db, EvalMode::default()).unwrap();
                     let same = s1.semantic_digest(&rules) == s2.semantic_digest(&rules);
                     if commute {
                         diamonds += 1;

@@ -16,16 +16,15 @@ use std::fmt::Write as _;
 
 use starling_analysis::certifications::Certifications;
 use starling_analysis::context::AnalysisContext;
-use starling_analysis::report::AnalysisReport;
+use starling_analysis::report::{explore_json, AnalysisReport};
 use starling_analysis::triggering_graph::TriggeringGraph;
 use starling_baselines::compare_all;
 use starling_engine::{
     explore, Budget, EngineError, ExploreConfig, FirstEligible, Outcome, RuleSet, RunResult,
     Session, Verdict,
 };
-use starling_sql::ast::{Action, Directive, Statement};
-use starling_sql::parse_script;
-use starling_storage::Database;
+
+pub use starling_analysis::loader::{load_script, LoadedScript};
 
 /// How a command concluded, beyond success/failure: `main` maps these to
 /// distinct process exit codes so scripts and CI can react to "the oracle
@@ -59,95 +58,22 @@ impl CmdOutput {
     }
 }
 
-/// A loaded script, split per the convention above.
-pub struct LoadedScript {
-    /// Database after setup statements.
-    pub db: Database,
-    /// The compiled rule set.
-    pub rules: RuleSet,
-    /// Certifications from `declare` directives.
-    pub certs: Certifications,
-    /// DML after the first rule definition (the user transition).
-    pub user_actions: Vec<Action>,
-}
-
-impl LoadedScript {
-    /// The analysis context for the script.
-    pub fn context(&self) -> AnalysisContext {
-        AnalysisContext::from_ruleset(&self.rules, self.certs.clone())
-    }
-}
-
-/// Parses and loads a script.
-pub fn load_script(src: &str) -> Result<LoadedScript, EngineError> {
-    let stmts = parse_script(src)?;
-    let mut session = Session::new();
-    let mut defs = Vec::new();
-    let mut directives: Vec<Directive> = Vec::new();
-    let mut user_actions = Vec::new();
-    for stmt in stmts {
-        match stmt {
-            Statement::CreateTable(_) => {
-                session.execute(&stmt)?;
-            }
-            Statement::CreateRule(r) => defs.push(r),
-            Statement::DropRule(name) => {
-                let before = defs.len();
-                defs.retain(|r: &starling_sql::RuleDef| r.name != name);
-                if defs.len() == before {
-                    return Err(EngineError::InvalidStatement(format!(
-                        "drop rule: no rule named `{name}`"
-                    )));
-                }
-                for r in &mut defs {
-                    r.precedes.retain(|p| p != &name);
-                    r.follows.retain(|p| p != &name);
-                }
-            }
-            Statement::AlterRule {
-                name,
-                precedes,
-                follows,
-            } => {
-                let Some(def) = defs.iter_mut().find(|r| r.name == name) else {
-                    return Err(EngineError::InvalidStatement(format!(
-                        "alter rule: no rule named `{name}`"
-                    )));
-                };
-                def.precedes.extend(precedes);
-                def.follows.extend(follows);
-            }
-            Statement::Directive(d) => directives.push(d),
-            Statement::Dml(a) => {
-                if defs.is_empty() {
-                    session.execute(&Statement::Dml(a))?;
-                } else {
-                    user_actions.push(a);
-                }
-            }
-        }
-    }
-    session.commit(&mut FirstEligible)?;
-    let rules = RuleSet::compile(&defs, session.db().catalog())?;
-    Ok(LoadedScript {
-        db: session.db().clone(),
-        rules,
-        certs: Certifications::from_directives(&directives),
-        user_actions,
-    })
-}
-
 /// `starling analyze`: the full report. `refine` enables the Section 9
-/// predicate-level commutativity refinement.
+/// predicate-level commutativity refinement; `json` emits the
+/// machine-readable shape shared with the server protocol.
 pub fn cmd_analyze(
     src: &str,
     protect: &[Vec<String>],
     refine: bool,
+    json: bool,
 ) -> Result<String, EngineError> {
     let script = load_script(src)?;
     let mut ctx = script.context();
     ctx.refine = refine;
     let report = AnalysisReport::run(&ctx, protect);
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
     Ok(report.to_string())
 }
 
@@ -189,11 +115,17 @@ fn render_verdict(v: Verdict) -> String {
 
 /// `starling explore`: the execution-graph oracle over the script's user
 /// transition, bounded by `cfg` (state/path budgets and optional deadline).
-/// With `dot`, emits the graph as GraphViz instead of the verdict summary.
+/// With `dot`, emits the graph as GraphViz instead of the verdict summary;
+/// with `json`, the machine-readable shape shared with the server protocol.
 ///
 /// The status is [`CmdStatus::Inconclusive`] when any budget ran out before
 /// a verdict; a definitive negative verdict is still [`CmdStatus::Ok`].
-pub fn cmd_explore(src: &str, cfg: &ExploreConfig, dot: bool) -> Result<CmdOutput, EngineError> {
+pub fn cmd_explore(
+    src: &str,
+    cfg: &ExploreConfig,
+    dot: bool,
+    json: bool,
+) -> Result<CmdOutput, EngineError> {
     let script = load_script(src)?;
     if script.user_actions.is_empty() {
         return Err(EngineError::InvalidStatement(
@@ -203,6 +135,23 @@ pub fn cmd_explore(src: &str, cfg: &ExploreConfig, dot: bool) -> Result<CmdOutpu
     let g = explore(&script.rules, &script.db, &script.user_actions, cfg)?;
     if dot {
         return Ok(CmdOutput::ok(g.to_dot(&script.rules)));
+    }
+    let inconclusive = [
+        g.termination_verdict(),
+        g.confluence_verdict(),
+        g.observable_determinism_verdict(cfg),
+    ]
+    .iter()
+    .any(|v| matches!(v, Verdict::Inconclusive(_)));
+    if json {
+        return Ok(CmdOutput {
+            text: format!("{}\n", explore_json(&g, cfg)),
+            status: if inconclusive {
+                CmdStatus::Inconclusive
+            } else {
+                CmdStatus::Ok
+            },
+        });
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -530,14 +479,14 @@ mod tests {
 
     #[test]
     fn analyze_reports_violation() {
-        let text = cmd_analyze(SCRIPT, &[], false).unwrap();
+        let text = cmd_analyze(SCRIPT, &[], false, false).unwrap();
         assert!(text.contains("MAY NOT BE CONFLUENT"), "{text}");
     }
 
     #[test]
     fn analyze_honors_directives() {
         let src = format!("{SCRIPT}\ndeclare commute a, b;");
-        let text = cmd_analyze(&src, &[], false).unwrap();
+        let text = cmd_analyze(&src, &[], false, false).unwrap();
         assert!(text.contains("CONFLUENCE: guaranteed"), "{text}");
     }
 
@@ -551,7 +500,7 @@ mod tests {
 
     #[test]
     fn explore_oracle() {
-        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), false).unwrap();
+        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), false, false).unwrap();
         assert!(
             out.text.contains("unique final state:      NO"),
             "{}",
@@ -563,7 +512,7 @@ mod tests {
 
     #[test]
     fn explore_dot_output() {
-        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), true).unwrap();
+        let out = cmd_explore(SCRIPT, &ExploreConfig::default(), true, false).unwrap();
         assert!(out.text.starts_with("digraph execution"), "{}", out.text);
         assert!(out.text.contains("doublecircle"), "{}", out.text);
     }
@@ -572,7 +521,7 @@ mod tests {
     fn explore_requires_transition() {
         let src = "create table t (x int); \
                    create rule a on t when inserted then delete from t end;";
-        assert!(cmd_explore(src, &ExploreConfig::default(), false).is_err());
+        assert!(cmd_explore(src, &ExploreConfig::default(), false, false).is_err());
     }
 
     #[test]
@@ -582,7 +531,7 @@ mod tests {
                      insert into t select x + 1 from inserted end;
                    insert into t values (1);";
         let cfg = ExploreConfig::default().with_max_states(20);
-        let out = cmd_explore(src, &cfg, false).unwrap();
+        let out = cmd_explore(src, &cfg, false, false).unwrap();
         assert_eq!(out.status, CmdStatus::Inconclusive);
         assert!(
             out.text.contains("[TRUNCATED: state budget exhausted]"),
@@ -676,7 +625,7 @@ mod tests {
 
     #[test]
     fn analyze_with_protected_tables() {
-        let text = cmd_analyze(SCRIPT, &[vec!["t".to_owned()]], false).unwrap();
+        let text = cmd_analyze(SCRIPT, &[vec!["t".to_owned()]], false, false).unwrap();
         assert!(text.contains("PARTIAL CONFLUENCE w.r.t. {t}"), "{text}");
     }
 }

@@ -7,6 +7,8 @@
 //! starling explore <file> [--max-states N]       execution-graph oracle
 //! starling run <file>                            execute with rule processing
 //! starling compare <file>                        baseline comparison (Sec. 9)
+//! starling serve [--addr H:P]                    multi-session server
+//! starling client [--addr H:P]                   stdin/stdout protocol client
 //! ```
 //!
 //! Exit codes: `0` success (including definitive negative verdicts), `1`
@@ -37,6 +39,11 @@ COMMANDS:
                (starling explain <file> <rule>)
     run        Execute the script with rule processing at commit
     compare    Compare against HH91/ZH90/Ras90-analog criteria
+    serve      Serve concurrent sessions over newline-delimited JSON
+               (no file argument; --addr HOST:PORT, default 127.0.0.1:7878,
+               port 0 picks an ephemeral port)
+    client     Connect to a server: one JSON request per stdin line, one
+               response per stdout line (--addr HOST:PORT)
 
 OPTIONS:
     --protect t1,t2           (analyze) also check partial confluence w.r.t.
@@ -47,6 +54,10 @@ OPTIONS:
     --timeout MS              (explore/run) wall-clock budget in milliseconds
     --refine                  (analyze) enable the Section 9 predicate-level
                               commutativity refinement
+    --json                    (analyze/explore) machine-readable output: one
+                              JSON object, same shape as the server protocol
+    --addr HOST:PORT          (serve/client) listen/connect address,
+                              default 127.0.0.1:7878
 
 EXIT CODES:
     0    success (definitive verdicts, including negative ones)
@@ -102,6 +113,9 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
             status: CmdStatus::Ok,
         });
     }
+    if command == "serve" || command == "client" {
+        return serve_or_client(command, &args[1..]);
+    }
     let file = args.get(1).ok_or("missing script file")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
 
@@ -109,6 +123,7 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
     let mut protect: Vec<Vec<String>> = Vec::new();
     let mut dot = false;
     let mut refine = false;
+    let mut json = false;
     let mut budget = Budget::default();
     let mut i = 2;
     while i < args.len() {
@@ -124,6 +139,10 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
             }
             "--refine" => {
                 refine = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
                 i += 1;
             }
             "--max-states" => {
@@ -160,7 +179,7 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
     }
 
     let result = match command.as_str() {
-        "analyze" => cmd_analyze(&src, &protect, refine).map(|text| CmdOutput {
+        "analyze" => cmd_analyze(&src, &protect, refine, json).map(|text| CmdOutput {
             text,
             status: CmdStatus::Ok,
         }),
@@ -168,7 +187,7 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
             text,
             status: CmdStatus::Ok,
         }),
-        "explore" => cmd_explore(&src, &budget, dot),
+        "explore" => cmd_explore(&src, &budget, dot, json),
         "explain" => {
             let rule = rule_arg.ok_or("explain needs a rule name")?;
             starling_cli::cmd_explain(&src, &rule).map(|text| CmdOutput {
@@ -184,4 +203,58 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
         other => return Err(format!("unknown command `{other}`")),
     };
     result.map_err(|e| e.to_string())
+}
+
+/// The `serve` and `client` subcommands. Both stream to stdout directly
+/// (the listening line must appear before `serve` blocks; responses must
+/// appear as they arrive), so they return an empty [`CmdOutput`].
+fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs HOST:PORT")?.clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    match command {
+        "serve" => {
+            let server = starling_server::Server::bind(&addr)
+                .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+            // Scripts parse this line for the (possibly ephemeral) port.
+            println!("starling-server listening on {}", server.local_addr());
+            server.join();
+            println!("starling-server drained");
+        }
+        "client" => {
+            let mut client = starling_server::Client::connect(&addr)
+                .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = stdin
+                    .read_line(&mut line)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                if n == 0 {
+                    break;
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = client
+                    .raw_request(line.trim_end())
+                    .map_err(|e| format!("connection lost: {e}"))?;
+                println!("{response}");
+            }
+        }
+        _ => unreachable!("dispatched on serve/client only"),
+    }
+    Ok(CmdOutput {
+        text: String::new(),
+        status: CmdStatus::Ok,
+    })
 }

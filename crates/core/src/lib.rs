@@ -65,6 +65,7 @@ pub mod commutativity;
 pub mod confluence;
 pub mod context;
 pub mod interactive;
+pub mod loader;
 pub mod observable;
 pub mod partial;
 pub mod partition;
@@ -82,9 +83,11 @@ pub use commutativity::{
 pub use confluence::{ConfluenceAnalysis, ConfluenceVerdict, ConfluenceViolation};
 pub use context::AnalysisContext;
 pub use interactive::InteractiveSession;
+pub use loader::{load_script, LoadedScript};
 pub use observable::{ObservableAnalysis, OBS_TABLE};
 pub use partial::{significant_rules, PartialConfluenceAnalysis};
 pub use refine::{predicates_disjoint, refine_reasons};
 pub use report::AnalysisReport;
+pub use report::{explore_json, verdict_json};
 pub use termination::{CycleCertificate, TerminationAnalysis, TerminationVerdict};
 pub use triggering_graph::TriggeringGraph;

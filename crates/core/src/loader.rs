@@ -1,0 +1,146 @@
+//! Script loading shared by the CLI and the server.
+//!
+//! ## Script convention
+//!
+//! A `.rql` script is a single file of statements, processed in order:
+//!
+//! * `create table` — schema;
+//! * DML *before the first rule definition* — seed data;
+//! * `create rule ... end` — the rule set;
+//! * `declare commute` / `declare terminates` — certifications;
+//! * DML *after the first rule definition* — the user transition probed by
+//!   `explore`.
+//!
+//! The compiled [`RuleSet`] is behind an [`Arc`] so the server's shared
+//! ruleset cache can hand the same compilation to many sessions; the raw
+//! [`RuleDef`]s and [`Directive`]s are kept so a session can be restored
+//! from cached parts without re-parsing.
+
+use std::sync::Arc;
+
+use starling_engine::{EngineError, FirstEligible, RuleSet, Session};
+use starling_sql::ast::{Action, Directive, RuleDef, Statement};
+use starling_sql::parse_script;
+use starling_storage::Database;
+
+use crate::certifications::Certifications;
+use crate::context::AnalysisContext;
+
+/// A loaded script, split per the convention above.
+#[derive(Clone, Debug)]
+pub struct LoadedScript {
+    /// Database after setup statements.
+    pub db: Database,
+    /// The compiled rule set (shared; compile once, hand out refcounts).
+    pub rules: Arc<RuleSet>,
+    /// Certifications from `declare` directives.
+    pub certs: Certifications,
+    /// DML after the first rule definition (the user transition).
+    pub user_actions: Vec<Action>,
+    /// The raw rule definitions the set was compiled from.
+    pub defs: Vec<RuleDef>,
+    /// The raw `declare` directives.
+    pub directives: Vec<Directive>,
+}
+
+impl LoadedScript {
+    /// The analysis context for the script.
+    pub fn context(&self) -> AnalysisContext {
+        AnalysisContext::from_ruleset(&self.rules, self.certs.clone())
+    }
+}
+
+/// Parses and loads a script.
+pub fn load_script(src: &str) -> Result<LoadedScript, EngineError> {
+    let stmts = parse_script(src)?;
+    let mut session = Session::new();
+    let mut defs: Vec<RuleDef> = Vec::new();
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut user_actions = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Statement::CreateTable(_) => {
+                session.execute(&stmt)?;
+            }
+            Statement::CreateRule(r) => defs.push(r),
+            Statement::DropRule(name) => {
+                let before = defs.len();
+                defs.retain(|r| r.name != name);
+                if defs.len() == before {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "drop rule: no rule named `{name}`"
+                    )));
+                }
+                for r in &mut defs {
+                    r.precedes.retain(|p| p != &name);
+                    r.follows.retain(|p| p != &name);
+                }
+            }
+            Statement::AlterRule {
+                name,
+                precedes,
+                follows,
+            } => {
+                let Some(def) = defs.iter_mut().find(|r| r.name == name) else {
+                    return Err(EngineError::InvalidStatement(format!(
+                        "alter rule: no rule named `{name}`"
+                    )));
+                };
+                def.precedes.extend(precedes);
+                def.follows.extend(follows);
+            }
+            Statement::Directive(d) => directives.push(d),
+            Statement::Dml(a) => {
+                if defs.is_empty() {
+                    session.execute(&Statement::Dml(a))?;
+                } else {
+                    user_actions.push(a);
+                }
+            }
+        }
+    }
+    session.commit(&mut FirstEligible)?;
+    let rules = Arc::new(RuleSet::compile(&defs, session.db().catalog())?);
+    Ok(LoadedScript {
+        db: session.db().clone(),
+        rules,
+        certs: Certifications::from_directives(&directives),
+        user_actions,
+        defs,
+        directives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_splits_setup_and_transition() {
+        let s = load_script(
+            "create table t (x int);
+             insert into t values (1);
+             create rule a on t when inserted then delete from t end;
+             declare terminates a 'delete-only';
+             insert into t values (5);",
+        )
+        .unwrap();
+        assert_eq!(s.rules.len(), 1);
+        assert_eq!(s.defs.len(), 1);
+        assert_eq!(s.directives.len(), 1);
+        assert_eq!(s.user_actions.len(), 1);
+        // Seed insert ran; user insert did not (it is the probe).
+        assert_eq!(s.db.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_unknown_rule_errors() {
+        let err = load_script(
+            "create table t (x int);
+             create rule a on t when inserted then delete from t end;
+             drop rule nope;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no rule named"), "{err}");
+    }
+}

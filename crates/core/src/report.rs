@@ -5,11 +5,16 @@ use std::fmt;
 
 use serde::Serialize;
 
+use starling_engine::{ExecGraph, ExploreConfig, Verdict};
+use starling_sql::json::{digest_json, Json};
+
 use crate::confluence::{analyze_confluence, corollary_checks, ConfluenceAnalysis};
 use crate::context::AnalysisContext;
 use crate::observable::{analyze_observable_determinism, ObservableAnalysis};
 use crate::partial::{analyze_partial_confluence, PartialConfluenceAnalysis};
-use crate::termination::{analyze_termination, TerminationAnalysis, TerminationVerdict};
+use crate::termination::{
+    analyze_termination, CycleCertificate, TerminationAnalysis, TerminationVerdict,
+};
 
 /// A complete analysis of a rule set: termination, confluence, observable
 /// determinism, and optionally partial confluence for requested tables.
@@ -67,6 +72,197 @@ impl AnalysisReport {
             && self.confluence_guaranteed()
             && self.observable.is_guaranteed()
     }
+
+    /// The machine-readable report. This is THE serialized shape: both the
+    /// CLI's `--json` mode and the server's `analyze` response emit it, so
+    /// the two cannot drift.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule_count", Json::from(self.rule_count)),
+            ("termination", termination_json(&self.termination)),
+            ("confluence", confluence_json(&self.confluence)),
+            (
+                "confluence_guaranteed",
+                Json::from(self.confluence_guaranteed()),
+            ),
+            ("partial", Json::arr(self.partial.iter().map(partial_json))),
+            ("observable", observable_json(&self.observable)),
+            (
+                "corollary_failures",
+                Json::arr(
+                    self.corollary_failures
+                        .iter()
+                        .map(|s| Json::from(s.as_str())),
+                ),
+            ),
+            ("all_guaranteed", Json::from(self.all_guaranteed())),
+        ])
+    }
+}
+
+fn termination_json(t: &TerminationAnalysis) -> Json {
+    let verdict = match t.verdict {
+        TerminationVerdict::Guaranteed => "guaranteed",
+        TerminationVerdict::GuaranteedWithCertificates => "guaranteed_with_certificates",
+        TerminationVerdict::MayNotTerminate => "may_not_terminate",
+    };
+    Json::obj([
+        ("verdict", Json::from(verdict)),
+        ("guaranteed", Json::from(t.is_guaranteed())),
+        (
+            "cycles",
+            Json::arr(t.cycles.iter().map(|c| {
+                Json::obj([
+                    (
+                        "rules",
+                        Json::arr(c.rules.iter().map(|r| Json::from(r.as_str()))),
+                    ),
+                    ("discharged", Json::from(c.discharged)),
+                    (
+                        "certificates",
+                        Json::arr(c.certificates.iter().map(certificate_json)),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn certificate_json(c: &CycleCertificate) -> Json {
+    match c {
+        CycleCertificate::User {
+            rule,
+            justification,
+        } => Json::obj([
+            ("kind", Json::from("user")),
+            ("rule", Json::from(rule.as_str())),
+            ("justification", Json::from(justification.as_str())),
+        ]),
+        CycleCertificate::DeleteOnly { rule, tables } => Json::obj([
+            ("kind", Json::from("delete_only")),
+            ("rule", Json::from(rule.as_str())),
+            (
+                "tables",
+                Json::arr(tables.iter().map(|t| Json::from(t.as_str()))),
+            ),
+        ]),
+        CycleCertificate::MonotoneUpdate { rule, column } => Json::obj([
+            ("kind", Json::from("monotone_update")),
+            ("rule", Json::from(rule.as_str())),
+            ("column", Json::from(column.as_str())),
+        ]),
+    }
+}
+
+fn confluence_json(c: &ConfluenceAnalysis) -> Json {
+    Json::obj([
+        ("requirement_holds", Json::from(c.requirement_holds())),
+        ("pairs_checked", Json::from(c.pairs_checked)),
+        (
+            "violations",
+            Json::arr(c.violations.iter().map(|v| {
+                Json::obj([
+                    (
+                        "pair",
+                        Json::arr([Json::from(v.pair.0.as_str()), Json::from(v.pair.1.as_str())]),
+                    ),
+                    (
+                        "conflict",
+                        Json::arr([
+                            Json::from(v.conflict.0.as_str()),
+                            Json::from(v.conflict.1.as_str()),
+                        ]),
+                    ),
+                    (
+                        "reasons",
+                        Json::arr(v.reasons.iter().map(|r| Json::from(r.to_string()))),
+                    ),
+                    (
+                        "suggestions",
+                        Json::arr(v.suggestions.iter().map(|s| Json::from(s.as_str()))),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn partial_json(p: &PartialConfluenceAnalysis) -> Json {
+    Json::obj([
+        (
+            "tables",
+            Json::arr(p.tables.iter().map(|t| Json::from(t.as_str()))),
+        ),
+        (
+            "significant",
+            Json::arr(p.significant.iter().map(|r| Json::from(r.as_str()))),
+        ),
+        ("guaranteed", Json::from(p.is_guaranteed())),
+        ("termination", termination_json(&p.termination)),
+        ("confluence", confluence_json(&p.confluence)),
+    ])
+}
+
+fn observable_json(o: &ObservableAnalysis) -> Json {
+    Json::obj([
+        ("guaranteed", Json::from(o.is_guaranteed())),
+        (
+            "observable_rules",
+            Json::arr(o.observable_rules.iter().map(|r| Json::from(r.as_str()))),
+        ),
+        (
+            "significant",
+            Json::arr(o.partial.significant.iter().map(|r| Json::from(r.as_str()))),
+        ),
+    ])
+}
+
+/// Serializes an oracle [`Verdict`] as
+/// `{"status": "holds"|"fails"|"inconclusive"|"not_applicable",
+///   "reason": <string|null>}`. Shared by the CLI `--json` mode and the
+/// server protocol.
+pub fn verdict_json(v: Verdict) -> Json {
+    let (status, reason) = match v {
+        Verdict::Holds => ("holds", None),
+        Verdict::Fails => ("fails", None),
+        Verdict::Inconclusive(r) => ("inconclusive", Some(r.to_string())),
+        Verdict::NotApplicable => ("not_applicable", None),
+    };
+    Json::obj([
+        ("status", Json::from(status)),
+        ("reason", Json::from(reason)),
+    ])
+}
+
+/// The machine-readable summary of an exploration: graph sizes, truncation,
+/// the three oracle verdicts, and the distinct final database digests (as
+/// fixed-width hex strings — JSON numbers cannot carry a `u64`). Shared by
+/// the CLI `explore --json` mode and the server's `explore` response.
+pub fn explore_json(g: &ExecGraph, cfg: &ExploreConfig) -> Json {
+    Json::obj([
+        ("states", Json::from(g.states.len())),
+        ("edges", Json::from(g.edges.len())),
+        ("final_states", Json::from(g.final_states.len())),
+        (
+            "truncation",
+            Json::from(g.truncation.map(|r| r.to_string())),
+        ),
+        (
+            "verdicts",
+            Json::obj([
+                ("termination", verdict_json(g.termination_verdict())),
+                ("confluence", verdict_json(g.confluence_verdict())),
+                (
+                    "observable_determinism",
+                    verdict_json(g.observable_determinism_verdict(cfg)),
+                ),
+            ]),
+        ),
+        (
+            "final_db_digests",
+            Json::arr(g.final_db_digests().iter().map(|&d| digest_json(d))),
+        ),
+    ])
 }
 
 impl fmt::Display for AnalysisReport {

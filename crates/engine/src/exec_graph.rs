@@ -26,7 +26,7 @@ use crate::budget::{Budget, TruncationReason, Verdict};
 use crate::error::EngineError;
 use crate::observable::{stream_digest, ObservableEvent};
 use crate::ops::TupleOp;
-use crate::processor::{consider_fired_rule, rule_fires, StepOutcome};
+use crate::processor::{consider_fired_rule, rule_fires, EvalMode, StepOutcome};
 use crate::ruleset::{RuleId, RuleSet};
 use crate::state::ExecState;
 
@@ -348,9 +348,22 @@ pub fn explore(
     user_actions: &[Action],
     cfg: &ExploreConfig,
 ) -> Result<ExecGraph, EngineError> {
+    explore_with_mode(rules, base_db, user_actions, cfg, EvalMode::default())
+}
+
+/// [`explore`] with an explicit [`EvalMode`] instead of the environment
+/// default — the differential tests run the oracle under both modes in one
+/// process and assert the graphs are identical.
+pub fn explore_with_mode(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+    mode: EvalMode,
+) -> Result<ExecGraph, EngineError> {
     let mut db = base_db.clone();
     let ops = apply_user_actions(&mut db, user_actions)?;
-    explore_from_ops(rules, base_db, db, &ops, cfg)
+    explore_impl(rules, base_db, db, &ops, cfg, false, mode)
 }
 
 /// [`explore`], expanding each BFS level across threads.
@@ -387,7 +400,15 @@ pub fn explore_from_ops(
     initial_ops: &[TupleOp],
     cfg: &ExploreConfig,
 ) -> Result<ExecGraph, EngineError> {
-    explore_impl(rules, base_db, db, initial_ops, cfg, false)
+    explore_impl(
+        rules,
+        base_db,
+        db,
+        initial_ops,
+        cfg,
+        false,
+        EvalMode::default(),
+    )
 }
 
 /// [`explore_from_ops`] with level-parallel expansion (see
@@ -399,7 +420,15 @@ pub fn explore_from_ops_parallel(
     initial_ops: &[TupleOp],
     cfg: &ExploreConfig,
 ) -> Result<ExecGraph, EngineError> {
-    explore_impl(rules, base_db, db, initial_ops, cfg, true)
+    explore_impl(
+        rules,
+        base_db,
+        db,
+        initial_ops,
+        cfg,
+        true,
+        EvalMode::default(),
+    )
 }
 
 /// One expanded edge awaiting its merge into the graph: the rule
@@ -414,6 +443,7 @@ fn expand_state(
     src: &ExecState,
     eligible: &[RuleId],
     base_db: &Database,
+    mode: EvalMode,
 ) -> Result<Vec<Expansion>, EngineError> {
     let mut out = Vec::with_capacity(eligible.len());
     for &rule in eligible {
@@ -422,10 +452,10 @@ fn expand_state(
         // from the source only in the considered rule's pending transition,
         // so a copy-on-write clone plus `reset_pending` is the whole edge —
         // no binding re-derivation, no action machinery.
-        let fires = rule_fires(rules, src, rule)?;
+        let fires = rule_fires(rules, src, rule, mode)?;
         let mut next = src.clone();
         let step = if fires {
-            consider_fired_rule(rules, &mut next, rule, base_db)?
+            consider_fired_rule(rules, &mut next, rule, base_db, mode)?
         } else {
             next.reset_pending(rule);
             StepOutcome::unfired()
@@ -446,6 +476,7 @@ fn explore_impl(
     initial_ops: &[TupleOp],
     cfg: &ExploreConfig,
     parallel: bool,
+    mode: EvalMode,
 ) -> Result<ExecGraph, EngineError> {
     // Fault-plan injection counters are shared across snapshots and advance
     // on every observed operation, so expansion *order* decides which
@@ -554,7 +585,7 @@ fn explore_impl(
                             if elig.is_empty() {
                                 continue;
                             }
-                            *slot = Some(expand_state(rules, &concrete[i], elig, base_db));
+                            *slot = Some(expand_state(rules, &concrete[i], elig, base_db, mode));
                         }
                     });
                 }
@@ -578,7 +609,7 @@ fn explore_impl(
             }
             let expansions = match batch.get_mut(k).and_then(Option::take) {
                 Some(r) => r?,
-                None => expand_state(rules, &concrete[i], &eligible[k], base_db)?,
+                None => expand_state(rules, &concrete[i], &eligible[k], base_db, mode)?,
             };
             for (rule, next, step) in expansions {
                 let to = add_state(

@@ -60,15 +60,15 @@ pub mod strategy;
 pub use budget::{Budget, BudgetClock, TruncationReason, Verdict};
 pub use error::EngineError;
 pub use exec_graph::{
-    explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, ExecGraph,
-    ExploreConfig,
+    explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, explore_with_mode,
+    ExecGraph, ExploreConfig,
 };
 pub use observable::{ObservableEvent, ObservableKind};
 pub use ops::{NetChange, NetEffect, TupleOp};
 pub use priority::PriorityOrder;
 pub use processor::{
-    consider_fired_rule, consider_rule, rule_fires, Consideration, Outcome, Processor, RunResult,
-    StepOutcome,
+    consider_fired_rule, consider_rule, rule_fires, Consideration, EvalMode, Outcome, Processor,
+    RunResult, StepOutcome,
 };
 pub use ruleset::{CompiledRule, RuleId, RuleSet};
 pub use session::Session;

@@ -7,7 +7,6 @@
 //! (*quiescence*), a rollback occurs, or the consideration limit is hit
 //! (possible nontermination).
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 use starling_sql::eval::{exec_action, ActionOutcome};
@@ -22,28 +21,50 @@ use crate::ruleset::{RuleId, RuleSet};
 use crate::state::ExecState;
 use crate::strategy::ChoiceStrategy;
 
-/// Whether rule evaluation must bypass compiled plans and re-interpret the
-/// raw ASTs (the differential-oracle escape hatch).
+/// How a processor evaluates rule conditions and actions.
 ///
-/// Controlled by the `STARLING_FORCE_INTERP` environment variable (any
-/// non-empty value other than `0`), read once per process. The differential
-/// tests flip the in-process override instead so both paths can run in one
-/// process.
-pub fn force_interp() -> bool {
-    static FROM_ENV: OnceLock<bool> = OnceLock::new();
-    FORCE_INTERP_OVERRIDE.load(Ordering::Relaxed)
-        || *FROM_ENV.get_or_init(|| {
-            std::env::var("STARLING_FORCE_INTERP").is_ok_and(|v| !v.is_empty() && v != "0")
-        })
+/// This used to be a process-global atomic, which made it impossible for
+/// two concurrent sessions (e.g. server connections) to use different
+/// evaluation paths — one flipping the switch flipped everyone. It is now
+/// an explicit per-processor value: the environment variable is only the
+/// *default*, never a global override.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// Compiled physical plans, falling back to the interpreter per
+    /// statement for non-compilable units (the fast path, and the default).
+    Plan,
+    /// The AST interpreter for everything — the differential oracle used to
+    /// cross-check the plan layer.
+    Interp,
 }
 
-static FORCE_INTERP_OVERRIDE: AtomicBool = AtomicBool::new(false);
+impl EvalMode {
+    /// The process default: [`EvalMode::Interp`] when the
+    /// `STARLING_FORCE_INTERP` environment variable is set to a non-empty
+    /// value other than `0`, [`EvalMode::Plan`] otherwise. Read once per
+    /// process and cached.
+    pub fn from_env() -> Self {
+        static FROM_ENV: OnceLock<EvalMode> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| {
+            if std::env::var("STARLING_FORCE_INTERP").is_ok_and(|v| !v.is_empty() && v != "0") {
+                EvalMode::Interp
+            } else {
+                EvalMode::Plan
+            }
+        })
+    }
 
-/// Test-only switch forcing interpreter evaluation process-wide, without
-/// touching the environment. Not part of the public API contract.
-#[doc(hidden)]
-pub fn set_force_interp_for_tests(on: bool) {
-    FORCE_INTERP_OVERRIDE.store(on, Ordering::Relaxed);
+    /// Whether this mode uses compiled plans.
+    pub fn uses_plans(self) -> bool {
+        matches!(self, EvalMode::Plan)
+    }
+}
+
+impl Default for EvalMode {
+    /// The environment-derived default (see [`EvalMode::from_env`]).
+    fn default() -> Self {
+        EvalMode::from_env()
+    }
 }
 
 /// Record of one rule consideration.
@@ -118,14 +139,19 @@ pub struct StepOutcome {
 /// the rule's pending transition, so its successor can be built by a cheap
 /// copy-on-write clone plus [`ExecState::reset_pending`], skipping the
 /// action machinery entirely.
-pub fn rule_fires(rules: &RuleSet, state: &ExecState, id: RuleId) -> Result<bool, EngineError> {
+pub fn rule_fires(
+    rules: &RuleSet,
+    state: &ExecState,
+    id: RuleId,
+    mode: EvalMode,
+) -> Result<bool, EngineError> {
     let rule = rules.get(id);
     match (&rule.def.condition, &rule.plan.condition) {
         (None, _) => Ok(true),
         (Some(cond), plan) => {
             let binding = state.transition_binding(rules, id);
             let v = match plan {
-                Some(plan) if !force_interp() => eval_condition(plan, &state.db, Some(&binding))?,
+                Some(plan) if mode.uses_plans() => eval_condition(plan, &state.db, Some(&binding))?,
                 _ => {
                     let ctx = starling_sql::eval::EvalCtx {
                         db: &state.db,
@@ -156,9 +182,10 @@ pub fn consider_rule(
     state: &mut ExecState,
     id: RuleId,
     txn_snapshot: &Database,
+    mode: EvalMode,
 ) -> Result<StepOutcome, EngineError> {
-    if rule_fires(rules, state, id)? {
-        consider_fired_rule(rules, state, id, txn_snapshot)
+    if rule_fires(rules, state, id, mode)? {
+        consider_fired_rule(rules, state, id, txn_snapshot, mode)
     } else {
         state.reset_pending(id);
         Ok(StepOutcome::unfired())
@@ -186,6 +213,7 @@ pub fn consider_fired_rule(
     state: &mut ExecState,
     id: RuleId,
     txn_snapshot: &Database,
+    mode: EvalMode,
 ) -> Result<StepOutcome, EngineError> {
     let rule = rules.get(id);
     let binding = state.transition_binding(rules, id);
@@ -198,7 +226,7 @@ pub fn consider_fired_rule(
         ops: std::collections::BTreeSet::new(),
     };
 
-    let use_plans = !force_interp();
+    let use_plans = mode.uses_plans();
     for (action, plan) in rule.def.actions.iter().zip(&rule.plan.actions) {
         let acted = if use_plans {
             execute_action(plan, &mut state.db, Some(&binding))?
@@ -260,22 +288,33 @@ pub struct Processor<'r> {
     pub max_considerations: usize,
     /// Optional wall-clock bound on a run.
     pub deadline: Option<std::time::Duration>,
+    /// How conditions and actions are evaluated. Per-processor, so
+    /// concurrent sessions can never flip each other's evaluation path.
+    pub eval_mode: EvalMode,
 }
 
 impl<'r> Processor<'r> {
     /// A processor over a rule set with the default limit (10 000
-    /// considerations) and no deadline.
+    /// considerations), no deadline, and the environment-default
+    /// [`EvalMode`].
     pub fn new(rules: &'r RuleSet) -> Self {
         Processor {
             rules,
             max_considerations: 10_000,
             deadline: None,
+            eval_mode: EvalMode::default(),
         }
     }
 
     /// Sets the consideration limit.
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.max_considerations = limit;
+        self
+    }
+
+    /// Sets the evaluation mode.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
         self
     }
 
@@ -336,7 +375,8 @@ impl<'r> Processor<'r> {
             let eligible = self.rules.priority().choose(&triggered);
             debug_assert!(!eligible.is_empty());
             let picked = strategy.choose(&eligible);
-            let step = match consider_rule(self.rules, state, picked, txn_snapshot) {
+            let step = match consider_rule(self.rules, state, picked, txn_snapshot, self.eval_mode)
+            {
                 Ok(step) => step,
                 Err(e) => {
                     // Crash-consistent abort: the failed consideration may

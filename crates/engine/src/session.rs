@@ -6,6 +6,8 @@
 //! user statements build up a transition; [`Session::assert_rules`] processes
 //! rules against it; [`Session::commit`] ends the transaction.
 
+use std::sync::Arc;
+
 use starling_sql::ast::{Directive, Statement};
 use starling_sql::eval::{exec_action, ActionOutcome, ResultSet};
 use starling_sql::parse_script;
@@ -13,7 +15,7 @@ use starling_storage::Database;
 
 use crate::error::EngineError;
 use crate::ops::TupleOp;
-use crate::processor::{Outcome, Processor, RunResult};
+use crate::processor::{EvalMode, Outcome, Processor, RunResult};
 use crate::ruleset::RuleSet;
 use crate::state::ExecState;
 use crate::strategy::ChoiceStrategy;
@@ -44,7 +46,7 @@ pub enum ScriptOutput {
 pub struct Session {
     db: Database,
     rule_defs: Vec<starling_sql::RuleDef>,
-    compiled: Option<RuleSet>,
+    compiled: Option<Arc<RuleSet>>,
     txn_snapshot: Option<Database>,
     pending_ops: Vec<TupleOp>,
     directives: Vec<Directive>,
@@ -52,6 +54,9 @@ pub struct Session {
     pub max_considerations: usize,
     /// Optional wall-clock bound on each assertion point's rule processing.
     pub deadline: Option<std::time::Duration>,
+    /// How this session's rule processing evaluates conditions and actions.
+    /// Per-session state: concurrent sessions cannot affect each other.
+    pub eval_mode: EvalMode,
 }
 
 impl Session {
@@ -66,6 +71,34 @@ impl Session {
             directives: Vec::new(),
             max_considerations: 10_000,
             deadline: None,
+            eval_mode: EvalMode::default(),
+        }
+    }
+
+    /// A session restored from pre-built parts: a database snapshot
+    /// (copy-on-write, so this is cheap), rule definitions, an optional
+    /// already-compiled rule set (shared via `Arc` — N sessions of the same
+    /// rule program compile once), and recorded directives.
+    ///
+    /// This is the server's snapshot-handout path: each connection gets its
+    /// own session seeded from a cached program without re-parsing or
+    /// re-compiling anything.
+    pub fn restore(
+        db: Database,
+        rule_defs: Vec<starling_sql::RuleDef>,
+        compiled: Option<Arc<RuleSet>>,
+        directives: Vec<Directive>,
+    ) -> Self {
+        Session {
+            db,
+            rule_defs,
+            compiled,
+            txn_snapshot: None,
+            pending_ops: Vec::new(),
+            directives,
+            max_considerations: 10_000,
+            deadline: None,
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -95,8 +128,19 @@ impl Session {
 
     /// The compiled rule set (compiling lazily after changes).
     pub fn ruleset(&mut self) -> Result<&RuleSet, EngineError> {
+        Ok(self.ruleset_arc()?.as_ref())
+    }
+
+    /// The compiled rule set as a shared handle (compiling lazily after
+    /// changes). Cloning the returned `Arc` is a refcount bump, so callers
+    /// that need the rules to outlive a `&mut self` borrow (e.g. assertion
+    /// points, server analyses) pay no deep copy.
+    pub fn ruleset_arc(&mut self) -> Result<&Arc<RuleSet>, EngineError> {
         if self.compiled.is_none() {
-            self.compiled = Some(RuleSet::compile(&self.rule_defs, self.db.catalog())?);
+            self.compiled = Some(Arc::new(RuleSet::compile(
+                &self.rule_defs,
+                self.db.catalog(),
+            )?));
         }
         Ok(self.compiled.as_ref().expect("just compiled"))
     }
@@ -260,13 +304,15 @@ impl Session {
         // Compile before consuming the pending transition, and abort (not
         // just error) if the rule set is unusable: the user transition
         // cannot be processed, so it must not survive half-applied.
-        let rules = match self.ruleset() {
-            Ok(r) => r.clone(),
+        let rules = match self.ruleset_arc() {
+            Ok(r) => Arc::clone(r),
             Err(e) => return Ok(self.abort_txn(e)),
         };
         let ops = std::mem::take(&mut self.pending_ops);
         let mut state = ExecState::new(self.db.clone(), rules.len(), &ops);
-        let mut processor = Processor::new(&rules).with_limit(limit);
+        let mut processor = Processor::new(&rules)
+            .with_limit(limit)
+            .with_eval_mode(self.eval_mode);
         processor.deadline = self.deadline;
         let result = match processor.run(&mut state, &snapshot, strategy) {
             Ok(r) => r,

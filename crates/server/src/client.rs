@@ -1,0 +1,86 @@
+//! A blocking line-oriented client for the wire protocol, used by the
+//! `starling client` subcommand, the load generator, and the tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use starling_sql::json::Json;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and reads one raw response line.
+    pub fn raw_request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one raw response line without sending anything (e.g. the
+    /// `shutting_down` greeting a draining server sends on connect).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Reads one response and parses it.
+    pub fn read_response(&mut self) -> std::io::Result<Json> {
+        let line = self.read_line()?;
+        Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request object and returns the parsed response envelope
+    /// (`{"ok":..,"result"|"error":..}`).
+    pub fn call(&mut self, req: &Json) -> std::io::Result<Json> {
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// [`Client::call`], unwrapping a successful envelope to its
+    /// `"result"`. An error response becomes an `io::Error` carrying the
+    /// whole envelope.
+    pub fn expect_ok(&mut self, req: &Json) -> std::io::Result<Json> {
+        let resp = self.call(req)?;
+        if resp.get("ok") == Some(&Json::Bool(true)) {
+            return Ok(resp.get("result").cloned().unwrap_or(Json::Null));
+        }
+        Err(std::io::Error::other(format!("error response: {resp}")))
+    }
+
+    /// Ends the session cleanly.
+    pub fn quit(&mut self) -> std::io::Result<()> {
+        let _ = self.call(&Json::obj([("op", Json::from("quit"))]))?;
+        Ok(())
+    }
+}

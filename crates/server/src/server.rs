@@ -1,0 +1,395 @@
+//! The TCP server: thread-per-connection over `std::net`, shared compiled-
+//! program cache, server-wide metrics, and graceful shutdown.
+//!
+//! ## Shutdown protocol
+//!
+//! `shutdown` (the op or [`Server::shutdown`]) flips a flag and pokes the
+//! listener with a loopback connect so the blocked `accept` observes it.
+//! From then on new connections are answered with a single
+//! `shutting_down` error line and dropped; existing sessions keep being
+//! served until their clients disconnect (`quit` or EOF). [`Server::join`]
+//! returns only after the accept loop has exited *and* every worker has
+//! drained — no session is ever torn down mid-request.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use starling_sql::json::Json;
+
+use crate::cache::ScriptCache;
+use crate::protocol::{err_response, ok_response, ErrorCode};
+use crate::session::ServerSession;
+
+/// Server-wide counters, reported under `"server"` by the `stats` op.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Sessions currently connected.
+    pub active_sessions: AtomicU64,
+    /// Requests handled across all sessions.
+    pub requests: AtomicU64,
+    /// Error responses across all sessions.
+    pub errors: AtomicU64,
+}
+
+/// State shared by the accept loop and every connection worker.
+pub struct Shared {
+    /// The compiled-program cache (script digest → loaded program).
+    pub cache: ScriptCache,
+    /// Server-wide counters.
+    pub metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Whether the server is draining.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Starts draining: refuse new connections, let existing sessions
+    /// finish. Idempotent.
+    pub fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocked accept() so it observes the flag. The poke
+        // connection is answered with the shutting_down line and dropped.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_json(&self) -> Json {
+        let (hits, misses) = self.cache.stats();
+        Json::obj([
+            (
+                "connections",
+                Json::from(self.metrics.connections.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "active_sessions",
+                Json::from(self.metrics.active_sessions.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "requests",
+                Json::from(self.metrics.requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "errors",
+                Json::from(self.metrics.errors.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("programs", Json::from(self.cache.len())),
+                    ("hits", Json::from(hits as i64)),
+                    ("misses", Json::from(misses as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A running server: accept loop on its own thread, one worker thread per
+/// connection.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — see
+    /// [`Server::local_addr`]) and starts accepting.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            cache: ScriptCache::new(),
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared state (cache, metrics, shutdown flag).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Starts draining (see [`Shared::initiate_shutdown`]).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Waits until the accept loop has exited and every session has
+    /// drained. Call [`Server::shutdown`] first (or have a client send the
+    /// `shutdown` op), or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if shared.is_shutting_down() {
+            refuse(stream);
+            break;
+        }
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || serve_connection(stream, shared));
+        workers.lock().expect("workers poisoned").push(handle);
+    }
+    // Drain: shutdown never tears down a connected session, and clients
+    // arriving during the drain still get their one-line refusal instead
+    // of hanging in the backlog.
+    let mut workers = workers.into_inner().expect("workers poisoned");
+    let _ = listener.set_nonblocking(true);
+    while !workers.is_empty() {
+        while let Ok((stream, _)) = listener.accept() {
+            let _ = stream.set_nonblocking(false);
+            refuse(stream);
+        }
+        workers.retain_mut(|handle| !handle.is_finished());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+fn refuse(mut stream: TcpStream) {
+    let line = err_response(
+        None,
+        ErrorCode::ShuttingDown,
+        "server is draining; no new connections",
+        None,
+    );
+    let _ = writeln!(stream, "{line}");
+}
+
+/// One connection's loop: read a request line, dispatch, write a response
+/// line. Returns when the client sends `quit`, disconnects, or errors at
+/// the socket level.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    shared
+        .metrics
+        .active_sessions
+        .fetch_add(1, Ordering::Relaxed);
+    let result = connection_loop(stream, &shared);
+    shared
+        .metrics
+        .active_sessions
+        .fetch_sub(1, Ordering::Relaxed);
+    // Socket-level failures just end the session; there is no one left to
+    // tell.
+    let _ = result;
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // Request/response lines are small; Nagle + delayed ACK would add
+    // tens of milliseconds per round trip.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let mut session = ServerSession::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        session.metrics.requests += 1;
+        let (response, done) = handle_line(&line, &mut session, shared);
+        if response.contains("\"ok\":false") {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            session.metrics.errors += 1;
+        }
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches one request line. Returns the response line and whether the
+/// connection is done.
+fn handle_line(line: &str, session: &mut ServerSession, shared: &Arc<Shared>) -> (String, bool) {
+    let req = match Json::parse(line) {
+        Ok(j @ Json::Obj(_)) => j,
+        Ok(_) => {
+            return (
+                err_response(
+                    None,
+                    ErrorCode::Protocol,
+                    "request must be a JSON object",
+                    None,
+                ),
+                false,
+            )
+        }
+        Err(e) => {
+            return (
+                err_response(None, ErrorCode::Protocol, &format!("bad JSON: {e}"), None),
+                false,
+            )
+        }
+    };
+    let id = req.get("id").cloned();
+    let id = id.as_ref();
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return (
+            err_response(
+                id,
+                ErrorCode::Protocol,
+                "missing or non-string `op` field",
+                None,
+            ),
+            false,
+        );
+    };
+    match op {
+        "stats" => (
+            ok_response(
+                id,
+                Json::obj([
+                    ("server", shared.stats_json()),
+                    ("session", session.stats_json()),
+                ]),
+            ),
+            false,
+        ),
+        "shutdown" => {
+            shared.initiate_shutdown();
+            (
+                ok_response(id, Json::obj([("shutting_down", Json::Bool(true))])),
+                false,
+            )
+        }
+        "quit" => (
+            ok_response(id, Json::obj([("bye", Json::Bool(true))])),
+            true,
+        ),
+        _ => match session.handle_op(op, &req, &shared.cache) {
+            Ok(result) => (ok_response(id, result), false),
+            Err((code, message, data)) => (err_response(id, code, &message, data), false),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    const SCRIPT: &str = "create table t (x int); \
+                          create rule cap on t when inserted \
+                            if exists (select * from t where x > 10) \
+                            then update t set x = 10 where x > 10 end; \
+                          insert into t values (99);";
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut c = Client::connect(addr).unwrap();
+        let r = c
+            .call(&Json::parse(r#"{"id":1,"op":"ping"}"#).unwrap())
+            .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("id"), Some(&Json::Int(1)));
+
+        let load = Json::obj([("op", Json::from("load")), ("script", Json::from(SCRIPT))]);
+        let r = c.call(&load).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+        let r = c
+            .call(&Json::parse(r#"{"op":"exec","sql":"insert into t values (50);"}"#).unwrap())
+            .unwrap();
+        let run = r.get("result").and_then(|x| x.get("run")).unwrap();
+        assert_eq!(run.get("outcome").and_then(Json::as_str), Some("quiescent"));
+        assert_eq!(run.get("fired").and_then(Json::as_i64), Some(1));
+
+        // A second client of the same script hits the cache and sees its
+        // own snapshot (not the first client's exec).
+        let mut c2 = Client::connect(addr).unwrap();
+        let r = c2.call(&load).unwrap();
+        let result = r.get("result").unwrap();
+        assert_eq!(result.get("cached"), Some(&Json::Bool(true)));
+        let d1 = c.call(&Json::parse(r#"{"op":"digest"}"#).unwrap()).unwrap();
+        let d2 = c2
+            .call(&Json::parse(r#"{"op":"digest"}"#).unwrap())
+            .unwrap();
+        assert_ne!(d1.get("result"), d2.get("result"));
+
+        // stats reflect both sessions and the cache hit.
+        let r = c.call(&Json::parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let srv = r.get("result").and_then(|x| x.get("server")).unwrap();
+        assert_eq!(srv.get("active_sessions").and_then(Json::as_i64), Some(2));
+        let cache = srv.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+
+        // Graceful shutdown: existing sessions drain, new connects refused.
+        let r = c
+            .call(&Json::parse(r#"{"op":"shutdown"}"#).unwrap())
+            .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let mut late = Client::connect(addr).unwrap();
+        let r = late.read_response().unwrap();
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("shutting_down")
+        );
+        // The draining server still answers the existing sessions.
+        let r = c2.call(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        drop(late);
+        c.quit().unwrap();
+        c2.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_protocol_errors() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for bad in ["not json", "[1,2]", r#"{"no_op":true}"#, r#"{"op":7}"#] {
+            let r = c.raw_request(bad).unwrap();
+            let r = Json::parse(&r).unwrap();
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{bad}");
+            assert_eq!(
+                r.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some("protocol"),
+                "{bad}"
+            );
+        }
+        // The connection survived all of that.
+        let r = c.call(&Json::parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        server.shutdown();
+        c.quit().unwrap();
+        server.join();
+    }
+}

@@ -1,0 +1,788 @@
+//! One connection's session: an engine [`Session`] seeded from a cached
+//! program snapshot, plus the per-session request handlers.
+//!
+//! ## Isolation
+//!
+//! Each connection owns its session outright. The database handed out at
+//! `load` is a copy-on-write snapshot (PR 2): sessions of the same program
+//! share physical tables until one writes, and no session can observe
+//! another's writes. Evaluation mode is per-session state (PR 4's
+//! [`EvalMode`]): one session running the interpreter oracle cannot flip a
+//! neighbor onto the slow path.
+//!
+//! ## Request atomicity
+//!
+//! Every mutating request is atomic at the *request* level, which is
+//! stronger than the CLI: on any error response — script error, abort, or
+//! budget exhaustion — the session is restored to its exact pre-request
+//! state (database, rule definitions, directives, compiled rules). A
+//! budget-exhausted `exec` therefore never commits a partially processed
+//! transition, and the error code tells the client which budget ran out.
+
+use std::sync::Arc;
+
+use starling_analysis::context::AnalysisContext;
+use starling_analysis::loader::LoadedScript;
+use starling_analysis::report::{explore_json, AnalysisReport};
+use starling_analysis::Certifications;
+use starling_engine::{
+    explore_with_mode, EvalMode, FirstEligible, Outcome, RuleSet, Session, Verdict,
+};
+use starling_sql::ast::{Action, Directive, Statement};
+use starling_sql::json::{digest_json, Json};
+use starling_sql::parse_script;
+use starling_storage::{Database, Value};
+
+use crate::cache::ScriptCache;
+use crate::protocol::{budget_from_request, code_for_engine_error, str_field, ErrorCode};
+
+/// Per-session counters, reported by the `stats` op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionMetrics {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Rule considerations across all `exec` requests.
+    pub considerations: u64,
+    /// States expanded across all `explore` requests.
+    pub states_explored: u64,
+}
+
+impl SessionMetrics {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests as i64)),
+            ("errors", Json::from(self.errors as i64)),
+            ("considerations", Json::from(self.considerations as i64)),
+            ("states_explored", Json::from(self.states_explored as i64)),
+        ])
+    }
+}
+
+/// A session-level error: code, message, optional partial result.
+pub type OpError = (ErrorCode, String, Option<Json>);
+
+/// A session-level success or failure.
+pub type OpResult = Result<Json, OpError>;
+
+/// One connection's server-side session state.
+pub struct ServerSession {
+    session: Session,
+    /// The loaded script's user transition — the default probe for
+    /// `explore` when the request does not carry its own DML.
+    default_actions: Vec<Action>,
+    /// This session's evaluation mode (survives request-atomic restores).
+    eval_mode: EvalMode,
+    /// Counters for `stats`.
+    pub metrics: SessionMetrics,
+}
+
+/// Everything needed to roll a session back to its pre-request state.
+struct Checkpoint {
+    db: Database,
+    defs: Vec<starling_sql::RuleDef>,
+    directives: Vec<Directive>,
+    compiled: Option<Arc<RuleSet>>,
+}
+
+impl ServerSession {
+    /// An empty session (no program loaded).
+    pub fn new() -> Self {
+        ServerSession {
+            session: Session::new(),
+            default_actions: Vec::new(),
+            eval_mode: EvalMode::default(),
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// Dispatches one session-level op. Server-level ops (`stats` partly,
+    /// `shutdown`, `quit`) are handled by the connection loop.
+    pub fn handle_op(&mut self, op: &str, req: &Json, cache: &ScriptCache) -> OpResult {
+        match op {
+            "ping" => Ok(Json::obj([("pong", Json::Bool(true))])),
+            "load" => self.op_load(req, cache),
+            "exec" => self.op_exec(req),
+            "analyze" => self.op_analyze(req),
+            "explore" => self.op_explore(req),
+            "certify" => self.op_certify(req),
+            "order" => self.op_order(req),
+            "digest" => self.op_digest(req),
+            other => Err((ErrorCode::Protocol, format!("unknown op `{other}`"), None)),
+        }
+    }
+
+    /// Session-level stats, embedded in the server's `stats` response.
+    pub fn stats_json(&self) -> Json {
+        self.metrics.to_json()
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint {
+            db: self.session.db().clone(),
+            defs: self.session.rule_defs().to_vec(),
+            directives: self.session.directives().to_vec(),
+            // Best-effort: if the current definitions do not compile (e.g.
+            // an ordering introduced a priority cycle), the checkpoint
+            // simply recompiles lazily after a restore.
+            compiled: self.session.ruleset_arc().ok().map(Arc::clone),
+        }
+    }
+
+    fn restore(&mut self, cp: Checkpoint) {
+        self.session = Session::restore(cp.db, cp.defs, cp.compiled, cp.directives);
+        self.session.eval_mode = self.eval_mode;
+    }
+
+    /// `load`: seed this session from a (cached) compiled program — either
+    /// `"script"` (full source, loaded through the cache) or `"digest"`
+    /// (attach to an already-cached program without re-sending the source;
+    /// a `script`-coded error tells the client to fall back to a full
+    /// load). The database handout is a copy-on-write snapshot; the rule
+    /// set is the shared compilation.
+    fn op_load(&mut self, req: &Json, cache: &ScriptCache) -> OpResult {
+        if let Some(mode) = req.get("eval_mode") {
+            self.eval_mode = match mode.as_str() {
+                Some("plan") => EvalMode::Plan,
+                Some("interp") => EvalMode::Interp,
+                _ => {
+                    return Err((
+                        ErrorCode::Protocol,
+                        "`eval_mode` must be \"plan\" or \"interp\"".into(),
+                        None,
+                    ))
+                }
+            };
+        }
+        let (loaded, cached, key) = if let Some(d) = req.get("digest") {
+            let key = d
+                .as_str()
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .ok_or((
+                    ErrorCode::Protocol,
+                    "`digest` must be a 16-hex-digit string".into(),
+                    None,
+                ))?;
+            let loaded = cache.get_by_digest(key).ok_or((
+                ErrorCode::Script,
+                "unknown script digest; send the full script".into(),
+                None,
+            ))?;
+            (loaded, true, key)
+        } else {
+            let src = str_field(req, "script").map_err(|m| (ErrorCode::Protocol, m, None))?;
+            let key = ScriptCache::digest(src);
+            let (loaded, cached) = cache
+                .load(src)
+                .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+            (loaded, cached, key)
+        };
+        let LoadedScript {
+            db,
+            rules,
+            user_actions,
+            defs,
+            directives,
+            ..
+        } = (*loaded).clone();
+        self.session = Session::restore(db, defs, Some(rules), directives);
+        self.session.eval_mode = self.eval_mode;
+        self.default_actions = user_actions;
+        Ok(Json::obj([
+            ("rules", Json::from(self.session.rule_defs().len())),
+            ("user_actions", Json::from(self.default_actions.len())),
+            ("cached", Json::from(cached)),
+            ("script_digest", digest_json(key)),
+        ]))
+    }
+
+    /// `exec`: DDL/DML with rule processing at the commit assertion point,
+    /// bounded by the per-request budget.
+    fn op_exec(&mut self, req: &Json) -> OpResult {
+        let sql = str_field(req, "sql").map_err(|m| (ErrorCode::Protocol, m, None))?;
+        let budget = budget_from_request(req).map_err(|m| (ErrorCode::Protocol, m, None))?;
+        let cp = self.checkpoint();
+        self.session.max_considerations = budget.max_considerations;
+        self.session.deadline = budget.deadline;
+        let outputs = match self.session.execute_script(sql) {
+            Ok(o) => o,
+            Err(e) => {
+                let code = code_for_engine_error(&e);
+                let msg = e.to_string();
+                self.restore(cp);
+                return Err((code, msg, None));
+            }
+        };
+        let run = match self.session.commit(&mut FirstEligible) {
+            Ok(r) => r,
+            Err(e) => {
+                let code = code_for_engine_error(&e);
+                let msg = e.to_string();
+                self.restore(cp);
+                return Err((code, msg, None));
+            }
+        };
+        self.metrics.considerations += run.considerations.len() as u64;
+        let summary = Json::obj([
+            ("considerations", Json::from(run.considerations.len())),
+            ("fired", Json::from(run.fired_count())),
+            ("outcome", Json::from(outcome_str(run.outcome))),
+        ]);
+        match run.outcome {
+            Outcome::Quiescent | Outcome::RolledBack => Ok(Json::obj([
+                ("outputs", Json::arr(outputs.iter().map(output_json))),
+                ("run", summary),
+                ("digest", digest_json(self.session.db().state_digest())),
+            ])),
+            Outcome::Aborted => {
+                let msg = run
+                    .error
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_else(|| "transaction aborted".to_owned());
+                self.restore(cp);
+                Err((ErrorCode::Aborted, msg, Some(summary)))
+            }
+            Outcome::LimitExceeded => {
+                let msg = run
+                    .truncation
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "budget exhausted".to_owned());
+                self.restore(cp);
+                Err((ErrorCode::Inconclusive, msg, Some(summary)))
+            }
+        }
+    }
+
+    /// `analyze`: the §5–§8 static report over the session's current rules
+    /// and certifications — exactly the CLI `--json` shape.
+    fn op_analyze(&mut self, req: &Json) -> OpResult {
+        let refine = match req.get("refine") {
+            None => false,
+            Some(v) => v.as_bool().ok_or((
+                ErrorCode::Protocol,
+                "`refine` must be a boolean".into(),
+                None,
+            ))?,
+        };
+        let protect = parse_protect(req)?;
+        let certs = Certifications::from_directives(self.session.directives());
+        let rules = self
+            .session
+            .ruleset_arc()
+            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?
+            .clone();
+        let mut ctx = AnalysisContext::from_ruleset(&rules, certs);
+        ctx.refine = refine;
+        let report = AnalysisReport::run(&ctx, &protect);
+        Ok(report.to_json())
+    }
+
+    /// `explore`: the execution-graph oracle over the session's current
+    /// database, probing either the request's DML or the loaded script's
+    /// user transition, bounded by the per-request budget. A truncated or
+    /// undecided exploration is an `inconclusive` error whose `data`
+    /// carries the partial graph summary (same shape as a success).
+    fn op_explore(&mut self, req: &Json) -> OpResult {
+        let budget = budget_from_request(req).map_err(|m| (ErrorCode::Protocol, m, None))?;
+        let actions: Vec<Action> = match req.get("sql") {
+            None => self.default_actions.clone(),
+            Some(v) => {
+                let sql = v.as_str().ok_or((
+                    ErrorCode::Protocol,
+                    "`sql` must be a string".into(),
+                    None,
+                ))?;
+                parse_actions(sql)?
+            }
+        };
+        if actions.is_empty() {
+            return Err((
+                ErrorCode::Script,
+                "explore needs a user transition: pass `sql` or load a script with \
+                 DML after the rule definitions"
+                    .into(),
+                None,
+            ));
+        }
+        let rules = self
+            .session
+            .ruleset_arc()
+            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?
+            .clone();
+        let g = explore_with_mode(&rules, self.session.db(), &actions, &budget, self.eval_mode)
+            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        self.metrics.states_explored += g.states.len() as u64;
+        let result = explore_json(&g, &budget);
+        let inconclusive = [
+            g.termination_verdict(),
+            g.confluence_verdict(),
+            g.observable_determinism_verdict(&budget),
+        ]
+        .iter()
+        .any(|v| matches!(v, Verdict::Inconclusive(_)));
+        if g.truncated() || inconclusive {
+            let msg = g
+                .truncation
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "a verdict is inconclusive under this budget".to_owned());
+            return Err((ErrorCode::Inconclusive, msg, Some(result)));
+        }
+        Ok(result)
+    }
+
+    /// `certify`: the §6.4 refinement loop's certification step, as a
+    /// stateful session mutation. `{"kind":"commute","a":..,"b":..}` or
+    /// `{"kind":"terminates","rule":..,"justification":..}`.
+    fn op_certify(&mut self, req: &Json) -> OpResult {
+        let kind = str_field(req, "kind").map_err(|m| (ErrorCode::Protocol, m, None))?;
+        let directive = match kind {
+            "commute" => {
+                let a = str_field(req, "a").map_err(|m| (ErrorCode::Protocol, m, None))?;
+                let b = str_field(req, "b").map_err(|m| (ErrorCode::Protocol, m, None))?;
+                Directive::Commute(a.to_owned(), b.to_owned())
+            }
+            "terminates" => {
+                let rule = str_field(req, "rule").map_err(|m| (ErrorCode::Protocol, m, None))?;
+                let justification = req
+                    .get("justification")
+                    .and_then(Json::as_str)
+                    .unwrap_or("certified via protocol");
+                Directive::Terminates {
+                    rule: rule.to_owned(),
+                    justification: justification.to_owned(),
+                }
+            }
+            other => {
+                return Err((
+                    ErrorCode::Protocol,
+                    format!("unknown certify kind `{other}`"),
+                    None,
+                ))
+            }
+        };
+        self.session
+            .execute(&Statement::Directive(directive))
+            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        Ok(Json::obj([(
+            "directives",
+            Json::from(self.session.directives().len()),
+        )]))
+    }
+
+    /// `order`: the §6.4 refinement loop's ordering step —
+    /// `{"higher":..,"lower":..}` adds the priority `higher precedes
+    /// lower` to the session's rule definitions.
+    fn op_order(&mut self, req: &Json) -> OpResult {
+        let higher = str_field(req, "higher").map_err(|m| (ErrorCode::Protocol, m, None))?;
+        let lower = str_field(req, "lower").map_err(|m| (ErrorCode::Protocol, m, None))?;
+        self.session
+            .execute(&Statement::AlterRule {
+                name: higher.to_owned(),
+                precedes: vec![lower.to_owned()],
+                follows: Vec::new(),
+            })
+            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        Ok(Json::obj([(
+            "ordered",
+            Json::arr([Json::from(higher), Json::from(lower)]),
+        )]))
+    }
+
+    /// `digest`: the canonical content digest of the session database
+    /// (optionally restricted to `"tables":[...]`) — the byte-level
+    /// isolation witness used by the tests.
+    fn op_digest(&mut self, req: &Json) -> OpResult {
+        let d = match req.get("tables") {
+            None => self.session.db().state_digest(),
+            Some(v) => {
+                let names: Vec<&str> = v
+                    .as_arr()
+                    .map(|items| items.iter().filter_map(Json::as_str).collect())
+                    .ok_or((
+                        ErrorCode::Protocol,
+                        "`tables` must be an array of strings".into(),
+                        None,
+                    ))?;
+                self.session.db().digest_of_tables(&names)
+            }
+        };
+        Ok(Json::obj([("digest", digest_json(d))]))
+    }
+}
+
+impl Default for ServerSession {
+    fn default() -> Self {
+        ServerSession::new()
+    }
+}
+
+/// Parses a DML-only script into the actions of a user transition.
+fn parse_actions(sql: &str) -> Result<Vec<Action>, OpError> {
+    let stmts = parse_script(sql).map_err(|e| (ErrorCode::Script, e.to_string(), None))?;
+    stmts
+        .into_iter()
+        .map(|s| match s {
+            Statement::Dml(a) => Ok(a),
+            other => Err((
+                ErrorCode::Script,
+                format!("explore transitions must be DML only, got {other:?}"),
+                None,
+            )),
+        })
+        .collect()
+}
+
+/// Parses the `analyze` op's `"protect"` member: an array of arrays of
+/// table names, one entry per protected subset.
+fn parse_protect(req: &Json) -> Result<Vec<Vec<String>>, OpError> {
+    let Some(v) = req.get("protect") else {
+        return Ok(Vec::new());
+    };
+    let bad = || {
+        (
+            ErrorCode::Protocol,
+            "`protect` must be an array of arrays of table names".to_owned(),
+            None,
+        )
+    };
+    let outer = v.as_arr().ok_or_else(bad)?;
+    outer
+        .iter()
+        .map(|sub| {
+            let names = sub.as_arr().ok_or_else(bad)?;
+            names
+                .iter()
+                .map(|n| n.as_str().map(str::to_owned).ok_or_else(bad))
+                .collect()
+        })
+        .collect()
+}
+
+fn outcome_str(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Quiescent => "quiescent",
+        Outcome::RolledBack => "rolled_back",
+        Outcome::LimitExceeded => "limit_exceeded",
+        Outcome::Aborted => "aborted",
+    }
+}
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn output_json(o: &starling_engine::session::ScriptOutput) -> Json {
+    use starling_engine::session::ScriptOutput;
+    match o {
+        ScriptOutput::TableCreated(t) => Json::obj([
+            ("type", Json::from("table_created")),
+            ("name", Json::from(t.as_str())),
+        ]),
+        ScriptOutput::RuleCreated(r) => Json::obj([
+            ("type", Json::from("rule_created")),
+            ("name", Json::from(r.as_str())),
+        ]),
+        ScriptOutput::RuleDropped(r) => Json::obj([
+            ("type", Json::from("rule_dropped")),
+            ("name", Json::from(r.as_str())),
+        ]),
+        ScriptOutput::RuleAltered(r) => Json::obj([
+            ("type", Json::from("rule_altered")),
+            ("name", Json::from(r.as_str())),
+        ]),
+        ScriptOutput::Modified(n) => {
+            Json::obj([("type", Json::from("modified")), ("count", Json::from(*n))])
+        }
+        ScriptOutput::Rows(rs) => Json::obj([
+            ("type", Json::from("rows")),
+            (
+                "columns",
+                Json::arr(rs.columns.iter().map(|c| Json::from(c.as_str()))),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    rs.rows
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(value_json))),
+                ),
+            ),
+        ]),
+        ScriptOutput::DirectiveRecorded => Json::obj([("type", Json::from("directive"))]),
+        ScriptOutput::RolledBack => Json::obj([("type", Json::from("rolled_back"))]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "create table t (x int);\n\
+                          create table u (x int);\n\
+                          insert into u values (0);\n\
+                          create rule a on t when inserted then update u set x = 1 end;\n\
+                          create rule b on t when inserted then update u set x = 2 end;\n\
+                          insert into t values (5);";
+
+    fn loaded() -> (ServerSession, ScriptCache) {
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        let req = Json::obj([("script", Json::from(SCRIPT))]);
+        s.handle_op("load", &req, &cache).unwrap();
+        (s, cache)
+    }
+
+    #[test]
+    fn load_exec_analyze_explore_round_trip() {
+        let (mut s, cache) = loaded();
+        // exec commits with rule processing.
+        let req = Json::obj([("sql", Json::from("insert into t values (1);"))]);
+        let r = s.handle_op("exec", &req, &cache).unwrap();
+        assert_eq!(
+            r.get("run")
+                .and_then(|x| x.get("outcome"))
+                .and_then(Json::as_str),
+            Some("quiescent")
+        );
+        // analyze flags the a/b conflict.
+        let r = s
+            .handle_op("analyze", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(
+            r.get("confluence_guaranteed").and_then(Json::as_bool),
+            Some(false)
+        );
+        // explore over the default user transition sees two final states.
+        let r = s
+            .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(
+            r.get("final_db_digests")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn attach_by_digest() {
+        let cache = ScriptCache::new();
+        let mut s1 = ServerSession::new();
+        let r = s1
+            .handle_op("load", &Json::obj([("script", Json::from(SCRIPT))]), &cache)
+            .unwrap();
+        let dig = r
+            .get("script_digest")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        let mut s2 = ServerSession::new();
+        let (code, _, _) = s2
+            .handle_op(
+                "load",
+                &Json::obj([("digest", Json::from("ffffffffffffffff"))]),
+                &cache,
+            )
+            .unwrap_err();
+        assert_eq!(code, ErrorCode::Script, "unknown digest is a script error");
+        let r2 = s2
+            .handle_op(
+                "load",
+                &Json::obj([("digest", Json::from(dig.as_str()))]),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(r2.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            r2.get("script_digest").and_then(Json::as_str),
+            Some(dig.as_str())
+        );
+        // Both sessions start from the same snapshot.
+        let d1 = s1
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let d2 = s2
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn refinement_loop_reaches_confluence() {
+        let (mut s, cache) = loaded();
+        let req = Json::parse(r#"{"kind":"commute","a":"a","b":"b"}"#).unwrap();
+        s.handle_op("certify", &req, &cache).unwrap();
+        let r = s
+            .handle_op("analyze", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(
+            r.get("confluence_guaranteed").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn ordering_resolves_nondeterminism() {
+        let (mut s, cache) = loaded();
+        let req = Json::parse(r#"{"higher":"a","lower":"b"}"#).unwrap();
+        s.handle_op("order", &req, &cache).unwrap();
+        let r = s
+            .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(
+            r.get("final_db_digests")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inconclusive_and_atomic() {
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        let src = "create table t (x int);\n\
+                   create rule grow on t when inserted then \
+                     insert into t select x + 1 from inserted end;";
+        let req = Json::obj([("script", Json::from(src))]);
+        s.handle_op("load", &req, &cache).unwrap();
+        let before = s
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let req = Json::parse(
+            r#"{"sql":"insert into t values (1);","budget":{"max_considerations":10}}"#,
+        )
+        .unwrap();
+        let (code, msg, data) = s.handle_op("exec", &req, &cache).unwrap_err();
+        assert_eq!(code, ErrorCode::Inconclusive);
+        assert!(msg.contains("consideration budget exhausted"), "{msg}");
+        assert_eq!(
+            data.as_ref()
+                .and_then(|d| d.get("outcome"))
+                .and_then(Json::as_str),
+            Some("limit_exceeded")
+        );
+        // Request atomicity: the partial processing was not committed.
+        let after = s
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(before, after);
+        // The session survives and keeps serving.
+        let r = s
+            .handle_op(
+                "explore",
+                &Json::parse(r#"{"sql":"insert into t values (1);","budget":{"max_states":5}}"#)
+                    .unwrap(),
+                &cache,
+            )
+            .unwrap_err();
+        assert_eq!(r.0, ErrorCode::Inconclusive);
+        assert!(r.2.is_some(), "truncated explore carries partial data");
+    }
+
+    #[test]
+    fn abort_is_surfaced_and_atomic() {
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        let src = "create table t (x int);\n\
+                   create rule nope on t when inserted then rollback end;";
+        s.handle_op("load", &Json::obj([("script", Json::from(src))]), &cache)
+            .unwrap();
+        // A rule-driven rollback is a normal outcome, not an error.
+        let r = s
+            .handle_op(
+                "exec",
+                &Json::obj([("sql", Json::from("insert into t values (1);"))]),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(
+            r.get("run")
+                .and_then(|x| x.get("outcome"))
+                .and_then(Json::as_str),
+            Some("rolled_back")
+        );
+        // A priority cycle aborts the transaction; the session survives
+        // with its pre-request state.
+        let src2 = "create table t (x int);\n\
+                    create rule a on t when inserted then update t set x = 1 end;\n\
+                    create rule b on t when inserted then update t set x = 2 end;";
+        s.handle_op("load", &Json::obj([("script", Json::from(src2))]), &cache)
+            .unwrap();
+        let before = s
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let req = Json::obj([(
+            "sql",
+            Json::from(
+                "alter rule a precedes b; alter rule b precedes a; insert into t values (9);",
+            ),
+        )]);
+        let (code, _, _) = s.handle_op("exec", &req, &cache).unwrap_err();
+        assert_eq!(code, ErrorCode::Aborted);
+        let after = s
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(before, after);
+        // The cyclic orderings were rolled back too: analyze still works.
+        assert!(s
+            .handle_op("analyze", &Json::parse("{}").unwrap(), &cache)
+            .is_ok());
+    }
+
+    #[test]
+    fn eval_mode_is_per_session() {
+        let cache = ScriptCache::new();
+        let mut plan = ServerSession::new();
+        let mut interp = ServerSession::new();
+        let load_plan = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("eval_mode", Json::from("plan")),
+        ]);
+        let load_interp = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("eval_mode", Json::from("interp")),
+        ]);
+        plan.handle_op("load", &load_plan, &cache).unwrap();
+        interp.handle_op("load", &load_interp, &cache).unwrap();
+        assert_eq!(plan.eval_mode, EvalMode::Plan);
+        assert_eq!(interp.eval_mode, EvalMode::Interp);
+        // Both paths agree on the oracle result.
+        let a = plan
+            .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let b = interp
+            .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn protocol_errors_do_not_kill_the_session() {
+        let (mut s, cache) = loaded();
+        for bad in [
+            ("load", "{}"),
+            ("exec", "{}"),
+            ("certify", r#"{"kind":"zzz"}"#),
+            ("order", r#"{"higher":"a"}"#),
+            ("digest", r#"{"tables":3}"#),
+            ("nosuch", "{}"),
+        ] {
+            let (code, _, _) = s
+                .handle_op(bad.0, &Json::parse(bad.1).unwrap(), &cache)
+                .unwrap_err();
+            assert_eq!(code, ErrorCode::Protocol, "{}", bad.0);
+        }
+        assert!(s
+            .handle_op("analyze", &Json::parse("{}").unwrap(), &cache)
+            .is_ok());
+    }
+}

@@ -60,6 +60,7 @@ pub mod ast;
 pub mod display;
 pub mod error;
 pub mod eval;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
@@ -72,6 +73,7 @@ pub use ast::{
     Statement, TransitionTable, TriggerEvent,
 };
 pub use error::SqlError;
+pub use json::{digest_json, Json, JsonError};
 pub use parser::{parse_expr, parse_script, parse_statement};
 pub use refs::RuleSignature;
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Server smoke: builds the release CLI, spawns `starling serve` on an
+# ephemeral port, drives a scripted client session that exercises the ok /
+# inconclusive / shutdown paths, asserts exit codes and graceful drain,
+# then runs the `bench_server` load generator, which appends an entry
+# (aggregate N-session speedup over one-shot CLI invocations) to
+# BENCH_server.json.
+#
+# Usage: scripts/server_smoke.sh [--smoke] [--label NAME] [--out PATH]
+#
+#   --smoke   small seed / few sessions for the load generator — CI mode
+#   --label   history label for the JSON entry (default: server-smoke)
+#   --out     JSON path (default: BENCH_server.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=()
+LABEL="server-smoke"
+OUT="BENCH_server.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=(--smoke); shift ;;
+    --label) LABEL="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -q -p starling-cli -p starling-bench
+
+BIN=target/release/starling
+LOG=$(mktemp)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BIN" serve --addr 127.0.0.1:0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The serve subcommand prints its (ephemeral) address on the first line.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^starling-server listening on //p' "$LOG")
+  [[ -n "$ADDR" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+  echo "server did not start:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "server listening on $ADDR"
+
+# Scripted session covering the full loop: DDL+DML (load/exec), analysis,
+# the §6.4 refinement (certify + order flip confluence to guaranteed and
+# explore to a single final state), a budget-exhausted exec (must be an
+# `inconclusive` error response, not a teardown), stats, graceful
+# shutdown. `set -e` fails the script if the client exits non-zero.
+RESPONSES=$("$BIN" client --addr "$ADDR" <<'EOF'
+{"id":1,"op":"ping"}
+{"id":2,"op":"load","script":"create table t (x int); create table u (x int); insert into u values (0); create rule a on t when inserted then update u set x = 1 end; create rule b on t when inserted then update u set x = 2 end; insert into t values (5);"}
+{"id":3,"op":"exec","sql":"insert into t values (1);"}
+{"id":4,"op":"analyze"}
+{"id":5,"op":"certify","kind":"commute","a":"a","b":"b"}
+{"id":6,"op":"order","higher":"a","lower":"b"}
+{"id":7,"op":"analyze"}
+{"id":8,"op":"explore"}
+{"id":9,"op":"load","script":"create table g (x int); create rule grow on g when inserted then insert into g select x + 1 from inserted end;"}
+{"id":10,"op":"exec","sql":"insert into g values (1);","budget":{"max_considerations":5}}
+{"id":11,"op":"stats"}
+{"id":12,"op":"shutdown"}
+{"id":13,"op":"quit"}
+EOF
+)
+echo "$RESPONSES"
+echo "$RESPONSES" | grep -q '"id":1,"ok":true,"result":{"pong":true}'
+echo "$RESPONSES" | grep -q '"id":3,"ok":true'
+echo "$RESPONSES" | grep '"id":4' | grep -q '"confluence_guaranteed":false'
+echo "$RESPONSES" | grep -q '"id":5,"ok":true'
+echo "$RESPONSES" | grep -q '"id":6,"ok":true'
+echo "$RESPONSES" | grep '"id":7' | grep -q '"confluence_guaranteed":true'
+echo "$RESPONSES" | grep -q '"id":8,"ok":true'
+echo "$RESPONSES" | grep -q '"id":10,"ok":false,"error":{"code":"inconclusive"'
+echo "$RESPONSES" | grep -q '"id":11,"ok":true'
+echo "$RESPONSES" | grep -q '"id":12,"ok":true,"result":{"shutting_down":true}'
+echo "$RESPONSES" | grep -q '"id":13,"ok":true,"result":{"bye":true}'
+
+# Graceful drain: the server process must exit 0 by itself once its last
+# session quit.
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server did not drain after shutdown" >&2
+  exit 1
+fi
+wait "$SERVER_PID"
+grep -q "starling-server drained" "$LOG"
+echo "graceful drain OK"
+
+# Load snapshot: N concurrent sessions vs N one-shot CLI invocations,
+# recorded in the JSON history.
+cargo run --release -q -p starling-bench --bin bench_server -- \
+  "${SMOKE[@]+"${SMOKE[@]}"}" --label "$LABEL" --out "$OUT"

@@ -10,7 +10,7 @@
 
 use starling::analysis::certifications::Certifications;
 use starling::analysis::commutativity::noncommutativity_reasons;
-use starling::engine::{consider_rule, ExecState, RuleId};
+use starling::engine::{consider_rule, EvalMode, ExecState, RuleId};
 use starling::workloads::random::{generate, RandomConfig};
 
 fn config(seed: u64) -> RandomConfig {
@@ -70,12 +70,12 @@ fn statically_commuting_pairs_form_diamonds() {
                 states_checked += 1;
 
                 let mut s1 = state.clone();
-                let a1 = consider_rule(&rules, &mut s1, ri, &base_db).unwrap();
-                let b1 = consider_rule(&rules, &mut s1, rj, &base_db).unwrap();
+                let a1 = consider_rule(&rules, &mut s1, ri, &base_db, EvalMode::default()).unwrap();
+                let b1 = consider_rule(&rules, &mut s1, rj, &base_db, EvalMode::default()).unwrap();
 
                 let mut s2 = state.clone();
-                let a2 = consider_rule(&rules, &mut s2, rj, &base_db).unwrap();
-                let b2 = consider_rule(&rules, &mut s2, ri, &base_db).unwrap();
+                let a2 = consider_rule(&rules, &mut s2, rj, &base_db, EvalMode::default()).unwrap();
+                let b2 = consider_rule(&rules, &mut s2, ri, &base_db, EvalMode::default()).unwrap();
 
                 assert_eq!(
                     s1.semantic_digest(&rules),
@@ -143,11 +143,11 @@ fn noncommutativity_flags_are_not_vacuous() {
                         continue;
                     }
                     let mut s1 = state.clone();
-                    consider_rule(&rules, &mut s1, ri, &base_db).unwrap();
-                    consider_rule(&rules, &mut s1, rj, &base_db).unwrap();
+                    consider_rule(&rules, &mut s1, ri, &base_db, EvalMode::default()).unwrap();
+                    consider_rule(&rules, &mut s1, rj, &base_db, EvalMode::default()).unwrap();
                     let mut s2 = state.clone();
-                    consider_rule(&rules, &mut s2, rj, &base_db).unwrap();
-                    consider_rule(&rules, &mut s2, ri, &base_db).unwrap();
+                    consider_rule(&rules, &mut s2, rj, &base_db, EvalMode::default()).unwrap();
+                    consider_rule(&rules, &mut s2, ri, &base_db, EvalMode::default()).unwrap();
                     if s1.semantic_digest(&rules) != s2.semantic_digest(&rules) {
                         divergence_found = true;
                         break 'outer;

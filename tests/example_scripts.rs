@@ -15,7 +15,7 @@ fn read(name: &str) -> String {
 #[test]
 fn salary_rules_full_cli_surface() {
     let src = read("salary_rules.rql");
-    let report = cmd_analyze(&src, &[vec!["dept".to_owned()]], false).unwrap();
+    let report = cmd_analyze(&src, &[vec!["dept".to_owned()]], false, false).unwrap();
     // Certifications are honored; cycles are discharged.
     assert!(report.contains("TERMINATION: guaranteed"), "{report}");
     assert!(
@@ -31,7 +31,7 @@ fn salary_rules_full_cli_surface() {
     assert!(explain.contains("Triggered-By:"), "{explain}");
     assert!(explain.contains("(U, dept.total_sal)"), "{explain}");
 
-    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
+    let explore = cmd_explore(&src, &Budget::default(), false, false).unwrap();
     assert_eq!(explore.status, CmdStatus::Ok);
     assert!(
         explore.text.contains("terminates on all paths: yes"),
@@ -50,10 +50,10 @@ fn salary_rules_full_cli_surface() {
 #[test]
 fn masking_script_shows_the_finding() {
     let src = read("masking.rql");
-    let report = cmd_analyze(&src, &[], false).unwrap();
+    let report = cmd_analyze(&src, &[], false, false).unwrap();
     assert!(report.contains("condition 2\u{2032}"), "{report}");
 
-    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
+    let explore = cmd_explore(&src, &Budget::default(), false, false).unwrap();
     assert!(
         explore.text.contains("distinct final DB states: 2"),
         "{}",
@@ -64,14 +64,14 @@ fn masking_script_shows_the_finding() {
 #[test]
 fn sharded_counters_oracle_confluent_despite_static_rejection() {
     let src = read("sharded_counters.rql");
-    let report = cmd_analyze(&src, &[], false).unwrap();
+    let report = cmd_analyze(&src, &[], false, false).unwrap();
     assert!(report.contains("MAY NOT BE CONFLUENT"), "{report}");
 
     // The Section 9 refinement proves the shards disjoint.
-    let refined = cmd_analyze(&src, &[], true).unwrap();
+    let refined = cmd_analyze(&src, &[], true, false).unwrap();
     assert!(refined.contains("CONFLUENCE: guaranteed"), "{refined}");
 
-    let explore = cmd_explore(&src, &Budget::default(), false).unwrap();
+    let explore = cmd_explore(&src, &Budget::default(), false, false).unwrap();
     assert_eq!(explore.status, CmdStatus::Ok);
     assert!(
         explore.text.contains("unique final state:      yes"),

@@ -12,14 +12,15 @@
 //!    fails (error *messages* may differ; only existence must match).
 //! 2. **Rule conditions** — every corpus and case-study rule condition,
 //!    compiled and evaluated against transition bindings.
-//! 3. **Execution graphs** — full oracle exploration with plans (default)
-//!    vs `set_force_interp_for_tests(true)` must yield identical graphs.
+//! 3. **Execution graphs** — full oracle exploration with `EvalMode::Plan`
+//!    vs `EvalMode::Interp` must yield identical graphs (the mode is an
+//!    explicit per-exploration parameter, so both paths run in one process
+//!    without any global switch).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use starling::engine::processor::set_force_interp_for_tests;
-use starling::engine::{explore, ExploreConfig, RuleSet};
+use starling::engine::{explore_with_mode, EvalMode, ExploreConfig, RuleSet};
 use starling::sql::ast::{
     Action, BinOp, ColumnRef, Expr, FromItem, InsertSource, InsertStmt, OrderItem, SelectItem,
     SelectStmt, Statement, TableRef, UpdateStmt,
@@ -606,9 +607,10 @@ fn graph_fingerprint(
     db: &Database,
     actions: &[Action],
     cfg: &ExploreConfig,
+    mode: EvalMode,
     what: &str,
 ) -> (usize, usize, Vec<u64>) {
-    let g = explore(rules, db, actions, cfg).unwrap();
+    let g = explore_with_mode(rules, db, actions, cfg, mode).unwrap();
     assert!(!g.truncated(), "{what}: exploration truncated");
     let mut digests: Vec<u64> = g
         .final_dbs
@@ -620,8 +622,8 @@ fn graph_fingerprint(
 }
 
 /// Full oracle exploration must be bit-identical between the compiled-plan
-/// path (default) and forced interpretation (`STARLING_FORCE_INTERP`'s
-/// in-process test override).
+/// path ([`EvalMode::Plan`]) and forced interpretation
+/// ([`EvalMode::Interp`]).
 #[test]
 fn exploration_graphs_agree_with_forced_interp() {
     let cfg = ExploreConfig::default()
@@ -687,11 +689,8 @@ fn exploration_graphs_agree_with_forced_interp() {
     }
 
     for (name, rules, db, actions) in &cases {
-        set_force_interp_for_tests(false);
-        let with_plans = graph_fingerprint(rules, db, actions, &cfg, name);
-        set_force_interp_for_tests(true);
-        let with_interp = graph_fingerprint(rules, db, actions, &cfg, name);
-        set_force_interp_for_tests(false);
+        let with_plans = graph_fingerprint(rules, db, actions, &cfg, EvalMode::Plan, name);
+        let with_interp = graph_fingerprint(rules, db, actions, &cfg, EvalMode::Interp, name);
         assert_eq!(with_plans, with_interp, "{name}: graphs diverge");
     }
 }

@@ -1,0 +1,261 @@
+//! Concurrent-session isolation: N sessions served concurrently must be
+//! byte-identical to the same sessions replayed serially, and one
+//! session's aborts or budget exhaustion must never perturb another.
+//!
+//! The serial reference drives [`ServerSession`] directly (no TCP); the
+//! concurrent side goes through the real server and wire protocol, so the
+//! comparison covers the whole stack: protocol parsing, the shared
+//! program cache, copy-on-write snapshot handout, and request atomicity.
+
+use starling_server::{Client, ScriptCache, Server, ServerSession};
+use starling_sql::json::Json;
+
+/// The shared program: seeded accounts, an audit rule, a capping rule,
+/// and a one-row user transition for `explore`.
+fn base_script() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("create table acct (id int, bal int);\n");
+    s.push_str("create table log (id int, bal int);\n");
+    for i in 0..20 {
+        let _ = writeln!(s, "insert into acct values ({i}, {});", (i * 7) % 90);
+    }
+    s.push_str(
+        "create rule audit on acct when inserted then \
+           insert into log select id, bal from inserted end;\n\
+         create rule cap on acct when inserted, updated(bal) \
+           if exists (select * from acct where bal > 100) \
+           then update acct set bal = 100 where bal > 100 end;\n\
+         insert into acct values (1000, 5);\n",
+    );
+    s
+}
+
+/// A non-terminating program for budget-exhaustion sessions.
+const GROW: &str = "create table t (x int);\n\
+                    create rule grow on t when inserted then \
+                      insert into t select x + 1 from inserted end;";
+
+/// Session `i`'s distinct mutation under the base program.
+fn exec_sql(i: usize) -> String {
+    format!(
+        "insert into acct values ({}, {});",
+        2000 + i,
+        (i * 13) % 150
+    )
+}
+
+fn op(json: &str) -> Json {
+    Json::parse(json).expect("test op json")
+}
+
+fn load_op(script: &str) -> Json {
+    Json::obj([("op", Json::from("load")), ("script", Json::from(script))])
+}
+
+fn exec_op(sql: &str) -> Json {
+    Json::obj([("op", Json::from("exec")), ("sql", Json::from(sql))])
+}
+
+/// The serial reference: session `i`'s digest when nothing else runs.
+fn serial_digest(script: &str, sql: &str, cache: &ScriptCache) -> String {
+    let mut s = ServerSession::new();
+    s.handle_op("load", &load_op(script), cache)
+        .expect("serial load");
+    s.handle_op("exec", &exec_op(sql), cache)
+        .expect("serial exec");
+    s.handle_op("digest", &op("{}"), cache)
+        .expect("serial digest")
+        .get("digest")
+        .and_then(Json::as_str)
+        .expect("digest string")
+        .to_owned()
+}
+
+/// Digest over the wire.
+fn wire_digest(c: &mut Client) -> String {
+    c.expect_ok(&op(r#"{"op":"digest"}"#))
+        .expect("digest request")
+        .get("digest")
+        .and_then(Json::as_str)
+        .expect("digest string")
+        .to_owned()
+}
+
+#[test]
+fn sixty_four_concurrent_sessions_match_serial_replay() {
+    const SESSIONS: usize = 64;
+    let script = base_script();
+
+    let cache = ScriptCache::new();
+    let expected: Vec<String> = (0..SESSIONS)
+        .map(|i| serial_digest(&script, &exec_sql(i), &cache))
+        .collect();
+
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let got: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                let script = &script;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.expect_ok(&load_op(script)).expect("load");
+                    c.expect_ok(&exec_op(&exec_sql(i))).expect("exec");
+                    let d = wire_digest(&mut c);
+                    c.quit().expect("quit");
+                    d
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session"))
+            .collect()
+    });
+
+    for (i, (got, expected)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(got, expected, "session {i} diverged from serial replay");
+    }
+    // All 64 loads were served by one compilation.
+    let (hits, misses) = server.shared().cache.stats();
+    assert_eq!(
+        misses, 1,
+        "single-flight cache: {hits} hits / {misses} misses"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn aborts_and_budget_exhaustion_do_not_perturb_neighbors() {
+    const SESSIONS: usize = 30;
+    let script = base_script();
+
+    // Serial reference for the well-behaved sessions only.
+    let cache = ScriptCache::new();
+    let expected: Vec<Option<String>> = (0..SESSIONS)
+        .map(|i| (i % 3 == 0).then(|| serial_digest(&script, &exec_sql(i), &cache)))
+        .collect();
+
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let got: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                let script = &script;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    match i % 3 {
+                        // Well-behaved: must come out byte-identical to
+                        // the serial replay despite the chaos next door.
+                        0 => {
+                            c.expect_ok(&load_op(script)).expect("load");
+                            c.expect_ok(&exec_op(&exec_sql(i))).expect("exec");
+                        }
+                        // Budget-exhausted: a non-terminating program under
+                        // a tiny consideration budget. The error is
+                        // `inconclusive` and the session state must be as
+                        // if the request never happened.
+                        1 => {
+                            c.expect_ok(&load_op(GROW)).expect("load grow");
+                            let before = wire_digest(&mut c);
+                            let resp = c
+                                .call(&op(
+                                    r#"{"op":"exec","sql":"insert into t values (1);","budget":{"max_considerations":5}}"#,
+                                ))
+                                .expect("exec request");
+                            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+                            assert_eq!(
+                                resp.get("error")
+                                    .and_then(|e| e.get("code"))
+                                    .and_then(Json::as_str),
+                                Some("inconclusive"),
+                                "{resp}"
+                            );
+                            assert_eq!(wire_digest(&mut c), before, "exhausted exec leaked state");
+                        }
+                        // Aborting: a priority cycle at the assertion
+                        // point aborts the transaction; error code
+                        // `aborted`, session state untouched.
+                        _ => {
+                            c.expect_ok(&load_op(script)).expect("load");
+                            let before = wire_digest(&mut c);
+                            let resp = c
+                                .call(&exec_op(
+                                    "alter rule audit precedes cap; \
+                                     alter rule cap precedes audit; \
+                                     insert into acct values (1, 1);",
+                                ))
+                                .expect("exec request");
+                            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+                            assert_eq!(
+                                resp.get("error")
+                                    .and_then(|e| e.get("code"))
+                                    .and_then(Json::as_str),
+                                Some("aborted"),
+                                "{resp}"
+                            );
+                            assert_eq!(wire_digest(&mut c), before, "aborted exec leaked state");
+                            // The cyclic orderings were rolled back too.
+                            c.expect_ok(&op(r#"{"op":"analyze"}"#)).expect("analyze");
+                        }
+                    }
+                    let d = wire_digest(&mut c);
+                    c.quit().expect("quit");
+                    d
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session"))
+            .collect()
+    });
+
+    for (i, expected) in expected.iter().enumerate() {
+        if let Some(expected) = expected {
+            assert_eq!(&got[i], expected, "well-behaved session {i} was perturbed");
+        }
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn eval_mode_is_isolated_across_sessions() {
+    // One session on the interpreter path, one on the plan path,
+    // concurrently: identical observable results, and neither flips the
+    // other (the regression this guards: the old process-global
+    // FORCE_INTERP override).
+    let script = base_script();
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let digests: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ["plan", "interp"]
+            .into_iter()
+            .map(|mode| {
+                let script = &script;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut load = load_op(script);
+                    if let Json::Obj(pairs) = &mut load {
+                        pairs.push(("eval_mode".into(), Json::from(mode)));
+                    }
+                    c.expect_ok(&load).expect("load");
+                    c.expect_ok(&exec_op(&exec_sql(7))).expect("exec");
+                    let d = wire_digest(&mut c);
+                    c.quit().expect("quit");
+                    d
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session"))
+            .collect()
+    });
+    assert_eq!(digests[0], digests[1], "plan and interp sessions diverged");
+    server.shutdown();
+    server.join();
+}
