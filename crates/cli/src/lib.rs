@@ -38,6 +38,9 @@ pub enum CmdStatus {
     Aborted,
     /// A resource budget was exhausted before a definitive answer (exit 3).
     Inconclusive,
+    /// The fuzz harness found oracle disagreements (exit 4) — the analysis
+    /// stack itself has a bug, as opposed to the analyzed script.
+    Findings,
 }
 
 /// A command's rendered output plus its status.
@@ -431,6 +434,24 @@ pub fn cmd_explain(src: &str, rule_name: &str) -> Result<String, EngineError> {
         }
     }
     Ok(out)
+}
+
+/// `starling fuzz`: the differential fuzz campaign — generate random rule
+/// programs, cross-check the four oracles, shrink and pin disagreements
+/// (see `starling_fuzz`). Exit-code contract: [`CmdStatus::Findings`] on
+/// any disagreement, so CI fails loudly; a clean campaign is
+/// [`CmdStatus::Ok`] no matter how many explorations were truncated
+/// (truncation is a budget fact, not a bug).
+pub fn cmd_fuzz(config: starling_fuzz::FuzzConfig) -> CmdOutput {
+    let report = starling_fuzz::run_fuzz(config);
+    CmdOutput {
+        status: if report.ok() {
+            CmdStatus::Ok
+        } else {
+            CmdStatus::Findings
+        },
+        text: report.render(),
+    }
 }
 
 /// `starling compare`: the baseline comparison (Section 9).

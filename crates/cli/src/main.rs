@@ -9,11 +9,13 @@
 //! starling compare <file>                        baseline comparison (Sec. 9)
 //! starling serve [--addr H:P]                    multi-session server
 //! starling client [--addr H:P]                   stdin/stdout protocol client
+//! starling fuzz [--seed N] [--cases N]           differential fuzz campaign
 //! ```
 //!
 //! Exit codes: `0` success (including definitive negative verdicts), `1`
 //! usage or script error, `2` transaction aborted, `3` inconclusive (a
-//! resource budget ran out before a verdict).
+//! resource budget ran out before a verdict), `4` the fuzz harness found
+//! oracle disagreements.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -44,6 +46,11 @@ COMMANDS:
                port 0 picks an ephemeral port)
     client     Connect to a server: one JSON request per stdin line, one
                response per stdout line (--addr HOST:PORT)
+    fuzz       Differential fuzz campaign: random rule programs cross-checked
+               through analyzer-vs-oracle, plan-vs-interp, sequential-vs-
+               parallel, and server-vs-CLI; disagreements are shrunk and
+               pinned (no file argument; --seed N, --cases N, --budget N
+               per-case state bound, --corpus-dir DIR, --mutate NAME)
 
 OPTIONS:
     --protect t1,t2           (analyze) also check partial confluence w.r.t.
@@ -58,6 +65,16 @@ OPTIONS:
                               JSON object, same shape as the server protocol
     --addr HOST:PORT          (serve/client) listen/connect address,
                               default 127.0.0.1:7878
+    --seed N                  (fuzz) campaign seed, default 0; same seed ⇒
+                              byte-identical report
+    --cases N                 (fuzz) number of generated programs, default 500
+    --budget N                (fuzz) per-case exploration state bound,
+                              default 300
+    --corpus-dir DIR          (fuzz) where shrunk reproducers are written;
+                              default tests/fuzz_corpus when it exists
+    --mutate NAME             (fuzz) inject an analyzer bug to self-test the
+                              harness: certify-termination,
+                              certify-confluence, certify-observable
 
 EXIT CODES:
     0    success (definitive verdicts, including negative ones)
@@ -65,6 +82,7 @@ EXIT CODES:
     2    transaction aborted (database restored to the snapshot)
     3    inconclusive: a budget (--max-states / --max-considerations /
          --timeout) ran out before a verdict
+    4    fuzz: oracle disagreement(s) found (reproducers in the corpus dir)
 ";
 
 /// Exit code for usage/script errors.
@@ -73,6 +91,8 @@ const EXIT_ERROR: u8 = 1;
 const EXIT_ABORTED: u8 = 2;
 /// Exit code for budget-exhausted, inconclusive results.
 const EXIT_INCONCLUSIVE: u8 = 3;
+/// Exit code for fuzz-harness oracle disagreements.
+const EXIT_FINDINGS: u8 = 4;
 
 fn main() -> ExitCode {
     // Panics are bugs (errors travel through Result): keep the one-line
@@ -96,6 +116,7 @@ fn main() -> ExitCode {
                 CmdStatus::Ok => ExitCode::SUCCESS,
                 CmdStatus::Aborted => ExitCode::from(EXIT_ABORTED),
                 CmdStatus::Inconclusive => ExitCode::from(EXIT_INCONCLUSIVE),
+                CmdStatus::Findings => ExitCode::from(EXIT_FINDINGS),
             }
         }
         Err(msg) => {
@@ -115,6 +136,9 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
     }
     if command == "serve" || command == "client" {
         return serve_or_client(command, &args[1..]);
+    }
+    if command == "fuzz" {
+        return fuzz(&args[1..]);
     }
     let file = args.get(1).ok_or("missing script file")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
@@ -203,6 +227,71 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
         other => return Err(format!("unknown command `{other}`")),
     };
     result.map_err(|e| e.to_string())
+}
+
+/// The `fuzz` subcommand: a differential fuzz campaign (no file argument).
+/// `--cases` defaults to 500, the acceptance-criteria campaign size; the
+/// corpus dir defaults to `tests/fuzz_corpus` when running from a checkout
+/// (where the pinned-reproducer replay test will pick new findings up), and
+/// to nowhere otherwise.
+fn fuzz(args: &[String]) -> Result<CmdOutput, String> {
+    let mut config = starling_fuzz::FuzzConfig {
+        cases: 500,
+        ..starling_fuzz::FuzzConfig::default()
+    };
+    let mut corpus_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                config.seed = args
+                    .get(i + 1)
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--cases" => {
+                config.cases = args
+                    .get(i + 1)
+                    .ok_or("--cases needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?;
+                i += 2;
+            }
+            "--budget" => {
+                config.budget.max_states = args
+                    .get(i + 1)
+                    .ok_or("--budget needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+                i += 2;
+            }
+            "--corpus-dir" => {
+                corpus_dir = Some(args.get(i + 1).ok_or("--corpus-dir needs a path")?.clone());
+                i += 2;
+            }
+            "--mutate" => {
+                let name = args.get(i + 1).ok_or("--mutate needs a name")?;
+                config.mutation = starling_fuzz::Mutation::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown mutation `{name}` (expected certify-termination, \
+                         certify-confluence, or certify-observable)"
+                    )
+                })?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    config.corpus_dir = match corpus_dir {
+        Some(d) => Some(std::path::PathBuf::from(d)),
+        None => {
+            let default = std::path::Path::new("tests/fuzz_corpus");
+            default.is_dir().then(|| default.to_path_buf())
+        }
+    };
+    Ok(starling_cli::cmd_fuzz(config))
 }
 
 /// The `serve` and `client` subcommands. Both stream to stdout directly

@@ -23,6 +23,11 @@ pub enum TruncationReason {
     /// Path enumeration hit its root-to-final path limit
     /// ([`Budget::max_paths`]).
     Paths,
+    /// A state's database exceeded the per-state row limit
+    /// ([`Budget::max_rows`]) — the rule program grows the database faster
+    /// than exploration can bound it (e.g. a self-referencing
+    /// `insert ... select` that multiplies rows on every firing).
+    Rows,
     /// The wall-clock deadline expired ([`Budget::deadline`]).
     Deadline,
 }
@@ -33,6 +38,7 @@ impl fmt::Display for TruncationReason {
             TruncationReason::Considerations => "consideration budget exhausted",
             TruncationReason::States => "state budget exhausted",
             TruncationReason::Paths => "path budget exhausted",
+            TruncationReason::Rows => "row budget exhausted",
             TruncationReason::Deadline => "deadline exceeded",
         })
     }
@@ -53,6 +59,11 @@ pub struct Budget {
     pub max_states: usize,
     /// Maximum root-to-final paths enumerated for observable streams.
     pub max_paths: usize,
+    /// Maximum total rows any single explored state's database may hold.
+    /// Guards against rule programs whose actions multiply rows on every
+    /// firing (exponential database growth stays within `max_states` while
+    /// exhausting memory). The default is effectively unlimited.
+    pub max_rows: usize,
     /// Optional wall-clock bound (measured from the start of the run).
     pub deadline: Option<Duration>,
 }
@@ -63,6 +74,7 @@ impl Default for Budget {
             max_considerations: 10_000,
             max_states: 20_000,
             max_paths: 50_000,
+            max_rows: usize::MAX,
             deadline: None,
         }
     }
@@ -89,6 +101,12 @@ impl Budget {
     /// Sets the path bound.
     pub fn with_max_paths(mut self, n: usize) -> Self {
         self.max_paths = n;
+        self
+    }
+
+    /// Sets the per-state row bound.
+    pub fn with_max_rows(mut self, n: usize) -> Self {
+        self.max_rows = n;
         self
     }
 

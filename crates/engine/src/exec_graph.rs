@@ -612,6 +612,15 @@ fn explore_impl(
                 None => expand_state(rules, &concrete[i], &eligible[k], base_db, mode)?,
             };
             for (rule, next, step) in expansions {
+                // Per-state row guard: a program whose firings multiply rows
+                // (e.g. `insert into t select ... from t`) grows databases
+                // exponentially while staying under `max_states`. Checked at
+                // merge time, in the sequential order, so parallel and
+                // sequential exploration truncate at the identical point.
+                if next.db.total_rows() > cfg.max_rows {
+                    graph.truncation = Some(TruncationReason::Rows);
+                    break 'levels;
+                }
                 let to = add_state(
                     next,
                     &mut graph,
@@ -1044,6 +1053,88 @@ mod tests {
         let par = explore_parallel(&rs, &db, &acts, &cfg).unwrap();
         assert_eq!(seq, par);
         assert_eq!(par.truncation, Some(TruncationReason::States));
+    }
+
+    /// Exhausting `max_states` *exactly at the last frontier* is the edge
+    /// case where sequential and parallel exploration could plausibly
+    /// diverge: the parallel explorer has already expanded the whole level
+    /// on worker threads when the merge loop decides whether the budget
+    /// tripped. With `max_states` equal to the true state count the graph
+    /// must be complete (full verdicts, no truncation); with one less it
+    /// must truncate with `TruncationReason::States` — and both modes must
+    /// agree byte for byte in both cases. The fan is wide enough to cross
+    /// `PARALLEL_MIN_LEVEL`, so the threaded path really runs.
+    #[test]
+    fn exact_state_budget_boundary_matches_across_modes() {
+        let db = db_with(&[("t", &["a"])]);
+        // Five unordered observables: middle levels reach C(5,2) = 10
+        // parallel-expanded states, past PARALLEL_MIN_LEVEL.
+        let rs = rules(
+            &db,
+            "create rule o1 on t when inserted then select 1 end;
+             create rule o2 on t when inserted then select 2 end;
+             create rule o3 on t when inserted then select 3 end;
+             create rule o4 on t when inserted then select 4 end;
+             create rule o5 on t when inserted then select 5 end;",
+        );
+        let acts = actions(&["insert into t values (1)"]);
+        let n = {
+            let g = explore(&rs, &db, &acts, &ExploreConfig::default()).unwrap();
+            assert!(!g.truncated());
+            g.states.len()
+        };
+        assert!(n > PARALLEL_MIN_LEVEL, "fan too narrow to exercise threads");
+
+        // Budget == exact state count: complete graph, full verdicts.
+        let exact = ExploreConfig::default().with_max_states(n);
+        let seq = explore(&rs, &db, &acts, &exact).unwrap();
+        let par = explore_parallel(&rs, &db, &acts, &exact).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.truncation, None);
+        assert_eq!(seq.termination_verdict(), Verdict::Holds);
+        assert_eq!(par.termination_verdict(), Verdict::Holds);
+        assert_eq!(seq.confluence_verdict(), par.confluence_verdict());
+
+        // Budget == one less: both modes truncate at the identical point
+        // with the identical reason.
+        let under = ExploreConfig::default().with_max_states(n - 1);
+        let seq = explore(&rs, &db, &acts, &under).unwrap();
+        let par = explore_parallel(&rs, &db, &acts, &under).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.truncation, Some(TruncationReason::States));
+        assert_eq!(
+            seq.termination_verdict(),
+            Verdict::Inconclusive(TruncationReason::States)
+        );
+        assert_eq!(seq.termination_verdict(), par.termination_verdict());
+    }
+
+    /// The per-state row budget truncates a database-growing program with
+    /// its own reason, identically in both modes — the guard that keeps a
+    /// fuzz campaign's memory bounded when a generated rule multiplies rows
+    /// on every firing.
+    #[test]
+    fn row_budget_truncates_with_reason() {
+        let db = db_with(&[("t", &["a"])]);
+        // Each firing doubles `t` (select from the *base* table): row
+        // counts explode while the state count stays tiny.
+        let rs = rules(
+            &db,
+            "create rule dup on t when inserted then \
+               insert into t select a + 1 from t end",
+        );
+        let cfg = ExploreConfig::default().with_max_rows(64);
+        let acts = actions(&["insert into t values (1)"]);
+        let seq = explore(&rs, &db, &acts, &cfg).unwrap();
+        let par = explore_parallel(&rs, &db, &acts, &cfg).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.truncation, Some(TruncationReason::Rows));
+        assert_eq!(
+            seq.termination_verdict(),
+            Verdict::Inconclusive(TruncationReason::Rows)
+        );
+        // Every state actually kept respects the cap.
+        assert!(seq.states.len() < 20, "cap should trip within a few states");
     }
 
     /// With a fault plan installed the parallel entry point falls back to

@@ -1,0 +1,525 @@
+//! Seeded, deterministic generation of random schemas, initial databases,
+//! and Starburst rule programs.
+//!
+//! The generator produces *valid* programs by construction: every column
+//! reference resolves, every `insert` matches its target's arity, transition
+//! tables (`inserted` / `deleted` / `new_updated` / `old_updated`) are
+//! referenced only by rules whose transition predicate includes the matching
+//! triggering operation, and `precedes` / `follows` edges are drawn only
+//! downward in rule-index order so the priority order stays acyclic (a
+//! priority *cycle* is a script error, not an interesting execution).
+//!
+//! Everything is a pure function of the seed: the RNG is the vendored
+//! splitmix64 [`StdRng`] and no iteration order depends on a hash map, so a
+//! fuzz run's report is byte-identical across repetitions — the property the
+//! `starling fuzz` CLI contract and the CI job rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starling_sql::ast::{
+    Action, BinOp, DeleteStmt, Expr, FromItem, InsertSource, InsertStmt, RuleDef, SelectItem,
+    SelectStmt, TableRef, TransitionTable, TriggerEvent, UpdateStmt,
+};
+
+/// Size and probability knobs for [`generate`]. The defaults keep programs
+/// small enough that one exploration under the fuzz budget runs in
+/// milliseconds, while still covering multi-table, multi-rule interactions.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Tables per schema, `1..=max_tables`.
+    pub max_tables: usize,
+    /// Columns per table, `1..=max_cols`.
+    pub max_cols: usize,
+    /// Rules per program, `1..=max_rules`.
+    pub max_rules: usize,
+    /// Actions per rule, `1..=max_actions`.
+    pub max_actions: usize,
+    /// Seed rows per table, `0..=max_rows`.
+    pub max_rows: usize,
+    /// User-transition statements, `1..=max_user_actions`.
+    pub max_user_actions: usize,
+    /// Probability a rule has an `if` condition.
+    pub p_condition: f64,
+    /// Probability an unordered rule pair gets a `precedes`/`follows` edge.
+    pub p_order: f64,
+    /// Probability an action slot is an observable `select`.
+    pub p_observable: f64,
+    /// Probability an action slot is a `rollback`.
+    pub p_rollback: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_tables: 3,
+            max_cols: 3,
+            max_rules: 5,
+            max_actions: 3,
+            max_rows: 3,
+            max_user_actions: 2,
+            p_condition: 0.5,
+            p_order: 0.25,
+            p_observable: 0.12,
+            p_rollback: 0.04,
+        }
+    }
+}
+
+/// A generated table: `name` with integer columns `c0..c{cols-1}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Table name (`t0`, `t1`, ...).
+    pub name: String,
+    /// Column count.
+    pub cols: usize,
+}
+
+/// One generated program: schema, seed rows, rules, and the user transition
+/// probed by `explore`. The case is kept in AST form (not text) so the
+/// shrinker can delete and simplify parts structurally and re-render.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzCase {
+    /// The schema.
+    pub tables: Vec<TableSpec>,
+    /// Seed rows: `(table index, values)`, inserted before the rules.
+    pub rows: Vec<(usize, Vec<i64>)>,
+    /// The rule program.
+    pub defs: Vec<RuleDef>,
+    /// The user transition (DML after the rules, per the script convention).
+    pub user_actions: Vec<Action>,
+}
+
+impl FuzzCase {
+    /// Renders the case as a runnable script per the loader convention:
+    /// `create table`s, seed DML, rules, then the user transition.
+    pub fn script(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for t in &self.tables {
+            let cols: Vec<String> = (0..t.cols).map(|c| format!("c{c} int")).collect();
+            let _ = writeln!(s, "create table {} ({});", t.name, cols.join(", "));
+        }
+        for (ti, vals) in &self.rows {
+            let vals: Vec<String> = vals.iter().map(ToString::to_string).collect();
+            let _ = writeln!(
+                s,
+                "insert into {} values ({});",
+                self.tables[*ti].name,
+                vals.join(", ")
+            );
+        }
+        for def in &self.defs {
+            let _ = writeln!(s, "{def};");
+        }
+        for a in &self.user_actions {
+            let _ = writeln!(s, "{a};");
+        }
+        s
+    }
+}
+
+/// The transition tables a rule with `events` may legally reference.
+fn allowed_transitions(events: &[TriggerEvent]) -> Vec<TransitionTable> {
+    let mut out = Vec::new();
+    for e in events {
+        match e {
+            TriggerEvent::Inserted => out.push(TransitionTable::Inserted),
+            TriggerEvent::Deleted => out.push(TransitionTable::Deleted),
+            TriggerEvent::Updated(_) => {
+                out.push(TransitionTable::NewUpdated);
+                out.push(TransitionTable::OldUpdated);
+            }
+        }
+    }
+    out
+}
+
+/// A small integer literal. Negative values are spelled as unary minus
+/// applied to a positive literal — the shape the parser produces for `-3` —
+/// so generated ASTs survive the print→parse round-trip unchanged.
+fn lit(rng: &mut StdRng) -> Expr {
+    let v = rng.gen_range(-9i64..=9);
+    if v < 0 {
+        Expr::Neg(Box::new(Expr::int(-v)))
+    } else {
+        Expr::int(v)
+    }
+}
+
+/// A random column of a `cols`-wide table.
+fn col(rng: &mut StdRng, cols: usize) -> Expr {
+    Expr::col(&format!("c{}", rng.gen_range(0..cols)))
+}
+
+/// A scalar expression over a `cols`-wide row: a literal, a column, a
+/// column plus/minus a small constant (the shape that drives monotone
+/// growth, the interesting case for termination), or `k - column` (an
+/// involution: applying it twice restores the value, the shape that drives
+/// finite cycles — nontermination the exec graph can actually *prove* — and
+/// order-dependent final states).
+fn scalar(rng: &mut StdRng, cols: usize) -> Expr {
+    match rng.gen_range(0..5u32) {
+        0 => lit(rng),
+        1 => col(rng, cols),
+        2 => Expr::bin(
+            BinOp::Add,
+            col(rng, cols),
+            Expr::int(rng.gen_range(1i64..=3)),
+        ),
+        3 => Expr::bin(
+            BinOp::Sub,
+            col(rng, cols),
+            Expr::int(rng.gen_range(1i64..=3)),
+        ),
+        _ => Expr::bin(
+            BinOp::Sub,
+            Expr::int(rng.gen_range(0i64..=3)),
+            col(rng, cols),
+        ),
+    }
+}
+
+/// A boolean predicate over a `cols`-wide row.
+fn predicate(rng: &mut StdRng, cols: usize) -> Expr {
+    let simple = |rng: &mut StdRng| {
+        let op = match rng.gen_range(0..6u32) {
+            0 => BinOp::Eq,
+            1 => BinOp::Ne,
+            2 => BinOp::Lt,
+            3 => BinOp::Le,
+            4 => BinOp::Gt,
+            _ => BinOp::Ge,
+        };
+        let l = col(rng, cols);
+        let r = if rng.gen_bool(0.3) {
+            col(rng, cols)
+        } else {
+            lit(rng)
+        };
+        Expr::bin(op, l, r)
+    };
+    match rng.gen_range(0..10u32) {
+        0 => Expr::bin(BinOp::And, simple(rng), simple(rng)),
+        1 => Expr::bin(BinOp::Or, simple(rng), simple(rng)),
+        2 => Expr::InList {
+            expr: Box::new(col(rng, cols)),
+            list: vec![lit(rng), lit(rng)],
+            negated: rng.gen_bool(0.3),
+        },
+        _ => simple(rng),
+    }
+}
+
+/// A `FROM` source for a rule body: one of the base tables, or (with bias,
+/// when any are legal) one of the rule's transition tables. Returns the
+/// source and its column count.
+fn pick_source(
+    rng: &mut StdRng,
+    tables: &[TableSpec],
+    rule_table_cols: usize,
+    trans: &[TransitionTable],
+) -> (TableRef, usize) {
+    if !trans.is_empty() && rng.gen_bool(0.55) {
+        let t = trans[rng.gen_range(0..trans.len())];
+        // Transition tables carry the rule table's schema.
+        (TableRef::Transition(t), rule_table_cols)
+    } else {
+        let ti = rng.gen_range(0..tables.len());
+        (TableRef::Base(tables[ti].name.clone()), tables[ti].cols)
+    }
+}
+
+fn select_from(source: TableRef, items: Vec<SelectItem>, where_clause: Option<Expr>) -> SelectStmt {
+    SelectStmt {
+        distinct: false,
+        items,
+        from: vec![FromItem {
+            table: source,
+            alias: None,
+        }],
+        where_clause,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+    }
+}
+
+/// One rule action. `rule_ti` is the rule's own table: update and delete
+/// targets are biased toward it, because a rule that rewrites the table it
+/// triggers on is the shape that closes execution-graph cycles (the paper's
+/// nontermination examples) — a uniform target choice almost never produces
+/// one.
+fn gen_action(
+    rng: &mut StdRng,
+    cfg: &GenConfig,
+    tables: &[TableSpec],
+    rule_ti: usize,
+    trans: &[TransitionTable],
+) -> Action {
+    let rule_table_cols = tables[rule_ti].cols;
+    if rng.gen_bool(cfg.p_rollback) {
+        return Action::Rollback;
+    }
+    if rng.gen_bool(cfg.p_observable) {
+        let (src, cols) = pick_source(rng, tables, rule_table_cols, trans);
+        let where_clause = rng.gen_bool(0.6).then(|| predicate(rng, cols));
+        return Action::Select(select_from(src, vec![SelectItem::Wildcard], where_clause));
+    }
+    let ti = if rng.gen_bool(0.5) {
+        rule_ti
+    } else {
+        rng.gen_range(0..tables.len())
+    };
+    let target = &tables[ti];
+    match rng.gen_range(0..4u32) {
+        // insert ... values
+        0 => Action::Insert(InsertStmt {
+            table: target.name.clone(),
+            columns: None,
+            source: InsertSource::Values(vec![(0..target.cols).map(|_| lit(rng)).collect()]),
+        }),
+        // insert ... select (possibly from a transition table — the shape
+        // that propagates a transition across tables, the paper's canonical
+        // rule body)
+        1 => {
+            let (src, cols) = pick_source(rng, tables, rule_table_cols, trans);
+            let items = (0..target.cols)
+                .map(|_| SelectItem::Expr {
+                    expr: scalar(rng, cols),
+                    alias: None,
+                })
+                .collect();
+            let where_clause = rng.gen_bool(0.5).then(|| predicate(rng, cols));
+            Action::Insert(InsertStmt {
+                table: target.name.clone(),
+                columns: None,
+                source: InsertSource::Select(select_from(src, items, where_clause)),
+            })
+        }
+        // update
+        2 => {
+            let n_sets = rng.gen_range(1..=target.cols.min(2));
+            // Distinct SET columns: start at a random column, walk forward.
+            let first = rng.gen_range(0..target.cols);
+            let sets = (0..n_sets)
+                .map(|k| {
+                    let cname = format!("c{}", (first + k) % target.cols);
+                    // Bias toward `c := k - c`, an involution of the column
+                    // being set: two firings restore the value, so a rule
+                    // that re-triggers itself closes a 2-cycle in the
+                    // execution graph — the provable-nontermination shape.
+                    // A generic scalar almost never lands on it.
+                    let value = if rng.gen_bool(0.35) {
+                        Expr::bin(
+                            BinOp::Sub,
+                            Expr::int(rng.gen_range(0i64..=3)),
+                            Expr::col(&cname),
+                        )
+                    } else {
+                        scalar(rng, target.cols)
+                    };
+                    (cname, value)
+                })
+                .collect();
+            let where_clause = rng.gen_bool(0.7).then(|| predicate(rng, target.cols));
+            Action::Update(UpdateStmt {
+                table: target.name.clone(),
+                sets,
+                where_clause,
+            })
+        }
+        // delete
+        _ => Action::Delete(DeleteStmt {
+            table: target.name.clone(),
+            where_clause: rng.gen_bool(0.8).then(|| predicate(rng, target.cols)),
+        }),
+    }
+}
+
+/// A rule's optional `if` condition: `[not] exists (select * from src
+/// [where p])`, over a base table or a legal transition table.
+fn gen_condition(
+    rng: &mut StdRng,
+    tables: &[TableSpec],
+    rule_table_cols: usize,
+    trans: &[TransitionTable],
+) -> Expr {
+    let (src, cols) = pick_source(rng, tables, rule_table_cols, trans);
+    let where_clause = rng.gen_bool(0.7).then(|| predicate(rng, cols));
+    let exists = Expr::Exists(Box::new(select_from(
+        src,
+        vec![SelectItem::Wildcard],
+        where_clause,
+    )));
+    if rng.gen_bool(0.3) {
+        Expr::Not(Box::new(exists))
+    } else {
+        exists
+    }
+}
+
+/// The transition predicate: one or two distinct triggering operations.
+fn gen_events(rng: &mut StdRng, table_cols: usize) -> Vec<TriggerEvent> {
+    let mut kinds = [0u32, 1, 2];
+    // Deterministic partial shuffle: pick the first event, then maybe a
+    // second distinct one.
+    let first = rng.gen_range(0..3usize);
+    kinds.swap(0, first);
+    let n = if rng.gen_bool(0.3) { 2 } else { 1 };
+    let mut events = Vec::new();
+    for &k in kinds.iter().take(n) {
+        events.push(match k {
+            0 => TriggerEvent::Inserted,
+            1 => TriggerEvent::Deleted,
+            _ => {
+                if rng.gen_bool(0.4) {
+                    let c = rng.gen_range(0..table_cols);
+                    TriggerEvent::Updated(Some(vec![format!("c{c}")]))
+                } else {
+                    TriggerEvent::Updated(None)
+                }
+            }
+        });
+    }
+    events
+}
+
+/// Generates one case from a seed. Same seed + same config ⇒ identical case.
+pub fn generate(seed: u64, cfg: &GenConfig) -> FuzzCase {
+    // Decorrelate from other users of the seed (e.g. the harness's own
+    // per-case seed derivation).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf022_ed1c_ab1e_0000);
+
+    let n_tables = rng.gen_range(1..=cfg.max_tables);
+    let tables: Vec<TableSpec> = (0..n_tables)
+        .map(|i| TableSpec {
+            name: format!("t{i}"),
+            cols: rng.gen_range(1..=cfg.max_cols),
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for _ in 0..rng.gen_range(0..=cfg.max_rows) {
+            rows.push((ti, (0..t.cols).map(|_| rng.gen_range(-9i64..=9)).collect()));
+        }
+    }
+
+    let n_rules = rng.gen_range(1..=cfg.max_rules);
+    let mut defs: Vec<RuleDef> = Vec::new();
+    for r in 0..n_rules {
+        let ti = rng.gen_range(0..tables.len());
+        let table = &tables[ti];
+        let events = gen_events(&mut rng, table.cols);
+        let trans = allowed_transitions(&events);
+        let condition = rng
+            .gen_bool(cfg.p_condition)
+            .then(|| gen_condition(&mut rng, &tables, table.cols, &trans));
+        let n_actions = rng.gen_range(1..=cfg.max_actions);
+        let actions = (0..n_actions)
+            .map(|_| gen_action(&mut rng, cfg, &tables, ti, &trans))
+            .collect();
+        defs.push(RuleDef {
+            name: format!("r{r}"),
+            table: table.name.clone(),
+            events,
+            condition,
+            actions,
+            precedes: Vec::new(),
+            follows: Vec::new(),
+        });
+    }
+    // Priority edges, only downward in index order (acyclic by
+    // construction). `precedes` on the lower index and `follows` on the
+    // higher are the same ordering; generate both spellings to exercise
+    // both paths through the priority machinery.
+    for i in 0..n_rules {
+        for j in (i + 1)..n_rules {
+            if rng.gen_bool(cfg.p_order) {
+                if rng.gen_bool(0.5) {
+                    let name = defs[j].name.clone();
+                    defs[i].precedes.push(name);
+                } else {
+                    let name = defs[i].name.clone();
+                    defs[j].follows.push(name);
+                }
+            }
+        }
+    }
+
+    // The user transition: plain DML, biased toward tables that have rules
+    // so most cases actually trigger something.
+    let n_user = rng.gen_range(1..=cfg.max_user_actions);
+    let mut user_actions = Vec::new();
+    for _ in 0..n_user {
+        let ti = if rng.gen_bool(0.8) {
+            let def = &defs[rng.gen_range(0..defs.len())];
+            tables.iter().position(|t| t.name == def.table).unwrap()
+        } else {
+            rng.gen_range(0..tables.len())
+        };
+        let t = &tables[ti];
+        user_actions.push(match rng.gen_range(0..3u32) {
+            0 => Action::Update(UpdateStmt {
+                table: t.name.clone(),
+                sets: vec![(
+                    format!("c{}", rng.gen_range(0..t.cols)),
+                    scalar(&mut rng, t.cols),
+                )],
+                where_clause: rng.gen_bool(0.5).then(|| predicate(&mut rng, t.cols)),
+            }),
+            1 => Action::Delete(DeleteStmt {
+                table: t.name.clone(),
+                where_clause: Some(predicate(&mut rng, t.cols)),
+            }),
+            _ => Action::Insert(InsertStmt {
+                table: t.name.clone(),
+                columns: None,
+                source: InsertSource::Values(vec![(0..t.cols).map(|_| lit(&mut rng)).collect()]),
+            }),
+        });
+    }
+
+    FuzzCase {
+        tables,
+        rows,
+        defs,
+        user_actions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(a.script(), b.script(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_scripts_load() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let case = generate(seed, &cfg);
+            let script = case.script();
+            let loaded = starling_analysis::loader::load_script(&script)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{script}"));
+            assert_eq!(
+                loaded.defs, case.defs,
+                "seed {seed}: defs drifted\n{script}"
+            );
+            assert_eq!(
+                loaded.user_actions, case.user_actions,
+                "seed {seed}: user transition drifted\n{script}"
+            );
+            assert!(!loaded.user_actions.is_empty(), "seed {seed}");
+        }
+    }
+}

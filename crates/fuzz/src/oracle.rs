@@ -1,0 +1,428 @@
+//! The differential harness: one generated (or replayed) script, four
+//! cross-checked oracles.
+//!
+//! | oracle        | left side                     | right side                  |
+//! |---------------|-------------------------------|-----------------------------|
+//! | `analyzer`    | §5–§8 static verdicts         | bounded exec-graph oracle   |
+//! | `eval-mode`   | compiled-plan exploration     | AST-interpreter exploration |
+//! | `parallelism` | sequential exploration        | level-parallel exploration  |
+//! | `transport`   | in-process load + explore     | server session (wire shape) |
+//!
+//! Directionality matters for the analyzer oracle: the static analysis
+//! quantifies over *all* databases while the exec graph checks *one* initial
+//! state, so only one implication is checkable — a static "guaranteed" must
+//! never coexist with a dynamic counterexample ([`Verdict::Fails`]). A
+//! dynamic `Holds` with a static "may not" is the analyzer being
+//! conservative, which is correct. The other three oracles demand byte
+//! equality of the serialized graph summary.
+//!
+//! A zeroth check rides along for free: each loaded rule definition must
+//! survive print → parse unchanged (the fixpoint property the SQL layer's
+//! property tests assert statement-by-statement, here applied to whole
+//! generated rules).
+
+use starling_analysis::loader::load_script;
+use starling_analysis::report::{explore_json, AnalysisReport};
+use starling_engine::{explore_parallel, explore_with_mode, Budget, EvalMode, ExecGraph, Verdict};
+use starling_server::{ErrorCode, ScriptCache, ServerSession};
+use starling_sql::ast::Statement;
+use starling_sql::json::Json;
+use starling_sql::parse_script;
+
+/// A deliberately injected analyzer bug, used to validate that the harness
+/// actually catches unsound verdicts (the mutation check documented in
+/// DESIGN.md §4g). `None` in production fuzzing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// No injected bug.
+    None,
+    /// Pretend the analyzer certified termination for every program.
+    CertifyTermination,
+    /// Pretend the analyzer certified confluence for every program.
+    CertifyConfluence,
+    /// Pretend the analyzer certified observable determinism.
+    CertifyObservable,
+}
+
+impl Mutation {
+    /// Parses a CLI spelling (`none`, `certify-termination`, ...).
+    pub fn from_name(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "certify-termination" => Some(Mutation::CertifyTermination),
+            "certify-confluence" => Some(Mutation::CertifyConfluence),
+            "certify-observable" => Some(Mutation::CertifyObservable),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::CertifyTermination => "certify-termination",
+            Mutation::CertifyConfluence => "certify-confluence",
+            Mutation::CertifyObservable => "certify-observable",
+        }
+    }
+}
+
+/// One oracle disagreement: which oracle, and what each side said.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// The oracle that fired (`analyzer-termination`, `eval-mode`, ...).
+    pub oracle: &'static str,
+    /// Human-readable detail: both sides' answers.
+    pub detail: String,
+}
+
+/// The outcome of running one script through every oracle.
+#[derive(Clone, Debug, Default)]
+pub struct CaseOutcome {
+    /// States in the (sequential, plan-mode) execution graph.
+    pub states: usize,
+    /// Whether the exploration hit a budget.
+    pub truncated: bool,
+    /// Whether the user transition itself raised an engine error (the
+    /// oracles then only check that every engine agrees on the error).
+    pub errored: bool,
+    /// The first disagreement found, if any.
+    pub disagreement: Option<Disagreement>,
+}
+
+fn disagree(oracle: &'static str, detail: String) -> CaseOutcome {
+    CaseOutcome {
+        disagreement: Some(Disagreement { oracle, detail }),
+        ..CaseOutcome::default()
+    }
+}
+
+/// The server side of the `transport` oracle: load the script into a fresh
+/// in-process [`ServerSession`] and run `explore` through the protocol
+/// handler — cache, session restore, request budget parsing and the
+/// inconclusive-error envelope included. Returns the serialized graph
+/// summary (a truncated exploration's partial result counts: it travels in
+/// the error's `data` member with the same shape).
+fn server_explore_json(src: &str, budget: &Budget) -> Result<String, String> {
+    let cache = ScriptCache::new();
+    let mut session = ServerSession::new();
+    let load = Json::obj([("op", Json::from("load")), ("script", Json::from(src))]);
+    session
+        .handle_op("load", &load, &cache)
+        .map_err(|(c, m, _)| format!("load: {} {m}", c.as_str()))?;
+    let req = Json::obj([
+        ("op", Json::from("explore")),
+        (
+            "budget",
+            Json::obj([
+                ("max_considerations", Json::from(budget.max_considerations)),
+                ("max_states", Json::from(budget.max_states)),
+                ("max_paths", Json::from(budget.max_paths)),
+                ("max_rows", Json::from(budget.max_rows)),
+            ]),
+        ),
+    ]);
+    match session.handle_op("explore", &req, &cache) {
+        Ok(result) => Ok(result.to_string()),
+        Err((ErrorCode::Inconclusive, _, Some(data))) => Ok(data.to_string()),
+        Err((c, m, _)) => Err(format!("explore: {} {m}", c.as_str())),
+    }
+}
+
+/// Runs one script through all oracles and reports the first disagreement.
+///
+/// The script must follow the loader convention (seed DML before the rules,
+/// user transition after). A script with no user transition only gets the
+/// static analysis and round-trip checks — the dynamic oracles are vacuous.
+pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutcome {
+    // Generated scripts are valid by construction and corpus scripts were
+    // valid when pinned, so a load failure is itself a finding (a
+    // parser/validator/loader regression), not a skip.
+    let loaded = match load_script(src) {
+        Ok(l) => l,
+        Err(e) => return disagree("load", format!("script failed to load: {e}")),
+    };
+
+    // Zeroth oracle: print → parse must be a fixpoint on every rule.
+    for def in &loaded.defs {
+        let printed = format!("{def};");
+        let reparsed = match parse_script(&printed) {
+            Ok(stmts) => stmts,
+            Err(e) => {
+                return disagree(
+                    "round-trip",
+                    format!("printed rule does not re-parse: {e}\n{printed}"),
+                )
+            }
+        };
+        match reparsed.as_slice() {
+            [Statement::CreateRule(r)] if r == def => {}
+            _ => {
+                return disagree(
+                    "round-trip",
+                    format!("printed rule re-parses differently:\n{printed}"),
+                )
+            }
+        }
+    }
+
+    // Static analysis, with the optional injected bug.
+    let ctx = loaded.context();
+    let report = AnalysisReport::run(&ctx, &[]);
+    let term_ok = report.termination.is_guaranteed() || mutation == Mutation::CertifyTermination;
+    let conf_ok = report.confluence_guaranteed() || mutation == Mutation::CertifyConfluence;
+    let obs_ok = report.observable.is_guaranteed() || mutation == Mutation::CertifyObservable;
+
+    if loaded.user_actions.is_empty() {
+        return CaseOutcome::default();
+    }
+
+    // Dynamic side: the same exploration under both evaluation modes.
+    let plan = explore_with_mode(
+        &loaded.rules,
+        &loaded.db,
+        &loaded.user_actions,
+        budget,
+        EvalMode::Plan,
+    );
+    let interp = explore_with_mode(
+        &loaded.rules,
+        &loaded.db,
+        &loaded.user_actions,
+        budget,
+        EvalMode::Interp,
+    );
+    let (g, gi) = match (plan, interp) {
+        (Ok(g), Ok(gi)) => (g, gi),
+        (Err(a), Err(b)) => {
+            // The transition errors: every engine must agree on the error.
+            if a.to_string() != b.to_string() {
+                return disagree("eval-mode", format!("plan error: {a}\ninterp error: {b}"));
+            }
+            match explore_parallel(&loaded.rules, &loaded.db, &loaded.user_actions, budget) {
+                Ok(_) => {
+                    return disagree(
+                        "parallelism",
+                        format!("sequential explore errored ({a}) but parallel succeeded"),
+                    )
+                }
+                Err(p) if p.to_string() != a.to_string() => {
+                    return disagree(
+                        "parallelism",
+                        format!("sequential error: {a}\nparallel error: {p}"),
+                    )
+                }
+                Err(_) => {}
+            }
+            match server_explore_json(src, budget) {
+                Ok(j) => {
+                    return disagree(
+                        "transport",
+                        format!("in-process explore errored ({a}) but server returned: {j}"),
+                    )
+                }
+                Err(m) if !m.ends_with(&a.to_string()) => {
+                    return disagree(
+                        "transport",
+                        format!("in-process error: {a}\nserver error: {m}"),
+                    )
+                }
+                Err(_) => {}
+            }
+            return CaseOutcome {
+                errored: true,
+                ..CaseOutcome::default()
+            };
+        }
+        (Ok(_), Err(e)) => {
+            return disagree(
+                "eval-mode",
+                format!("plan succeeded but interp errored: {e}"),
+            )
+        }
+        (Err(e), Ok(_)) => {
+            return disagree(
+                "eval-mode",
+                format!("interp succeeded but plan errored: {e}"),
+            )
+        }
+    };
+
+    let outcome = |g: &ExecGraph, disagreement: Option<Disagreement>| CaseOutcome {
+        states: g.states.len(),
+        truncated: g.truncated(),
+        errored: false,
+        disagreement,
+    };
+
+    // Oracle: plan vs interp, byte-identical serialized summaries.
+    let plan_json = explore_json(&g, budget).to_string();
+    let interp_json = explore_json(&gi, budget).to_string();
+    if plan_json != interp_json {
+        return outcome(
+            &g,
+            Some(Disagreement {
+                oracle: "eval-mode",
+                detail: format!("plan:   {plan_json}\ninterp: {interp_json}"),
+            }),
+        );
+    }
+
+    // Oracle: sequential vs parallel. Both sides run the process-default
+    // evaluation mode, which is one of the two graphs already in hand.
+    let seq_json = if EvalMode::default() == EvalMode::Plan {
+        &plan_json
+    } else {
+        &interp_json
+    };
+    match explore_parallel(&loaded.rules, &loaded.db, &loaded.user_actions, budget) {
+        Ok(gp) => {
+            let par_json = explore_json(&gp, budget).to_string();
+            if par_json != *seq_json {
+                return outcome(
+                    &g,
+                    Some(Disagreement {
+                        oracle: "parallelism",
+                        detail: format!("sequential: {seq_json}\nparallel:   {par_json}"),
+                    }),
+                );
+            }
+        }
+        Err(e) => {
+            return outcome(
+                &g,
+                Some(Disagreement {
+                    oracle: "parallelism",
+                    detail: format!("sequential succeeded but parallel errored: {e}"),
+                }),
+            )
+        }
+    }
+
+    // Oracle: analyzer vs exec graph. A static guarantee must never meet a
+    // dynamic counterexample.
+    if term_ok && g.termination_verdict() == Verdict::Fails {
+        return outcome(
+            &g,
+            Some(Disagreement {
+                oracle: "analyzer-termination",
+                detail: "static: termination guaranteed; oracle: found a cycle in the \
+                         execution graph (nonterminating path)"
+                    .into(),
+            }),
+        );
+    }
+    if conf_ok && g.confluence_verdict() == Verdict::Fails {
+        return outcome(
+            &g,
+            Some(Disagreement {
+                oracle: "analyzer-confluence",
+                detail: format!(
+                    "static: confluence guaranteed; oracle: {} distinct final database \
+                     state(s)",
+                    g.final_db_digests().len()
+                ),
+            }),
+        );
+    }
+    // Observable determinism presumes termination (Section 8): only compare
+    // when the static side claims both.
+    if obs_ok && term_ok && g.observable_determinism_verdict(budget) == Verdict::Fails {
+        return outcome(
+            &g,
+            Some(Disagreement {
+                oracle: "analyzer-observable",
+                detail: "static: observable determinism guaranteed; oracle: found \
+                         distinct observable streams"
+                    .into(),
+            }),
+        );
+    }
+
+    // Oracle: transport. The in-process summary is exactly what the CLI's
+    // `explore --json` prints; the server must produce the same bytes.
+    match server_explore_json(src, budget) {
+        Ok(server_json) => {
+            if server_json != plan_json {
+                return outcome(
+                    &g,
+                    Some(Disagreement {
+                        oracle: "transport",
+                        detail: format!("cli:    {plan_json}\nserver: {server_json}"),
+                    }),
+                );
+            }
+        }
+        Err(m) => {
+            return outcome(
+                &g,
+                Some(Disagreement {
+                    oracle: "transport",
+                    detail: format!("in-process explore succeeded but server failed: {m}"),
+                }),
+            )
+        }
+    }
+
+    outcome(&g, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "create table t (x int);\n\
+                         create table log (x int);\n\
+                         insert into t values (1);\n\
+                         create rule a on t when inserted then \
+                           insert into log select x from inserted end;\n\
+                         insert into t values (5);\n";
+
+    #[test]
+    fn clean_script_has_no_disagreement() {
+        let out = check_script(CLEAN, &Budget::default(), Mutation::None);
+        assert!(out.disagreement.is_none(), "{:?}", out.disagreement);
+        assert!(out.states > 0);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn injected_termination_bug_is_caught() {
+        // A two-state toggle: the execution graph is finite and cyclic, so
+        // the oracle proves nontermination; the mutation pretends the
+        // analyzer certified termination anyway.
+        let src = "create table t (x int);\n\
+                   insert into t values (0);\n\
+                   create rule flip on t when updated(x) then \
+                     update t set x = 1 - x end;\n\
+                   update t set x = 1 - x;\n";
+        let out = check_script(src, &Budget::default(), Mutation::CertifyTermination);
+        let d = out.disagreement.expect("mutation must be caught");
+        assert_eq!(d.oracle, "analyzer-termination");
+        // Without the mutation the same script is clean: the analyzer
+        // honestly reports "may not terminate", which the oracle confirms.
+        let honest = check_script(src, &Budget::default(), Mutation::None);
+        assert!(honest.disagreement.is_none(), "{:?}", honest.disagreement);
+    }
+
+    #[test]
+    fn injected_confluence_bug_is_caught() {
+        let src = "create table t (x int);\n\
+                   create table out1 (v int);\n\
+                   insert into out1 values (0);\n\
+                   create rule a on t when inserted then \
+                     update out1 set v = v * 2 + 1 end;\n\
+                   create rule b on t when inserted then \
+                     update out1 set v = v * 3 end;\n\
+                   insert into t values (1);\n";
+        let out = check_script(src, &Budget::default(), Mutation::CertifyConfluence);
+        let d = out.disagreement.expect("mutation must be caught");
+        assert_eq!(d.oracle, "analyzer-confluence");
+    }
+
+    #[test]
+    fn load_failure_is_a_finding() {
+        let out = check_script("create table t (x int;", &Budget::default(), Mutation::None);
+        assert_eq!(out.disagreement.expect("must fire").oracle, "load");
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use starling_sql::json::Json;
 
@@ -22,6 +23,36 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Connects with readiness polling: retries the TCP connect *and* a
+    /// `ping` round-trip until the server answers or `timeout` elapses.
+    ///
+    /// A raw [`Client::connect`] against a freshly spawned server races its
+    /// accept loop: on loaded machines the SYN can land in the listen
+    /// backlog and then be reset, or the connection can be accepted but the
+    /// session thread not yet serving. Polling to the first successful ping
+    /// makes "the server is up" an observed fact rather than a timing
+    /// assumption — this is what the tests use instead of sleeping.
+    pub fn connect_ready<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let err = match Client::connect(addr.clone()) {
+                Ok(mut c) => match c.call(&Json::obj([("op", Json::from("ping"))])) {
+                    Ok(resp) if resp.get("ok") == Some(&Json::Bool(true)) => return Ok(c),
+                    Ok(resp) => std::io::Error::other(format!("ping rejected: {resp}")),
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            if Instant::now() >= deadline {
+                return Err(err);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     /// Sends one raw request line and reads one raw response line.

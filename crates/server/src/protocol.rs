@@ -99,7 +99,7 @@ pub fn err_response(
 
 /// Extracts a per-request [`Budget`] from the request's optional `"budget"`
 /// member: `{"max_considerations":N,"max_states":N,"max_paths":N,
-/// "timeout_ms":N}`, each member optional, defaults from
+/// "max_rows":N,"timeout_ms":N}`, each member optional, defaults from
 /// [`Budget::default`].
 pub fn budget_from_request(req: &Json) -> Result<Budget, String> {
     let mut budget = Budget::default();
@@ -123,6 +123,11 @@ pub fn budget_from_request(req: &Json) -> Result<Budget, String> {
         budget.max_paths = v
             .as_usize()
             .ok_or("`budget.max_paths` must be a non-negative integer")?;
+    }
+    if let Some(v) = b.get("max_rows") {
+        budget.max_rows = v
+            .as_usize()
+            .ok_or("`budget.max_rows` must be a non-negative integer")?;
     }
     if let Some(v) = b.get("timeout_ms") {
         let ms = v
@@ -159,13 +164,14 @@ mod tests {
     #[test]
     fn budget_parsing() {
         let req = Json::parse(
-            r#"{"budget":{"max_considerations":5,"max_states":6,"max_paths":7,"timeout_ms":8}}"#,
+            r#"{"budget":{"max_considerations":5,"max_states":6,"max_paths":7,"max_rows":9,"timeout_ms":8}}"#,
         )
         .unwrap();
         let b = budget_from_request(&req).unwrap();
         assert_eq!(b.max_considerations, 5);
         assert_eq!(b.max_states, 6);
         assert_eq!(b.max_paths, 7);
+        assert_eq!(b.max_rows, 9);
         assert_eq!(b.deadline, Some(Duration::from_millis(8)));
 
         // Absent budget: defaults.

@@ -1,0 +1,56 @@
+//! Replays the pinned fuzz-reproducer corpus on every `cargo test` run.
+//!
+//! `tests/fuzz_corpus/*.star` holds shrunk counterexamples from past fuzz
+//! campaigns (and hand-pinned shapes worth keeping hot). Each file is a
+//! plain loader-convention script with a `--` comment header; replaying it
+//! through every differential oracle turns a once-found disagreement into a
+//! permanent regression test. `starling fuzz` writes new reproducers into
+//! this directory by default when run from the repo root.
+
+use std::path::{Path, PathBuf};
+
+use starling_fuzz::{corpus, run_fuzz, FuzzConfig};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_corpus")
+}
+
+/// Every pinned reproducer must replay clean: the disagreement it once
+/// witnessed stays fixed.
+#[test]
+fn pinned_reproducers_replay_clean() {
+    let budget = FuzzConfig::default().budget;
+    let replayed = corpus::replay_dir(&corpus_dir(), &budget).expect("read corpus dir");
+    assert!(
+        !replayed.is_empty(),
+        "fuzz corpus is empty — expected pinned .star reproducers in {}",
+        corpus_dir().display()
+    );
+    for (path, outcome) in replayed {
+        assert!(
+            outcome.disagreement.is_none(),
+            "pinned reproducer {} disagrees again: {:?}",
+            path.display(),
+            outcome.disagreement
+        );
+    }
+}
+
+/// A small fixed-seed campaign as part of the default test suite: shipped
+/// code must produce zero disagreements, and the report must be a pure
+/// function of the seed.
+#[test]
+fn seed_zero_campaign_is_clean_and_deterministic() {
+    let config = FuzzConfig {
+        cases: 25,
+        ..FuzzConfig::default()
+    };
+    let a = run_fuzz(config.clone());
+    let b = run_fuzz(config);
+    assert!(a.ok(), "{}", a.render());
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "campaign report is not deterministic"
+    );
+}

@@ -181,3 +181,33 @@ proptest! {
         prop_assert_eq!(ast, reparsed);
     }
 }
+
+/// Byte-exact pin of the shrunk input recorded in
+/// `net_effect_props.proptest-regressions` (the vendored proptest stub
+/// replays the seed stream, not the historical bytes — see DESIGN.md
+/// §"regression seeds"). The original failure was the *test grammar*
+/// emitting a predicate as an arithmetic operand; the fix typed the
+/// grammar (predicates compose only under and/or/not). The parser's side
+/// of that contract — rejecting `is not null` inside an arithmetic
+/// context instead of mis-parsing it — is what this pin keeps visible.
+#[test]
+fn regression_is_not_null_inside_addition_is_rejected() {
+    let src = "(0 is not null + 0)";
+    let err = parse_expr(src).expect_err("ill-typed pinned input must not parse");
+    assert!(
+        err.to_string().contains('+'),
+        "rejection should point at the `+` after the predicate, got: {err}"
+    );
+}
+
+/// Guards the replay plumbing itself: if the sibling
+/// `.proptest-regressions` file stops being found (cwd drift in CI, a
+/// rename), the properties above would silently skip their pinned seeds.
+#[test]
+fn regression_seed_file_is_discovered() {
+    let seeds = proptest::persistence::regression_seeds(file!());
+    assert!(
+        !seeds.is_empty(),
+        "tests/net_effect_props.proptest-regressions was not found or has no `cc` lines"
+    );
+}

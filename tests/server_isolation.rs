@@ -7,8 +7,13 @@
 //! comparison covers the whole stack: protocol parsing, the shared
 //! program cache, copy-on-write snapshot handout, and request atomicity.
 
+use std::time::Duration;
+
 use starling_server::{Client, ScriptCache, Server, ServerSession};
 use starling_sql::json::Json;
+
+/// How long a test client polls for server readiness before giving up.
+const READY: Duration = Duration::from_secs(10);
 
 /// The shared program: seeded accounts, an audit rule, a capping rule,
 /// and a one-row user transition for `explore`.
@@ -99,7 +104,7 @@ fn sixty_four_concurrent_sessions_match_serial_replay() {
             .map(|i| {
                 let script = &script;
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr).expect("connect");
+                    let mut c = Client::connect_ready(addr, READY).expect("connect");
                     c.expect_ok(&load_op(script)).expect("load");
                     c.expect_ok(&exec_op(&exec_sql(i))).expect("exec");
                     let d = wire_digest(&mut c);
@@ -145,7 +150,7 @@ fn aborts_and_budget_exhaustion_do_not_perturb_neighbors() {
             .map(|i| {
                 let script = &script;
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr).expect("connect");
+                    let mut c = Client::connect_ready(addr, READY).expect("connect");
                     match i % 3 {
                         // Well-behaved: must come out byte-identical to
                         // the serial replay despite the chaos next door.
@@ -237,7 +242,7 @@ fn eval_mode_is_isolated_across_sessions() {
             .map(|mode| {
                 let script = &script;
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr).expect("connect");
+                    let mut c = Client::connect_ready(addr, READY).expect("connect");
                     let mut load = load_op(script);
                     if let Json::Obj(pairs) = &mut load {
                         pairs.push(("eval_mode".into(), Json::from(mode)));

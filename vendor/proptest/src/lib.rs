@@ -19,6 +19,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod persistence;
 pub mod sample;
 pub mod strategy;
 pub mod string;
@@ -44,6 +45,26 @@ macro_rules! proptest {
         $(
             $(#[$attr])*
             fn $name() {
+                // Replay-first: seeds pinned in this file's sibling
+                // `.proptest-regressions` run before any novel cases, so a
+                // once-found failure stays a failure until actually fixed.
+                for seed in $crate::persistence::regression_seeds(file!()) {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest `{}` failed replaying regression seed {:#018x}: {}",
+                            stringify!($name),
+                            seed,
+                            e
+                        );
+                    }
+                }
                 let cases = $crate::test_runner::cases();
                 let mut rng = $crate::test_runner::TestRng::for_test(
                     concat!(module_path!(), "::", stringify!($name)),

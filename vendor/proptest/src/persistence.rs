@@ -1,0 +1,90 @@
+//! Regression-seed persistence: the stub's take on proptest's
+//! `.proptest-regressions` files.
+//!
+//! The real proptest appends a `cc <hex> # shrinks to ...` line to a sibling
+//! `<test-file>.proptest-regressions` whenever a property fails, and replays
+//! those saved cases before generating novel ones. The stub honors the same
+//! file format and replay-first contract, with one documented difference:
+//! the hex blob is the real crate's full RNG state, which the stub cannot
+//! reconstruct, so it derives its deterministic replay seed from the first
+//! 16 hex digits. A pinned seed therefore replays a *fixed, reproducible
+//! case stream* under the stub rather than the byte-exact historical
+//! failure — the byte-exact input is preserved by convention as an explicit
+//! `#[test]` next to the property (see DESIGN.md §"regression seeds").
+
+use std::path::{Path, PathBuf};
+
+/// Locates the `.proptest-regressions` sibling of a test source file, as
+/// given by `file!()`. `file!()` paths are relative to the workspace root;
+/// test binaries run with the *package* manifest dir as their working
+/// directory, so both spellings are tried.
+pub fn regressions_path(source_file: &str) -> Option<PathBuf> {
+    let sibling = Path::new(source_file).with_extension("proptest-regressions");
+    if sibling.exists() {
+        return Some(sibling);
+    }
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let joined = Path::new(&md).join(&sibling);
+        if joined.exists() {
+            return Some(joined);
+        }
+    }
+    None
+}
+
+/// Parses the regression seeds out of a `.proptest-regressions` file's
+/// contents: one `cc <hex> [# comment]` line per saved case, `#` comment
+/// lines and blanks ignored. Seeds derive from the first 16 hex digits.
+pub fn parse_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            let head = hex.get(0..16).unwrap_or(hex);
+            u64::from_str_radix(head, 16).ok()
+        })
+        .collect()
+}
+
+/// The regression seeds pinned for a test source file (empty when no
+/// sibling file exists — the common case).
+pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+    match regressions_path(source_file) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(contents) => parse_seeds(&contents),
+            Err(_) => Vec::new(),
+        },
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cc_lines_and_skips_comments() {
+        let contents = "\
+# Seeds for failure cases proptest has generated in the past.
+#
+cc 5b3772dcc25106330d2599ddf43ef1b1cc857beaec194b77f5b19b7aee12caa7 # shrinks to src = \"x\"
+
+cc 00000000000000ff
+not a seed line
+";
+        let seeds = parse_seeds(contents);
+        assert_eq!(seeds, vec![0x5b37_72dc_c251_0633, 0xff]);
+    }
+
+    #[test]
+    fn short_hex_is_tolerated() {
+        assert_eq!(parse_seeds("cc abc\n"), vec![0xabc]);
+    }
+
+    #[test]
+    fn missing_file_means_no_seeds() {
+        assert!(regression_seeds("no/such/test_file.rs").is_empty());
+    }
+}

@@ -49,6 +49,12 @@ impl TestRng {
         TestRng { state: h }
     }
 
+    /// RNG from an explicit seed — used to replay regression seeds pinned
+    /// in a `.proptest-regressions` file (see [`crate::persistence`]).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
     /// The next 64 uniform random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
