@@ -14,10 +14,17 @@
 //!
 //! ```text
 //! bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]
+//! bench_server --durability [--smoke] [--commits N] [--label NAME] [--out PATH]
 //! ```
 //!
 //! * `--smoke` — small seed and few sessions (CI keep-alive mode);
 //! * `--sessions` — number of sessions (default 64, smoke default 8);
+//! * `--durability` — run the durability family instead: committed
+//!   transitions per second through one engine session, in-memory vs a
+//!   WAL-attached store with `sync=batch` vs `sync=always` (one `fsync`
+//!   per commit) — the price tag on each sync policy;
+//! * `--commits N` — committed transitions per durability config
+//!   (default 2000, smoke default 300);
 //! * `--label` / `--out` — as in `bench_oracle`; the output file holds a
 //!   JSON array and each run **appends** one entry, preserving history.
 //!
@@ -29,8 +36,10 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use starling_engine::{FirstEligible, Outcome, Session};
 use starling_server::{Client, ScriptCache, Server};
 use starling_sql::json::Json;
+use starling_storage::SyncPolicy;
 
 /// Builds the seed-heavy workload: schema, `seed_rows` seed inserts, an
 /// audit rule and a capping rule, and a one-row user transition probed by
@@ -156,6 +165,88 @@ fn run_server(script: &str, sessions: usize) -> (Duration, u64, u64) {
     (wall, hits, misses)
 }
 
+/// One durability config: `commits` committed transitions (each firing an
+/// audit rule) through a single session, optionally WAL-attached. Returns
+/// wall time for the commit loop (setup and teardown excluded).
+fn run_durability_config(commits: usize, sync: Option<SyncPolicy>) -> Duration {
+    let mut s = Session::new();
+    s.execute_script(
+        "create table account (id int, balance int); \
+         create table audit_log (id int, balance int); \
+         create rule audit on account when inserted then \
+           insert into audit_log select id, balance from inserted end;",
+    )
+    .expect("seed script");
+    let dir = sync.map(|policy| {
+        let dir = std::env::temp_dir().join(format!(
+            "starling-bench-durability-{}-{}",
+            std::process::id(),
+            policy.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.persist_to(&dir, policy).expect("persist_to");
+        dir
+    });
+    let start = Instant::now();
+    for i in 0..commits {
+        s.execute_script(&format!("insert into account values ({i}, {});", i % 997))
+            .expect("transition");
+        let run = s.commit(&mut FirstEligible).expect("commit");
+        assert_eq!(run.outcome, Outcome::Quiescent, "{:?}", run.error);
+    }
+    let wall = start.elapsed();
+    if let Some(dir) = dir {
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    wall
+}
+
+/// The durability family: ops/sec for in-memory vs WAL `sync=batch` vs
+/// WAL `sync=always`, appended to the JSON history as one entry.
+fn run_durability(commits: usize, smoke: bool, label: &str, out: &str) {
+    println!("durability workload: {commits} committed transitions per config");
+    let configs: [(&str, Option<SyncPolicy>); 3] = [
+        ("memory", None),
+        ("wal_batch", Some(SyncPolicy::Batch)),
+        ("wal_always", Some(SyncPolicy::Always)),
+    ];
+    let mut rates = Vec::new();
+    for (name, sync) in configs {
+        let wall = run_durability_config(commits, sync);
+        let rate = commits as f64 / wall.as_secs_f64();
+        println!(
+            "{name:>10}: {:>8.3} s  ({rate:>10.0} commits/s)",
+            wall.as_secs_f64()
+        );
+        rates.push((name, wall, rate));
+    }
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entry = format!(
+        "  {{\n    \"label\": \"{}\",\n    \"unix_time\": {epoch},\n    \
+         \"family\": \"durability\",\n    \"mode\": \"{}\",\n    \
+         \"commits\": {commits}",
+        label.replace('"', "'"),
+        if smoke { "smoke" } else { "full" },
+    );
+    for (name, wall, rate) in &rates {
+        let _ = write!(
+            entry,
+            ",\n    \"{name}_wall_s\": {:.6},\n    \"{name}_commits_per_s\": {rate:.1}",
+            wall.as_secs_f64()
+        );
+    }
+    entry.push_str("\n  }");
+    if let Err(e) = append_entry(out, &entry) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("recorded durability entry \"{label}\" in {out}");
+}
+
 /// Appends `entry` to the JSON array in `path` (creating the file if
 /// needed), preserving history — same convention as `bench_oracle`.
 fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
@@ -183,13 +274,16 @@ fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
 
 fn main() {
     let mut smoke = false;
+    let mut durability = false;
     let mut sessions: Option<usize> = None;
+    let mut commits: Option<usize> = None;
     let mut label = "current".to_owned();
     let mut out = "BENCH_server.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--durability" => durability = true,
             "--sessions" => {
                 sessions = Some(
                     args.next()
@@ -197,16 +291,29 @@ fn main() {
                         .expect("--sessions needs a number"),
                 )
             }
+            "--commits" => {
+                commits = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--commits needs a number"),
+                )
+            }
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]"
+                    "usage: bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]\n       \
+                     bench_server --durability [--smoke] [--commits N] [--label NAME] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if durability {
+        let commits = commits.unwrap_or(if smoke { 300 } else { 2000 });
+        run_durability(commits, smoke, &label, &out);
+        return;
     }
     let sessions = sessions.unwrap_or(if smoke { 8 } else { 64 });
     let seed_rows = if smoke { 200 } else { 4000 };

@@ -7,8 +7,9 @@
 //! starling explore <file> [--max-states N]       execution-graph oracle
 //! starling run <file>                            execute with rule processing
 //! starling compare <file>                        baseline comparison (Sec. 9)
-//! starling serve [--addr H:P]                    multi-session server
+//! starling serve [--addr H:P] [--data-dir D]     multi-session server
 //! starling client [--addr H:P]                   stdin/stdout protocol client
+//! starling recover <dir> [--verify]              inspect/verify durable stores
 //! starling fuzz [--seed N] [--cases N]           differential fuzz campaign
 //! ```
 //!
@@ -43,9 +44,15 @@ COMMANDS:
     compare    Compare against HH91/ZH90/Ras90-analog criteria
     serve      Serve concurrent sessions over newline-delimited JSON
                (no file argument; --addr HOST:PORT, default 127.0.0.1:7878,
-               port 0 picks an ephemeral port)
+               port 0 picks an ephemeral port; --data-dir DIR enables durable
+               named stores — sessions bind via load's \"persist\" parameter —
+               with --sync always|batch, default always)
     client     Connect to a server: one JSON request per stdin line, one
                response per stdout line (--addr HOST:PORT)
+    recover    Open the durable store(s) under <dir> (a store or a server
+               data dir) and report what crash recovery yields; --verify
+               additionally reloads each store through a full engine session
+               and cross-checks digests
     fuzz       Differential fuzz campaign: random rule programs cross-checked
                through analyzer-vs-oracle, plan-vs-interp, sequential-vs-
                parallel, and server-vs-CLI; disagreements are shrunk and
@@ -65,6 +72,14 @@ OPTIONS:
                               JSON object, same shape as the server protocol
     --addr HOST:PORT          (serve/client) listen/connect address,
                               default 127.0.0.1:7878
+    --data-dir DIR            (serve) durable data directory: every committed
+                              session bound to a store is recoverable after a
+                              crash (WAL + snapshots; created if missing)
+    --sync always|batch       (serve) WAL fsync policy, default always
+                              (batch trades the fsync-per-commit for one
+                              every 32 commits plus snapshot points)
+    --verify                  (recover) reload stores through a full engine
+                              session and cross-check digests
     --seed N                  (fuzz) campaign seed, default 0; same seed ⇒
                               byte-identical report
     --cases N                 (fuzz) number of generated programs, default 500
@@ -139,6 +154,9 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
     }
     if command == "fuzz" {
         return fuzz(&args[1..]);
+    }
+    if command == "recover" {
+        return recover(&args[1..]);
     }
     let file = args.get(1).ok_or("missing script file")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
@@ -294,11 +312,29 @@ fn fuzz(args: &[String]) -> Result<CmdOutput, String> {
     Ok(starling_cli::cmd_fuzz(config))
 }
 
+/// The `recover` subcommand: report (and with `--verify` cross-check) what
+/// crash recovery yields for the durable store(s) under a directory.
+fn recover(args: &[String]) -> Result<CmdOutput, String> {
+    let mut dir: Option<&str> = None;
+    let mut verify = false;
+    for arg in args {
+        match arg.as_str() {
+            "--verify" => verify = true,
+            other if dir.is_none() && !other.starts_with("--") => dir = Some(other),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let dir = dir.ok_or("recover needs a store or data directory")?;
+    starling_cli::cmd_recover(std::path::Path::new(dir), verify).map_err(|e| e.to_string())
+}
+
 /// The `serve` and `client` subcommands. Both stream to stdout directly
 /// (the listening line must appear before `serve` blocks; responses must
 /// appear as they arrive), so they return an empty [`CmdOutput`].
 fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> {
     let mut addr = "127.0.0.1:7878".to_owned();
+    let mut data_dir: Option<String> = None;
+    let mut sync = starling_storage::SyncPolicy::Always;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -306,12 +342,40 @@ fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> 
                 addr = args.get(i + 1).ok_or("--addr needs HOST:PORT")?.clone();
                 i += 2;
             }
+            "--data-dir" if command == "serve" => {
+                data_dir = Some(args.get(i + 1).ok_or("--data-dir needs a path")?.clone());
+                i += 2;
+            }
+            "--sync" if command == "serve" => {
+                let name = args.get(i + 1).ok_or("--sync needs always|batch")?;
+                sync = starling_storage::SyncPolicy::from_name(name)
+                    .ok_or_else(|| format!("bad --sync `{name}` (expected always or batch)"))?;
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     match command {
         "serve" => {
-            let server = starling_server::Server::bind(&addr)
+            let durable = match &data_dir {
+                None => None,
+                Some(d) => {
+                    let dir = std::path::Path::new(d);
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create data dir `{d}`: {e}"))?;
+                    // Startup recovery scan: prove every existing store is
+                    // recoverable (and report torn tails) before serving.
+                    match starling_cli::cmd_recover(dir, false) {
+                        Ok(out) => print!("{}", out.text),
+                        Err(e) if e.to_string().contains("no durable stores") => {
+                            println!("data dir `{d}`: no stores yet");
+                        }
+                        Err(e) => return Err(format!("data dir `{d}`: {e}")),
+                    }
+                    Some(starling_server::DurableRoot::new(dir, sync))
+                }
+            };
+            let server = starling_server::Server::bind_with(&addr, durable)
                 .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
             // Scripts parse this line for the (possibly ephemeral) port.
             println!("starling-server listening on {}", server.local_addr());

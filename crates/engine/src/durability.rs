@@ -1,0 +1,137 @@
+//! Durable session state: the write-ahead-log attachment of a
+//! [`crate::Session`].
+//!
+//! A [`Durability`] pairs an open [`WalStore`] with the **last acknowledged
+//! state** — the database, rule definitions, and directives as of the last
+//! record the log accepted. The invariant the whole layer is built around:
+//!
+//! > Recovering the store at any moment yields exactly the acknowledged
+//! > state (digest *and* full [`Database`] equality, including the tuple-id
+//! > allocator), never a half-applied commit.
+//!
+//! The session persists at commit points by *state diff*, not by op
+//! capture: [`CommitDelta::diff`] between the acknowledged base and the
+//! post-commit database is the \[WF90\] net effect of the whole transition
+//! (user statements plus every triggered rule action, plus DDL, which the
+//! transaction snapshot does not cover). Rule-program changes ride in the
+//! same record as the re-rendered program text, so a commit is one atomic
+//! WAL append.
+
+use starling_sql::ast::Directive;
+use starling_sql::RuleDef;
+use starling_storage::wal::{CommitDelta, WalStore};
+use starling_storage::Database;
+
+/// How many commits accumulate in the log before the session rotates it
+/// into a snapshot (overridable per session for tests and drains).
+pub(crate) const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
+
+/// The durable attachment of a session. Opaque outside the engine: obtain
+/// one via [`crate::Session::open_durable`] or
+/// [`crate::Session::persist_to`], and move it between sessions with
+/// [`crate::Session::take_durability`] / [`crate::Session::set_durability`]
+/// (the server's checkpoint-restore handoff).
+pub struct Durability {
+    pub(crate) store: WalStore,
+    pub(crate) base_db: Database,
+    pub(crate) base_defs: Vec<RuleDef>,
+    pub(crate) base_directives: Vec<Directive>,
+    /// The rule-program text as last persisted (rendered form; comparing
+    /// rendered text is how rule-DDL changes are detected).
+    pub(crate) rules_text: String,
+    pub(crate) commits_since_snapshot: u64,
+    pub(crate) snapshot_every: u64,
+}
+
+impl Durability {
+    /// The last acknowledged database state — what recovery will yield.
+    pub fn base_db(&self) -> &Database {
+        &self.base_db
+    }
+
+    /// The last acknowledged rule definitions.
+    pub fn base_defs(&self) -> &[RuleDef] {
+        &self.base_defs
+    }
+
+    /// The last acknowledged directives.
+    pub fn base_directives(&self) -> &[Directive] {
+        &self.base_directives
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &std::path::Path {
+        self.store.dir()
+    }
+
+    /// Renders a rule program (definitions then directives) as re-parsable
+    /// script text — the persisted form of the rule state.
+    pub(crate) fn render_rules(defs: &[RuleDef], directives: &[Directive]) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for d in defs {
+            let _ = writeln!(s, "{d};");
+        }
+        for d in directives {
+            let _ = writeln!(s, "{d};");
+        }
+        s
+    }
+
+    /// Appends the delta carrying `base_*` to the given post-state (with
+    /// the rules text embedded if it changed), then advances the base. On
+    /// `Ok`, the post-state is the acknowledged state.
+    pub(crate) fn persist(
+        &mut self,
+        db: &Database,
+        defs: &[RuleDef],
+        directives: &[Directive],
+    ) -> Result<(), starling_storage::StorageError> {
+        let text = Self::render_rules(defs, directives);
+        let rules_changed = text != self.rules_text;
+        let db_changed = *db != self.base_db;
+        if !rules_changed && !db_changed {
+            return Ok(());
+        }
+        let mut delta = CommitDelta::diff(&self.base_db, db);
+        if rules_changed {
+            delta.rules = Some(text.clone());
+        }
+        self.store.append_commit(&mut delta)?;
+        self.base_db = db.clone();
+        self.base_defs = defs.to_vec();
+        self.base_directives = directives.to_vec();
+        if rules_changed {
+            self.rules_text = text;
+        }
+        self.commits_since_snapshot += 1;
+        if self.commits_since_snapshot >= self.snapshot_every {
+            // Rotation is an optimization: the commit above is already
+            // durable, so a failed snapshot (including an injected
+            // SnapshotWrite fault) leaves the WAL authoritative and the
+            // commit acknowledged.
+            if self.snapshot().is_ok() {
+                self.commits_since_snapshot = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a full snapshot of the acknowledged state and truncates the
+    /// log.
+    pub(crate) fn snapshot(&mut self) -> Result<(), starling_storage::StorageError> {
+        self.store.snapshot(&self.base_db, &self.rules_text)?;
+        self.commits_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("dir", &self.store.dir())
+            .field("base_digest", &self.base_db.state_digest())
+            .field("rules", &self.base_defs.len())
+            .finish()
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod budget;
+pub mod durability;
 pub mod error;
 pub mod exec_graph;
 pub mod observable;
@@ -58,6 +59,7 @@ pub mod state;
 pub mod strategy;
 
 pub use budget::{Budget, BudgetClock, TruncationReason, Verdict};
+pub use durability::Durability;
 pub use error::EngineError;
 pub use exec_graph::{
     explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, explore_with_mode,

@@ -11,8 +11,10 @@ use std::sync::Arc;
 use starling_sql::ast::{Directive, Statement};
 use starling_sql::eval::{exec_action, ActionOutcome, ResultSet};
 use starling_sql::parse_script;
+use starling_storage::wal::{SyncPolicy, WalStore};
 use starling_storage::Database;
 
+use crate::durability::{Durability, DEFAULT_SNAPSHOT_EVERY};
 use crate::error::EngineError;
 use crate::ops::TupleOp;
 use crate::processor::{EvalMode, Outcome, Processor, RunResult};
@@ -50,6 +52,7 @@ pub struct Session {
     txn_snapshot: Option<Database>,
     pending_ops: Vec<TupleOp>,
     directives: Vec<Directive>,
+    durability: Option<Durability>,
     /// Consideration limit for assertion points.
     pub max_considerations: usize,
     /// Optional wall-clock bound on each assertion point's rule processing.
@@ -69,6 +72,7 @@ impl Session {
             txn_snapshot: None,
             pending_ops: Vec::new(),
             directives: Vec::new(),
+            durability: None,
             max_considerations: 10_000,
             deadline: None,
             eval_mode: EvalMode::default(),
@@ -96,10 +100,154 @@ impl Session {
             txn_snapshot: None,
             pending_ops: Vec::new(),
             directives,
+            durability: None,
             max_considerations: 10_000,
             deadline: None,
             eval_mode: EvalMode::default(),
         }
+    }
+
+    /// Opens (or creates) the durable store at `dir` and builds a session
+    /// from its recovered state: latest valid snapshot, WAL tail replayed
+    /// with torn records truncated, digests verified, and the rule program
+    /// re-parsed and re-validated against the recovered catalog.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        sync: SyncPolicy,
+    ) -> Result<Session, EngineError> {
+        let (store, recovered) = WalStore::open(dir, sync)?;
+        let mut s = Session::new();
+        s.db = recovered.db;
+        if !recovered.rules_text.is_empty() {
+            for stmt in parse_script(&recovered.rules_text)? {
+                match stmt {
+                    Statement::CreateRule(_) | Statement::Directive(_) => {
+                        s.execute(&stmt)?;
+                    }
+                    other => {
+                        return Err(EngineError::InvalidStatement(format!(
+                            "recovered rule program contains a non-rule statement: {other}"
+                        )))
+                    }
+                }
+            }
+        }
+        s.durability = Some(Durability {
+            store,
+            base_db: s.db.clone(),
+            base_defs: s.rule_defs.clone(),
+            base_directives: s.directives.clone(),
+            rules_text: Durability::render_rules(&s.rule_defs, &s.directives),
+            commits_since_snapshot: 0,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        });
+        Ok(s)
+    }
+
+    /// Attaches durability to this in-memory session, persisting its entire
+    /// current state as the first logged commit. The store at `dir` must be
+    /// empty (use [`Session::open_durable`] to resume an existing store —
+    /// silently shadowing persisted state with in-memory state would lose
+    /// it).
+    pub fn persist_to(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+        sync: SyncPolicy,
+    ) -> Result<(), EngineError> {
+        let dir = dir.as_ref();
+        let (mut store, recovered) = WalStore::open(dir, sync)?;
+        if !recovered.is_empty() {
+            return Err(EngineError::InvalidStatement(format!(
+                "durable store at `{}` already holds state; attach to it instead of re-initializing",
+                dir.display()
+            )));
+        }
+        store.set_fault_state(self.db.fault_state().cloned());
+        self.durability = Some(Durability {
+            store,
+            base_db: Database::new(),
+            base_defs: Vec::new(),
+            base_directives: Vec::new(),
+            rules_text: String::new(),
+            commits_since_snapshot: 0,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        });
+        self.persist_changes()
+    }
+
+    /// Whether a durable store is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable attachment's last acknowledged state, if attached: what
+    /// recovering the store right now would yield.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Detaches the durable store, handing it to the caller (the server's
+    /// checkpoint-restore dance moves the attachment onto the restored
+    /// session).
+    pub fn take_durability(&mut self) -> Option<Durability> {
+        self.durability.take()
+    }
+
+    /// Re-attaches a durable store taken from another session. The caller
+    /// must ensure this session's state matches the attachment's
+    /// acknowledged base (true whenever the session was restored from a
+    /// checkpoint taken at a commit point); the next commit diffs against
+    /// that base.
+    pub fn set_durability(&mut self, durability: Option<Durability>) {
+        self.durability = durability;
+    }
+
+    /// Sets how many commits accumulate before the log rotates into a
+    /// snapshot (default 64; tests lower it to exercise rotation).
+    pub fn set_snapshot_every(&mut self, commits: u64) {
+        if let Some(dur) = &mut self.durability {
+            dur.snapshot_every = commits.max(1);
+        }
+    }
+
+    /// Persists any un-acknowledged difference between the session state
+    /// and the durable base as one commit record — called by
+    /// [`Session::commit`] at acknowledged outcomes, and directly by the
+    /// server after `certify`/`order` refinements (which change the rule
+    /// program without an assertion point).
+    ///
+    /// **Failure model**: if the append fails (I/O, or an injected
+    /// `WalAppend`/`WalSync` fault), the in-memory state is rolled back to
+    /// the durable base before the error returns, so memory and disk agree
+    /// that the commit did not happen.
+    pub fn persist_changes(&mut self) -> Result<(), EngineError> {
+        let Some(dur) = &mut self.durability else {
+            return Ok(());
+        };
+        if let Err(e) = dur.persist(&self.db, &self.rule_defs, &self.directives) {
+            // Restore the acknowledged base, but keep observing the same
+            // fault plan and counters: the base was captured before the
+            // plan was installed, and a fired one-shot must stay fired.
+            let fault = self.db.fault_state().cloned();
+            self.db = dur.base_db.clone();
+            self.db.set_fault_state(fault);
+            self.rule_defs = dur.base_defs.clone();
+            self.directives = dur.base_directives.clone();
+            self.compiled = None;
+            self.pending_ops.clear();
+            self.txn_snapshot = None;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Forces a full snapshot + log truncation of the acknowledged state
+    /// (the server's drain-time path). No-op without an attachment.
+    pub fn durable_snapshot(&mut self) -> Result<(), EngineError> {
+        if let Some(dur) = &mut self.durability {
+            dur.snapshot()?;
+        }
+        Ok(())
     }
 
     /// The current database.
@@ -110,9 +258,13 @@ impl Session {
     /// Installs a storage fault plan on the session's database (robustness
     /// testing; see [`starling_storage::fault`]). Snapshots taken after
     /// installation share the plan's counters, so an already-fired fault
-    /// stays fired across rollback.
+    /// stays fired across rollback — and the durable store (if attached)
+    /// observes the same plan for its WAL/snapshot operations.
     pub fn install_fault_plan(&mut self, plan: starling_storage::FaultPlan) {
         self.db.install_fault_plan(plan);
+        if let Some(dur) = &mut self.durability {
+            dur.store.set_fault_state(self.db.fault_state().cloned());
+        }
     }
 
     /// The rule definitions, in creation order.
@@ -331,10 +483,32 @@ impl Session {
     }
 
     /// Commits the transaction: runs an assertion point, then clears the
-    /// snapshot.
+    /// snapshot. With a durable store attached, acknowledged outcomes
+    /// (`Quiescent` — and `RolledBack`, which may still carry DDL executed
+    /// outside the transaction snapshot) are persisted before returning;
+    /// `Aborted` and `LimitExceeded` are not acknowledged and leave the
+    /// durable state untouched, matching the server's checkpoint-restore of
+    /// those outcomes.
     pub fn commit(&mut self, strategy: &mut dyn ChoiceStrategy) -> Result<RunResult, EngineError> {
         let result = self.assert_rules(strategy)?;
         self.txn_snapshot = None;
+        match result.outcome {
+            Outcome::Quiescent | Outcome::RolledBack => {
+                if let Err(e) = self.persist_changes() {
+                    // The commit could not be made durable: in-memory state
+                    // was rolled back to the durable base, and the outcome
+                    // reports the abort with its cause.
+                    return Ok(RunResult {
+                        considerations: Vec::new(),
+                        observables: Vec::new(),
+                        outcome: Outcome::Aborted,
+                        truncation: None,
+                        error: Some(e),
+                    });
+                }
+            }
+            Outcome::Aborted | Outcome::LimitExceeded => {}
+        }
         Ok(result)
     }
 
@@ -535,6 +709,137 @@ mod tests {
         assert!(matches!(run.error, Some(EngineError::PriorityCycle(_))));
         // The pending insert was aborted, not silently kept.
         assert!(s.db().table("t").unwrap().is_empty());
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "starling-session-dur-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_commit_recovers_identically() {
+        let dir = durable_dir("roundtrip");
+        {
+            let mut s = Session::new();
+            s.execute_script(
+                "create table t (a int);
+                 create rule echo on t when inserted then \
+                   update t set a = a where a < 0 end;
+                 declare terminates echo 'no-op';",
+            )
+            .unwrap();
+            s.persist_to(&dir, SyncPolicy::Always).unwrap();
+            s.execute_script("insert into t values (1); insert into t values (2)")
+                .unwrap();
+            s.commit(&mut FirstEligible).unwrap();
+            // DDL after attachment is captured by the next commit's diff.
+            s.execute_script("create table u (b int); insert into u values (7)")
+                .unwrap();
+            s.commit(&mut FirstEligible).unwrap();
+
+            let r = Session::open_durable(&dir, SyncPolicy::Always).unwrap();
+            assert_eq!(r.db(), s.db());
+            assert_eq!(r.db().next_tuple_id(), s.db().next_tuple_id());
+            assert_eq!(r.rule_defs(), s.rule_defs());
+            assert_eq!(r.directives(), s.directives());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_to_refuses_nonempty_store() {
+        let dir = durable_dir("nonempty");
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.persist_to(&dir, SyncPolicy::Always).unwrap();
+        let mut other = Session::new();
+        assert!(matches!(
+            other.persist_to(&dir, SyncPolicy::Always),
+            Err(EngineError::InvalidStatement(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unacknowledged_outcomes_leave_durable_state_untouched() {
+        let dir = durable_dir("abort");
+        let mut s = Session::new();
+        s.execute_script(
+            "create table t (a int);
+             create table log (a int);
+             create rule audit on t when inserted then \
+               insert into log select a from inserted end;",
+        )
+        .unwrap();
+        s.persist_to(&dir, SyncPolicy::Always).unwrap();
+        let acked = s.durability().unwrap().base_db().clone();
+        // Kill the rule's action: the commit aborts and must not be logged.
+        s.install_fault_plan(starling_storage::FaultPlan::single(
+            starling_storage::FaultSpec::nth(0).on_table("log"),
+        ));
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Aborted);
+        assert_eq!(*s.durability().unwrap().base_db(), acked);
+        let r = Session::open_durable(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(*r.db(), acked);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_wal_append_rolls_back_to_durable_base() {
+        use starling_storage::{FaultOpKind, FaultPlan, FaultSpec};
+        let dir = durable_dir("walfail");
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.persist_to(&dir, SyncPolicy::Always).unwrap();
+        let acked = s.durability().unwrap().base_db().clone();
+        s.install_fault_plan(FaultPlan::single(
+            FaultSpec::nth(0).on_kind(FaultOpKind::WalAppend),
+        ));
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Aborted);
+        assert!(run
+            .error
+            .as_ref()
+            .is_some_and(EngineError::is_injected_fault));
+        // Memory agrees with disk that the commit did not happen...
+        assert_eq!(*s.db(), acked);
+        let r = Session::open_durable(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(*r.db(), acked);
+        // ...and the one-shot fault lets the retry land durably.
+        s.execute_script("insert into t values (1)").unwrap();
+        let run = s.commit(&mut FirstEligible).unwrap();
+        assert_eq!(run.outcome, Outcome::Quiescent);
+        let r = Session::open_durable(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(r.db(), s.db());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotation_preserves_recovery() {
+        let dir = durable_dir("rotate");
+        let mut s = Session::new();
+        s.execute_script("create table t (a int)").unwrap();
+        s.persist_to(&dir, SyncPolicy::Batch).unwrap();
+        s.set_snapshot_every(2);
+        for i in 0..5 {
+            s.execute_script(&format!("insert into t values ({i})"))
+                .unwrap();
+            s.commit(&mut FirstEligible).unwrap();
+        }
+        s.durable_snapshot().unwrap();
+        let r = Session::open_durable(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(r.db(), s.db());
+        assert_eq!(r.db().total_rows(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The differential harness: one generated (or replayed) script, four
+//! The differential harness: one generated (or replayed) script, five
 //! cross-checked oracles.
 //!
 //! | oracle        | left side                     | right side                  |
@@ -7,6 +7,8 @@
 //! | `eval-mode`   | compiled-plan exploration     | AST-interpreter exploration |
 //! | `parallelism` | sequential exploration        | level-parallel exploration  |
 //! | `transport`   | in-process load + explore     | server session (wire shape) |
+//! | `durability`  | in-memory session commit      | WAL-attached session, then  |
+//! |               |                               | drop-and-reopen recovery    |
 //!
 //! Directionality matters for the analyzer oracle: the static analysis
 //! quantifies over *all* databases while the exec graph checks *one* initial
@@ -23,11 +25,15 @@
 
 use starling_analysis::loader::load_script;
 use starling_analysis::report::{explore_json, AnalysisReport};
-use starling_engine::{explore_parallel, explore_with_mode, Budget, EvalMode, ExecGraph, Verdict};
+use starling_engine::{
+    explore_parallel, explore_with_mode, Budget, EvalMode, ExecGraph, FirstEligible, Session,
+    Verdict,
+};
 use starling_server::{ErrorCode, ScriptCache, ServerSession};
 use starling_sql::ast::Statement;
 use starling_sql::json::Json;
 use starling_sql::parse_script;
+use starling_storage::SyncPolicy;
 
 /// A deliberately injected analyzer bug, used to validate that the harness
 /// actually catches unsound verdicts (the mutation check documented in
@@ -129,6 +135,117 @@ fn server_explore_json(src: &str, budget: &Budget) -> Result<String, String> {
     }
 }
 
+/// The `durability` oracle: the same script through an in-memory session
+/// and a WAL-attached session must produce identical state (a durable
+/// attachment must not change semantics), and dropping the durable session
+/// *without* a final snapshot — the crash simulation — must recover exactly
+/// the acknowledged state: digest and full database equality (tuple-id
+/// allocator included), rule definitions, and directives.
+fn durability_check(src: &str, budget: &Budget) -> Option<Disagreement> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "starling-fuzz-dur-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = durability_check_in(src, budget, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn durability_check_in(src: &str, budget: &Budget, dir: &std::path::Path) -> Option<Disagreement> {
+    let fail = |detail: String| {
+        Some(Disagreement {
+            oracle: "durability",
+            detail,
+        })
+    };
+    let mut mem = Session::new();
+    let mut dur = Session::new();
+    // A tight consideration cap bounds commit-time rule processing:
+    // generated programs are often nonterminating, and — unlike the
+    // exploration oracles, whose budget carries `max_rows` — a session
+    // commit has no row cap, so a table-doubling rule under the full case
+    // budget would grow state exponentially. A handful of firings exercises
+    // the WAL exactly as well, and both sides hitting the limit (with
+    // identical truncated state) is itself an agreement.
+    let cap = budget.max_considerations.min(6);
+    mem.max_considerations = cap;
+    dur.max_considerations = cap;
+    if let Err(e) = dur.persist_to(dir, SyncPolicy::Batch) {
+        return fail(format!("persist_to failed on an empty store: {e}"));
+    }
+    let mem_exec = mem.execute_script(src).map(|_| ());
+    let dur_exec = dur.execute_script(src).map(|_| ());
+    match (&mem_exec, &dur_exec) {
+        (Ok(()), Ok(())) => {}
+        (Err(a), Err(b)) if a.to_string() == b.to_string() => {}
+        (a, b) => {
+            return fail(format!(
+                "script execution diverged:\nin-memory: {a:?}\ndurable:   {b:?}"
+            ))
+        }
+    }
+    if mem_exec.is_ok() {
+        let mem_run = mem.commit(&mut FirstEligible);
+        let dur_run = dur.commit(&mut FirstEligible);
+        match (&mem_run, &dur_run) {
+            (Ok(a), Ok(b)) if a.outcome == b.outcome => {}
+            (Err(a), Err(b)) if a.to_string() == b.to_string() => {}
+            (a, b) => {
+                return fail(format!(
+                    "commit diverged:\nin-memory: {a:?}\ndurable:   {b:?}"
+                ))
+            }
+        }
+        if mem.db() != dur.db() {
+            return fail(format!(
+                "durable attachment changed semantics: in-memory digest {:#018x}, \
+                 durable {:#018x}",
+                mem.db().state_digest(),
+                dur.db().state_digest()
+            ));
+        }
+    }
+    // Crash simulation: the acknowledged state is whatever the attachment
+    // last acked; drop without a final snapshot and reopen from disk.
+    let Some(att) = dur.durability() else {
+        return fail("durable session lost its attachment".into());
+    };
+    let base_db = att.base_db().clone();
+    let base_defs = att.base_defs().to_vec();
+    let base_directives = att.base_directives().to_vec();
+    drop(dur);
+    let reopened = match Session::open_durable(dir, SyncPolicy::Batch) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("reopen after simulated crash failed: {e}")),
+    };
+    if *reopened.db() != base_db {
+        return fail(format!(
+            "recovered database differs from acknowledged state: recovered digest \
+             {:#018x}, acknowledged {:#018x}",
+            reopened.db().state_digest(),
+            base_db.state_digest()
+        ));
+    }
+    if reopened.rule_defs() != base_defs.as_slice() {
+        return fail(format!(
+            "recovered rule definitions differ: {} recovered vs {} acknowledged",
+            reopened.rule_defs().len(),
+            base_defs.len()
+        ));
+    }
+    if reopened.directives() != base_directives.as_slice() {
+        return fail(format!(
+            "recovered directives differ: {} recovered vs {} acknowledged",
+            reopened.directives().len(),
+            base_directives.len()
+        ));
+    }
+    None
+}
+
 /// Runs one script through all oracles and reports the first disagreement.
 ///
 /// The script must follow the loader convention (seed DML before the rules,
@@ -163,6 +280,23 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                     format!("printed rule re-parses differently:\n{printed}"),
                 )
             }
+        }
+    }
+
+    // Fifth oracle: durability. Runs the whole script (user transition
+    // included) through an in-memory and a WAL-attached session, then a
+    // drop-and-reopen crash simulation — so it fires on every case, even
+    // ones with no explorable transition or an erroring transition (where
+    // the durable store must stay at the pre-transaction state). Mutations
+    // perturb only the *analyzer*, never execution or storage, so mutation
+    // campaigns (and their shrink loops, which replay `check_script` on
+    // every candidate) skip the disk round-trip.
+    if mutation == Mutation::None {
+        if let Some(d) = durability_check(src, budget) {
+            return CaseOutcome {
+                disagreement: Some(d),
+                ..CaseOutcome::default()
+            };
         }
     }
 

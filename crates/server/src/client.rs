@@ -7,10 +7,59 @@ use std::time::{Duration, Instant};
 
 use starling_sql::json::Json;
 
+/// A typed client-side failure, distinguishing "the server took too long"
+/// from "the connection broke" and "the server spoke nonsense".
+#[derive(Debug)]
+pub enum ClientError {
+    /// The per-request read timeout (see [`Client::set_request_timeout`])
+    /// elapsed before a response line arrived. The connection should be
+    /// considered dead: a late response would desynchronize the
+    /// request/response pairing.
+    Timeout(Duration),
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The server answered with a line that does not parse as a response.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout(d) => write!(f, "request timed out after {d:?}"),
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for std::io::Error {
+    /// Lets `io::Result` call sites keep using `?` on typed-error methods.
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Io(e) => e,
+            ClientError::Timeout(d) => std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("request timed out after {d:?}"),
+            ),
+            ClientError::BadResponse(m) => std::io::Error::new(std::io::ErrorKind::InvalidData, m),
+        }
+    }
+}
+
 /// A connected client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    request_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -22,7 +71,42 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            request_timeout: None,
         })
+    }
+
+    /// Bounds how long each response read may block; `None` (the default)
+    /// waits forever. With a timeout set, an expired read surfaces as
+    /// [`ClientError::Timeout`] from [`Client::try_call`] (and as an
+    /// `io::ErrorKind::TimedOut` from the `io::Result` methods).
+    pub fn set_request_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.request_timeout = timeout;
+        Ok(())
+    }
+
+    /// Maps a socket error to the typed form, honoring the configured
+    /// timeout (platforms report expired read timeouts as either
+    /// `WouldBlock` or `TimedOut`).
+    fn classify(&self, e: std::io::Error) -> ClientError {
+        if let Some(t) = self.request_timeout {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                return ClientError::Timeout(t);
+            }
+        }
+        ClientError::Io(e)
+    }
+
+    /// [`Client::call`] with typed errors: timeouts, socket failures, and
+    /// unparseable responses are distinct variants.
+    pub fn try_call(&mut self, req: &Json) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{req}").map_err(|e| self.classify(e))?;
+        self.writer.flush().map_err(|e| self.classify(e))?;
+        let line = self.read_line().map_err(|e| self.classify(e))?;
+        Json::parse(&line).map_err(|e| ClientError::BadResponse(format!("{e}: {line}")))
     }
 
     /// Connects with readiness polling: retries the TCP connect *and* a
@@ -93,9 +177,7 @@ impl Client {
     /// Sends a request object and returns the parsed response envelope
     /// (`{"ok":..,"result"|"error":..}`).
     pub fn call(&mut self, req: &Json) -> std::io::Result<Json> {
-        writeln!(self.writer, "{req}")?;
-        self.writer.flush()?;
-        self.read_response()
+        self.try_call(req).map_err(std::io::Error::from)
     }
 
     /// [`Client::call`], unwrapping a successful envelope to its
@@ -113,5 +195,49 @@ impl Client {
     pub fn quit(&mut self) -> std::io::Result<()> {
         let _ = self.call(&Json::obj([("op", Json::from("quit"))]))?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_timeout_is_a_typed_error() {
+        // A listener that accepts and then never answers: the worst server.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept());
+        let mut c = Client::connect(addr).unwrap();
+        c.set_request_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let err = c
+            .try_call(&Json::obj([("op", Json::from("ping"))]))
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Timeout(_)), "{err:?}");
+        // The io::Result surface reports the same failure as TimedOut.
+        let err = c
+            .call(&Json::obj([("op", Json::from("ping"))]))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        drop(c);
+        let _ = hold.join();
+    }
+
+    #[test]
+    fn without_timeout_socket_errors_stay_io() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut c = Client::connect(addr).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        drop(sock); // server side hangs up immediately
+        drop(listener);
+        let err = c
+            .try_call(&Json::obj([("op", Json::from("ping"))]))
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::Io(_)),
+            "EOF without a deadline is an Io error, not Timeout: {err:?}"
+        );
     }
 }

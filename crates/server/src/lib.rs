@@ -16,6 +16,10 @@
 //!   compile once.
 //! * **Server** ([`server`]): thread-per-connection accept loop with
 //!   server-wide metrics and graceful drain-style shutdown.
+//! * **Durability** ([`server::DurableRoot`]): a server started with a
+//!   data dir serves named WAL+snapshot stores; sessions bind to one via
+//!   `load`'s `"persist"` parameter (single writer per store), and every
+//!   acknowledged commit is recoverable after a crash.
 //! * **Client** ([`client`]): the blocking client used by `starling
 //!   client`, the load generator, and the tests.
 //!
@@ -31,7 +35,7 @@ pub mod server;
 pub mod session;
 
 pub use cache::ScriptCache;
-pub use client::Client;
+pub use client::{Client, ClientError};
 pub use protocol::{budget_from_request, err_response, ok_response, ErrorCode};
-pub use server::{Server, ServerMetrics, Shared};
+pub use server::{DurableRoot, Server, ServerMetrics, Shared};
 pub use session::{ServerSession, SessionMetrics};

@@ -11,17 +11,71 @@
 //! returns only after the accept loop has exited *and* every worker has
 //! drained — no session is ever torn down mid-request.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use starling_sql::json::Json;
+use starling_storage::SyncPolicy;
 
 use crate::cache::ScriptCache;
 use crate::protocol::{err_response, ok_response, ErrorCode};
 use crate::session::ServerSession;
+
+/// Hard cap on one request line. A corrupted or malicious client must not
+/// make a worker buffer unbounded input.
+const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// The server's durable data directory: each named store is a subdirectory
+/// holding a WAL + snapshot pair, attachable by at most one session at a
+/// time (single-writer; the WAL has one append cursor).
+pub struct DurableRoot {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    attached: Mutex<BTreeSet<String>>,
+}
+
+impl DurableRoot {
+    /// A root at `dir` with the given sync policy for all stores.
+    pub fn new(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Self {
+        DurableRoot {
+            dir: dir.into(),
+            sync,
+            attached: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sync policy stores are opened with.
+    pub fn sync(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// Claims exclusive attachment of `name`; false if another session
+    /// holds it.
+    pub(crate) fn claim(&self, name: &str) -> bool {
+        self.attached
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_owned())
+    }
+
+    /// Releases an attachment claimed by [`DurableRoot::claim`].
+    pub(crate) fn release(&self, name: &str) {
+        self.attached
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+    }
+}
 
 /// Server-wide counters, reported under `"server"` by the `stats` op.
 #[derive(Default)]
@@ -42,6 +96,8 @@ pub struct Shared {
     pub cache: ScriptCache,
     /// Server-wide counters.
     pub metrics: ServerMetrics,
+    /// The durable data directory, when the server was started with one.
+    pub durable: Option<Arc<DurableRoot>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -101,12 +157,24 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (port 0 picks an ephemeral port — see
-    /// [`Server::local_addr`]) and starts accepting.
+    /// [`Server::local_addr`]) and starts accepting. In-memory only; use
+    /// [`Server::bind_with`] for a durable server.
     pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Server> {
+        Server::bind_with(addr, None)
+    }
+
+    /// Binds `addr` with an optional durable data directory. Sessions of a
+    /// durable server may pass `"persist": "<name>"` to `load` to bind
+    /// their state to the named store under the root.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        durable: Option<DurableRoot>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let shared = Arc::new(Shared {
             cache: ScriptCache::new(),
             metrics: ServerMetrics::default(),
+            durable: durable.map(Arc::new),
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
         });
@@ -156,12 +224,16 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || serve_connection(stream, shared));
-        workers.lock().expect("workers poisoned").push(handle);
+        workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
     }
     // Drain: shutdown never tears down a connected session, and clients
     // arriving during the drain still get their one-line refusal instead
-    // of hanging in the backlog.
-    let mut workers = workers.into_inner().expect("workers poisoned");
+    // of hanging in the backlog. A worker that panicked mid-push must not
+    // take the accept loop down with it, hence no poison unwraps.
+    let mut workers = workers.into_inner().unwrap_or_else(PoisonError::into_inner);
     let _ = listener.set_nonblocking(true);
     while !workers.is_empty() {
         while let Ok((stream, _)) = listener.accept() {
@@ -206,16 +278,70 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<(
     // tens of milliseconds per round trip.
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut session = ServerSession::new();
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    session.set_durable_root(shared.durable.clone());
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // A plain `read_line` would both buffer unbounded input and error
+        // out on non-UTF-8 bytes without telling the client why. Read raw
+        // bytes up to the cap, then validate explicitly so garbage input
+        // gets a protocol error (or, for an over-long line, one error and
+        // a clean close) instead of a silently dropped worker.
+        let n = (&mut reader)
+            .take(MAX_LINE_BYTES + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            // EOF: client closed (or half-closed) its write side.
+            break;
+        }
+        // Over the cap with no newline yet: discard the rest of the line
+        // (same bounded buffer, reused) so the connection can resync on the
+        // next line instead of being torn down mid-write.
+        let overlong = buf.len() as u64 > MAX_LINE_BYTES && buf.last() != Some(&b'\n');
+        if overlong {
+            loop {
+                buf.clear();
+                let k = (&mut reader)
+                    .take(MAX_LINE_BYTES)
+                    .read_until(b'\n', &mut buf)?;
+                if k == 0 || buf.last() == Some(&b'\n') {
+                    break;
+                }
+            }
+        }
+        let line = if overlong {
+            None
+        } else {
+            std::str::from_utf8(&buf).ok().map(str::trim)
+        };
+        if line == Some("") {
             continue;
         }
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         session.metrics.requests += 1;
-        let (response, done) = handle_line(&line, &mut session, shared);
+        let (response, done) = match line {
+            Some(line) => handle_line(line, &mut session, shared),
+            None if overlong => (
+                err_response(
+                    None,
+                    ErrorCode::Protocol,
+                    "request line exceeds the 8 MiB limit",
+                    None,
+                ),
+                false,
+            ),
+            None => (
+                err_response(
+                    None,
+                    ErrorCode::Protocol,
+                    "request line is not valid UTF-8",
+                    None,
+                ),
+                false,
+            ),
+        };
         if response.contains("\"ok\":false") {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
             session.metrics.errors += 1;
@@ -367,6 +493,118 @@ mod tests {
         c.quit().unwrap();
         c2.quit().unwrap();
         server.join();
+    }
+
+    #[test]
+    fn garbage_bytes_and_half_close_never_kill_a_worker() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Invalid UTF-8 gets a protocol error, and the connection survives.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&[0xff, 0xfe, 0x80, b'\n']).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("protocol")
+        );
+        raw.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+
+        // A half-closed connection (client shut its write side mid-session)
+        // reads as EOF and ends the worker cleanly.
+        let half = TcpStream::connect(addr).unwrap();
+        half.shutdown(std::net::Shutdown::Write).unwrap();
+
+        // An over-long line gets one protocol error for the whole line, and
+        // the connection resyncs at the next newline.
+        let mut big = TcpStream::connect(addr).unwrap();
+        let chunk = vec![b'a'; 1 << 20];
+        for _ in 0..9 {
+            big.write_all(&chunk).unwrap();
+        }
+        big.write_all(b"\n{\"op\":\"ping\"}\n").unwrap();
+        let mut big_reader = BufReader::new(big.try_clone().unwrap());
+        line.clear();
+        big_reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .map(|m| m.contains("8 MiB")),
+            Some(true),
+            "{resp}"
+        );
+        line.clear();
+        big_reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "resynced");
+
+        // If any worker had panicked or hung, the drain would never finish.
+        drop((raw, reader, half, big, big_reader));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn durable_server_recovers_after_restart() {
+        use starling_storage::SyncPolicy;
+        let dir = std::env::temp_dir().join(format!("starling-srv-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Some(DurableRoot::new(&dir, SyncPolicy::Always)),
+        )
+        .unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let load = Json::obj([
+            ("op", Json::from("load")),
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("store1")),
+        ]);
+        let r = c.expect_ok(&load).unwrap();
+        assert_eq!(r.get("persist").and_then(Json::as_str), Some("store1"));
+        c.expect_ok(&Json::parse(r#"{"op":"exec","sql":"insert into t values (3);"}"#).unwrap())
+            .unwrap();
+        let before = c
+            .expect_ok(&Json::parse(r#"{"op":"digest"}"#).unwrap())
+            .unwrap();
+        c.quit().unwrap();
+        server.shutdown();
+        server.join();
+
+        // "Restart": a new server over the same data dir.
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Some(DurableRoot::new(&dir, SyncPolicy::Always)),
+        )
+        .unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let attach = Json::obj([
+            ("op", Json::from("load")),
+            ("persist", Json::from("store1")),
+        ]);
+        let r = c.expect_ok(&attach).unwrap();
+        assert_eq!(r.get("recovered"), Some(&Json::Bool(true)));
+        let after = c
+            .expect_ok(&Json::parse(r#"{"op":"digest"}"#).unwrap())
+            .unwrap();
+        assert_eq!(before, after);
+        c.quit().unwrap();
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

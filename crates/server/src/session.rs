@@ -35,6 +35,7 @@ use starling_storage::{Database, Value};
 
 use crate::cache::ScriptCache;
 use crate::protocol::{budget_from_request, code_for_engine_error, str_field, ErrorCode};
+use crate::server::DurableRoot;
 
 /// Per-session counters, reported by the `stats` op.
 #[derive(Clone, Copy, Debug, Default)]
@@ -74,6 +75,11 @@ pub struct ServerSession {
     default_actions: Vec<Action>,
     /// This session's evaluation mode (survives request-atomic restores).
     eval_mode: EvalMode,
+    /// The server's durable data directory, if it has one.
+    durable_root: Option<Arc<DurableRoot>>,
+    /// The store name this session is attached to, if any (holds the
+    /// single-writer claim in `durable_root`).
+    persist_name: Option<String>,
     /// Counters for `stats`.
     pub metrics: SessionMetrics,
 }
@@ -93,7 +99,29 @@ impl ServerSession {
             session: Session::new(),
             default_actions: Vec::new(),
             eval_mode: EvalMode::default(),
+            durable_root: None,
+            persist_name: None,
             metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// Hands this session the server's durable root (set once by the
+    /// connection loop, before any request is handled).
+    pub fn set_durable_root(&mut self, root: Option<Arc<DurableRoot>>) {
+        self.durable_root = root;
+    }
+
+    /// Detaches from the current durable store, if any: final best-effort
+    /// snapshot (every acknowledged commit is already in the WAL, so a
+    /// failed snapshot loses nothing), then release of the single-writer
+    /// claim.
+    fn detach_durable(&mut self) {
+        if let Some(name) = self.persist_name.take() {
+            let _ = self.session.durable_snapshot();
+            self.session.set_durability(None);
+            if let Some(root) = &self.durable_root {
+                root.release(&name);
+            }
         }
     }
 
@@ -131,7 +159,13 @@ impl ServerSession {
     }
 
     fn restore(&mut self, cp: Checkpoint) {
+        // The durable attachment survives the rollback: the checkpoint was
+        // taken at request start, when the in-memory state equaled the
+        // durable base (every acknowledged request persisted), so after the
+        // restore the store is still in sync with the session.
+        let durability = self.session.take_durability();
         self.session = Session::restore(cp.db, cp.defs, cp.compiled, cp.directives);
+        self.session.set_durability(durability);
         self.session.eval_mode = self.eval_mode;
     }
 
@@ -141,6 +175,12 @@ impl ServerSession {
     /// a `script`-coded error tells the client to fall back to a full
     /// load). The database handout is a copy-on-write snapshot; the rule
     /// set is the shared compilation.
+    ///
+    /// With `"persist": "<name>"` (durable servers only) the session binds
+    /// to the named store under the data dir: together with a script the
+    /// store must be empty (fresh initialization); without one the session
+    /// attaches to the store's recovered state. A store has at most one
+    /// writer at a time.
     fn op_load(&mut self, req: &Json, cache: &ScriptCache) -> OpResult {
         if let Some(mode) = req.get("eval_mode") {
             self.eval_mode = match mode.as_str() {
@@ -154,6 +194,39 @@ impl ServerSession {
                     ))
                 }
             };
+        }
+        let persist = match req.get("persist") {
+            None => None,
+            Some(v) => {
+                let name = v.as_str().ok_or((
+                    ErrorCode::Protocol,
+                    "`persist` must be a string store name".into(),
+                    None,
+                ))?;
+                if !valid_store_name(name) {
+                    return Err((
+                        ErrorCode::Protocol,
+                        "store names are 1-64 characters of [a-z0-9_-]".into(),
+                        None,
+                    ));
+                }
+                if self.durable_root.is_none() {
+                    return Err((
+                        ErrorCode::Protocol,
+                        "this server has no data dir; start it with --data-dir to \
+                         use persistent stores"
+                            .into(),
+                        None,
+                    ));
+                }
+                Some(name.to_owned())
+            }
+        };
+        if let Some(name) = &persist {
+            if req.get("script").is_none() && req.get("digest").is_none() {
+                let name = name.clone();
+                return self.attach_store(name);
+            }
         }
         let (loaded, cached, key) = if let Some(d) = req.get("digest") {
             let key = d
@@ -186,15 +259,88 @@ impl ServerSession {
             directives,
             ..
         } = (*loaded).clone();
+        // Only now — after the program is known-good — drop any previous
+        // durable attachment and claim the new one, so a failed load keeps
+        // both the old session and its store binding intact.
+        let claimed = match &persist {
+            None => {
+                self.detach_durable();
+                None
+            }
+            Some(name) => Some(self.claim_store(name)?),
+        };
         self.session = Session::restore(db, defs, Some(rules), directives);
         self.session.eval_mode = self.eval_mode;
         self.default_actions = user_actions;
-        Ok(Json::obj([
+        if let Some((name, root)) = claimed {
+            let dir = root.dir().join(&name);
+            if let Err(e) = self.session.persist_to(&dir, root.sync()) {
+                // The freshly loaded program stays usable in memory; only
+                // the durable binding failed (e.g. the store already holds
+                // data — attach instead of initializing).
+                root.release(&name);
+                return Err((code_for_engine_error(&e), e.to_string(), None));
+            }
+            self.persist_name = Some(name);
+        }
+        let mut fields = vec![
             ("rules", Json::from(self.session.rule_defs().len())),
             ("user_actions", Json::from(self.default_actions.len())),
             ("cached", Json::from(cached)),
             ("script_digest", digest_json(key)),
-        ]))
+        ];
+        if let Some(name) = &self.persist_name {
+            fields.push(("persist", Json::from(name.as_str())));
+        }
+        Ok(Json::obj(fields))
+    }
+
+    /// Releases any previous store binding and claims `name` for exclusive
+    /// attachment. Returns the name with the root it was claimed in.
+    #[allow(clippy::type_complexity)]
+    fn claim_store(&mut self, name: &str) -> Result<(String, Arc<DurableRoot>), OpError> {
+        let root = Arc::clone(self.durable_root.as_ref().expect("checked by op_load"));
+        // Re-binding to our own store must release first, or the claim
+        // below would see the name taken — by us.
+        if self.persist_name.as_deref() == Some(name) {
+            self.detach_durable();
+        }
+        if !root.claim(name) {
+            return Err((
+                ErrorCode::Script,
+                format!("store `{name}` is attached by another session"),
+                None,
+            ));
+        }
+        self.detach_durable();
+        Ok((name.to_owned(), root))
+    }
+
+    /// `load` with `persist` but no program: attach to the named store's
+    /// recovered state.
+    fn attach_store(&mut self, name: String) -> OpResult {
+        let (name, root) = self.claim_store(&name)?;
+        let dir = root.dir().join(&name);
+        match Session::open_durable(&dir, root.sync()) {
+            Ok(mut session) => {
+                session.eval_mode = self.eval_mode;
+                self.session = session;
+                self.default_actions = Vec::new();
+                self.persist_name = Some(name.clone());
+                Ok(Json::obj([
+                    ("rules", Json::from(self.session.rule_defs().len())),
+                    ("user_actions", Json::Int(0)),
+                    ("cached", Json::Bool(false)),
+                    ("persist", Json::from(name.as_str())),
+                    ("recovered", Json::Bool(true)),
+                    ("digest", digest_json(self.session.db().state_digest())),
+                ]))
+            }
+            Err(e) => {
+                root.release(&name);
+                Err((code_for_engine_error(&e), e.to_string(), None))
+            }
+        }
     }
 
     /// `exec`: DDL/DML with rule processing at the commit assertion point,
@@ -365,6 +511,7 @@ impl ServerSession {
         self.session
             .execute(&Statement::Directive(directive))
             .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        self.persist_session()?;
         Ok(Json::obj([(
             "directives",
             Json::from(self.session.directives().len()),
@@ -384,10 +531,26 @@ impl ServerSession {
                 follows: Vec::new(),
             })
             .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        self.persist_session()?;
         Ok(Json::obj([(
             "ordered",
             Json::arr([Json::from(higher), Json::from(lower)]),
         )]))
+    }
+
+    /// Persists the session's refinement mutations (`certify`/`order`) to
+    /// the attached store, if any. On failure the engine has already rolled
+    /// the in-memory state back to the durable base, so the error response
+    /// is honest: nothing changed, in memory or on disk.
+    fn persist_session(&mut self) -> Result<(), OpError> {
+        self.session.persist_changes().map_err(|e| {
+            let code = if e.storage_cause().is_some() {
+                ErrorCode::Aborted
+            } else {
+                ErrorCode::Script
+            };
+            (code, e.to_string(), None)
+        })
     }
 
     /// `digest`: the canonical content digest of the session database
@@ -416,6 +579,24 @@ impl Default for ServerSession {
     fn default() -> Self {
         ServerSession::new()
     }
+}
+
+impl Drop for ServerSession {
+    /// Disconnect (including server drain) writes a final snapshot and
+    /// frees the store for the next session.
+    fn drop(&mut self) {
+        self.detach_durable();
+    }
+}
+
+/// Store names become directory names under the data dir; the tight
+/// charset is the traversal guard.
+fn valid_store_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
 }
 
 /// Parses a DML-only script into the actions of a user transition.
@@ -763,6 +944,200 @@ mod tests {
             .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
             .unwrap();
         assert_eq!(a.to_string(), b.to_string());
+    }
+
+    fn durable_root() -> (Arc<DurableRoot>, std::path::PathBuf) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "starling-server-dur-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let root = Arc::new(DurableRoot::new(&dir, starling_storage::SyncPolicy::Always));
+        (root, dir)
+    }
+
+    fn digest_of(s: &mut ServerSession, cache: &ScriptCache) -> Json {
+        s.handle_op("digest", &Json::parse("{}").unwrap(), cache)
+            .unwrap()
+    }
+
+    #[test]
+    fn durable_store_survives_session_teardown() {
+        let (root, dir) = durable_root();
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        s.set_durable_root(Some(Arc::clone(&root)));
+        let req = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("alpha")),
+        ]);
+        let r = s.handle_op("load", &req, &cache).unwrap();
+        assert_eq!(r.get("persist").and_then(Json::as_str), Some("alpha"));
+        s.handle_op(
+            "exec",
+            &Json::obj([("sql", Json::from("insert into t values (7);"))]),
+            &cache,
+        )
+        .unwrap();
+        s.handle_op(
+            "certify",
+            &Json::parse(r#"{"kind":"commute","a":"a","b":"b"}"#).unwrap(),
+            &cache,
+        )
+        .unwrap();
+        s.handle_op(
+            "order",
+            &Json::parse(r#"{"higher":"a","lower":"b"}"#).unwrap(),
+            &cache,
+        )
+        .unwrap();
+        let before = digest_of(&mut s, &cache);
+        drop(s); // disconnect: final snapshot + claim release
+
+        // A fresh session (a "restarted server") attaches and sees the
+        // exact committed state, including the refinement ops.
+        let mut s2 = ServerSession::new();
+        s2.set_durable_root(Some(Arc::clone(&root)));
+        let r = s2
+            .handle_op(
+                "load",
+                &Json::obj([("persist", Json::from("alpha"))]),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(r.get("recovered"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("rules").and_then(Json::as_i64), Some(2));
+        assert_eq!(digest_of(&mut s2, &cache), before);
+        // The recovered directives and ordering are live, not just stored.
+        let a = s2
+            .handle_op("analyze", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        assert_eq!(
+            a.get("confluence_guaranteed").and_then(Json::as_bool),
+            Some(true)
+        );
+        drop(s2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_has_a_single_writer() {
+        let (root, dir) = durable_root();
+        let cache = ScriptCache::new();
+        let mut s1 = ServerSession::new();
+        s1.set_durable_root(Some(Arc::clone(&root)));
+        let req = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("solo")),
+        ]);
+        s1.handle_op("load", &req, &cache).unwrap();
+        let mut s2 = ServerSession::new();
+        s2.set_durable_root(Some(Arc::clone(&root)));
+        let (code, msg, _) = s2
+            .handle_op(
+                "load",
+                &Json::obj([("persist", Json::from("solo"))]),
+                &cache,
+            )
+            .unwrap_err();
+        assert_eq!(code, ErrorCode::Script);
+        assert!(msg.contains("attached by another session"), "{msg}");
+        // ... and the failed claim did not clobber s1's attachment.
+        drop(s1);
+        let r = s2
+            .handle_op(
+                "load",
+                &Json::obj([("persist", Json::from("solo"))]),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(r.get("recovered"), Some(&Json::Bool(true)));
+        drop(s2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn persist_requests_are_validated() {
+        let cache = ScriptCache::new();
+        // No data dir on the server at all.
+        let mut s = ServerSession::new();
+        let req = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("alpha")),
+        ]);
+        let (code, msg, _) = s.handle_op("load", &req, &cache).unwrap_err();
+        assert_eq!(code, ErrorCode::Protocol);
+        assert!(msg.contains("--data-dir"), "{msg}");
+
+        let (root, dir) = durable_root();
+        let mut s = ServerSession::new();
+        s.set_durable_root(Some(Arc::clone(&root)));
+        for bad in ["", "has space", "../escape", "UPPER", "a/b"] {
+            let req = Json::obj([("script", Json::from(SCRIPT)), ("persist", Json::from(bad))]);
+            let (code, _, _) = s.handle_op("load", &req, &cache).unwrap_err();
+            assert_eq!(code, ErrorCode::Protocol, "name {bad:?} must be rejected");
+        }
+        // Initializing a store that already holds data is refused (attach
+        // instead); the in-memory session keeps working.
+        let req = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("init-once")),
+        ]);
+        s.handle_op("load", &req, &cache).unwrap();
+        drop(s);
+        let mut s = ServerSession::new();
+        s.set_durable_root(Some(Arc::clone(&root)));
+        let req = Json::obj([
+            ("script", Json::from(SCRIPT)),
+            ("persist", Json::from("init-once")),
+        ]);
+        let (_, msg, _) = s.handle_op("load", &req, &cache).unwrap_err();
+        assert!(msg.contains("attach"), "{msg}");
+        assert!(s
+            .handle_op("digest", &Json::parse("{}").unwrap(), &cache)
+            .is_ok());
+        drop(s);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn durable_session_stays_request_atomic() {
+        let (root, dir) = durable_root();
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        s.set_durable_root(Some(Arc::clone(&root)));
+        let src = "create table t (x int);\n\
+                   create rule grow on t when inserted then \
+                     insert into t select x + 1 from inserted end;";
+        let req = Json::obj([
+            ("script", Json::from(src)),
+            ("persist", Json::from("atomic")),
+        ]);
+        s.handle_op("load", &req, &cache).unwrap();
+        let before = digest_of(&mut s, &cache);
+        let req = Json::parse(
+            r#"{"sql":"insert into t values (1);","budget":{"max_considerations":10}}"#,
+        )
+        .unwrap();
+        let (code, _, _) = s.handle_op("exec", &req, &cache).unwrap_err();
+        assert_eq!(code, ErrorCode::Inconclusive);
+        assert_eq!(digest_of(&mut s, &cache), before);
+        // The rolled-back request was not persisted either: reattaching
+        // recovers the pre-request state.
+        drop(s);
+        let mut s2 = ServerSession::new();
+        s2.set_durable_root(Some(Arc::clone(&root)));
+        s2.handle_op(
+            "load",
+            &Json::obj([("persist", Json::from("atomic"))]),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(digest_of(&mut s2, &cache), before);
+        drop(s2);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

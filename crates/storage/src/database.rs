@@ -74,6 +74,13 @@ impl Database {
         self.fault = None;
     }
 
+    /// Re-attaches an existing (possibly shared) fault state to this
+    /// handle — used when a handle is replaced wholesale (e.g. restoring a
+    /// durable base) but must keep observing the same plan and counters.
+    pub fn set_fault_state(&mut self, state: Option<Arc<FaultState>>) {
+        self.fault = state;
+    }
+
     /// The installed fault injector state, if any.
     pub fn fault_state(&self) -> Option<&Arc<FaultState>> {
         self.fault.as_ref()
@@ -129,6 +136,19 @@ impl Database {
     /// (diagnostic; used by the CoW tests).
     pub fn shares_tables_with(&self, other: &Database) -> bool {
         Arc::ptr_eq(&self.tables, &other.tables)
+    }
+
+    /// The id the allocator will hand out next. Part of full-state equality
+    /// (`PartialEq`), so the durability layer persists and restores it.
+    pub fn next_tuple_id(&self) -> u64 {
+        self.next_tuple_id
+    }
+
+    /// Forces the allocator position. Recovery only: replaying a logged
+    /// commit delta must reproduce the exact allocator state, not just the
+    /// lower bound [`Database::insert_with_id`] maintains.
+    pub fn set_next_tuple_id(&mut self, next: u64) {
+        self.next_tuple_id = next;
     }
 
     /// Allocates a fresh tuple id. Ids are global across tables and never

@@ -43,6 +43,13 @@ pub enum StorageError {
         op: crate::fault::FaultOpKind,
         table: String,
     },
+    /// Durability-layer failure: an I/O error or a structurally invalid
+    /// log/snapshot file. The message carries the failing operation and the
+    /// underlying cause (stringified — `std::io::Error` is not `Clone`/`Eq`).
+    Wal(String),
+    /// Recovery produced a database whose content digest does not match the
+    /// digest recorded at the corresponding commit or snapshot point.
+    RecoveryMismatch { expected: u64, found: u64 },
 }
 
 impl StorageError {
@@ -97,6 +104,11 @@ impl fmt::Display for StorageError {
                 f,
                 "injected fault: {op} on table `{table}` (mutating op #{op_index})"
             ),
+            StorageError::Wal(msg) => write!(f, "durability error: {msg}"),
+            StorageError::RecoveryMismatch { expected, found } => write!(
+                f,
+                "recovery digest mismatch: logged {expected:#018x}, recovered {found:#018x}"
+            ),
         }
     }
 }
@@ -142,5 +154,17 @@ mod tests {
         );
         assert!(injected.is_injected());
         assert!(!StorageError::UnknownTable("t".into()).is_injected());
+        assert_eq!(
+            StorageError::Wal("append: disk full".into()).to_string(),
+            "durability error: append: disk full"
+        );
+        assert_eq!(
+            StorageError::RecoveryMismatch {
+                expected: 1,
+                found: 2
+            }
+            .to_string(),
+            "recovery digest mismatch: logged 0x0000000000000001, recovered 0x0000000000000002"
+        );
     }
 }

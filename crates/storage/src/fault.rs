@@ -34,6 +34,15 @@ pub enum FaultOpKind {
     Delete,
     /// Tuple update (whole-row or single-column).
     Update,
+    /// Write-ahead-log record append (durability layer; observed on the
+    /// pseudo-table `__wal__` before the record frame is written, and the
+    /// injected failure leaves a deliberately torn half-frame on disk).
+    WalAppend,
+    /// Write-ahead-log fsync (pseudo-table `__wal__`).
+    WalSync,
+    /// Full-database snapshot write (pseudo-table `__snapshot__`; observed
+    /// before the temp file is created, so nothing is replaced on failure).
+    SnapshotWrite,
 }
 
 impl fmt::Display for FaultOpKind {
@@ -42,6 +51,9 @@ impl fmt::Display for FaultOpKind {
             FaultOpKind::Insert => "insert",
             FaultOpKind::Delete => "delete",
             FaultOpKind::Update => "update",
+            FaultOpKind::WalAppend => "wal-append",
+            FaultOpKind::WalSync => "wal-sync",
+            FaultOpKind::SnapshotWrite => "snapshot-write",
         })
     }
 }

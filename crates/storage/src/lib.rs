@@ -50,6 +50,7 @@ pub mod schema;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
 pub use database::Database;
 pub use digest::{CanonicalDigest, Fnv64};
@@ -60,6 +61,7 @@ pub use schema::{Catalog, ColRef, ColumnDef, TableSchema};
 pub use table::Table;
 pub use tuple::{Row, Tuple, TupleId};
 pub use value::{Value, ValueType};
+pub use wal::{CommitDelta, Recovered, RowOp, SyncPolicy, WalStore};
 
 /// Convenient result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

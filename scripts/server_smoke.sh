@@ -30,23 +30,34 @@ cargo build --release -q -p starling-cli -p starling-bench
 
 BIN=target/release/starling
 LOG=$(mktemp)
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+LOG2=$(mktemp)
+DATADIR=$(mktemp -d)
+SERVER_PID=""
+SERVER2_PID=""
+trap 'kill "$SERVER_PID" "$SERVER2_PID" 2>/dev/null || true; rm -f "$LOG" "$LOG2"; rm -rf "$DATADIR"' EXIT
+
+# Waits for `starling serve` to print its ephemeral address into $1,
+# echoing the address; fails the script if it never appears.
+wait_for_addr() {
+  local log="$1" addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^starling-server listening on //p' "$log")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    echo "server did not start:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  echo "$addr"
+}
 
 "$BIN" serve --addr 127.0.0.1:0 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # The serve subcommand prints its (ephemeral) address on the first line.
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR=$(sed -n 's/^starling-server listening on //p' "$LOG")
-  [[ -n "$ADDR" ]] && break
-  sleep 0.1
-done
-if [[ -z "$ADDR" ]]; then
-  echo "server did not start:" >&2
-  cat "$LOG" >&2
-  exit 1
-fi
+ADDR=$(wait_for_addr "$LOG")
 echo "server listening on $ADDR"
 
 # Scripted session covering the full loop: DDL+DML (load/exec), analysis,
@@ -94,10 +105,68 @@ if kill -0 "$SERVER_PID" 2>/dev/null; then
   exit 1
 fi
 wait "$SERVER_PID"
+SERVER_PID=""
 grep -q "starling-server drained" "$LOG"
 echo "graceful drain OK"
+
+# Crash durability: start a durable server, create a persistent store and
+# record its digest, then SIGKILL the server (no drain, no final snapshot —
+# recovery must come from the WAL tail alone), restart on the same data
+# dir, reattach, and require the identical digest.
+"$BIN" serve --addr 127.0.0.1:0 --data-dir "$DATADIR" --sync always >"$LOG2" 2>&1 &
+SERVER2_PID=$!
+ADDR2=$(wait_for_addr "$LOG2")
+echo "durable server listening on $ADDR2 (data dir $DATADIR)"
+
+BEFORE=$("$BIN" client --addr "$ADDR2" <<'EOF'
+{"id":1,"op":"load","persist":"smoke","script":"create table t (x int); create table audit (x int); create rule mirror on t when inserted then insert into audit select x from inserted end;"}
+{"id":2,"op":"exec","sql":"insert into t values (1); insert into t values (2);"}
+{"id":3,"op":"digest"}
+EOF
+)
+echo "$BEFORE"
+echo "$BEFORE" | grep -q '"id":1,"ok":true'
+echo "$BEFORE" | grep -q '"persist":"smoke"'
+DIGEST_BEFORE=$(echo "$BEFORE" | sed -n 's/.*"id":3.*"digest":"\([0-9a-f]*\)".*/\1/p')
+[[ -n "$DIGEST_BEFORE" ]]
+
+kill -9 "$SERVER2_PID"
+wait "$SERVER2_PID" 2>/dev/null || true
+echo "killed durable server (SIGKILL), restarting on the same data dir"
+
+"$BIN" serve --addr 127.0.0.1:0 --data-dir "$DATADIR" --sync always >"$LOG2" 2>&1 &
+SERVER2_PID=$!
+ADDR3=$(wait_for_addr "$LOG2")
+
+AFTER=$("$BIN" client --addr "$ADDR3" <<'EOF'
+{"id":1,"op":"load","persist":"smoke"}
+{"id":2,"op":"digest"}
+{"id":3,"op":"shutdown"}
+{"id":4,"op":"quit"}
+EOF
+)
+echo "$AFTER"
+echo "$AFTER" | grep -q '"id":1,"ok":true'
+echo "$AFTER" | grep -q '"recovered":true'
+DIGEST_AFTER=$(echo "$AFTER" | sed -n 's/.*"id":2.*"digest":"\([0-9a-f]*\)".*/\1/p')
+if [[ "$DIGEST_BEFORE" != "$DIGEST_AFTER" ]]; then
+  echo "digest mismatch after crash recovery: $DIGEST_BEFORE != $DIGEST_AFTER" >&2
+  exit 1
+fi
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER2_PID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$SERVER2_PID" 2>/dev/null || true
+SERVER2_PID=""
+echo "kill-restart-verify OK (digest $DIGEST_AFTER)"
 
 # Load snapshot: N concurrent sessions vs N one-shot CLI invocations,
 # recorded in the JSON history.
 cargo run --release -q -p starling-bench --bin bench_server -- \
   "${SMOKE[@]+"${SMOKE[@]}"}" --label "$LABEL" --out "$OUT"
+
+# Durability snapshot: commits/sec in-memory vs WAL sync=batch vs
+# sync=always, appended to the same history.
+cargo run --release -q -p starling-bench --bin bench_server -- \
+  --durability "${SMOKE[@]+"${SMOKE[@]}"}" --label "$LABEL" --out "$OUT"
