@@ -6,14 +6,19 @@
 //! Usage:
 //!
 //! ```text
-//! bench_oracle [--smoke] [--label NAME] [--out PATH]
+//! bench_oracle [--smoke] [--label NAME] [--out PATH] [--filter SUBSTR] [--iters N]
 //! ```
 //!
 //! * `--smoke` — one exploration per case (CI keep-alive mode; numbers are
 //!   still recorded but labelled `smoke`);
 //! * `--label` — the entry label stored in the JSON (e.g. `pre-PR`);
 //! * `--out` — output path (default `BENCH_oracle.json`); the file holds a
-//!   JSON array and each run **appends** one entry, preserving history.
+//!   JSON array and each run **appends** one entry, preserving history;
+//! * `--filter` — only run cases whose name contains the substring
+//!   (`--filter scale` runs just the large-table family; skipped cases are
+//!   never even built, so a filtered run avoids the 1M-row table setup);
+//! * `--iters` — cap the measured iterations per case (overrides the
+//!   smoke/full default; the 1.5 s time target still applies).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -22,7 +27,7 @@ use starling_engine::{explore, ExecGraph, ExploreConfig, RuleSet};
 use starling_sql::ast::{Action, Statement};
 use starling_sql::parse_statement;
 use starling_storage::{Database, Value};
-use starling_workloads::{audit, cond_stress, corpus, power_network, stress, CorpusEntry};
+use starling_workloads::{audit, cond_stress, corpus, power_network, scale, stress, CorpusEntry};
 
 /// One benchmark case: a compiled rule set, an initial database, a user
 /// transition, and the exploration budget.
@@ -140,7 +145,53 @@ fn stress_case() -> Case {
     }
 }
 
-fn run_case(case: &Case, smoke: bool) -> Measurement {
+/// A named case whose (possibly expensive) construction is deferred until
+/// after `--filter` has decided it actually runs.
+struct CaseSpec {
+    name: String,
+    build: Box<dyn FnOnce() -> Case>,
+}
+
+impl CaseSpec {
+    fn eager(case: Case) -> CaseSpec {
+        CaseSpec {
+            name: case.name.clone(),
+            build: Box::new(move || case),
+        }
+    }
+}
+
+/// The large-table family: `cond_stress` condition shapes over 100k- and
+/// 1M-row reference tables. Built lazily — populating the 1M-row database
+/// dwarfs the cost of every small case combined.
+fn scale_specs() -> Vec<CaseSpec> {
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
+    let mut specs = Vec::new();
+    for (suffix, rows) in [("100k", 100_000i64), ("1m", 1_000_000)] {
+        for flavor in ["filter", "join"] {
+            let name = format!("scale/{flavor}_{suffix}");
+            specs.push(CaseSpec {
+                name: name.clone(),
+                build: Box::new(move || Case {
+                    name,
+                    rules: if flavor == "filter" {
+                        scale::filter_rules(rows)
+                    } else {
+                        scale::join_rules(rows)
+                    },
+                    db: scale::database(rows),
+                    actions: scale::user_actions(rows),
+                    cfg,
+                }),
+            });
+        }
+    }
+    specs
+}
+
+fn run_case(case: &Case, max_iters: u32) -> Measurement {
     let explore_once = || -> ExecGraph {
         explore(&case.rules, &case.db, &case.actions, &case.cfg).expect("bench case explores")
     };
@@ -154,7 +205,6 @@ fn run_case(case: &Case, smoke: bool) -> Measurement {
     let (states, edges) = (g.states.len(), g.edges.len());
 
     let target = Duration::from_millis(1_500);
-    let max_iters: u32 = if smoke { 1 } else { 200_000 };
     let mut iters: u32 = 0;
     let start = Instant::now();
     while iters < max_iters {
@@ -238,28 +288,56 @@ fn main() {
     let mut smoke = false;
     let mut label = "current".to_owned();
     let mut out = "BENCH_oracle.json".to_owned();
+    let mut filter = String::new();
+    let mut iters: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
+            "--filter" => filter = args.next().expect("--filter needs a value"),
+            "--iters" => {
+                iters = Some(
+                    args.next()
+                        .expect("--iters needs a value")
+                        .parse()
+                        .expect("--iters needs a positive integer"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_oracle [--smoke] [--label NAME] [--out PATH]");
+                eprintln!(
+                    "usage: bench_oracle [--smoke] [--label NAME] [--out PATH] \
+                     [--filter SUBSTR] [--iters N]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let max_iters = iters.unwrap_or(if smoke { 1 } else { 200_000 }).max(1);
 
-    let mut cases = corpus_cases();
-    cases.extend(case_study_cases());
-    cases.extend(cond_cases());
-    cases.push(stress_case());
+    let mut specs: Vec<CaseSpec> = corpus_cases()
+        .into_iter()
+        .chain(case_study_cases())
+        .chain(cond_cases())
+        .chain([stress_case()])
+        .map(CaseSpec::eager)
+        .collect();
+    specs.extend(scale_specs());
+    let selected: Vec<CaseSpec> = specs
+        .into_iter()
+        .filter(|s| s.name.contains(&filter))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("--filter {filter:?} matches no bench case");
+        std::process::exit(2);
+    }
 
     let mut measurements = Vec::new();
-    for case in &cases {
-        let m = run_case(case, smoke);
+    for spec in selected {
+        let case = (spec.build)();
+        let m = run_case(&case, max_iters);
         println!(
             "{:<28} {:>7} states {:>7} edges  {:>5} iters  {:>10.3} ms/explore  {:>12.0} states/s",
             m.name,

@@ -85,6 +85,8 @@ OPTIONS:
     --cases N                 (fuzz) number of generated programs, default 500
     --budget N                (fuzz) per-case exploration state bound,
                               default 300
+    --max-rows N              (fuzz) seed rows generated per table, default 3
+                              (the exploration row budget scales with it)
     --corpus-dir DIR          (fuzz) where shrunk reproducers are written;
                               default tests/fuzz_corpus when it exists
     --mutate NAME             (fuzz) inject an analyzer bug to self-test the
@@ -283,6 +285,20 @@ fn fuzz(args: &[String]) -> Result<CmdOutput, String> {
                     .ok_or("--budget needs a number")?
                     .parse()
                     .map_err(|e| format!("bad --budget: {e}"))?;
+                i += 2;
+            }
+            "--max-rows" => {
+                let rows: usize = args
+                    .get(i + 1)
+                    .ok_or("--max-rows needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-rows: {e}"))?;
+                config.gen.max_rows = rows;
+                // Generated tables start larger, so the exploration row cap
+                // must scale with them or every case truncates immediately.
+                // The default ratio (3 seed rows : 2000 budget rows) is
+                // preserved, with the stock budget as the floor.
+                config.budget.max_rows = config.budget.max_rows.max(rows.saturating_mul(700));
                 i += 2;
             }
             "--corpus-dir" => {

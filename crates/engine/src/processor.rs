@@ -10,7 +10,7 @@
 use std::sync::OnceLock;
 
 use starling_sql::eval::{exec_action, ActionOutcome};
-use starling_sql::plan::{eval_condition, execute_action};
+use starling_sql::plan::{eval_condition, execute_action, PlanMode};
 use starling_storage::Database;
 
 use crate::budget::{Budget, TruncationReason};
@@ -30,8 +30,14 @@ use crate::strategy::ChoiceStrategy;
 /// *default*, never a global override.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EvalMode {
-    /// Compiled physical plans, falling back to the interpreter per
-    /// statement for non-compilable units (the fast path, and the default).
+    /// Compiled physical plans executed batch-at-a-time: base-table scans
+    /// borrow cached columnar views, vectorizable filters run as
+    /// whole-column kernels over selection bitmaps, and non-vectorizable
+    /// units fall back to row-at-a-time plan execution per statement (the
+    /// fast path, and the default).
+    Columnar,
+    /// Compiled physical plans executed row-at-a-time (the PR-3 engine) —
+    /// kept as the differential oracle for the columnar kernels.
     Plan,
     /// The AST interpreter for everything — the differential oracle used to
     /// cross-check the plan layer.
@@ -39,24 +45,39 @@ pub enum EvalMode {
 }
 
 impl EvalMode {
-    /// The process default: [`EvalMode::Interp`] when the
-    /// `STARLING_FORCE_INTERP` environment variable is set to a non-empty
-    /// value other than `0`, [`EvalMode::Plan`] otherwise. Read once per
-    /// process and cached.
+    /// The process default, read once per process and cached:
+    ///
+    /// * `STARLING_FORCE_INTERP` set to a non-empty value other than `0`
+    ///   forces [`EvalMode::Interp`] (kept for backward compatibility);
+    /// * otherwise `STARLING_EVAL_MODE` selects `columnar`, `row` (also
+    ///   accepted as `plan`), or `interp`;
+    /// * otherwise [`EvalMode::Columnar`].
     pub fn from_env() -> Self {
         static FROM_ENV: OnceLock<EvalMode> = OnceLock::new();
         *FROM_ENV.get_or_init(|| {
             if std::env::var("STARLING_FORCE_INTERP").is_ok_and(|v| !v.is_empty() && v != "0") {
-                EvalMode::Interp
-            } else {
-                EvalMode::Plan
+                return EvalMode::Interp;
+            }
+            match std::env::var("STARLING_EVAL_MODE").as_deref() {
+                Ok("interp") => EvalMode::Interp,
+                Ok("row") | Ok("plan") => EvalMode::Plan,
+                _ => EvalMode::Columnar,
             }
         })
     }
 
     /// Whether this mode uses compiled plans.
     pub fn uses_plans(self) -> bool {
-        matches!(self, EvalMode::Plan)
+        matches!(self, EvalMode::Plan | EvalMode::Columnar)
+    }
+
+    /// The plan-execution strategy this mode selects (meaningful only when
+    /// [`Self::uses_plans`]).
+    pub fn plan_mode(self) -> PlanMode {
+        match self {
+            EvalMode::Columnar => PlanMode::Columnar,
+            _ => PlanMode::Row,
+        }
     }
 }
 
@@ -151,7 +172,9 @@ pub fn rule_fires(
         (Some(cond), plan) => {
             let binding = state.transition_binding(rules, id);
             let v = match plan {
-                Some(plan) if mode.uses_plans() => eval_condition(plan, &state.db, Some(&binding))?,
+                Some(plan) if mode.uses_plans() => {
+                    eval_condition(plan, &state.db, Some(&binding), mode.plan_mode())?
+                }
                 _ => {
                     let ctx = starling_sql::eval::EvalCtx {
                         db: &state.db,
@@ -229,7 +252,7 @@ pub fn consider_fired_rule(
     let use_plans = mode.uses_plans();
     for (action, plan) in rule.def.actions.iter().zip(&rule.plan.actions) {
         let acted = if use_plans {
-            execute_action(plan, &mut state.db, Some(&binding))?
+            execute_action(plan, &mut state.db, Some(&binding), mode.plan_mode())?
         } else {
             exec_action(action, &mut state.db, Some(&binding))?
         };

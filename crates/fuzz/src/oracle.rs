@@ -4,7 +4,8 @@
 //! | oracle        | left side                     | right side                  |
 //! |---------------|-------------------------------|-----------------------------|
 //! | `analyzer`    | §5–§8 static verdicts         | bounded exec-graph oracle   |
-//! | `eval-mode`   | compiled-plan exploration     | AST-interpreter exploration |
+//! | `eval-mode`   | columnar-plan exploration     | row-plan exploration and    |
+//! |               |                               | AST-interpreter exploration |
 //! | `parallelism` | sequential exploration        | level-parallel exploration  |
 //! | `transport`   | in-process load + explore     | server session (wire shape) |
 //! | `durability`  | in-memory session commit      | WAL-attached session, then  |
@@ -85,7 +86,7 @@ pub struct Disagreement {
 /// The outcome of running one script through every oracle.
 #[derive(Clone, Debug, Default)]
 pub struct CaseOutcome {
-    /// States in the (sequential, plan-mode) execution graph.
+    /// States in the (sequential, columnar-mode) execution graph.
     pub states: usize,
     /// Whether the exploration hit a budget.
     pub truncated: bool,
@@ -311,27 +312,28 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
         return CaseOutcome::default();
     }
 
-    // Dynamic side: the same exploration under both evaluation modes.
-    let plan = explore_with_mode(
-        &loaded.rules,
-        &loaded.db,
-        &loaded.user_actions,
-        budget,
-        EvalMode::Plan,
-    );
-    let interp = explore_with_mode(
-        &loaded.rules,
-        &loaded.db,
-        &loaded.user_actions,
-        budget,
-        EvalMode::Interp,
-    );
-    let (g, gi) = match (plan, interp) {
-        (Ok(g), Ok(gi)) => (g, gi),
-        (Err(a), Err(b)) => {
+    // Dynamic side: the same exploration under all three evaluation modes.
+    let explore = |mode| {
+        explore_with_mode(
+            &loaded.rules,
+            &loaded.db,
+            &loaded.user_actions,
+            budget,
+            mode,
+        )
+    };
+    let columnar = explore(EvalMode::Columnar);
+    let plan = explore(EvalMode::Plan);
+    let interp = explore(EvalMode::Interp);
+    let (g, gr, gi) = match (columnar, plan, interp) {
+        (Ok(g), Ok(gr), Ok(gi)) => (g, gr, gi),
+        (Err(a), Err(b), Err(c)) => {
             // The transition errors: every engine must agree on the error.
-            if a.to_string() != b.to_string() {
-                return disagree("eval-mode", format!("plan error: {a}\ninterp error: {b}"));
+            if a.to_string() != b.to_string() || a.to_string() != c.to_string() {
+                return disagree(
+                    "eval-mode",
+                    format!("columnar error: {a}\nrow-plan error: {b}\ninterp error:   {c}"),
+                );
             }
             match explore_parallel(&loaded.rules, &loaded.db, &loaded.user_actions, budget) {
                 Ok(_) => {
@@ -368,17 +370,20 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                 ..CaseOutcome::default()
             };
         }
-        (Ok(_), Err(e)) => {
+        (c, p, i) => {
+            let desc = |r: &Result<ExecGraph, _>| match r {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("error: {e}"),
+            };
             return disagree(
                 "eval-mode",
-                format!("plan succeeded but interp errored: {e}"),
-            )
-        }
-        (Err(e), Ok(_)) => {
-            return disagree(
-                "eval-mode",
-                format!("interp succeeded but plan errored: {e}"),
-            )
+                format!(
+                    "modes disagree on success:\ncolumnar: {}\nrow-plan: {}\ninterp:   {}",
+                    desc(&c),
+                    desc(&p),
+                    desc(&i)
+                ),
+            );
         }
     };
 
@@ -389,25 +394,29 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
         disagreement,
     };
 
-    // Oracle: plan vs interp, byte-identical serialized summaries.
-    let plan_json = explore_json(&g, budget).to_string();
+    // Oracle: columnar vs row-plan vs interp, byte-identical serialized
+    // summaries.
+    let columnar_json = explore_json(&g, budget).to_string();
+    let plan_json = explore_json(&gr, budget).to_string();
     let interp_json = explore_json(&gi, budget).to_string();
-    if plan_json != interp_json {
+    if columnar_json != plan_json || columnar_json != interp_json {
         return outcome(
             &g,
             Some(Disagreement {
                 oracle: "eval-mode",
-                detail: format!("plan:   {plan_json}\ninterp: {interp_json}"),
+                detail: format!(
+                    "columnar: {columnar_json}\nrow-plan: {plan_json}\ninterp:   {interp_json}"
+                ),
             }),
         );
     }
 
     // Oracle: sequential vs parallel. Both sides run the process-default
-    // evaluation mode, which is one of the two graphs already in hand.
-    let seq_json = if EvalMode::default() == EvalMode::Plan {
-        &plan_json
-    } else {
-        &interp_json
+    // evaluation mode, which is one of the three graphs already in hand.
+    let seq_json = match EvalMode::default() {
+        EvalMode::Columnar => &columnar_json,
+        EvalMode::Plan => &plan_json,
+        EvalMode::Interp => &interp_json,
     };
     match explore_parallel(&loaded.rules, &loaded.db, &loaded.user_actions, budget) {
         Ok(gp) => {
@@ -477,12 +486,12 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
     // `explore --json` prints; the server must produce the same bytes.
     match server_explore_json(src, budget) {
         Ok(server_json) => {
-            if server_json != plan_json {
+            if server_json != columnar_json {
                 return outcome(
                     &g,
                     Some(Disagreement {
                         oracle: "transport",
-                        detail: format!("cli:    {plan_json}\nserver: {server_json}"),
+                        detail: format!("cli:    {columnar_json}\nserver: {server_json}"),
                     }),
                 );
             }

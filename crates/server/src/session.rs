@@ -184,12 +184,13 @@ impl ServerSession {
     fn op_load(&mut self, req: &Json, cache: &ScriptCache) -> OpResult {
         if let Some(mode) = req.get("eval_mode") {
             self.eval_mode = match mode.as_str() {
-                Some("plan") => EvalMode::Plan,
+                Some("columnar") => EvalMode::Columnar,
+                Some("plan") | Some("row") => EvalMode::Plan,
                 Some("interp") => EvalMode::Interp,
                 _ => {
                     return Err((
                         ErrorCode::Protocol,
-                        "`eval_mode` must be \"plan\" or \"interp\"".into(),
+                        "`eval_mode` must be \"columnar\", \"plan\", or \"interp\"".into(),
                         None,
                     ))
                 }
@@ -922,28 +923,35 @@ mod tests {
     #[test]
     fn eval_mode_is_per_session() {
         let cache = ScriptCache::new();
+        let mut columnar = ServerSession::new();
         let mut plan = ServerSession::new();
         let mut interp = ServerSession::new();
-        let load_plan = Json::obj([
-            ("script", Json::from(SCRIPT)),
-            ("eval_mode", Json::from("plan")),
-        ]);
-        let load_interp = Json::obj([
-            ("script", Json::from(SCRIPT)),
-            ("eval_mode", Json::from("interp")),
-        ]);
-        plan.handle_op("load", &load_plan, &cache).unwrap();
-        interp.handle_op("load", &load_interp, &cache).unwrap();
+        let load = |mode: &str| {
+            Json::obj([
+                ("script", Json::from(SCRIPT)),
+                ("eval_mode", Json::from(mode)),
+            ])
+        };
+        columnar
+            .handle_op("load", &load("columnar"), &cache)
+            .unwrap();
+        plan.handle_op("load", &load("plan"), &cache).unwrap();
+        interp.handle_op("load", &load("interp"), &cache).unwrap();
+        assert_eq!(columnar.eval_mode, EvalMode::Columnar);
         assert_eq!(plan.eval_mode, EvalMode::Plan);
         assert_eq!(interp.eval_mode, EvalMode::Interp);
-        // Both paths agree on the oracle result.
+        // All paths agree on the oracle result.
         let a = plan
             .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
             .unwrap();
         let b = interp
             .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
             .unwrap();
+        let c = columnar
+            .handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
         assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.to_string(), c.to_string());
     }
 
     fn durable_root() -> (Arc<DurableRoot>, std::path::PathBuf) {

@@ -576,6 +576,7 @@ impl<'c> Compiler<'c> {
             sources.push(SourcePlan {
                 sref,
                 pushed: Vec::new(),
+                vpushed: Vec::new(),
                 join: None,
             });
         }
@@ -687,7 +688,14 @@ impl<'c> Compiler<'c> {
                             if sources[si].join.is_none() {
                                 sources[si].join = self.detect_join(&pc, si);
                             }
-                            sources[si].pushed.push(pc);
+                            // Conjuncts built purely from this source's own
+                            // columns and constants vectorize (all conjuncts
+                            // here are already infallible and boolean).
+                            if self.vec_safe_pred(&pc, si) {
+                                sources[si].vpushed.push(pc);
+                            } else {
+                                sources[si].pushed.push(pc);
+                            }
                         }
                     }
                 }
@@ -776,14 +784,18 @@ impl<'c> Compiler<'c> {
                     name: stmt.table.clone(),
                     table: stmt.table.clone(),
                 };
-                let pred = match &stmt.where_clause {
-                    None => None,
-                    Some(w) => Some(self.compile_in_scope(&meta, w)?),
+                let (pred, pred_vec) = match &stmt.where_clause {
+                    None => (None, false),
+                    Some(w) => {
+                        let (pe, vec) = self.compile_scan_pred(&meta, w)?;
+                        (Some(pe), vec)
+                    }
                 };
                 Ok(ActionPlan::Delete(DeletePlan {
                     table: stmt.table.clone(),
                     meta,
                     pred,
+                    pred_vec,
                     cache_slots: self.caches,
                 }))
             }
@@ -797,9 +809,12 @@ impl<'c> Compiler<'c> {
                     name: stmt.table.clone(),
                     table: stmt.table.clone(),
                 };
-                let pred = match &stmt.where_clause {
-                    None => None,
-                    Some(w) => Some(self.compile_in_scope(&meta, w)?),
+                let (pred, pred_vec) = match &stmt.where_clause {
+                    None => (None, false),
+                    Some(w) => {
+                        let (pe, vec) = self.compile_scan_pred(&meta, w)?;
+                        (Some(pe), vec)
+                    }
                 };
                 let mut sets = Vec::with_capacity(stmt.sets.len());
                 for (_, e) in &stmt.sets {
@@ -812,6 +827,7 @@ impl<'c> Compiler<'c> {
                     set_cols: stmt.sets.iter().map(|(c, _)| c.clone()).collect(),
                     sets,
                     pred,
+                    pred_vec,
                     cache_slots: self.caches,
                 }))
             }
@@ -826,6 +842,76 @@ impl<'c> Compiler<'c> {
         let r = self.compile_expr(e);
         self.scopes.pop();
         r.map(|(pe, _)| pe)
+    }
+
+    /// Compiles a DELETE/UPDATE `WHERE` under the scan scope and decides
+    /// whether the whole predicate can run as a vector kernel over the
+    /// target table's batch: it must be statically infallible *and*
+    /// boolean (so whole-vector evaluation cannot surface an error or a
+    /// type failure a per-row scan would order differently) on top of the
+    /// structural `vec_safe_pred` check.
+    fn compile_scan_pred(&mut self, meta: &SourceMeta, e: &Expr) -> CResult<(PExpr, bool)> {
+        self.scopes.push(vec![meta.clone()]);
+        let r = self.compile_expr(e);
+        let out = r.map(|(pe, info)| {
+            let vec = info.infallible && info.ty.boolish() && self.vec_safe_pred(&pe, 0);
+            (pe, vec)
+        });
+        self.scopes.pop();
+        out
+    }
+
+    /// Whether a compiled predicate can be evaluated by the vector kernels
+    /// against source `si`'s batch: every node is in the kernel subset and
+    /// every slot is a depth-0 column of `si` itself. Callers must also
+    /// establish infallibility and boolean-ness (the pushdown gate does
+    /// both), which is what licenses evaluating the predicate on rows the
+    /// row path would have skipped.
+    fn vec_safe_pred(&self, p: &PExpr, si: usize) -> bool {
+        match p {
+            PExpr::Const(v) => matches!(v, Value::Bool(_) | Value::Null),
+            // A bare column only passes `eval_bool` when declared boolean.
+            PExpr::Slot(s) => slot_is_local(s, si) && self.slot_decl_ty(s) == Some(ValueType::Bool),
+            PExpr::Binary { op, lhs, rhs } => match op {
+                BinOp::And | BinOp::Or => {
+                    self.vec_safe_pred(lhs, si) && self.vec_safe_pred(rhs, si)
+                }
+                op if op.is_comparison() => {
+                    self.vec_safe_val(lhs, si) && self.vec_safe_val(rhs, si)
+                }
+                // Arithmetic is always fallible — never classified.
+                _ => false,
+            },
+            PExpr::Not(x) => self.vec_safe_pred(x, si),
+            PExpr::IsNull { expr, .. } => {
+                self.vec_safe_val(expr, si) || self.vec_safe_pred(expr, si)
+            }
+            PExpr::Between {
+                expr, low, high, ..
+            } => {
+                self.vec_safe_val(expr, si)
+                    && self.vec_safe_val(low, si)
+                    && self.vec_safe_val(high, si)
+            }
+            PExpr::InList { expr, list, .. } => {
+                self.vec_safe_val(expr, si) && list.iter().all(|x| self.vec_safe_val(x, si))
+            }
+            PExpr::Like { expr, pattern, .. } => {
+                self.vec_safe_val(expr, si) && matches!(pattern.as_ref(), PExpr::Const(_))
+            }
+            // Subqueries, Neg, arithmetic: row path.
+            _ => false,
+        }
+    }
+
+    /// Whether an expression is a kernel *value* operand: a constant or a
+    /// depth-0 column of the source itself.
+    fn vec_safe_val(&self, p: &PExpr, si: usize) -> bool {
+        match p {
+            PExpr::Const(_) => true,
+            PExpr::Slot(s) => slot_is_local(s, si),
+            _ => false,
+        }
     }
 
     /// Recognizes a pushed conjunct of the shape `this.col = probe` (or the

@@ -1,16 +1,27 @@
-//! Plan execution over borrowed storage rows.
+//! Plan execution over borrowed storage rows and columnar batches.
 //!
 //! The executor keeps a stack of row frames exactly like the interpreter's
-//! [`Env`], but frames hold *borrowed* row references (`&Row`) instead of
-//! cloned rows, and column access is positional. `Interp` fallback nodes
-//! rebuild an interpreter environment from the current frames, so mixed
-//! plans still agree with pure interpretation.
+//! [`Env`], but frames hold *borrowed* bindings ([`Bound`]: a `&Row`, or a
+//! position in a table's cached columnar batch) instead of cloned rows, and
+//! column access is positional. `Interp` fallback nodes rebuild an
+//! interpreter environment from the current frames, so mixed plans still
+//! agree with pure interpretation.
+//!
+//! In [`PlanMode::Columnar`], base-table scans borrow the table's cached
+//! [`TableBatch`] and the compiler-classified `vpushed` conjuncts run as
+//! whole-column kernels ([`super::vector`]) that flip selection-vector
+//! bits; enumeration then walks only the set bits (ascending — scan
+//! order), hash joins probe the batch's per-version cached column index,
+//! and rows materialize back into `Row`s only at the DML / result-set
+//! boundary. Everything not vectorizable (residual conjuncts, transition
+//! tables, fallible filters, `Interp` nodes) executes exactly as in
+//! [`PlanMode::Row`].
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use starling_storage::{Database, Row, TupleId, Value};
+use starling_storage::{Bitmap, Database, Row, TableBatch, TupleId, Value};
 
 use crate::ast::BinOp;
 use crate::error::SqlError;
@@ -24,8 +35,8 @@ use crate::eval::select::eval_select;
 use crate::eval::{ActionOutcome, DmlEffect, ResultSet};
 
 use super::{
-    ActionPlan, CompiledSelect, CondPlan, DeletePlan, InsertPlan, InsertSourcePlan, PExpr,
-    SelectPlan, SourceMeta, SourceRef, UpdatePlan,
+    vector, ActionPlan, CompiledSelect, CondPlan, DeletePlan, InsertPlan, InsertSourcePlan, PExpr,
+    PlanMode, SelectPlan, SourceMeta, SourceRef, UpdatePlan,
 };
 
 /// Evaluates a compiled rule condition (3VL result, like `eval_bool`).
@@ -33,6 +44,7 @@ pub fn eval_condition(
     plan: &CondPlan,
     db: &Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<Value, SqlError> {
     match plan {
         CondPlan::Interp(e) => {
@@ -41,7 +53,7 @@ pub fn eval_condition(
             eval_bool(e, &mut env)
         }
         CondPlan::Compiled { pred, cache_slots } => {
-            let mut ex = Exec::new(db, transitions, *cache_slots);
+            let mut ex = Exec::new(db, transitions, *cache_slots, mode);
             ex.eval_bool_p(pred)
         }
     }
@@ -53,8 +65,9 @@ pub fn execute_select(
     cache_slots: usize,
     db: &Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<ResultSet, SqlError> {
-    let mut ex = Exec::new(db, transitions, cache_slots);
+    let mut ex = Exec::new(db, transitions, cache_slots, mode);
     ex.run_select_plan(plan)
 }
 
@@ -65,17 +78,18 @@ pub fn execute_action(
     plan: &ActionPlan,
     db: &mut Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<ActionOutcome, SqlError> {
     match plan {
         ActionPlan::Interp(a) => exec_action(a, db, transitions),
         ActionPlan::Rollback => Ok(ActionOutcome::Rollback),
         ActionPlan::Select { plan, cache_slots } => {
-            let mut ex = Exec::new(db, transitions, *cache_slots);
+            let mut ex = Exec::new(db, transitions, *cache_slots, mode);
             ex.run_select_plan(plan).map(ActionOutcome::Rows)
         }
-        ActionPlan::Insert(ip) => exec_insert_plan(ip, db, transitions),
-        ActionPlan::Delete(dp) => exec_delete_plan(dp, db, transitions),
-        ActionPlan::Update(up) => exec_update_plan(up, db, transitions),
+        ActionPlan::Insert(ip) => exec_insert_plan(ip, db, transitions, mode),
+        ActionPlan::Delete(dp) => exec_delete_plan(dp, db, transitions, mode),
+        ActionPlan::Update(up) => exec_update_plan(up, db, transitions, mode),
     }
 }
 
@@ -83,10 +97,11 @@ fn exec_insert_plan(
     ip: &InsertPlan,
     db: &mut Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<ActionOutcome, SqlError> {
     // Phase 1: evaluate all source rows against the pre-statement state.
     let rows: Vec<Row> = {
-        let mut ex = Exec::new(&*db, transitions, ip.cache_slots);
+        let mut ex = Exec::new(&*db, transitions, ip.cache_slots, mode);
         match &ip.source {
             InsertSourcePlan::Values(tuples) => {
                 let mut out = Vec::with_capacity(tuples.len());
@@ -133,8 +148,17 @@ fn exec_delete_plan(
     dp: &DeletePlan,
     db: &mut Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<ActionOutcome, SqlError> {
-    let victims = scan_matching(db, transitions, &dp.meta, dp.pred.as_ref(), dp.cache_slots)?;
+    let victims = scan_matching(
+        db,
+        transitions,
+        &dp.meta,
+        dp.pred.as_ref(),
+        dp.pred_vec,
+        dp.cache_slots,
+        mode,
+    )?;
     let mut effects = Vec::with_capacity(victims.len());
     for (id, _) in victims {
         let old = db.delete(&dp.table, id)?;
@@ -151,17 +175,26 @@ fn exec_update_plan(
     up: &UpdatePlan,
     db: &mut Database,
     transitions: Option<&TransitionBinding>,
+    mode: PlanMode,
 ) -> Result<ActionOutcome, SqlError> {
     // Phase 1: pick targets and compute new rows against the old state.
-    let targets = scan_matching(db, transitions, &up.meta, up.pred.as_ref(), up.cache_slots)?;
+    let targets = scan_matching(
+        db,
+        transitions,
+        &up.meta,
+        up.pred.as_ref(),
+        up.pred_vec,
+        up.cache_slots,
+        mode,
+    )?;
     let mut planned: Vec<(TupleId, Row, Row)> = Vec::with_capacity(targets.len());
     {
-        let mut ex = Exec::new(&*db, transitions, up.cache_slots);
+        let mut ex = Exec::new(&*db, transitions, up.cache_slots, mode);
         let metas = std::slice::from_ref(&up.meta);
         for (id, old) in &targets {
             ex.scopes.push(Frame {
                 metas,
-                rows: vec![Some(old)],
+                rows: vec![Some(Bound::Row(old))],
             });
             let mut new = old.clone();
             let mut err = None;
@@ -200,24 +233,40 @@ fn exec_update_plan(
 /// Tuples of the scan table satisfying the compiled predicate, in id
 /// order (the interpreter's `matching_tuples`, minus the per-row clones —
 /// only matching rows are copied out).
+///
+/// With a vectorizable predicate in columnar mode, the whole scan is one
+/// kernel evaluation over the table's cached batch; victims materialize
+/// from the selection's set bits, which are ascending and therefore in id
+/// order like the row path.
 fn scan_matching(
     db: &Database,
     transitions: Option<&TransitionBinding>,
     meta: &SourceMeta,
     pred: Option<&PExpr>,
+    pred_vec: bool,
     cache_slots: usize,
+    mode: PlanMode,
 ) -> Result<Vec<(TupleId, Row)>, SqlError> {
     let tbl = db.table(&meta.table)?;
     let Some(p) = pred else {
         return Ok(tbl.iter().map(|(id, r)| (id, r.clone())).collect());
     };
-    let mut ex = Exec::new(db, transitions, cache_slots);
+    if pred_vec && mode == PlanMode::Columnar {
+        let batch = tbl.columnar();
+        let sel = vector::eval_pred(p, batch)?;
+        return Ok(sel
+            .t
+            .iter_ones()
+            .map(|pos| (batch.ids()[pos], batch.row(pos)))
+            .collect());
+    }
+    let mut ex = Exec::new(db, transitions, cache_slots, mode);
     let metas = std::slice::from_ref(meta);
     let mut out = Vec::new();
     for (id, row) in tbl.iter() {
         ex.scopes.push(Frame {
             metas,
-            rows: vec![Some(row)],
+            rows: vec![Some(Bound::Row(row))],
         });
         let v = ex.eval_bool_p(p);
         ex.scopes.pop();
@@ -228,12 +277,53 @@ fn scan_matching(
     Ok(out)
 }
 
+/// One bound source row: a borrowed `Row`, or a position in a borrowed
+/// columnar batch (column access materializes single values on demand;
+/// whole rows materialize only at `Interp` fallbacks and DML boundaries).
+#[derive(Clone, Copy)]
+enum Bound<'a> {
+    Row(&'a Row),
+    Batch(&'a TableBatch, u32),
+}
+
+impl Bound<'_> {
+    /// The value of column `col`.
+    #[inline]
+    fn value(&self, col: usize) -> Value {
+        match self {
+            Bound::Row(r) => r[col].clone(),
+            Bound::Batch(b, pos) => b.value(*pos as usize, col),
+        }
+    }
+
+    /// The full row (for interpreter fallbacks).
+    fn to_row(self) -> Row {
+        match self {
+            Bound::Row(r) => r.clone(),
+            Bound::Batch(b, pos) => b.row(pos as usize),
+        }
+    }
+}
+
+/// Rows of one compiled source, as the executor scans them.
+enum Src<'a> {
+    /// Borrowed row vector (row mode; transition tables in every mode).
+    Rows(Vec<&'a Row>),
+    /// A table's cached columnar batch plus the selection produced by its
+    /// `vpushed` kernels (`None` = all rows; avoids an all-ones bitmap for
+    /// unfiltered scans).
+    Batch {
+        batch: &'a TableBatch,
+        sel: Option<Bitmap>,
+    },
+}
+
 /// One frame of bound source rows. `rows[i]` is `None` until the
 /// enumerator binds source `i` (plan resolution guarantees no expression
 /// reads an unbound slot).
 struct Frame<'a, 'p> {
     metas: &'p [SourceMeta],
-    rows: Vec<Option<&'a Row>>,
+    rows: Vec<Option<Bound<'a>>>,
 }
 
 /// Cached result of an uncorrelated subquery, fixed for one statement
@@ -253,6 +343,7 @@ struct Exec<'a, 'p> {
     transitions: Option<&'a TransitionBinding>,
     scopes: Vec<Frame<'a, 'p>>,
     caches: Vec<Option<Cached>>,
+    mode: PlanMode,
 }
 
 impl<'a, 'p> Exec<'a, 'p> {
@@ -260,12 +351,14 @@ impl<'a, 'p> Exec<'a, 'p> {
         db: &'a Database,
         transitions: Option<&'a TransitionBinding>,
         cache_slots: usize,
+        mode: PlanMode,
     ) -> Self {
         Exec {
             db,
             transitions,
             scopes: Vec::new(),
             caches: vec![None; cache_slots],
+            mode,
         }
     }
 
@@ -281,13 +374,13 @@ impl<'a, 'p> Exec<'a, 'p> {
                     .len()
                     .checked_sub(1 + s.depth)
                     .ok_or_else(unbound)?;
-                let row = self.scopes[fi]
+                let bound = self.scopes[fi]
                     .rows
                     .get(s.source)
                     .copied()
                     .flatten()
                     .ok_or_else(unbound)?;
-                Ok(row[s.col].clone())
+                Ok(bound.value(s.col))
             }
             PExpr::Binary { op, lhs, rhs } => match *op {
                 BinOp::And => {
@@ -481,10 +574,10 @@ impl<'a, 'p> Exec<'a, 'p> {
                         .iter()
                         .zip(&frame.rows)
                         .filter_map(|(m, r)| {
-                            r.map(|row| RowBinding {
+                            r.map(|bound| RowBinding {
                                 name: m.name.clone(),
                                 table: m.table.clone(),
-                                row: row.clone(),
+                                row: bound.to_row(),
                             })
                         })
                         .collect();
@@ -553,7 +646,8 @@ impl<'a, 'p> Exec<'a, 'p> {
         })
     }
 
-    /// Collects source rows (borrowed), pushes the frame, evaluates `pre`
+    /// Collects source rows (borrowed rows, or columnar batches with their
+    /// kernel-computed selections), pushes the frame, evaluates `pre`
     /// conjuncts once, and enumerates matching combinations; `on_leaf`
     /// runs per surviving leaf and returns `true` to stop early.
     fn exec_compiled(
@@ -563,10 +657,29 @@ impl<'a, 'p> Exec<'a, 'p> {
     ) -> Result<(), SqlError> {
         let db = self.db;
         let transitions = self.transitions;
-        let mut srcs: Vec<Vec<&'a Row>> = Vec::with_capacity(cs.sources.len());
+        let mut srcs: Vec<Src<'a>> = Vec::with_capacity(cs.sources.len());
         for sp in &cs.sources {
             match &sp.sref {
-                SourceRef::Base(t) => srcs.push(db.table(t)?.rows().collect()),
+                SourceRef::Base(t) => {
+                    let tbl = db.table(t)?;
+                    if self.mode == PlanMode::Columnar {
+                        let batch = tbl.columnar();
+                        // Fold this source's vectorizable conjuncts into one
+                        // selection: a row survives iff every conjunct is
+                        // TRUE (`is_true`), i.e. the AND of the `t` bitmaps.
+                        let mut sel: Option<Bitmap> = None;
+                        for p in &sp.vpushed {
+                            let b = vector::eval_pred(p, batch)?;
+                            match &mut sel {
+                                None => sel = Some(b.t),
+                                Some(s) => s.and_assign(&b.t),
+                            }
+                        }
+                        srcs.push(Src::Batch { batch, sel });
+                    } else {
+                        srcs.push(Src::Rows(tbl.rows().collect()));
+                    }
+                }
                 SourceRef::Transition(tt) => {
                     let b = transitions.ok_or_else(|| {
                         SqlError::eval(format!(
@@ -574,7 +687,7 @@ impl<'a, 'p> Exec<'a, 'p> {
                             tt.name()
                         ))
                     })?;
-                    srcs.push(b.rows(*tt).iter().collect());
+                    srcs.push(Src::Rows(b.rows(*tt).iter().collect()));
                 }
             }
         }
@@ -590,7 +703,7 @@ impl<'a, 'p> Exec<'a, 'p> {
     fn exec_enum(
         &mut self,
         cs: &'p CompiledSelect,
-        srcs: &[Vec<&'a Row>],
+        srcs: &[Src<'a>],
         on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
     ) -> Result<(), SqlError> {
         // Source-independent conjuncts: any non-TRUE value empties the
@@ -608,7 +721,7 @@ impl<'a, 'p> Exec<'a, 'p> {
     fn enum_rec(
         &mut self,
         cs: &'p CompiledSelect,
-        srcs: &[Vec<&'a Row>],
+        srcs: &[Src<'a>],
         joins: &mut [Option<BTreeMap<Value, Vec<usize>>>],
         i: usize,
         on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
@@ -626,53 +739,108 @@ impl<'a, 'p> Exec<'a, 'p> {
             if probe.is_null() {
                 return Ok(false);
             }
-            if joins[i].is_none() {
-                // Lazy build: index this source's rows by the join column,
-                // in scan order (so matches enumerate in the same order a
-                // nested loop would), skipping NULL keys (never equal).
-                let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
-                for (pos, row) in srcs[i].iter().enumerate() {
-                    let key = &row[jk.build_col];
-                    if !key.is_null() {
-                        map.entry(key.clone()).or_default().push(pos);
+            match &srcs[i] {
+                Src::Batch { batch, sel } => {
+                    // Probe the batch's cached per-version index: hits are
+                    // ascending positions (scan order), filtered through
+                    // the selection.
+                    if let Some(hits) = batch.hash_index(jk.build_col).get(&probe) {
+                        for &pos in hits {
+                            let pos = pos as usize;
+                            if sel.as_ref().is_none_or(|s| s.get(pos))
+                                && self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)?
+                            {
+                                return Ok(true);
+                            }
+                        }
                     }
                 }
-                joins[i] = Some(map);
-            }
-            let hits = joins[i]
-                .as_ref()
-                .expect("join index built above")
-                .get(&probe)
-                .cloned()
-                .unwrap_or_default();
-            for pos in hits {
-                if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
-                    return Ok(true);
+                Src::Rows(rows) => {
+                    if joins[i].is_none() {
+                        // Lazy build: index this source's rows by the join
+                        // column, in scan order (so matches enumerate in the
+                        // same order a nested loop would), skipping NULL
+                        // keys (never equal).
+                        let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+                        for (pos, row) in rows.iter().enumerate() {
+                            let key = &row[jk.build_col];
+                            if !key.is_null() {
+                                map.entry(key.clone()).or_default().push(pos);
+                            }
+                        }
+                        joins[i] = Some(map);
+                    }
+                    let hits = joins[i]
+                        .as_ref()
+                        .expect("join index built above")
+                        .get(&probe)
+                        .cloned()
+                        .unwrap_or_default();
+                    for pos in hits {
+                        if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                            return Ok(true);
+                        }
+                    }
                 }
             }
         } else {
-            for pos in 0..srcs[i].len() {
-                if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
-                    return Ok(true);
+            match &srcs[i] {
+                Src::Rows(rows) => {
+                    for pos in 0..rows.len() {
+                        if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                            return Ok(true);
+                        }
+                    }
                 }
+                Src::Batch { batch, sel } => match sel {
+                    None => {
+                        for pos in 0..batch.len() {
+                            if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                    // Walk only the selection's set bits (ascending = scan
+                    // order), never materializing the filtered-out rows.
+                    Some(s) => {
+                        for pos in s.iter_ones() {
+                            if self.bind_and_descend(cs, srcs, joins, i, pos, on_leaf)? {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                },
             }
         }
         Ok(false)
     }
 
     /// Binds source `i` to row `pos`, checks its pushed conjuncts, and
-    /// recurses to the next source.
+    /// recurses to the next source. For batch sources the `vpushed`
+    /// conjuncts were already applied by the selection kernels; row
+    /// sources (row mode, transition tables) check them per row here.
     fn bind_and_descend(
         &mut self,
         cs: &'p CompiledSelect,
-        srcs: &[Vec<&'a Row>],
+        srcs: &[Src<'a>],
         joins: &mut [Option<BTreeMap<Value, Vec<usize>>>],
         i: usize,
         pos: usize,
         on_leaf: &mut dyn FnMut(&mut Self) -> Result<bool, SqlError>,
     ) -> Result<bool, SqlError> {
+        let (bound, vpushed_done) = match &srcs[i] {
+            Src::Rows(rows) => (Bound::Row(rows[pos]), false),
+            Src::Batch { batch, .. } => (Bound::Batch(batch, pos as u32), true),
+        };
         let fi = self.scopes.len() - 1;
-        self.scopes[fi].rows[i] = Some(srcs[i][pos]);
+        self.scopes[fi].rows[i] = Some(bound);
+        if !vpushed_done {
+            for p in &cs.sources[i].vpushed {
+                if !is_true(&self.eval_bool_p(p)?) {
+                    return Ok(false);
+                }
+            }
+        }
         for p in &cs.sources[i].pushed {
             if !is_true(&self.eval_bool_p(p)?) {
                 return Ok(false);

@@ -36,6 +36,7 @@
 
 mod compile;
 mod exec;
+pub mod vector;
 
 use starling_storage::Value;
 
@@ -43,6 +44,26 @@ use crate::ast::{Action, Expr, SelectStmt, TransitionTable};
 
 pub use compile::{compile_action, compile_condition, compile_rule, compile_select};
 pub use exec::{eval_condition, execute_action, execute_select};
+
+/// How compiled plans execute their scans and filters.
+///
+/// Both modes run the *same* plans and produce byte-identical results
+/// (enumeration order included) — `Columnar` is a pure execution-strategy
+/// switch, kept selectable so the row path stays alive as a differential
+/// oracle for the vectorized kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Row-at-a-time: scans collect `&Row` vectors and every pushed
+    /// conjunct is evaluated once per bound row (the PR-3 engine).
+    Row,
+    /// Batch-oriented: base-table scans borrow the table's cached columnar
+    /// view, vectorizable conjuncts ([`SourcePlan::vpushed`]) run as
+    /// whole-column kernels flipping selection-vector bits, and hash joins
+    /// probe per-version cached column indexes. Non-vectorizable units
+    /// (residual conjuncts, transition-table scans, `Interp` fallbacks)
+    /// execute exactly as in `Row` mode, at statement granularity.
+    Columnar,
+}
 
 /// A resolved column reference: `depth` scopes out from the innermost
 /// (0 = the enclosing select's own scope), then `source` within that
@@ -100,6 +121,15 @@ pub struct SourcePlan {
     /// Conjuncts evaluable as soon as this source's row is bound
     /// (references only sources up to this one, plus outer scopes).
     pub pushed: Vec<PExpr>,
+    /// The subset of this source's single-source conjuncts that the
+    /// compiler proved *vectorizable*: infallible, boolean-typed, and
+    /// built only from this source's own columns and constants. In
+    /// [`PlanMode::Columnar`] they run as whole-column kernels producing a
+    /// selection bitmap before enumeration; in [`PlanMode::Row`] (or for
+    /// transition-table sources, which have no columnar view) they are
+    /// checked per row exactly like `pushed`. Order between `vpushed` and
+    /// `pushed` is immaterial: both sets are statically infallible.
+    pub vpushed: Vec<PExpr>,
     /// Optional hash-join key for this source.
     pub join: Option<JoinKey>,
 }
@@ -307,6 +337,10 @@ pub struct DeletePlan {
     pub meta: SourceMeta,
     /// Compiled `WHERE` (absent = delete all).
     pub pred: Option<PExpr>,
+    /// Whether `pred` is vectorizable (see [`SourcePlan::vpushed`]): in
+    /// columnar mode the victim scan runs as a kernel over the target
+    /// table's batch instead of per-row frame evaluation.
+    pub pred_vec: bool,
     /// Cache slots to allocate per execution.
     pub cache_slots: usize,
 }
@@ -327,6 +361,8 @@ pub struct UpdatePlan {
     pub sets: Vec<PExpr>,
     /// Compiled `WHERE` (absent = update all).
     pub pred: Option<PExpr>,
+    /// Whether `pred` is vectorizable (see [`DeletePlan::pred_vec`]).
+    pub pred_vec: bool,
     /// Cache slots to allocate per execution.
     pub cache_slots: usize,
 }

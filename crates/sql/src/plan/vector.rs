@@ -1,0 +1,399 @@
+//! Vectorized predicate kernels over columnar batches.
+//!
+//! A *vectorizable* pushed conjunct (see `Compiler::vec_safe_pred`) is
+//! evaluated here as whole-column kernels producing a [`Bool3`] — a pair of
+//! bitmaps encoding Kleene three-valued logic — instead of once per bound
+//! row. The selection a scan uses is the `t` (TRUE) bitmap: exactly the
+//! rows `is_true` would keep under row-at-a-time evaluation, since a
+//! conjunct admits a row only when it is TRUE (FALSE and UNKNOWN both
+//! reject).
+//!
+//! Two invariants make whole-vector evaluation unobservable:
+//!
+//! * Every expression reaching these kernels was proven statically
+//!   **infallible** by the compiler, so evaluating a conjunct on rows a
+//!   row-at-a-time engine would have skipped (short-circuit, earlier
+//!   conjunct FALSE) cannot surface an error that the row path would not.
+//!   The kernels still *implement* the error paths (they mirror
+//!   [`crate::eval::expr`] element by element) as defense in depth.
+//! * Kernels visit rows in scan order and selections iterate ascending, so
+//!   enumeration order — and therefore result order, effect order, and
+//!   execution-graph shape — is byte-identical with the row path.
+//!
+//! Fast paths exist for `Int` columns (the common rule-condition shape);
+//! everything else goes through a per-element loop over materialized
+//! [`Value`]s, which is still frame-free and allocation-light.
+
+use std::cmp::Ordering;
+use std::ops::Not;
+
+use starling_storage::{Bitmap, Column, ColumnData, TableBatch, Value};
+
+use crate::ast::BinOp;
+use crate::error::SqlError;
+use crate::eval::expr::{cmp_bool, compare_values, like_values, sql_eq};
+
+use super::PExpr;
+
+/// A vector of three-valued logic outcomes: bit `i` of `t` set means row
+/// `i` evaluated TRUE, bit `i` of `f` means FALSE; neither set means
+/// UNKNOWN (NULL). `t` and `f` are disjoint by construction.
+#[derive(Clone, Debug)]
+pub struct Bool3 {
+    /// Rows that evaluated TRUE.
+    pub t: Bitmap,
+    /// Rows that evaluated FALSE.
+    pub f: Bitmap,
+}
+
+impl Bool3 {
+    /// All rows UNKNOWN.
+    pub fn unknown(len: usize) -> Self {
+        Bool3 {
+            t: Bitmap::zeros(len),
+            f: Bitmap::zeros(len),
+        }
+    }
+
+    /// Every row the same known truth value.
+    pub fn uniform(len: usize, v: bool) -> Self {
+        if v {
+            Bool3 {
+                t: Bitmap::ones(len),
+                f: Bitmap::zeros(len),
+            }
+        } else {
+            Bool3 {
+                t: Bitmap::zeros(len),
+                f: Bitmap::ones(len),
+            }
+        }
+    }
+
+    /// Sets row `i` from a scalar 3VL value (TRUE / FALSE / UNKNOWN).
+    #[inline]
+    fn set(&mut self, i: usize, v: &Value) {
+        match v {
+            Value::Bool(true) => self.t.set(i, true),
+            Value::Bool(false) => self.f.set(i, true),
+            _ => {}
+        }
+    }
+
+    /// Kleene AND: TRUE iff both TRUE; FALSE iff either FALSE.
+    pub fn and(mut self, other: &Bool3) -> Bool3 {
+        self.t.and_assign(&other.t);
+        self.f.or_assign(&other.f);
+        self
+    }
+
+    /// Kleene OR: TRUE iff either TRUE; FALSE iff both FALSE.
+    pub fn or(mut self, other: &Bool3) -> Bool3 {
+        self.t.or_assign(&other.t);
+        self.f.and_assign(&other.f);
+        self
+    }
+}
+
+/// Kleene NOT: swaps TRUE and FALSE, fixes UNKNOWN.
+impl std::ops::Not for Bool3 {
+    type Output = Bool3;
+
+    fn not(self) -> Bool3 {
+        Bool3 {
+            t: self.f,
+            f: self.t,
+        }
+    }
+}
+
+/// A value operand of a kernel: a whole column or a broadcast constant.
+#[derive(Clone, Copy)]
+enum VOperand<'b> {
+    Col(&'b Column),
+    Const(&'b Value),
+}
+
+impl VOperand<'_> {
+    /// The operand's value at row `i` (constants broadcast).
+    fn value(&self, i: usize) -> Value {
+        match self {
+            VOperand::Col(c) => c.value(i),
+            VOperand::Const(v) => (*v).clone(),
+        }
+    }
+
+    /// The operand as an integer vector, when it is statically `Int`:
+    /// either an `Int` column or an `Int` constant. `None` means "use the
+    /// generic path" (including NULL constants, handled by the caller).
+    fn as_int(&self) -> Option<IntOperand<'_>> {
+        match self {
+            VOperand::Col(c) => match &c.data {
+                ColumnData::Int(data) => Some(IntOperand::Col(data, &c.validity)),
+                _ => None,
+            },
+            VOperand::Const(Value::Int(k)) => Some(IntOperand::Const(*k)),
+            _ => None,
+        }
+    }
+}
+
+/// An integer kernel operand.
+enum IntOperand<'b> {
+    Col(&'b [i64], &'b Bitmap),
+    Const(i64),
+}
+
+impl IntOperand<'_> {
+    /// The operand's validity word `w` (constants are valid everywhere;
+    /// the caller masks past-the-end bits).
+    #[inline]
+    fn valid_word(&self, w: usize) -> u64 {
+        match self {
+            IntOperand::Col(_, validity) => validity.words()[w],
+            IntOperand::Const(_) => !0,
+        }
+    }
+
+    /// The operand's value at row `i`, which the caller has proven valid.
+    #[inline]
+    fn at(&self, i: usize) -> i64 {
+        match self {
+            IntOperand::Col(data, _) => data[i],
+            IntOperand::Const(k) => *k,
+        }
+    }
+}
+
+/// Evaluates a vectorizable predicate over a whole batch. Callers must
+/// only pass expressions accepted by `Compiler::vec_safe_pred` for this
+/// batch's source; anything else is a compiler bug surfaced as an error.
+pub(crate) fn eval_pred(e: &PExpr, batch: &TableBatch) -> Result<Bool3, SqlError> {
+    let n = batch.len();
+    match e {
+        PExpr::Const(v) => match v {
+            Value::Bool(b) => Ok(Bool3::uniform(n, *b)),
+            Value::Null => Ok(Bool3::unknown(n)),
+            v => Err(SqlError::eval(format!("expected boolean, got {v}"))),
+        },
+        PExpr::Slot(s) => {
+            let col = batch.column(s.col);
+            match &col.data {
+                ColumnData::Bool(bits) => {
+                    let mut t = bits.clone();
+                    t.and_assign(&col.validity);
+                    let mut f = bits.not();
+                    f.and_assign(&col.validity);
+                    Ok(Bool3 { t, f })
+                }
+                // A non-Bool column can never reach here through the
+                // classifier; mirror `eval_bool`'s error for safety.
+                _ => {
+                    let mut out = Bool3::unknown(n);
+                    for i in 0..n {
+                        match col.value(i) {
+                            v @ (Value::Bool(_) | Value::Null) => out.set(i, &v),
+                            v => return Err(SqlError::eval(format!("expected boolean, got {v}"))),
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        PExpr::Binary { op, lhs, rhs } => match op {
+            BinOp::And => Ok(eval_pred(lhs, batch)?.and(&eval_pred(rhs, batch)?)),
+            BinOp::Or => Ok(eval_pred(lhs, batch)?.or(&eval_pred(rhs, batch)?)),
+            op if op.is_comparison() => {
+                let l = operand(lhs, batch).ok_or_else(not_vectorizable)?;
+                let r = operand(rhs, batch).ok_or_else(not_vectorizable)?;
+                cmp_strict(*op, l, r, n)
+            }
+            _ => Err(not_vectorizable()),
+        },
+        PExpr::Not(x) => Ok(eval_pred(x, batch)?.not()),
+        PExpr::IsNull { expr, negated } => {
+            let known = match operand(expr, batch) {
+                // Value operand: NULL-ness comes straight from validity.
+                Some(VOperand::Col(c)) => c.validity.clone(),
+                Some(VOperand::Const(v)) => {
+                    return Ok(Bool3::uniform(n, v.is_null() != *negated));
+                }
+                // Predicate operand: NULL is exactly UNKNOWN.
+                None => {
+                    let b = eval_pred(expr, batch)?;
+                    let mut known = b.t;
+                    known.or_assign(&b.f);
+                    known
+                }
+            };
+            // `x IS NULL` is TRUE where x is unknown/invalid, FALSE where
+            // known — never UNKNOWN itself.
+            Ok(if *negated {
+                Bool3 {
+                    f: known.not(),
+                    t: known,
+                }
+            } else {
+                Bool3 {
+                    t: known.not(),
+                    f: known,
+                }
+            })
+        }
+        PExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = operand(expr, batch).ok_or_else(not_vectorizable)?;
+            let lo = operand(low, batch).ok_or_else(not_vectorizable)?;
+            let hi = operand(high, batch).ok_or_else(not_vectorizable)?;
+            let ge_lo = cmp_soft(v, lo, n, |o| o != Ordering::Less);
+            let le_hi = cmp_soft(v, hi, n, |o| o != Ordering::Greater);
+            let both = ge_lo.and(&le_hi);
+            Ok(if *negated { both.not() } else { both })
+        }
+        PExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = operand(expr, batch).ok_or_else(not_vectorizable)?;
+            // Kleene OR over per-item soft equality reproduces `in_result`:
+            // any TRUE → TRUE, else any UNKNOWN → UNKNOWN, else FALSE.
+            let mut acc = Bool3::uniform(n, false);
+            for item in list {
+                let cand = operand(item, batch).ok_or_else(not_vectorizable)?;
+                acc = acc.or(&eq_soft(needle, cand, n));
+            }
+            Ok(if *negated { acc.not() } else { acc })
+        }
+        PExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = operand(expr, batch).ok_or_else(not_vectorizable)?;
+            let p = operand(pattern, batch).ok_or_else(not_vectorizable)?;
+            let mut out = Bool3::unknown(n);
+            for i in 0..n {
+                out.set(i, &like_values(v.value(i), p.value(i), *negated)?);
+            }
+            Ok(out)
+        }
+        _ => Err(not_vectorizable()),
+    }
+}
+
+fn not_vectorizable() -> SqlError {
+    SqlError::eval("internal: non-vectorizable expression reached a vector kernel")
+}
+
+/// A value operand, when the node is one (constants and local slots).
+fn operand<'b>(e: &'b PExpr, batch: &'b TableBatch) -> Option<VOperand<'b>> {
+    match e {
+        PExpr::Const(v) => Some(VOperand::Const(v)),
+        PExpr::Slot(s) => Some(VOperand::Col(batch.column(s.col))),
+        _ => None,
+    }
+}
+
+/// Comparison with `compare_values` semantics: NULL operands → UNKNOWN,
+/// incomparable non-null operands → error (unreachable for classified
+/// expressions, which are statically comparable).
+fn cmp_strict(op: BinOp, l: VOperand, r: VOperand, n: usize) -> Result<Bool3, SqlError> {
+    if const_null(&l) || const_null(&r) {
+        return Ok(Bool3::unknown(n));
+    }
+    if let (Some(li), Some(ri)) = (l.as_int(), r.as_int()) {
+        return Ok(cmp_int(&li, &ri, n, int_pred(op)));
+    }
+    let mut out = Bool3::unknown(n);
+    for i in 0..n {
+        out.set(i, &compare_values(op, &l.value(i), &r.value(i))?);
+    }
+    Ok(out)
+}
+
+/// Comparison with `cmp_bool` semantics: NULL *or incomparable* operands →
+/// UNKNOWN, never an error (`BETWEEN`'s bound checks).
+fn cmp_soft(l: VOperand, r: VOperand, n: usize, pred: impl Fn(Ordering) -> bool) -> Bool3 {
+    if const_null(&l) || const_null(&r) {
+        return Bool3::unknown(n);
+    }
+    if let (Some(li), Some(ri)) = (l.as_int(), r.as_int()) {
+        return cmp_int(&li, &ri, n, |a, b| pred(a.cmp(&b)));
+    }
+    let mut out = Bool3::unknown(n);
+    for i in 0..n {
+        out.set(i, &cmp_bool(&l.value(i), &r.value(i), &pred));
+    }
+    out
+}
+
+/// Equality with `sql_eq` semantics: NULL or incomparable → UNKNOWN.
+fn eq_soft(l: VOperand, r: VOperand, n: usize) -> Bool3 {
+    if const_null(&l) || const_null(&r) {
+        return Bool3::unknown(n);
+    }
+    if let (Some(li), Some(ri)) = (l.as_int(), r.as_int()) {
+        return cmp_int(&li, &ri, n, |a, b| a == b);
+    }
+    let mut out = Bool3::unknown(n);
+    for i in 0..n {
+        if let Some(b) = sql_eq(&l.value(i), &r.value(i)) {
+            out.set(i, &Value::Bool(b));
+        }
+    }
+    out
+}
+
+fn const_null(v: &VOperand) -> bool {
+    matches!(v, VOperand::Const(Value::Null))
+}
+
+/// The integer fast path: same-type comparisons can neither error nor be
+/// incomparable, so strict and soft semantics coincide. Runs a word (64
+/// rows) at a time: both operands' validity words intersect into one mask,
+/// whose set bits drive the comparisons, and the TRUE/FALSE words are
+/// accumulated in registers and stored once — no per-row bitmap writes.
+fn cmp_int(l: &IntOperand, r: &IntOperand, n: usize, pred: impl Fn(i64, i64) -> bool) -> Bool3 {
+    let mut out = Bool3::unknown(n);
+    let t_words = out.t.words_mut();
+    let f_words = out.f.words_mut();
+    for (w, chunk) in (0..n).step_by(64).enumerate() {
+        let in_chunk = (n - chunk).min(64);
+        let mut valid = l.valid_word(w) & r.valid_word(w);
+        if in_chunk < 64 {
+            valid &= (1u64 << in_chunk) - 1;
+        }
+        let (mut tw, mut fw) = (0u64, 0u64);
+        let mut bits = valid;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let i = chunk + b;
+            if pred(l.at(i), r.at(i)) {
+                tw |= 1 << b;
+            } else {
+                fw |= 1 << b;
+            }
+        }
+        t_words[w] = tw;
+        f_words[w] = fw;
+    }
+    out
+}
+
+fn int_pred(op: BinOp) -> impl Fn(i64, i64) -> bool {
+    move |a, b| match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("cmp kernels only receive comparison operators"),
+    }
+}

@@ -41,6 +41,8 @@
 //! # Ok::<(), starling_storage::StorageError>(())
 //! ```
 
+pub mod batch;
+pub mod column;
 pub mod database;
 pub mod digest;
 pub mod error;
@@ -52,6 +54,8 @@ pub mod tuple;
 pub mod value;
 pub mod wal;
 
+pub use batch::TableBatch;
+pub use column::{Bitmap, Column, ColumnData};
 pub use database::Database;
 pub use digest::{CanonicalDigest, Fnv64};
 pub use error::StorageError;

@@ -2,19 +2,38 @@
 //! storage and an incrementally maintained content digest.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::batch::TableBatch;
 use crate::digest::{mix64, CanonicalDigest, Fnv64};
 use crate::error::StorageError;
 use crate::schema::TableSchema;
 use crate::tuple::{Row, Tuple, TupleId};
 use crate::value::Value;
 
+/// Lazily built columnar view of one table version (see
+/// [`crate::batch`]). Lives inside [`TableCore`] so every CoW snapshot
+/// sharing the same rows also shares the batch — the flattening cost is
+/// paid once per table *version*, however many snapshots scan it.
+///
+/// `Clone` deliberately produces an **empty** cache: cloning happens
+/// exactly when `Arc::make_mut` unshares a core ahead of a mutation, and
+/// the about-to-be-mutated copy must not inherit a stale batch (nor pay to
+/// deep-copy one it would immediately drop).
+#[derive(Debug, Default)]
+struct ColumnarCache(OnceLock<TableBatch>);
+
+impl Clone for ColumnarCache {
+    fn clone(&self) -> Self {
+        ColumnarCache(OnceLock::new())
+    }
+}
+
 /// The shared, copy-on-write payload of a table: rows plus the cached
 /// content digest. Cloning a [`Table`] (and therefore a whole
 /// [`crate::Database`]) only bumps the `Arc` refcount; the first mutation
 /// through a shared handle clones this core — and only this table's core.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 struct TableCore {
     rows: BTreeMap<TupleId, Row>,
     /// Order-independent multiset digest of the row contents (tuple ids
@@ -23,7 +42,20 @@ struct TableCore {
     /// the rows. Invariant: always equals
     /// [`Table::recompute_content_digest`] (property-tested).
     content: u64,
+    /// Columnar view of this version, built on first use and dropped by
+    /// every mutation (each mutator resets it right after `Arc::make_mut`,
+    /// which covers the already-unshared case `Clone` can't).
+    columnar: ColumnarCache,
 }
+
+impl PartialEq for TableCore {
+    fn eq(&self, other: &Self) -> bool {
+        // The columnar cache is derived state; equality is over contents.
+        self.rows == other.rows && self.content == other.content
+    }
+}
+
+impl Eq for TableCore {}
 
 /// A stored table.
 ///
@@ -56,6 +88,7 @@ impl Table {
             core: Arc::new(TableCore {
                 rows: BTreeMap::new(),
                 content: 0,
+                columnar: ColumnarCache::default(),
             }),
         }
     }
@@ -99,6 +132,7 @@ impl Table {
         }
         let entry = row_entry_digest(&row);
         let core = Arc::make_mut(&mut self.core);
+        core.columnar = ColumnarCache::default();
         core.rows.insert(id, row);
         core.content = core.content.wrapping_add(entry);
         Ok(())
@@ -113,6 +147,7 @@ impl Table {
             });
         }
         let core = Arc::make_mut(&mut self.core);
+        core.columnar = ColumnarCache::default();
         let old = core.rows.remove(&id).expect("presence checked above");
         core.content = core.content.wrapping_sub(row_entry_digest(&old));
         Ok(old)
@@ -129,6 +164,7 @@ impl Table {
         }
         let entry = row_entry_digest(&row);
         let core = Arc::make_mut(&mut self.core);
+        core.columnar = ColumnarCache::default();
         let slot = core.rows.get_mut(&id).expect("presence checked above");
         let old = std::mem::replace(slot, row);
         core.content = core
@@ -160,6 +196,7 @@ impl Table {
             });
         }
         let core = Arc::make_mut(&mut self.core);
+        core.columnar = ColumnarCache::default();
         let slot = core.rows.get_mut(&id).expect("presence checked above");
         let old = slot.clone();
         slot[idx] = value;
@@ -202,6 +239,15 @@ impl Table {
     /// All tuple ids, in order.
     pub fn ids(&self) -> Vec<TupleId> {
         self.core.rows.keys().copied().collect()
+    }
+
+    /// The columnar view of this table version, built on first use and
+    /// cached in the shared core until the next mutation. Snapshots sharing
+    /// storage share the batch; the borrow is tied to this handle.
+    pub fn columnar(&self) -> &TableBatch {
+        self.core.columnar.0.get_or_init(|| {
+            TableBatch::build(&self.schema, self.core.rows.iter(), self.core.rows.len())
+        })
     }
 
     /// The cached content digest: an order-independent multiset digest of
@@ -403,6 +449,32 @@ mod tests {
         assert_eq!(t.content_digest(), t.recompute_content_digest());
         t.delete(TupleId(2)).unwrap();
         assert_eq!(t.content_digest(), 0);
+    }
+
+    /// The columnar view reflects every mutation (the cache is dropped on
+    /// write) and is shared across CoW snapshots of the same version.
+    #[test]
+    fn columnar_view_tracks_mutations() {
+        let mut t = tbl();
+        t.insert(TupleId(1), vec![Value::Int(1), Value::from("x")])
+            .unwrap();
+        t.insert(TupleId(2), vec![Value::Int(2), Value::Null])
+            .unwrap();
+        let b = t.columnar();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.value(1, 0), Value::Int(2));
+        // A snapshot sharing storage shares the cached batch.
+        let snap = t.clone();
+        assert!(std::ptr::eq(t.columnar(), snap.columnar()));
+        // Mutation through one handle rebuilds that handle's view only.
+        t.update_column(TupleId(2), "a", Value::Int(9)).unwrap();
+        assert_eq!(t.columnar().value(1, 0), Value::Int(9));
+        assert_eq!(snap.columnar().value(1, 0), Value::Int(2));
+        // Mutating an *unshared* table must also drop the cache.
+        drop(snap);
+        t.delete(TupleId(1)).unwrap();
+        assert_eq!(t.columnar().len(), 1);
+        assert_eq!(t.columnar().ids(), &[TupleId(2)]);
     }
 
     /// The content digest ignores tuple ids and insertion order: the same

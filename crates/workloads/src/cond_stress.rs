@@ -30,8 +30,13 @@ use starling_sql::ast::{Action, Statement};
 use starling_sql::{parse_script, parse_statement};
 use starling_storage::{Catalog, ColumnDef, Database, TableSchema, Value, ValueType};
 
-/// Rows in the `big` reference table.
-pub const BIG_ROWS: i64 = 512;
+/// Rows in the `big` reference table. Sized so condition evaluation
+/// dominates per-exploration cost even on the compiled row-plan path
+/// (at a few hundred rows the graph bookkeeping drowns the scans the
+/// family exists to measure); must stay `≡ 2 (mod 10)` so the inserted
+/// key's reference `v` is 9 and the rule guards keep their pinned truth
+/// values.
+pub const BIG_ROWS: i64 = 2_002;
 /// Number of interleaving rules per flavor.
 pub const FAN: usize = 3;
 

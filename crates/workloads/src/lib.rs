@@ -23,6 +23,8 @@
 //! * [`cond_stress`] — condition-heavy rule programs (joins and filters
 //!   over a large reference table) for benchmarking SQL evaluation inside
 //!   the oracle.
+//! * [`scale`] — the same condition shapes parameterized by row count
+//!   (100k–1M rows) for benchmarking the columnar execution path.
 //! * [`fault_sweep`] — exhaustive atomicity checking under injected storage
 //!   faults: replay a transaction with a fault at every mutating-op index
 //!   and verify the database is always snapshot-or-committed.
@@ -34,6 +36,7 @@ pub mod corpus;
 pub mod fault_sweep;
 pub mod power_network;
 pub mod random;
+pub mod scale;
 pub mod stress;
 pub mod versioning;
 

@@ -29,7 +29,7 @@ use starling::sql::eval::expr::eval_bool;
 use starling::sql::eval::{eval_select, exec_action, Env, EvalCtx, TransitionBinding};
 use starling::sql::plan::{
     compile_action, compile_condition, compile_select, eval_condition, execute_action,
-    execute_select,
+    execute_select, PlanMode,
 };
 use starling::sql::{parse_expr, parse_statement};
 use starling::storage::{Catalog, ColumnDef, Database, TableSchema, Value, ValueType};
@@ -115,11 +115,13 @@ fn assert_select_agrees(s: &SelectStmt, db: &Database, what: &str) {
     let mut env = Env::new(&ctx);
     let interp = eval_select(s, &mut env);
     let (plan, slots) = compile_select(s, db.catalog(), None);
-    let planned = execute_select(&plan, slots, db, None);
-    match (interp, planned) {
-        (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: results diverge"),
-        (Err(_), Err(_)) => {}
-        (a, b) => panic!("{what}: interp {a:?} vs plan {b:?}"),
+    for mode in [PlanMode::Row, PlanMode::Columnar] {
+        let planned = execute_select(&plan, slots, db, None, mode);
+        match (&interp, planned) {
+            (Ok(a), Ok(b)) => assert_eq!(*a, b, "{what} [{mode:?}]: results diverge"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{what} [{mode:?}]: interp {a:?} vs plan {b:?}"),
+        }
     }
 }
 
@@ -128,20 +130,22 @@ fn assert_select_agrees(s: &SelectStmt, db: &Database, what: &str) {
 /// included).
 fn assert_action_agrees(a: &Action, db: &Database, what: &str) {
     let mut db_interp = db.clone();
-    let mut db_plan = db.clone();
     let interp = exec_action(a, &mut db_interp, None);
     let plan = compile_action(a, db.catalog(), None);
-    let planned = execute_action(&plan, &mut db_plan, None);
-    match (interp, planned) {
-        (Ok(x), Ok(y)) => assert_eq!(x, y, "{what}: outcomes diverge"),
-        (Err(_), Err(_)) => {}
-        (x, y) => panic!("{what}: interp {x:?} vs plan {y:?}"),
+    for mode in [PlanMode::Row, PlanMode::Columnar] {
+        let mut db_plan = db.clone();
+        let planned = execute_action(&plan, &mut db_plan, None, mode);
+        match (&interp, planned) {
+            (Ok(x), Ok(y)) => assert_eq!(*x, y, "{what} [{mode:?}]: outcomes diverge"),
+            (Err(_), Err(_)) => {}
+            (x, y) => panic!("{what} [{mode:?}]: interp {x:?} vs plan {y:?}"),
+        }
+        assert_eq!(
+            db_interp.state_digest(),
+            db_plan.state_digest(),
+            "{what} [{mode:?}]: final states diverge"
+        );
     }
-    assert_eq!(
-        db_interp.state_digest(),
-        db_plan.state_digest(),
-        "{what}: final states diverge"
-    );
 }
 
 #[test]
@@ -484,11 +488,13 @@ fn assert_condition_agrees(
     let mut env = Env::new(&ctx);
     let interp = eval_bool(cond, &mut env);
     let plan = compile_condition(cond, catalog, Some(rule_table));
-    let planned = eval_condition(&plan, db, Some(binding));
-    match (interp, planned) {
-        (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: condition values diverge"),
-        (Err(_), Err(_)) => {}
-        (a, b) => panic!("{what}: interp {a:?} vs plan {b:?}"),
+    for mode in [PlanMode::Row, PlanMode::Columnar] {
+        let planned = eval_condition(&plan, db, Some(binding), mode);
+        match (&interp, planned) {
+            (Ok(a), Ok(b)) => assert_eq!(*a, b, "{what} [{mode:?}]: condition values diverge"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{what} [{mode:?}]: interp {a:?} vs plan {b:?}"),
+        }
     }
 }
 
