@@ -1,7 +1,8 @@
 //! Oracle throughput harness: measures exhaustive execution-graph
 //! exploration over the corpus, the case studies, and the state-heavy
-//! stress workload, and records the numbers in `BENCH_oracle.json` so the
-//! perf trajectory of the explorer is tracked across PRs.
+//! stress workload — plus the static-analysis scale families — and records
+//! the numbers in `BENCH_oracle.json` so the perf trajectory is tracked
+//! across PRs.
 //!
 //! Usage:
 //!
@@ -19,11 +20,27 @@
 //!   never even built, so a filtered run avoids the 1M-row table setup);
 //! * `--iters` — cap the measured iterations per case (overrides the
 //!   smoke/full default; the 1.5 s time target still applies).
+//!
+//! ## The analysis families
+//!
+//! `analysis/*` measures the §6.4 interactive loop on fuzz-generated
+//! programs of 1k–10k rules: one *single-rule refinement step* (a commute
+//! certification toggle, a priority edit, or an add/drop of one rule)
+//! followed by a re-analyze on a warm [`IncrementalAnalysis`].
+//! `analysis-scratch/*` measures the same reports computed cold (a fresh
+//! analyzer per iteration) — the from-scratch baseline the incremental
+//! path is judged against, with `cold_10k_seq` additionally pinning the
+//! sequential sweep so the parallel speedup on `cold_10k` is visible.
+//! For these cases the JSON fields are reinterpreted: `states` is the rule
+//! count, `edges` is `confluence.pairs_checked`, and `ms_per_explore` is
+//! milliseconds per refine-and-analyze step.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use starling_analysis::{Certifications, IncrementalAnalysis};
 use starling_engine::{explore, ExecGraph, ExploreConfig, RuleSet};
+use starling_fuzz::{generate, GenConfig};
 use starling_sql::ast::{Action, Statement};
 use starling_sql::parse_statement;
 use starling_storage::{Database, Value};
@@ -145,18 +162,29 @@ fn stress_case() -> Case {
     }
 }
 
+/// What a spec builds: an exploration case, or a self-contained operation
+/// (used by the analysis families) that runs one step per iteration and
+/// reports its own `(states, edges)` analogs.
+enum BenchCase {
+    Explore(Box<Case>),
+    Op {
+        name: String,
+        op: Box<dyn FnMut() -> (usize, usize)>,
+    },
+}
+
 /// A named case whose (possibly expensive) construction is deferred until
 /// after `--filter` has decided it actually runs.
 struct CaseSpec {
     name: String,
-    build: Box<dyn FnOnce() -> Case>,
+    build: Box<dyn FnOnce() -> BenchCase>,
 }
 
 impl CaseSpec {
     fn eager(case: Case) -> CaseSpec {
         CaseSpec {
             name: case.name.clone(),
-            build: Box::new(move || case),
+            build: Box::new(move || BenchCase::Explore(Box::new(case))),
         }
     }
 }
@@ -174,21 +202,205 @@ fn scale_specs() -> Vec<CaseSpec> {
             let name = format!("scale/{flavor}_{suffix}");
             specs.push(CaseSpec {
                 name: name.clone(),
-                build: Box::new(move || Case {
-                    name,
-                    rules: if flavor == "filter" {
-                        scale::filter_rules(rows)
-                    } else {
-                        scale::join_rules(rows)
-                    },
-                    db: scale::database(rows),
-                    actions: scale::user_actions(rows),
-                    cfg,
+                build: Box::new(move || {
+                    BenchCase::Explore(Box::new(Case {
+                        name,
+                        rules: if flavor == "filter" {
+                            scale::filter_rules(rows)
+                        } else {
+                            scale::join_rules(rows)
+                        },
+                        db: scale::database(rows),
+                        actions: scale::user_actions(rows),
+                        cfg,
+                    }))
                 }),
             });
         }
     }
     specs
+}
+
+/// The pinned seed for the analysis families: the programs (and hence the
+/// absolute numbers) are reproducible across machines and PRs.
+const ANALYSIS_SEED: u64 = 42;
+
+/// A fuzz-generated `n`-rule program compiled for analysis, refined the way
+/// the §6.4 loop leaves it: every violating pair found by a first analyze
+/// is commute-certified, so the measured state is a near-confluent set
+/// whose report is small — the state an interactive session actually
+/// iterates on. The last rule is stripped from every other rule's
+/// `precedes` list so the add/drop case can pop and re-push it without
+/// dangling priority references.
+fn analysis_program(
+    n: usize,
+) -> (
+    Vec<starling_sql::RuleDef>,
+    starling_storage::Catalog,
+    Certifications,
+) {
+    // Building a program includes a full cold analyze (for the bulk
+    // certification), so share one build across the several specs of the
+    // same scale; every caller gets its own clone to mutate.
+    type Program = (
+        Vec<starling_sql::RuleDef>,
+        starling_storage::Catalog,
+        Certifications,
+    );
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<usize, Program>>> =
+        std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let mut cache = cache.lock().expect("analysis program cache poisoned");
+    cache
+        .entry(n)
+        .or_insert_with(|| build_analysis_program(n))
+        .clone()
+}
+
+fn build_analysis_program(
+    n: usize,
+) -> (
+    Vec<starling_sql::RuleDef>,
+    starling_storage::Catalog,
+    Certifications,
+) {
+    let case = generate(ANALYSIS_SEED, &GenConfig::scaled(n));
+    let cat = case.catalog();
+    let mut defs = case.defs;
+    let last = defs.last().expect("scaled case has rules").name.clone();
+    for d in &mut defs {
+        d.precedes.retain(|p| p != &last);
+    }
+    let rules = RuleSet::compile(&defs, &cat).expect("scaled case compiles");
+    let mut certs = Certifications::new();
+    let mut warmer = IncrementalAnalysis::new();
+    let first = warmer.analyze(&rules, &certs, false, &[]);
+    for v in &first.confluence.violations {
+        certs.certify_commute(&v.conflict.0, &v.conflict.1);
+    }
+    (defs, cat, certs)
+}
+
+/// One cold (from-scratch) analyze per iteration.
+fn cold_spec(n: usize, tag: &str, parallel: bool) -> CaseSpec {
+    let name = format!(
+        "analysis-scratch/cold_{tag}{}",
+        if parallel { "" } else { "_seq" }
+    );
+    CaseSpec {
+        name: name.clone(),
+        build: Box::new(move || {
+            let (defs, cat, certs) = analysis_program(n);
+            let rules = RuleSet::compile(&defs, &cat).expect("scaled case compiles");
+            BenchCase::Op {
+                name,
+                op: Box::new(move || {
+                    let mut analysis = if parallel {
+                        IncrementalAnalysis::new()
+                    } else {
+                        IncrementalAnalysis::sequential()
+                    };
+                    let rep = analysis.analyze(&rules, &certs, false, &[]);
+                    (rep.rule_count, rep.confluence.pairs_checked)
+                }),
+            }
+        }),
+    }
+}
+
+/// One warm single-rule refinement step per iteration: mutate, re-analyze
+/// on a persistent analyzer. `kind` is `certify` (commute certification
+/// toggled on/off), `order` (a `precedes` edge added/removed, with the
+/// recompile the §6.4 loop really pays), or `adddrop` (the last rule
+/// dropped/re-added, also recompiling).
+fn refine_spec(n: usize, tag: &str, kind: &'static str) -> CaseSpec {
+    let name = format!("analysis/{kind}_{tag}");
+    CaseSpec {
+        name: name.clone(),
+        build: Box::new(move || {
+            let (mut defs, cat, mut certs) = analysis_program(n);
+            // The toggled pair must start uncertified so every iteration
+            // really changes state (the bulk refinement may have hit it).
+            certs.revoke_commute("r0", "r1");
+            let mut rules = RuleSet::compile(&defs, &cat).expect("scaled case compiles");
+            let mut analysis = IncrementalAnalysis::new();
+            // Warm the memo: every measured iteration starts incremental.
+            analysis.analyze(&rules, &certs, false, &[]);
+            let mut on = false;
+            let mut parked: Option<starling_sql::RuleDef> = None;
+            BenchCase::Op {
+                name,
+                op: Box::new(move || {
+                    on = !on;
+                    match kind {
+                        "certify" => {
+                            if on {
+                                certs.certify_commute("r0", "r1");
+                            } else {
+                                certs.revoke_commute("r0", "r1");
+                            }
+                        }
+                        "order" => {
+                            if on {
+                                // Edges run low→high index only, so r0→r1
+                                // can never form a priority cycle.
+                                defs[0].precedes.push("r1".to_owned());
+                            } else {
+                                defs[0].precedes.pop();
+                            }
+                            rules = RuleSet::compile(&defs, &cat).expect("refined compile");
+                        }
+                        "adddrop" => {
+                            match parked.take() {
+                                Some(d) => defs.push(d),
+                                None => parked = defs.pop(),
+                            }
+                            rules = RuleSet::compile(&defs, &cat).expect("refined compile");
+                        }
+                        other => unreachable!("unknown refine kind {other}"),
+                    }
+                    let rep = analysis.analyze(&rules, &certs, false, &[]);
+                    (rep.rule_count, rep.confluence.pairs_checked)
+                }),
+            }
+        }),
+    }
+}
+
+/// The analysis scale families over fuzz-generated 1k/5k/10k-rule programs.
+fn analysis_specs() -> Vec<CaseSpec> {
+    let mut specs = Vec::new();
+    for (n, tag) in [(1_000usize, "1k"), (5_000, "5k"), (10_000, "10k")] {
+        specs.push(cold_spec(n, tag, true));
+        for kind in ["certify", "order", "adddrop"] {
+            specs.push(refine_spec(n, tag, kind));
+        }
+    }
+    specs.push(cold_spec(10_000, "10k", false));
+    specs
+}
+
+fn run_op(name: &str, mut op: Box<dyn FnMut() -> (usize, usize)>, max_iters: u32) -> Measurement {
+    // Warm-up establishes the size analogs (for warm refine cases it also
+    // performs the first mutation, so the timed loop is steady-state).
+    let (states, edges) = op();
+    let target = Duration::from_millis(1_500);
+    let mut iters: u32 = 0;
+    let start = Instant::now();
+    while iters < max_iters {
+        std::hint::black_box(op());
+        iters += 1;
+        if start.elapsed() >= target {
+            break;
+        }
+    }
+    Measurement {
+        name: name.to_owned(),
+        states,
+        edges,
+        iters,
+        total: start.elapsed(),
+    }
 }
 
 fn run_case(case: &Case, max_iters: u32) -> Measurement {
@@ -325,6 +537,7 @@ fn main() {
         .map(CaseSpec::eager)
         .collect();
     specs.extend(scale_specs());
+    specs.extend(analysis_specs());
     let selected: Vec<CaseSpec> = specs
         .into_iter()
         .filter(|s| s.name.contains(&filter))
@@ -336,8 +549,10 @@ fn main() {
 
     let mut measurements = Vec::new();
     for spec in selected {
-        let case = (spec.build)();
-        let m = run_case(&case, max_iters);
+        let m = match (spec.build)() {
+            BenchCase::Explore(case) => run_case(&case, max_iters),
+            BenchCase::Op { name, op } => run_op(&name, op, max_iters),
+        };
         println!(
             "{:<28} {:>7} states {:>7} edges  {:>5} iters  {:>10.3} ms/explore  {:>12.0} states/s",
             m.name,

@@ -86,6 +86,9 @@ OPTIONS:
     --budget N                (fuzz) per-case exploration state bound,
                               default 300
     --max-rows N              (fuzz) seed rows generated per table, default 3
+    --rules N                 (fuzz) generate exactly N rules per program
+                              (tables scale along; seed rows drop to 0) —
+                              the 1k-10k-rule analysis-scale shape
                               (the exploration row budget scales with it)
     --corpus-dir DIR          (fuzz) where shrunk reproducers are written;
                               default tests/fuzz_corpus when it exists
@@ -299,6 +302,26 @@ fn fuzz(args: &[String]) -> Result<CmdOutput, String> {
                 // The default ratio (3 seed rows : 2000 budget rows) is
                 // preserved, with the stock budget as the floor.
                 config.budget.max_rows = config.budget.max_rows.max(rows.saturating_mul(700));
+                i += 2;
+            }
+            "--rules" => {
+                let rules: usize = args
+                    .get(i + 1)
+                    .ok_or("--rules needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --rules: {e}"))?;
+                if rules == 0 {
+                    return Err("--rules must be at least 1".into());
+                }
+                // Scale the whole generator shape, not just the rule count:
+                // tables grow with rules so the conflict density (and hence
+                // report size) stays bounded, and seed rows drop to zero.
+                // --max-rows after --rules can re-enable seed data.
+                let scaled = starling_fuzz::GenConfig::scaled(rules);
+                config.gen.max_rules = scaled.max_rules;
+                config.gen.min_rules = scaled.min_rules;
+                config.gen.max_tables = scaled.max_tables;
+                config.gen.max_rows = scaled.max_rows;
                 i += 2;
             }
             "--corpus-dir" => {

@@ -251,22 +251,28 @@ pub fn commutes(a: &RuleSignature, b: &RuleSignature, certs: &Certifications) ->
 /// [`AnalysisContext::refine`] is set, the Section 9 predicate-level
 /// refinement.
 ///
-/// Pair verdicts are memoized in the context (the confluence analyses ask
-/// about the same pair once per subset and once per generating-pair closure
-/// containing it): each Lemma 6.1 derivation runs at most once per context.
+/// Pair verdicts are memoized in the context's bound [`crate::pair_store::
+/// PairStore`] (the confluence analyses ask about the same pair once per
+/// subset and once per generating-pair closure containing it): each Lemma
+/// 6.1 derivation runs at most once per store binding, and — unlike the old
+/// per-context cache — survives into the next analysis when the bind-time
+/// diff proves the pair unaffected.
 pub fn commutes_idx(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
-    // Commutativity is symmetric; normalize the key so both query orders
-    // share one slot.
-    let key = (i.min(j), i.max(j));
-    if let Some(&hit) = ctx.pair_cache.commutes.borrow().get(&key) {
+    if i == j {
+        return true;
+    }
+    let (a, b) = (ctx.sid(i), ctx.sid(j));
+    if let Some(hit) = ctx.pair_store().verdict(a, b) {
         return hit;
     }
     let result = commutes_idx_uncached(ctx, i, j);
-    ctx.pair_cache.commutes.borrow_mut().insert(key, result);
+    ctx.pair_store().set_verdict(a, b, result);
     result
 }
 
-fn commutes_idx_uncached(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
+/// The pure per-pair verdict, bypassing the store. Exposed crate-wide so
+/// the parallel cold sweep can compute verdicts without lock traffic.
+pub(crate) fn commutes_idx_uncached(ctx: &AnalysisContext, i: usize, j: usize) -> bool {
     if commutes(&ctx.sigs[i], &ctx.sigs[j], &ctx.certs) {
         return true;
     }
@@ -285,15 +291,78 @@ pub fn noncommutativity_reasons_idx(
     i: usize,
     j: usize,
 ) -> Vec<NoncommutativityReason> {
-    if let Some(hit) = ctx.pair_cache.reasons.borrow().get(&(i, j)) {
-        return hit.clone();
+    let (a, b) = (ctx.sid(i), ctx.sid(j));
+    if let Some(hit) = ctx.pair_store().reasons(a, b) {
+        return hit;
     }
     let reasons = noncommutativity_reasons(&ctx.sigs[i], &ctx.sigs[j]);
-    ctx.pair_cache
-        .reasons
-        .borrow_mut()
-        .insert((i, j), reasons.clone());
+    ctx.pair_store().set_reasons(a, b, reasons.clone());
     reasons
+}
+
+/// Computes every missing pair verdict for the context with scoped worker
+/// threads — the parallel cold-start sweep. Downstream reports are
+/// byte-identical to the sequential path because each verdict is a pure
+/// function of the pair (certifications and the refinement included): the
+/// sweep only changes *when* verdicts are computed, never *what* they are.
+/// Workers probe a point-in-time snapshot of the known-bits (zero lock
+/// traffic on the hot path) and flush disjoint batches; bit positions are
+/// per-pair, so merge order cannot affect the final store state.
+pub fn prewarm_pairs(ctx: &AnalysisContext) {
+    let n = ctx.len();
+    let total = n * n.saturating_sub(1) / 2;
+    if total == 0 {
+        return;
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(total);
+    if workers <= 1 {
+        for j in 1..n {
+            for i in 0..j {
+                commutes_idx(ctx, i, j);
+            }
+        }
+        return;
+    }
+    let known = ctx.pair_store().known_snapshot();
+    let chunk = total.div_ceil(workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
+            let known = &known;
+            s.spawn(move || {
+                // Invert the triangular index: pair t sits at (i, j) with
+                // j(j-1)/2 <= t < j(j+1)/2; walk (i, j) forward from there.
+                let mut j = ((1.0 + (1.0 + 8.0 * lo as f64).sqrt()) / 2.0) as usize;
+                while j * (j - 1) / 2 > lo {
+                    j -= 1;
+                }
+                while j * (j + 1) / 2 <= lo {
+                    j += 1;
+                }
+                let mut i = lo - j * (j - 1) / 2;
+                let mut buf: Vec<(u32, u32, bool)> = Vec::new();
+                for _ in lo..hi {
+                    let (a, b) = (ctx.sid(i), ctx.sid(j));
+                    if !known.contains(a, b) {
+                        buf.push((a, b, commutes_idx_uncached(ctx, i, j)));
+                        if buf.len() >= 1 << 16 {
+                            ctx.pair_store().merge_verdicts(&buf);
+                            buf.clear();
+                        }
+                    }
+                    i += 1;
+                    if i == j {
+                        i = 0;
+                        j += 1;
+                    }
+                }
+                ctx.pair_store().merge_verdicts(&buf);
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -509,6 +578,32 @@ mod tests {
         ctx.certs.certify_commute("a", "b");
         ctx.clear_pair_cache();
         assert!(commutes_idx(&ctx, 0, 1));
+    }
+
+    /// The parallel sweep stores exactly the sequential verdicts, and a
+    /// post-sweep query is answered from the store.
+    #[test]
+    fn prewarm_matches_sequential_verdicts() {
+        let ctx = crate::context::tests::ctx_from(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted then update u set x = 2 end;
+             create rule c on t when inserted then insert into v values (1) end;
+             create rule d on u when inserted then delete from v end;",
+            TABLES,
+        );
+        prewarm_pairs(&ctx);
+        let warm = ctx.pair_store().stats();
+        for i in 0..ctx.len() {
+            for j in 0..ctx.len() {
+                assert_eq!(
+                    commutes_idx(&ctx, i, j),
+                    commutes(&ctx.sigs[i], &ctx.sigs[j], &ctx.certs),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+        let after = ctx.pair_store().stats();
+        assert_eq!(after.misses, warm.misses, "queries after prewarm all hit");
     }
 
     #[test]

@@ -6,38 +6,15 @@
 //! directly so that Section 8's *extended* definitions (signatures augmented
 //! with the fictional `Obs` table) can reuse every algorithm unchanged.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use starling_engine::{PriorityOrder, RuleId, RuleSet};
 use starling_sql::RuleSignature;
 use starling_storage::Op;
 
 use crate::certifications::Certifications;
-use crate::commutativity::NoncommutativityReason;
-
-/// Memoized per-pair Lemma 6.1 results, keyed by `(i, j)` rule indices.
-///
-/// `analyze_confluence_of` re-derives commutativity for the same pair from
-/// every subset and every generating-pair closure that contains it; the
-/// inputs (signatures, certifications, refinement flag) are fixed for a
-/// context's lifetime, so the pair verdicts are too. Interior mutability
-/// keeps the analysis entry points `&ctx`. Not `Sync` — a context is
-/// analyzed from one thread (clones carry their own cache).
-#[derive(Clone, Debug, Default)]
-pub(crate) struct PairCache {
-    /// `commutes_idx` results (certification- and refinement-aware).
-    pub(crate) commutes: RefCell<HashMap<(usize, usize), bool>>,
-    /// `noncommutativity_reasons` results, in the `(i, j)` direction.
-    pub(crate) reasons: RefCell<HashMap<(usize, usize), Vec<NoncommutativityReason>>>,
-}
-
-impl PairCache {
-    fn clear(&self) {
-        self.commutes.borrow_mut().clear();
-        self.reasons.borrow_mut().clear();
-    }
-}
+use crate::pair_store::{BindOutcome, PairStore};
 
 /// Everything the static analyses need to know about a rule set.
 #[derive(Clone, Debug)]
@@ -60,23 +37,77 @@ pub struct AnalysisContext {
     /// the conflicting writes are provably disjoint. Off by default
     /// (paper-faithful behavior).
     pub refine: bool,
-    /// Memoized pair results. Valid as long as `sigs`/`certs`/`refine` are
-    /// unchanged; code that mutates them after construction must call
-    /// [`Self::clear_pair_cache`].
-    pub(crate) pair_cache: PairCache,
+    /// The persistent pair-verdict store this context is bound to. A
+    /// standalone context gets a private store; the incremental analyzer
+    /// binds successive contexts to one shared store so verdicts survive
+    /// across refinement steps (see [`crate::pair_store`]).
+    pub(crate) store: Arc<PairStore>,
+    /// Store id of each rule, in `sigs` order.
+    pub(crate) sids: Vec<u32>,
+    /// The pair store for the Section 8 `Obs`-extended context, when the
+    /// caller wants that side kept warm too (set by the incremental
+    /// analyzer; `extend_with_obs` binds the extended signatures to it).
+    pub(crate) obs_store: Option<Arc<PairStore>>,
+    /// Lazily built `Triggers` adjacency (rule → sorted triggered rules),
+    /// shared by the triggering graph and the Def 6.5 closures.
+    trig: OnceLock<Arc<Vec<Vec<usize>>>>,
 }
 
 impl AnalysisContext {
-    /// Builds a context from a compiled rule set.
+    /// Builds a context from a compiled rule set, with a private store.
     pub fn from_ruleset(rules: &RuleSet, certs: Certifications) -> Self {
-        AnalysisContext {
-            sigs: rules.rules().iter().map(|r| r.sig.clone()).collect(),
+        Self::bound_to_store(rules, certs, false, &Arc::new(PairStore::new())).0
+    }
+
+    /// Builds a context bound to a shared persistent store. The returned
+    /// [`BindOutcome`] describes exactly which cached pair verdicts the
+    /// bind invalidated — the incremental analyzer's dirty-set seed.
+    pub fn bound_to_store(
+        rules: &RuleSet,
+        certs: Certifications,
+        refine: bool,
+        store: &Arc<PairStore>,
+    ) -> (Self, BindOutcome) {
+        let sigs: Vec<RuleSignature> = rules.rules().iter().map(|r| r.sig.clone()).collect();
+        let outcome = store.bind(&sigs, &certs, refine);
+        let ctx = AnalysisContext {
+            sigs,
             priority: rules.priority().clone(),
             certs,
             defs: rules.rules().iter().map(|r| Some(r.def.clone())).collect(),
             catalog: Some(rules.catalog().clone()),
-            refine: false,
-            pair_cache: PairCache::default(),
+            refine,
+            store: Arc::clone(store),
+            sids: outcome.sids.clone(),
+            obs_store: None,
+            trig: OnceLock::new(),
+        };
+        (ctx, outcome)
+    }
+
+    /// Builds a context directly from parts (used by `extend_with_obs`,
+    /// whose synthetic signatures have no rule set behind them).
+    pub(crate) fn from_parts(
+        sigs: Vec<RuleSignature>,
+        priority: PriorityOrder,
+        certs: Certifications,
+        defs: Vec<Option<starling_sql::RuleDef>>,
+        catalog: Option<starling_storage::Catalog>,
+        refine: bool,
+        store: Arc<PairStore>,
+    ) -> Self {
+        let outcome = store.bind(&sigs, &certs, refine);
+        AnalysisContext {
+            sigs,
+            priority,
+            certs,
+            defs,
+            catalog,
+            refine,
+            store,
+            sids: outcome.sids,
+            obs_store: None,
+            trig: OnceLock::new(),
         }
     }
 
@@ -84,15 +115,68 @@ impl AnalysisContext {
     /// "less conservative methods").
     pub fn with_refinement(mut self) -> Self {
         self.refine = true;
-        // Cached pair verdicts were computed without the refinement.
-        self.pair_cache.clear();
+        // Re-bind: cached verdicts were computed without the refinement,
+        // and the bind-time diff drops exactly those.
+        self.sids = self.store.bind(&self.sigs, &self.certs, true).sids;
         self
     }
 
-    /// Drops all memoized pair results. Must be called after mutating
-    /// `sigs`, `certs`, or `refine` on an already-queried context.
+    /// Keeps the Section 8 `Obs`-side pair store warm across analyses.
+    pub fn set_obs_store(&mut self, store: Arc<PairStore>) {
+        self.obs_store = Some(store);
+    }
+
+    /// The pair store this context is bound to.
+    pub fn pair_store(&self) -> &Arc<PairStore> {
+        &self.store
+    }
+
+    /// Drops all memoized pair results by rebinding to a fresh private
+    /// store. Must be called after mutating `sigs`, `certs`, or `refine`
+    /// on an already-queried context (a bound store diffs signatures by
+    /// content, so this is only needed by code that edits a context in
+    /// place without rebinding).
     pub fn clear_pair_cache(&mut self) {
-        self.pair_cache.clear();
+        let store = Arc::new(PairStore::new());
+        self.sids = store.bind(&self.sigs, &self.certs, self.refine).sids;
+        self.store = store;
+        self.trig = OnceLock::new();
+    }
+
+    /// Store id of rule `i`.
+    pub(crate) fn sid(&self, i: usize) -> u32 {
+        self.sids[i]
+    }
+
+    /// The `Triggers` adjacency for every rule at once: `out[r]` is the
+    /// sorted list of rules `q` with `Performs(r) ∩ Triggered-By(q) ≠ ∅`.
+    /// Built once per context via an op → listeners index (O(n + e) rather
+    /// than the O(n²) pairwise scan), then shared by the triggering graph
+    /// and the Def 6.5 pair closures.
+    pub fn triggers_adjacency(&self) -> &Arc<Vec<Vec<usize>>> {
+        self.trig.get_or_init(|| {
+            let mut listeners: BTreeMap<&Op, Vec<usize>> = BTreeMap::new();
+            for (i, s) in self.sigs.iter().enumerate() {
+                for op in &s.triggered_by {
+                    listeners.entry(op).or_default().push(i);
+                }
+            }
+            Arc::new(
+                self.sigs
+                    .iter()
+                    .map(|s| {
+                        let mut out: Vec<usize> = s
+                            .performs
+                            .iter()
+                            .flat_map(|op| listeners.get(op).into_iter().flatten().copied())
+                            .collect();
+                        out.sort_unstable();
+                        out.dedup();
+                        out
+                    })
+                    .collect(),
+            )
+        })
     }
 
     /// The rule definition for rule `i`, when available.
@@ -292,6 +376,21 @@ pub(crate) mod tests {
         );
         assert_eq!(ctx.unordered_pairs(), vec![(0, 2), (1, 2)]);
         assert!(ctx.gt(0, 1));
+    }
+
+    #[test]
+    fn indexed_adjacency_matches_pairwise_triggers() {
+        let ctx = ctx_from(
+            "create rule a on t when inserted then insert into u values (1) end;
+             create rule b on u when inserted then delete from t end;
+             create rule c on t when deleted then update t set x = 0 end;
+             create rule grow on t when inserted then insert into t values (1) end;",
+            &[("t", &["x"]), ("u", &["y"])],
+        );
+        let adj = Arc::clone(ctx.triggers_adjacency());
+        for r in 0..ctx.len() {
+            assert_eq!(adj[r], ctx.triggers(r), "rule {r}");
+        }
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! The incremental whole-report analyzer behind the §6.4 interactive loop.
+//!
+//! [`IncrementalAnalysis`] produces [`AnalysisReport`]s **byte-identical**
+//! to [`AnalysisReport::run`] while re-deriving, after a single refinement
+//! step (certify / order / add / drop / redefine), only the work that step
+//! can actually have changed:
+//!
+//! * Lemma 6.1 pair verdicts live in a persistent [`PairStore`] shared
+//!   across analyses; bind-time structural diffs invalidate exactly the
+//!   pairs mentioning a changed rule or toggled certification.
+//! * The per-pair *confluence* results (Def 6.5 closures, their `R1 × R2`
+//!   violations, and the Corollary 6.8/6.10 lints) are memoized in a
+//!   confluence memo keyed by rule-pair identity. Each analyze computes a
+//!   **dirty pair set** from the bind outcome plus a priority-closure diff
+//!   and rechecks only those pairs; everything else is reused verbatim.
+//! * Termination, observable determinism, and partial confluence are
+//!   recomputed each time — they are `O(n + e)` or proportional to the
+//!   (small) significant-rule sets once the pair stores are warm, so they
+//!   never dominate.
+//!
+//! # Dirty-set rules per mutation kind
+//!
+//! Writing `pairs(x)` for "all current pairs `{x, q}` plus every pair whose
+//! memoized closure contains `x` as a non-generating member":
+//!
+//! * **redefined rule `x`** → `pairs(x)`, plus `pairs(m)` for every rule
+//!   `m` whose can-trigger edge to `x` changed (`m ∈ preds_old(x) Δ
+//!   preds_new(x)`), guarded on `x` being able to enter a closure at all
+//!   (some outgoing priority, old or new);
+//! * **added rule `x`** → all pairs `{x, q}`, plus `pairs(m)` for
+//!   `m ∈ preds(x)` under the same guard;
+//! * **dropped rule `r`** → its memo entries are deleted; pairs listing `r`
+//!   as a closure extra are rechecked. No predecessor expansion is needed:
+//!   for a pair whose closure never contained `r`, the fixpoint rejected
+//!   `r` at every step, and rejection is indistinguishable from absence;
+//! * **certification toggle on `(a, b)`** → `pairs(a)`: an affected pair's
+//!   closure must contain *both* endpoints, hence `a`;
+//! * **priority edit** → the old and new transitive closures are diffed;
+//!   every changed directed fact `x > y` dirties the pair `{x, y}` plus
+//!   every pair whose memoized closure contains `y` *and* a
+//!   trigger-predecessor of `x`. Soundness: the Def 6.5 fixpoint only
+//!   consults `gt(x, y)` for a candidate `x` against a *member* `y`, and
+//!   admission also requires a member that triggers `x`; at the first step
+//!   where old and new computations can diverge every member is still an
+//!   old-closure member, so both witnesses are visible in the memo;
+//! * **refinement toggle** → full resweep (every verdict changed meaning).
+//!
+//! # Parallel cold start
+//!
+//! The first analyze (and any fallback resweep) can prewarm the pair store
+//! with [`prewarm_pairs`], which fans the `O(n²)` verdict computations out
+//! over scoped threads. Verdicts are pure per-pair functions merged into
+//! disjoint bit positions, so thread scheduling cannot affect the store
+//! state and the assembled report stays byte-identical to a sequential
+//! sweep (property-tested in `tests/incremental_props.rs`).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use starling_engine::{PriorityOrder, RuleSet};
+
+use crate::certifications::Certifications;
+use crate::commutativity::prewarm_pairs;
+use crate::confluence::{
+    check_pair, corollary_pair, ConfluenceAnalysis, ConfluenceVerdict, ConfluenceViolation,
+};
+use crate::context::AnalysisContext;
+use crate::observable::analyze_observable_determinism;
+use crate::pair_store::{BindOutcome, PairStore, PairStoreStats};
+use crate::partial::analyze_partial_confluence;
+use crate::report::AnalysisReport;
+use crate::termination::analyze_termination;
+
+/// Don't bother spinning up threads below this many pairs.
+const PREWARM_MIN_PAIRS: usize = 1 << 12;
+
+/// Memoized per-pair confluence results for one non-trivial unordered pair.
+#[derive(Clone, Debug)]
+struct PairEntry {
+    violations: Vec<ConfluenceViolation>,
+    corollary: Vec<String>,
+    /// Closure members beyond the generating pair, as store ids (sorted).
+    extras: Vec<u32>,
+}
+
+/// Everything the dirty-set propagation diffs against.
+#[derive(Debug)]
+struct ConfluenceMemo {
+    /// Store ids of the rules at the last analyze, in rule order.
+    sids: Vec<u32>,
+    /// The transitively closed priority at the last analyze (indices are
+    /// positions in `sids`).
+    priority: PriorityOrder,
+    /// sid → sids of rules that could trigger it at the last analyze.
+    preds: HashMap<u32, Vec<u32>>,
+    /// Unordered pairs with any violations, lints, or closure extras,
+    /// keyed `(sid_i, sid_j)` in rule-index orientation. Pairs absent here
+    /// are known-clean.
+    entries: HashMap<(u32, u32), PairEntry>,
+    /// sid → pairs whose closure contains it as a non-generating member.
+    extra_index: HashMap<u32, BTreeSet<(u32, u32)>>,
+}
+
+/// Cumulative counters for one [`IncrementalAnalysis`] (surfaced by the
+/// server's `stats` op).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalStats {
+    /// Main pair store counters.
+    pub pair: PairStoreStats,
+    /// Section 8 `Obs`-side pair store counters.
+    pub obs_pair: PairStoreStats,
+    /// Analyses that swept every unordered pair.
+    pub full_sweeps: u64,
+    /// Analyses that only rechecked a dirty set.
+    pub incremental_sweeps: u64,
+    /// Dirty pairs rechecked by the most recent incremental analyze.
+    pub last_rechecked_pairs: u64,
+}
+
+/// See the module docs.
+pub struct IncrementalAnalysis {
+    store: Arc<PairStore>,
+    obs_store: Arc<PairStore>,
+    parallel: bool,
+    memo: Option<ConfluenceMemo>,
+    full_sweeps: u64,
+    incremental_sweeps: u64,
+    last_rechecked: u64,
+}
+
+impl Default for IncrementalAnalysis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalAnalysis {
+    /// A fresh analyzer with parallel cold sweeps enabled.
+    pub fn new() -> Self {
+        IncrementalAnalysis {
+            store: Arc::new(PairStore::new()),
+            obs_store: Arc::new(PairStore::new()),
+            parallel: true,
+            memo: None,
+            full_sweeps: 0,
+            incremental_sweeps: 0,
+            last_rechecked: 0,
+        }
+    }
+
+    /// A fresh analyzer that never spawns threads (identical reports; used
+    /// by the determinism property tests and as a bench baseline).
+    pub fn sequential() -> Self {
+        IncrementalAnalysis {
+            parallel: false,
+            ..Self::new()
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            pair: self.store.stats(),
+            obs_pair: self.obs_store.stats(),
+            full_sweeps: self.full_sweeps,
+            incremental_sweeps: self.incremental_sweeps,
+            last_rechecked_pairs: self.last_rechecked,
+        }
+    }
+
+    /// Runs the full analysis, reusing everything the inputs' diff against
+    /// the previous call permits. Output is byte-identical to
+    /// [`AnalysisReport::run`] on a fresh context with the same inputs.
+    pub fn analyze(
+        &mut self,
+        rules: &RuleSet,
+        certs: &Certifications,
+        refine: bool,
+        protect: &[Vec<String>],
+    ) -> AnalysisReport {
+        let (mut ctx, outcome) =
+            AnalysisContext::bound_to_store(rules, certs.clone(), refine, &self.store);
+        ctx.set_obs_store(Arc::clone(&self.obs_store));
+        let confluence = self.confluence(&ctx, &outcome);
+        let termination = analyze_termination(&ctx);
+        let corollary_failures = self.corollary_failures(&ctx, &confluence);
+        let observable = analyze_observable_determinism(&ctx);
+        let partial = protect
+            .iter()
+            .map(|tables| {
+                let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+                analyze_partial_confluence(&ctx, &refs)
+            })
+            .collect();
+        AnalysisReport {
+            rule_count: ctx.len(),
+            termination,
+            confluence,
+            corollary_failures,
+            observable,
+            partial,
+        }
+    }
+
+    fn confluence(&mut self, ctx: &AnalysisContext, outcome: &BindOutcome) -> ConfluenceAnalysis {
+        let incremental = self.memo.is_some() && !outcome.refine_flipped && !outcome.first_bind;
+        if incremental && !self.incremental_sweep(ctx, outcome) {
+            self.incremental_sweeps += 1;
+        } else {
+            if !incremental {
+                self.memo = None;
+                self.full_sweep(ctx);
+            }
+            self.full_sweeps += 1;
+        }
+        self.assemble(ctx)
+    }
+
+    /// Sweeps every unordered pair, rebuilding the memo from nothing.
+    fn full_sweep(&mut self, ctx: &AnalysisContext) {
+        let n = ctx.len();
+        if self.parallel && n * n.saturating_sub(1) / 2 >= PREWARM_MIN_PAIRS {
+            prewarm_pairs(ctx);
+        }
+        let mut memo = ConfluenceMemo {
+            sids: ctx.sids.clone(),
+            priority: ctx.priority.clone(),
+            preds: HashMap::new(),
+            entries: HashMap::new(),
+            extra_index: HashMap::new(),
+        };
+        let mut rechecked = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !ctx.unordered(i, j) {
+                    continue;
+                }
+                rechecked += 1;
+                Self::recheck_into(ctx, &mut memo, i, j);
+            }
+        }
+        memo.preds = Self::preds_of(ctx);
+        self.last_rechecked = rechecked;
+        self.memo = Some(memo);
+    }
+
+    /// Propagates the dirty set and rechecks only those pairs. Returns
+    /// `true` if it fell back to a full sweep (huge dirty set, or rule
+    /// reordering the memo keys cannot survive).
+    fn incremental_sweep(&mut self, ctx: &AnalysisContext, outcome: &BindOutcome) -> bool {
+        let mut memo = self.memo.take().expect("incremental sweep without memo");
+        let n = ctx.len();
+        let cur: HashMap<u32, usize> = ctx.sids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let prev: HashMap<u32, usize> =
+            memo.sids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+
+        // Memo keys are oriented by relative rule order, which add/drop
+        // preserves. Wholesale reordering would silently flip orientations,
+        // so detect it and resweep.
+        let survivors_now = ctx.sids.iter().copied().filter(|s| prev.contains_key(s));
+        let survivors_then = memo.sids.iter().copied().filter(|s| cur.contains_key(s));
+        if !survivors_now.eq(survivors_then) {
+            self.full_sweep(ctx);
+            return true;
+        }
+
+        let added: Vec<u32> = ctx
+            .sids
+            .iter()
+            .copied()
+            .filter(|s| !prev.contains_key(s))
+            .collect();
+        let removed: Vec<u32> = memo
+            .sids
+            .iter()
+            .copied()
+            .filter(|s| !cur.contains_key(s))
+            .collect();
+        let norm = |a: u32, b: u32| if cur[&a] < cur[&b] { (a, b) } else { (b, a) };
+
+        // Rules all of whose pairs (mentions + closure extras) are dirty.
+        let mut dirty_rules: BTreeSet<u32> = BTreeSet::new();
+        dirty_rules.extend(outcome.changed_rules.iter().copied());
+        dirty_rules.extend(added.iter().copied());
+        let mut dirty_pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+
+        // Certification toggle on (a, b): an affected pair's closure must
+        // contain both endpoints — so dirtying everything that contains `a`
+        // is a superset. Endpoints outside the current rule set cannot
+        // appear in any current closure.
+        for &(a, b) in &outcome.changed_certs {
+            if cur.contains_key(&a) && cur.contains_key(&b) {
+                dirty_rules.insert(a);
+            }
+        }
+
+        // Priority-closure diff over survivors. The common refinement
+        // steps (certify, add/drop with orderings untouched) leave the
+        // closure alone, so compare wholesale first: identical sid lists
+        // and identical closure rows mean no `gt` fact changed. Otherwise
+        // diff the two (sparse) closure pair sets in sid space — the
+        // mapping is index-shift-proof, so add/drop renumbering is fine.
+        //
+        // The Def 6.5 fixpoint consults a changed fact `gt(x, y)` only when
+        // testing candidate `x` against member `y`, and admitting `x` also
+        // requires a member that triggers it. At the first step where the
+        // old and new computations can diverge every member is still an
+        // *old* member, so a pair is affected only if its memoized closure
+        // contains `y` **and** a trigger-predecessor of `x` (trigger-edge
+        // changes themselves are covered by the `changed_rules` machinery).
+        // Both memberships are answerable from the memo — endpoints plus
+        // `extras` — so the dirty set stays proportional to the real blast
+        // radius instead of `pairs(y)`'s whole rows.
+        let mut preds_new: Option<HashMap<u32, Vec<u32>>> = None;
+        if memo.sids != ctx.sids || memo.priority != ctx.priority {
+            let to_sids = |pairs: Vec<(usize, usize)>, sids: &[u32]| -> BTreeSet<(u32, u32)> {
+                pairs.into_iter().map(|(x, y)| (sids[x], sids[y])).collect()
+            };
+            let old_gt = to_sids(memo.priority.gt_pairs(), &memo.sids);
+            let new_gt = to_sids(ctx.priority.gt_pairs(), &ctx.sids);
+            let mut px_cache: Option<(u32, BTreeSet<u32>)> = None;
+            for &(x, y) in old_gt.symmetric_difference(&new_gt) {
+                // Only survivor↔survivor changes matter: pairs with a dead
+                // endpoint are purged wholesale below, and an added rule
+                // already dirties its whole row.
+                if !(prev.contains_key(&x)
+                    && prev.contains_key(&y)
+                    && cur.contains_key(&x)
+                    && cur.contains_key(&y))
+                {
+                    continue;
+                }
+                // The generating pair itself: its unordered() status flips.
+                dirty_pairs.insert(norm(x, y));
+                // preds(x), old ∪ new (they differ only when trigger edges
+                // changed, which dirties those rules wholesale anyway).
+                if px_cache.as_ref().map(|c| c.0) != Some(x) {
+                    let preds_new = preds_new.get_or_insert_with(|| Self::preds_of(ctx));
+                    let mut px: BTreeSet<u32> = memo
+                        .preds
+                        .get(&x)
+                        .into_iter()
+                        .flatten()
+                        .chain(preds_new.get(&x).into_iter().flatten())
+                        .copied()
+                        .collect();
+                    px.retain(|p| cur.contains_key(p));
+                    px_cache = Some((x, px));
+                }
+                let px = &px_cache.as_ref().unwrap().1;
+                if px.is_empty() {
+                    continue; // x is never triggered, so it joins no closure
+                }
+                if px.contains(&y) {
+                    // y itself triggers x: every pair with y as a member
+                    // passes both tests, which is exactly pairs(y).
+                    dirty_rules.insert(y);
+                    continue;
+                }
+                // Pairs whose closure contains y as an endpoint and a pred
+                // of x as the other endpoint or an extra.
+                for &p in px.iter() {
+                    if p != y {
+                        dirty_pairs.insert(norm(y, p));
+                    }
+                    if let Some(pairs) = memo.extra_index.get(&p) {
+                        for &k in pairs {
+                            if (k.0 == y || k.1 == y)
+                                && cur.contains_key(&k.0)
+                                && cur.contains_key(&k.1)
+                            {
+                                dirty_pairs.insert(k);
+                            }
+                        }
+                    }
+                }
+                // Pairs whose closure contains y as an extra and a pred of
+                // x anywhere (endpoint or fellow extra).
+                if let Some(pairs) = memo.extra_index.get(&y) {
+                    for &k in pairs {
+                        if !(cur.contains_key(&k.0) && cur.contains_key(&k.1)) {
+                            continue;
+                        }
+                        let hit = px.contains(&k.0)
+                            || px.contains(&k.1)
+                            || memo
+                                .entries
+                                .get(&k)
+                                .is_some_and(|e| e.extras.iter().any(|m| px.contains(m)));
+                        if hit {
+                            dirty_pairs.insert(k);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Candidate-eligibility changes: a redefined or added rule `x` can
+        // newly enter (or leave) the closure of a pair that never contained
+        // it, via a member `m` that can trigger it — but only if `x` has
+        // some outgoing priority at all (Def 6.5 candidates need `gt` over
+        // the other side).
+        for &x in outcome.changed_rules.iter().chain(&added) {
+            let old_dom = prev
+                .get(&x)
+                .is_some_and(|&px| memo.priority.dominates_any(px));
+            if !old_dom && !ctx.priority.dominates_any(cur[&x]) {
+                continue;
+            }
+            let preds_new = preds_new.get_or_insert_with(|| Self::preds_of(ctx));
+            let empty = Vec::new();
+            let old_p: BTreeSet<u32> = memo
+                .preds
+                .get(&x)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .collect();
+            let new_p: BTreeSet<u32> = preds_new
+                .get(&x)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .collect();
+            for &m in old_p.symmetric_difference(&new_p) {
+                if cur.contains_key(&m) {
+                    dirty_rules.insert(m);
+                }
+            }
+        }
+
+        // Dropped rules: recheck the pairs that had them as closure extras
+        // (must be collected before the entries are deleted), then delete
+        // every memo entry mentioning a dead rule.
+        for &r in &removed {
+            if let Some(pairs) = memo.extra_index.get(&r) {
+                for &p in pairs {
+                    if cur.contains_key(&p.0) && cur.contains_key(&p.1) {
+                        dirty_pairs.insert(p);
+                    }
+                }
+            }
+        }
+        if !removed.is_empty() {
+            let dead_keys: Vec<(u32, u32)> = memo
+                .entries
+                .keys()
+                .filter(|k| !cur.contains_key(&k.0) || !cur.contains_key(&k.1))
+                .copied()
+                .collect();
+            for k in dead_keys {
+                Self::remove_entry(&mut memo, k);
+            }
+        }
+
+        // Expand dirty rules into pairs.
+        for &d in &dirty_rules {
+            for &q in &ctx.sids {
+                if q != d {
+                    dirty_pairs.insert(norm(d, q));
+                }
+            }
+            if let Some(pairs) = memo.extra_index.get(&d) {
+                dirty_pairs.extend(pairs.iter().copied());
+            }
+        }
+
+        // A dirty set approaching the whole pair space is slower to
+        // enumerate than to resweep.
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        if total_pairs > 0 && dirty_pairs.len() > total_pairs / 2 {
+            self.full_sweep(ctx);
+            return true;
+        }
+
+        for &(a, b) in &dirty_pairs {
+            Self::remove_entry(&mut memo, (a, b));
+            let (i, j) = (cur[&a], cur[&b]);
+            if ctx.unordered(i, j) {
+                Self::recheck_into(ctx, &mut memo, i, j);
+            }
+        }
+        self.last_rechecked = dirty_pairs.len() as u64;
+
+        memo.sids = ctx.sids.clone();
+        memo.priority = ctx.priority.clone();
+        memo.preds = preds_new.unwrap_or_else(|| Self::preds_of(ctx));
+        self.memo = Some(memo);
+        false
+    }
+
+    /// Runs [`check_pair`] + [`corollary_pair`] for one unordered pair and
+    /// records the results (only non-trivial ones take memory).
+    fn recheck_into(ctx: &AnalysisContext, memo: &mut ConfluenceMemo, i: usize, j: usize) {
+        let (cl, violations) = check_pair(ctx, i, j);
+        let corollary = corollary_pair(ctx, i, j);
+        let mut extras: Vec<u32> = cl
+            .r1
+            .iter()
+            .chain(cl.r2.iter())
+            .filter(|&&m| m != i && m != j)
+            .map(|&m| ctx.sid(m))
+            .collect();
+        extras.sort_unstable();
+        extras.dedup();
+        if violations.is_empty() && corollary.is_empty() && extras.is_empty() {
+            return;
+        }
+        let key = (ctx.sid(i), ctx.sid(j));
+        for &e in &extras {
+            memo.extra_index.entry(e).or_default().insert(key);
+        }
+        memo.entries.insert(
+            key,
+            PairEntry {
+                violations,
+                corollary,
+                extras,
+            },
+        );
+    }
+
+    fn remove_entry(memo: &mut ConfluenceMemo, key: (u32, u32)) {
+        if let Some(entry) = memo.entries.remove(&key) {
+            for e in entry.extras {
+                if let Some(set) = memo.extra_index.get_mut(&e) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        memo.extra_index.remove(&e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// sid → sids of rules that can trigger it, from the current adjacency.
+    fn preds_of(ctx: &AnalysisContext) -> HashMap<u32, Vec<u32>> {
+        let adj = Arc::clone(ctx.triggers_adjacency());
+        let mut preds: HashMap<u32, Vec<u32>> = HashMap::new();
+        for q in 0..ctx.len() {
+            for &x in &adj[q] {
+                preds.entry(ctx.sid(x)).or_default().push(ctx.sid(q));
+            }
+        }
+        preds
+    }
+
+    /// Rebuilds the [`ConfluenceAnalysis`] from the memo, in the exact
+    /// `(i, j)` scan order of `analyze_confluence`.
+    fn assemble(&self, ctx: &AnalysisContext) -> ConfluenceAnalysis {
+        let memo = self.memo.as_ref().expect("assemble without memo");
+        let cur: HashMap<u32, usize> = ctx.sids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut keyed: Vec<((usize, usize), &PairEntry)> = memo
+            .entries
+            .iter()
+            .map(|(k, e)| ((cur[&k.0], cur[&k.1]), e))
+            .collect();
+        keyed.sort_by_key(|&(ij, _)| ij);
+        let mut violations = Vec::new();
+        for (_, e) in &keyed {
+            violations.extend(e.violations.iter().cloned());
+        }
+        let n = ctx.len();
+        let pairs_checked = n * n.saturating_sub(1) / 2 - ctx.priority.ordered_pair_count();
+        ConfluenceAnalysis {
+            verdict: if violations.is_empty() {
+                ConfluenceVerdict::RequirementHolds
+            } else {
+                ConfluenceVerdict::MayNotBeConfluent
+            },
+            violations,
+            pairs_checked,
+        }
+    }
+
+    /// Rebuilds `corollary_checks` output from the memo (empty whenever the
+    /// requirement fails, exactly like the original early return).
+    fn corollary_failures(
+        &self,
+        ctx: &AnalysisContext,
+        confluence: &ConfluenceAnalysis,
+    ) -> Vec<String> {
+        if !confluence.requirement_holds() {
+            return Vec::new();
+        }
+        let memo = self.memo.as_ref().expect("corollaries without memo");
+        let cur: HashMap<u32, usize> = ctx.sids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut keyed: Vec<((usize, usize), &PairEntry)> = memo
+            .entries
+            .iter()
+            .map(|(k, e)| ((cur[&k.0], cur[&k.1]), e))
+            .collect();
+        keyed.sort_by_key(|&(ij, _)| ij);
+        let mut out = Vec::new();
+        for (_, e) in &keyed {
+            out.extend(e.corollary.iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use starling_sql::ast::Statement;
+    use starling_sql::{parse_script, RuleDef};
+    use starling_storage::{Catalog, ColumnDef, TableSchema, ValueType};
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["t", "u", "v"] {
+            cat.add_table(
+                TableSchema::new(name, vec![ColumnDef::new("x", ValueType::Int)]).unwrap(),
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    fn defs(src: &str) -> Vec<RuleDef> {
+        parse_script(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|s| match s {
+                Statement::CreateRule(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn scratch_report(
+        cat: &Catalog,
+        defs: &[RuleDef],
+        certs: &Certifications,
+        refine: bool,
+        protect: &[Vec<String>],
+    ) -> AnalysisReport {
+        let rs = RuleSet::compile(defs, cat).unwrap();
+        let mut ctx = AnalysisContext::from_ruleset(&rs, certs.clone());
+        if refine {
+            ctx = ctx.with_refinement();
+        }
+        AnalysisReport::run(&ctx, protect)
+    }
+
+    /// Drives an editing session through every mutation kind, comparing the
+    /// incremental report against a from-scratch run after each step.
+    #[test]
+    fn every_mutation_kind_matches_from_scratch() {
+        let cat = catalog();
+        let mut d = defs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;
+             create rule c on v when inserted then update u set x = 3 end;",
+        );
+        let mut certs = Certifications::new();
+        let mut refine = false;
+        let protect = vec![vec!["u".to_owned()]];
+        let mut inc = IncrementalAnalysis::sequential();
+
+        let check = |inc: &mut IncrementalAnalysis,
+                     d: &[RuleDef],
+                     certs: &Certifications,
+                     refine: bool,
+                     step: &str| {
+            let rs = RuleSet::compile(d, &cat).unwrap();
+            let got = inc.analyze(&rs, certs, refine, &protect);
+            let want = scratch_report(&cat, d, certs, refine, &protect);
+            assert_eq!(
+                got.to_json().to_string(),
+                want.to_json().to_string(),
+                "json mismatch after step: {step}"
+            );
+            assert_eq!(
+                got.to_string(),
+                want.to_string(),
+                "display mismatch after step: {step}"
+            );
+        };
+
+        check(&mut inc, &d, &certs, refine, "initial");
+
+        certs.certify_commute("a", "b");
+        check(&mut inc, &d, &certs, refine, "certify a~b");
+
+        certs.revoke_commute("a", "b");
+        check(&mut inc, &d, &certs, refine, "revoke a~b");
+
+        d[0].precedes.push("b".to_owned());
+        check(&mut inc, &d, &certs, refine, "order a>b");
+
+        d.extend(defs(
+            "create rule w on u when updated(x) then insert into v values (1) precedes b end;",
+        ));
+        check(&mut inc, &d, &certs, refine, "add rule w");
+
+        d[1] = defs("create rule b on t when inserted then update v set x = 2 end;")
+            .pop()
+            .unwrap();
+        check(&mut inc, &d, &certs, refine, "redefine b");
+
+        d.remove(2); // drop rule c
+        check(&mut inc, &d, &certs, refine, "drop rule c");
+
+        refine = true;
+        check(&mut inc, &d, &certs, refine, "enable refinement");
+
+        certs.certify_commute("b", "w");
+        check(&mut inc, &d, &certs, refine, "certify under refinement");
+
+        refine = false;
+        check(&mut inc, &d, &certs, refine, "disable refinement");
+
+        // At this tiny scale the half-the-pair-space fallback fires often;
+        // what matters is that some steps went incremental and the store
+        // served repeat verdicts.
+        let stats = inc.stats();
+        assert!(stats.incremental_sweeps >= 2, "{stats:?}");
+        assert!(stats.pair.hits > 0, "{stats:?}");
+    }
+
+    /// A certify step on an otherwise untouched set must recheck only the
+    /// pairs mentioning the certified rule, not the whole pair space.
+    #[test]
+    fn certify_rechecks_linear_pair_set() {
+        let cat = catalog();
+        let d = defs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;
+             create rule c on t when inserted then update u set x = 3 end;
+             create rule e on t when inserted then update u set x = 4 end;
+             create rule f on t when inserted then update u set x = 5 end;",
+        );
+        let rs = RuleSet::compile(&d, &cat).unwrap();
+        let mut inc = IncrementalAnalysis::sequential();
+        let mut certs = Certifications::new();
+        inc.analyze(&rs, &certs, false, &[]);
+        assert_eq!(inc.stats().full_sweeps, 1);
+
+        certs.certify_commute("a", "b");
+        inc.analyze(&rs, &certs, false, &[]);
+        let stats = inc.stats();
+        assert_eq!(stats.incremental_sweeps, 1, "{stats:?}");
+        // 5 rules → 10 pairs; pairs(a) alone is 4.
+        assert_eq!(stats.last_rechecked_pairs, 4, "{stats:?}");
+    }
+
+    /// Rebinding identical inputs is a no-op sweep: zero dirty pairs.
+    #[test]
+    fn identical_rebind_rechecks_nothing() {
+        let cat = catalog();
+        let d = defs(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;",
+        );
+        let rs = RuleSet::compile(&d, &cat).unwrap();
+        let mut inc = IncrementalAnalysis::sequential();
+        let certs = Certifications::new();
+        let first = inc.analyze(&rs, &certs, false, &[]);
+        let second = inc.analyze(&rs, &certs, false, &[]);
+        assert_eq!(first.to_json().to_string(), second.to_json().to_string());
+        assert_eq!(inc.stats().last_rechecked_pairs, 0);
+    }
+}

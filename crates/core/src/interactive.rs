@@ -13,7 +13,7 @@ use starling_sql::RuleDef;
 use starling_storage::Catalog;
 
 use crate::certifications::Certifications;
-use crate::context::AnalysisContext;
+use crate::incremental::{IncrementalAnalysis, IncrementalStats};
 use crate::report::AnalysisReport;
 
 /// One step in the interactive history.
@@ -29,12 +29,15 @@ pub struct HistoryEntry {
     pub all_guaranteed: bool,
 }
 
-/// An interactive analysis session.
+/// An interactive analysis session. Holds a persistent
+/// [`IncrementalAnalysis`] so each refinement step re-derives only what it
+/// changed rather than recomputing the whole report.
 pub struct InteractiveSession {
     catalog: Catalog,
     defs: Vec<RuleDef>,
     certs: Certifications,
     history: Vec<HistoryEntry>,
+    analysis: IncrementalAnalysis,
 }
 
 impl InteractiveSession {
@@ -45,6 +48,7 @@ impl InteractiveSession {
             defs,
             certs: Certifications::new(),
             history: Vec::new(),
+            analysis: IncrementalAnalysis::new(),
         }
     }
 
@@ -58,9 +62,9 @@ impl InteractiveSession {
         &self.certs
     }
 
-    fn context(&self) -> Result<AnalysisContext, starling_engine::EngineError> {
-        let rs = RuleSet::compile(&self.defs, &self.catalog)?;
-        Ok(AnalysisContext::from_ruleset(&rs, self.certs.clone()))
+    /// Pair-store and sweep counters for the session's analyzer.
+    pub fn analysis_stats(&self) -> IncrementalStats {
+        self.analysis.stats()
     }
 
     /// Runs the analyses, recording a history entry labeled `action`.
@@ -68,8 +72,8 @@ impl InteractiveSession {
         &mut self,
         action: &str,
     ) -> Result<AnalysisReport, starling_engine::EngineError> {
-        let ctx = self.context()?;
-        let report = AnalysisReport::run(&ctx, &[]);
+        let rs = RuleSet::compile(&self.defs, &self.catalog)?;
+        let report = self.analysis.analyze(&rs, &self.certs, false, &[]);
         self.history.push(HistoryEntry {
             action: action.to_owned(),
             confluence_violations: report.confluence.violations.len(),
@@ -212,6 +216,22 @@ mod tests {
             .map(|h| h.confluence_violations)
             .collect();
         assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn session_analyzer_reuses_pair_verdicts() {
+        let mut s = setup(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when inserted then update u set x = 2 end;",
+        );
+        s.analyze("initial").unwrap();
+        let cold = s.analysis_stats();
+        s.certify_commute("a", "b");
+        s.analyze("after certify").unwrap();
+        let warm = s.analysis_stats();
+        assert!(warm.pair.hits > cold.pair.hits, "{warm:?}");
+        // Exactly the certified pair's verdict was invalidated.
+        assert_eq!(warm.pair.invalidations, cold.pair.invalidations + 1);
     }
 
     #[test]

@@ -64,9 +64,11 @@ pub mod certifications;
 pub mod commutativity;
 pub mod confluence;
 pub mod context;
+pub mod incremental;
 pub mod interactive;
 pub mod loader;
 pub mod observable;
+pub mod pair_store;
 pub mod partial;
 pub mod partition;
 pub mod refine;
@@ -78,13 +80,15 @@ pub mod triggering_graph;
 pub use certifications::Certifications;
 pub use commutativity::{
     commutes, commutes_idx, noncommutativity_reasons, noncommutativity_reasons_idx,
-    noncommutativity_reasons_lemma61, NoncommutativityReason,
+    noncommutativity_reasons_lemma61, prewarm_pairs, NoncommutativityReason,
 };
 pub use confluence::{ConfluenceAnalysis, ConfluenceVerdict, ConfluenceViolation};
 pub use context::AnalysisContext;
+pub use incremental::{IncrementalAnalysis, IncrementalStats};
 pub use interactive::InteractiveSession;
 pub use loader::{load_script, LoadedScript};
 pub use observable::{ObservableAnalysis, OBS_TABLE};
+pub use pair_store::{BindOutcome, PairStore, PairStoreStats};
 pub use partial::{significant_rules, PartialConfluenceAnalysis};
 pub use refine::{predicates_disjoint, refine_reasons};
 pub use report::AnalysisReport;

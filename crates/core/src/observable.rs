@@ -53,9 +53,16 @@ impl ObservableAnalysis {
 
 /// Builds the Section 8 extended context: every observable rule gets
 /// `Obs.log ∈ Reads` and `(I, Obs) ∈ Performs`.
+///
+/// The widened signatures are bound to the source context's dedicated
+/// `Obs`-side pair store when one is attached (the incremental analyzer
+/// keeps it warm across refinement steps — the bind-time fingerprint diff
+/// invalidates exactly the pairs of rules whose signatures changed), and
+/// to a fresh private store otherwise, matching the old clear-everything
+/// behavior.
 pub fn extend_with_obs(ctx: &AnalysisContext) -> AnalysisContext {
-    let mut extended = ctx.clone();
-    for sig in &mut extended.sigs {
+    let mut sigs = ctx.sigs.clone();
+    for sig in &mut sigs {
         if sig.observable {
             sig.reads
                 .insert(starling_storage::ColRef::new(OBS_TABLE, "log"));
@@ -63,23 +70,42 @@ pub fn extend_with_obs(ctx: &AnalysisContext) -> AnalysisContext {
                 .insert(starling_storage::Op::Insert(OBS_TABLE.to_owned()));
         }
     }
-    // The clone carried the source context's memoized pair verdicts, which
-    // the widened signatures invalidate.
-    extended.clear_pair_cache();
-    extended
+    let store = ctx
+        .obs_store
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(crate::pair_store::PairStore::new()));
+    AnalysisContext::from_parts(
+        sigs,
+        ctx.priority.clone(),
+        ctx.certs.clone(),
+        ctx.defs.clone(),
+        ctx.catalog.clone(),
+        ctx.refine,
+        store,
+    )
 }
 
 /// Runs observable-determinism analysis (Theorem 8.1).
 pub fn analyze_observable_determinism(ctx: &AnalysisContext) -> ObservableAnalysis {
-    let extended = extend_with_obs(ctx);
-    let partial = analyze_partial_confluence(&extended, &[OBS_TABLE]);
+    let observable_rules: Vec<String> = ctx
+        .sigs
+        .iter()
+        .filter(|s| s.observable)
+        .map(|s| s.name.clone())
+        .collect();
+    // With no observable rule the Obs extension changes no signature, so
+    // the analysis runs on the original context — its cached triggering
+    // adjacency included — instead of cloning and rebinding everything.
+    // Sig(Obs) is empty either way, so no pair is probed and the result
+    // is identical.
+    let partial = if observable_rules.is_empty() {
+        analyze_partial_confluence(ctx, &[OBS_TABLE])
+    } else {
+        let extended = extend_with_obs(ctx);
+        analyze_partial_confluence(&extended, &[OBS_TABLE])
+    };
     ObservableAnalysis {
-        observable_rules: ctx
-            .sigs
-            .iter()
-            .filter(|s| s.observable)
-            .map(|s| s.name.clone())
-            .collect(),
+        observable_rules,
         partial,
     }
 }

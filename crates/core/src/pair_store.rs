@@ -1,0 +1,459 @@
+//! The persistent, versioned pair-verdict store backing the incremental
+//! §6.4 loop.
+//!
+//! [`PairStore`] replaces the old per-context `PairCache` (a `RefCell`
+//! HashMap wholesale-cleared on any refinement). It is `Send + Sync`,
+//! shared across analysis contexts via `Arc`, and keyed by **rule-pair
+//! identity**: rule names are interned to stable u32 ids, and Lemma 6.1
+//! verdicts live in two dense triangular bitmaps (known-bit + value-bit,
+//! two bits per pair — ~12.5 MB at 10k rules, where a `HashMap` of 50M pair
+//! entries would be gigabytes). Noncommutativity *reasons* are only
+//! materialized for pairs that actually conflict, so they stay in a sparse
+//! map.
+//!
+//! Invalidation is **structural**, not caller-driven: every analysis run
+//! re-[`bind`](PairStore::bind)s the current signatures/certifications/
+//! refinement flag, and the store diffs them against what it last saw:
+//!
+//! * a rule whose signature fingerprint changed (redefined, or added back
+//!   with a different body) invalidates exactly the O(n) pairs that
+//!   mention it — verdicts *and* its reason entries;
+//! * a commute-certification added or revoked invalidates exactly that
+//!   pair's verdict (reasons are certification-independent);
+//! * toggling the Section 9 predicate-level refinement invalidates every
+//!   verdict but keeps the reason entries (in Starling, reasons are the
+//!   raw Lemma 6.1 conditions; refinement only affects whether they are
+//!   *discharged*, i.e. the verdict);
+//! * priority edits invalidate **nothing here** — Lemma 6.1 is
+//!   priority-independent; ordering-dependent state (which pairs are
+//!   unordered, the Def 6.5 closures) lives in the incremental analyzer's
+//!   confluence memo, which diffs the priority closure itself.
+//!
+//! Dropped rules leave their entries dormant: re-adding the same rule with
+//! the same signature revalidates its pairs for free (the fingerprint
+//! matches), while re-adding it changed invalidates them precisely.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use starling_sql::RuleSignature;
+use starling_storage::Fnv64;
+
+use crate::certifications::Certifications;
+use crate::commutativity::NoncommutativityReason;
+
+/// Flat index of the unordered pair `{a, b}` (`a < b`) in the triangular
+/// bitmaps. Depends only on the pair, so growing the id space never moves
+/// existing entries.
+#[inline]
+fn tri(a: usize, b: usize) -> usize {
+    debug_assert!(a < b);
+    b * (b - 1) / 2 + a
+}
+
+#[inline]
+fn get_bit(bits: &[u64], idx: usize) -> bool {
+    bits[idx / 64] >> (idx % 64) & 1 != 0
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], idx: usize, v: bool) {
+    if v {
+        bits[idx / 64] |= 1u64 << (idx % 64);
+    } else {
+        bits[idx / 64] &= !(1u64 << (idx % 64));
+    }
+}
+
+/// A stable content hash of everything a Lemma 6.1 verdict depends on for
+/// one rule. `RuleSignature`'s set fields are `BTreeSet`s, so its `Debug`
+/// rendering is deterministic.
+fn fingerprint(sig: &RuleSignature) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&format!("{sig:?}"));
+    h.finish()
+}
+
+/// What one [`PairStore::bind`] changed — the dirty-set seed the
+/// incremental analyzer propagates from.
+#[derive(Clone, Debug, Default)]
+pub struct BindOutcome {
+    /// Store id of each bound rule, in rule order.
+    pub sids: Vec<u32>,
+    /// Previously seen rules whose signature fingerprint changed.
+    pub changed_rules: Vec<u32>,
+    /// Rules bound for the first time ever (no dormant entries existed).
+    pub added_rules: Vec<u32>,
+    /// Pairs (normalized `(min, max)` store ids) whose commute
+    /// certification was added or revoked since the previous bind.
+    pub changed_certs: Vec<(u32, u32)>,
+    /// The refinement flag flipped: every verdict was dropped.
+    pub refine_flipped: bool,
+    /// This was the store's first bind (nothing to diff against).
+    pub first_bind: bool,
+}
+
+impl BindOutcome {
+    /// Whether the previous bind's verdict set survives untouched.
+    pub fn unchanged(&self) -> bool {
+        !self.first_bind
+            && !self.refine_flipped
+            && self.changed_rules.is_empty()
+            && self.added_rules.is_empty()
+            && self.changed_certs.is_empty()
+    }
+}
+
+/// Cumulative counters, reported per session by the server's `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairStoreStats {
+    /// Verdict/reason lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored the result).
+    pub misses: u64,
+    /// Cached verdicts dropped by bind-time diffs.
+    pub invalidations: u64,
+    /// Monotone version counter: bumps whenever a bind changes anything.
+    pub epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ids: HashMap<String, u32>,
+    fps: Vec<u64>,
+    /// Triangular bitmap: pair verdict present.
+    known: Vec<u64>,
+    /// Triangular bitmap: the verdict itself (valid where `known`).
+    verdicts: Vec<u64>,
+    /// Raw Lemma 6.1 reasons, keyed by **directional** `(a, b)` store ids
+    /// (the reported direction matters for display).
+    reasons: HashMap<(u32, u32), Vec<NoncommutativityReason>>,
+    last_commute: BTreeSet<(String, String)>,
+    refine: bool,
+    bound: bool,
+}
+
+impl Inner {
+    fn grow_to(&mut self, cap: usize) {
+        let words = (cap * cap.saturating_sub(1) / 2).div_ceil(64);
+        if self.known.len() < words {
+            self.known.resize(words, 0);
+            self.verdicts.resize(words, 0);
+        }
+    }
+
+    /// Clears every cached verdict and reason entry mentioning `sid`.
+    /// Returns how many verdicts were dropped.
+    fn clear_rule(&mut self, sid: u32) -> u64 {
+        let cap = self.fps.len();
+        let s = sid as usize;
+        let mut cleared = 0u64;
+        let drop_pair = |known: &mut [u64], idx: usize| {
+            if get_bit(known, idx) {
+                set_bit(known, idx, false);
+                1
+            } else {
+                0
+            }
+        };
+        for a in 0..s {
+            cleared += drop_pair(&mut self.known, tri(a, s));
+        }
+        for b in (s + 1)..cap {
+            cleared += drop_pair(&mut self.known, tri(s, b));
+        }
+        self.reasons.retain(|k, _| k.0 != sid && k.1 != sid);
+        cleared
+    }
+}
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct PairStore {
+    inner: RwLock<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl PairStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PairStore::default()
+    }
+
+    /// Binds the current analysis inputs, diffing them against the
+    /// previous bind and invalidating exactly the stale entries.
+    pub fn bind(
+        &self,
+        sigs: &[RuleSignature],
+        certs: &Certifications,
+        refine: bool,
+    ) -> BindOutcome {
+        let inner = &mut *self.inner.write().expect("pair store poisoned");
+        let first_bind = !inner.bound;
+        inner.bound = true;
+
+        let mut out = BindOutcome {
+            first_bind,
+            ..BindOutcome::default()
+        };
+        let mut cleared = 0u64;
+        for sig in sigs {
+            let fp = fingerprint(sig);
+            let next = inner.fps.len() as u32;
+            let sid = *inner.ids.entry(sig.name.clone()).or_insert(next);
+            if sid == next {
+                inner.fps.push(fp);
+                let cap = inner.fps.len();
+                inner.grow_to(cap);
+                out.added_rules.push(sid);
+            } else if inner.fps[sid as usize] != fp {
+                cleared += inner.clear_rule(sid);
+                inner.fps[sid as usize] = fp;
+                out.changed_rules.push(sid);
+            }
+            out.sids.push(sid);
+        }
+
+        let new_commute: BTreeSet<(String, String)> = certs.commute_pairs().cloned().collect();
+        for pair in new_commute.symmetric_difference(&inner.last_commute) {
+            let (Some(&a), Some(&b)) = (inner.ids.get(&pair.0), inner.ids.get(&pair.1)) else {
+                continue;
+            };
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            let idx = tri(key.0 as usize, key.1 as usize);
+            if get_bit(&inner.known, idx) {
+                set_bit(&mut inner.known, idx, false);
+                cleared += 1;
+            }
+            out.changed_certs.push(key);
+        }
+        inner.last_commute = new_commute;
+
+        if !first_bind && inner.refine != refine {
+            out.refine_flipped = true;
+            cleared += inner
+                .known
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>();
+            inner.known.iter_mut().for_each(|w| *w = 0);
+        }
+        inner.refine = refine;
+
+        if cleared > 0 {
+            self.invalidations.fetch_add(cleared, Ordering::Relaxed);
+        }
+        if !out.unchanged() {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Cached commutativity verdict for the (symmetric) pair, if present.
+    pub(crate) fn verdict(&self, a: u32, b: u32) -> Option<bool> {
+        debug_assert_ne!(a, b);
+        let idx = tri(a.min(b) as usize, a.max(b) as usize);
+        let inner = self.inner.read().expect("pair store poisoned");
+        if get_bit(&inner.known, idx) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(get_bit(&inner.verdicts, idx))
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Stores a freshly computed verdict.
+    pub(crate) fn set_verdict(&self, a: u32, b: u32, v: bool) {
+        debug_assert_ne!(a, b);
+        let idx = tri(a.min(b) as usize, a.max(b) as usize);
+        let inner = &mut *self.inner.write().expect("pair store poisoned");
+        set_bit(&mut inner.verdicts, idx, v);
+        set_bit(&mut inner.known, idx, true);
+    }
+
+    /// Stores a batch of verdicts under one lock acquisition, counting each
+    /// as a miss (the parallel sweep computes them without a prior
+    /// [`Self::verdict`] probe). Bit positions are disjoint per pair and
+    /// every value is a pure function of the pair, so merge order cannot
+    /// affect the resulting store state.
+    pub(crate) fn merge_verdicts(&self, entries: &[(u32, u32, bool)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let inner = &mut *self.inner.write().expect("pair store poisoned");
+        for &(a, b, v) in entries {
+            let idx = tri(a.min(b) as usize, a.max(b) as usize);
+            set_bit(&mut inner.verdicts, idx, v);
+            set_bit(&mut inner.known, idx, true);
+        }
+        self.misses
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Cached raw reasons for the **directional** pair `(a, b)`.
+    pub(crate) fn reasons(&self, a: u32, b: u32) -> Option<Vec<NoncommutativityReason>> {
+        let inner = self.inner.read().expect("pair store poisoned");
+        match inner.reasons.get(&(a, b)) {
+            Some(rs) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rs.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores freshly computed reasons for the directional pair `(a, b)`.
+    pub(crate) fn set_reasons(&self, a: u32, b: u32, rs: Vec<NoncommutativityReason>) {
+        let inner = &mut *self.inner.write().expect("pair store poisoned");
+        inner.reasons.insert((a, b), rs);
+    }
+
+    /// A point-in-time copy of the known-bits bitmap, for lock-free probing
+    /// during the parallel sweep.
+    pub(crate) fn known_snapshot(&self) -> KnownSnapshot {
+        let inner = self.inner.read().expect("pair store poisoned");
+        KnownSnapshot {
+            bits: inner.known.clone(),
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PairStoreStats {
+        PairStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// See [`PairStore::known_snapshot`].
+pub(crate) struct KnownSnapshot {
+    bits: Vec<u64>,
+}
+
+impl KnownSnapshot {
+    pub(crate) fn contains(&self, a: u32, b: u32) -> bool {
+        let idx = tri(a.min(b) as usize, a.max(b) as usize);
+        idx / 64 < self.bits.len() && get_bit(&self.bits, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::ctx_from;
+
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PairStore>();
+    };
+
+    fn three_sigs() -> Vec<RuleSignature> {
+        ctx_from(
+            "create rule a on t when inserted then update u set x = 1 end;
+             create rule b on t when deleted then update u set x = 2 end;
+             create rule c on t when inserted then insert into u values (1) end;",
+            &[("t", &["x"]), ("u", &["x"])],
+        )
+        .sigs
+    }
+
+    #[test]
+    fn rebind_same_inputs_is_a_noop() {
+        let store = PairStore::new();
+        let sigs = three_sigs();
+        let certs = Certifications::new();
+        let first = store.bind(&sigs, &certs, false);
+        assert!(first.first_bind);
+        assert_eq!(first.added_rules, vec![0, 1, 2]);
+        store.set_verdict(first.sids[0], first.sids[1], false);
+        let again = store.bind(&sigs, &certs, false);
+        assert!(again.unchanged());
+        assert_eq!(again.sids, first.sids);
+        assert_eq!(store.verdict(0, 1), Some(false));
+        assert_eq!(store.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn signature_change_invalidates_only_that_rules_pairs() {
+        let store = PairStore::new();
+        let mut sigs = three_sigs();
+        let out = store.bind(&sigs, &Certifications::new(), false);
+        store.set_verdict(0, 1, false);
+        store.set_verdict(0, 2, true);
+        store.set_verdict(1, 2, true);
+        store.set_reasons(1, 2, Vec::new());
+        // Redefine rule c (sid 2): its two pairs drop, pair (a, b) survives.
+        sigs[2].observable = !sigs[2].observable;
+        let out2 = store.bind(&sigs, &Certifications::new(), false);
+        assert_eq!(out2.changed_rules, vec![2]);
+        assert_eq!(out2.sids, out.sids);
+        assert_eq!(store.verdict(0, 1), Some(false));
+        assert_eq!(store.verdict(0, 2), None);
+        assert_eq!(store.verdict(1, 2), None);
+        assert_eq!(store.reasons(1, 2), None);
+        assert_eq!(store.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn dropped_rule_revalidates_on_identical_readd() {
+        let store = PairStore::new();
+        let sigs = three_sigs();
+        store.bind(&sigs, &Certifications::new(), false);
+        store.set_verdict(1, 2, true);
+        // Drop rule b, then re-add it unchanged: its dormant entries are
+        // still valid, so nothing is invalidated.
+        let two: Vec<RuleSignature> = vec![sigs[0].clone(), sigs[2].clone()];
+        let out = store.bind(&two, &Certifications::new(), false);
+        assert!(out.unchanged());
+        let back = store.bind(&sigs, &Certifications::new(), false);
+        assert!(back.unchanged());
+        assert_eq!(store.verdict(1, 2), Some(true));
+    }
+
+    #[test]
+    fn cert_change_invalidates_exactly_that_pair() {
+        let store = PairStore::new();
+        let sigs = three_sigs();
+        store.bind(&sigs, &Certifications::new(), false);
+        store.set_verdict(0, 1, false);
+        store.set_verdict(0, 2, true);
+        let mut certs = Certifications::new();
+        certs.certify_commute("a", "b");
+        let out = store.bind(&sigs, &certs, false);
+        assert_eq!(out.changed_certs, vec![(0, 1)]);
+        assert_eq!(store.verdict(0, 1), None);
+        assert_eq!(store.verdict(0, 2), Some(true));
+        // Revoking invalidates the pair again.
+        let out = store.bind(&sigs, &Certifications::new(), false);
+        assert_eq!(out.changed_certs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn refine_flip_drops_verdicts_keeps_reasons() {
+        let store = PairStore::new();
+        let sigs = three_sigs();
+        store.bind(&sigs, &Certifications::new(), false);
+        store.set_verdict(0, 1, false);
+        store.set_reasons(0, 1, Vec::new());
+        let out = store.bind(&sigs, &Certifications::new(), true);
+        assert!(out.refine_flipped);
+        assert_eq!(store.verdict(0, 1), None);
+        assert_eq!(store.reasons(0, 1), Some(Vec::new()));
+        assert!(store.stats().invalidations >= 1);
+        assert!(store.stats().epoch >= 2);
+    }
+}

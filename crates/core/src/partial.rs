@@ -56,13 +56,19 @@ pub fn significant_rules_in(
             sig[i] = true;
         }
     }
+    // Iterate to the least fixed point, testing candidates against a
+    // snapshot of the rules significant at the round's start: the closure
+    // is monotone, so the fixed point is the same as with live updates,
+    // and the inner scan is O(|Sig|) rather than O(n) per candidate —
+    // in particular O(1) rounds when Sig(T') starts (and stays) empty.
     loop {
         let mut changed = false;
+        let sig_now: Vec<usize> = (0..n).filter(|&q| sig[q] && member[q]).collect();
         for &r in subset {
             if sig[r] {
                 continue;
             }
-            if (0..n).any(|q| sig[q] && member[q] && !commutes_idx(ctx, r, q)) {
+            if sig_now.iter().any(|&q| !commutes_idx(ctx, r, q)) {
                 sig[r] = true;
                 changed = true;
             }

@@ -21,10 +21,9 @@
 
 use std::sync::Arc;
 
-use starling_analysis::context::AnalysisContext;
 use starling_analysis::loader::LoadedScript;
-use starling_analysis::report::{explore_json, AnalysisReport};
-use starling_analysis::Certifications;
+use starling_analysis::report::explore_json;
+use starling_analysis::{Certifications, IncrementalAnalysis};
 use starling_engine::{
     explore_with_mode, EvalMode, FirstEligible, Outcome, RuleSet, Session, Verdict,
 };
@@ -82,6 +81,9 @@ pub struct ServerSession {
     persist_name: Option<String>,
     /// Counters for `stats`.
     pub metrics: SessionMetrics,
+    /// Persistent incremental analyzer: `analyze` after a `certify`/`order`
+    /// refinement re-derives only the dirtied pairs.
+    analysis: IncrementalAnalysis,
 }
 
 /// Everything needed to roll a session back to its pre-request state.
@@ -102,6 +104,7 @@ impl ServerSession {
             durable_root: None,
             persist_name: None,
             metrics: SessionMetrics::default(),
+            analysis: IncrementalAnalysis::new(),
         }
     }
 
@@ -142,8 +145,37 @@ impl ServerSession {
     }
 
     /// Session-level stats, embedded in the server's `stats` response.
+    /// Includes the incremental analyzer's pair-cache counters so clients
+    /// can observe that a certify/order refinement step reused verdicts.
     pub fn stats_json(&self) -> Json {
-        self.metrics.to_json()
+        let a = self.analysis.stats();
+        let Json::Obj(mut fields) = self.metrics.to_json() else {
+            unreachable!("metrics serialize to an object");
+        };
+        fields.push((
+            "pair_cache".into(),
+            Json::obj([
+                ("hits", Json::from(a.pair.hits as i64)),
+                ("misses", Json::from(a.pair.misses as i64)),
+                ("invalidations", Json::from(a.pair.invalidations as i64)),
+                ("obs_hits", Json::from(a.obs_pair.hits as i64)),
+                ("obs_misses", Json::from(a.obs_pair.misses as i64)),
+                (
+                    "obs_invalidations",
+                    Json::from(a.obs_pair.invalidations as i64),
+                ),
+                ("full_sweeps", Json::from(a.full_sweeps as i64)),
+                (
+                    "incremental_sweeps",
+                    Json::from(a.incremental_sweeps as i64),
+                ),
+                (
+                    "last_rechecked_pairs",
+                    Json::from(a.last_rechecked_pairs as i64),
+                ),
+            ]),
+        ));
+        Json::Obj(fields)
     }
 
     fn checkpoint(&mut self) -> Checkpoint {
@@ -420,9 +452,7 @@ impl ServerSession {
             .ruleset_arc()
             .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?
             .clone();
-        let mut ctx = AnalysisContext::from_ruleset(&rules, certs);
-        ctx.refine = refine;
-        let report = AnalysisReport::run(&ctx, &protect);
+        let report = self.analysis.analyze(&rules, &certs, refine, &protect);
         Ok(report.to_json())
     }
 
@@ -809,6 +839,55 @@ mod tests {
             r.get("confluence_guaranteed").and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    /// The certify→analyze→order→analyze refinement flow runs on the
+    /// session's persistent analyzer: warm analyzes reuse pair verdicts,
+    /// invalidate only what the refinement touched, and the counters are
+    /// visible through `stats`.
+    #[test]
+    fn refinement_steps_reuse_pair_verdicts() {
+        // Enough rules that a single-rule refinement dirties well under
+        // half of all pairs — the incremental path, not the small-set
+        // full-sweep fallback.
+        let mut script = String::from("create table t (x int);\ncreate table u (x int);\n");
+        for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            script.push_str(&format!(
+                "create rule {name} on t when inserted then update u set x = 1 end;\n"
+            ));
+        }
+        let cache = ScriptCache::new();
+        let mut s = ServerSession::new();
+        let req = Json::obj([("script", Json::from(script.as_str()))]);
+        s.handle_op("load", &req, &cache).unwrap();
+        let empty = Json::parse("{}").unwrap();
+        s.handle_op("analyze", &empty, &cache).unwrap();
+        let cold = s.analysis.stats();
+        assert_eq!(cold.full_sweeps, 1);
+
+        let req = Json::parse(r#"{"kind":"commute","a":"a","b":"b"}"#).unwrap();
+        s.handle_op("certify", &req, &cache).unwrap();
+        s.handle_op("analyze", &empty, &cache).unwrap();
+        let warm = s.analysis.stats();
+        assert!(warm.pair.hits > cold.pair.hits, "{warm:?}");
+        // Exactly the certified pair's verdict was invalidated.
+        assert_eq!(warm.pair.invalidations, cold.pair.invalidations + 1);
+
+        let req = Json::parse(r#"{"higher":"a","lower":"b"}"#).unwrap();
+        s.handle_op("order", &req, &cache).unwrap();
+        s.handle_op("analyze", &empty, &cache).unwrap();
+        let after_order = s.analysis.stats();
+        assert_eq!(after_order.full_sweeps, 1, "{after_order:?}");
+        assert_eq!(after_order.incremental_sweeps, 2, "{after_order:?}");
+
+        // The counters surface in the stats payload.
+        let stats = s.stats_json();
+        let pc = stats.get("pair_cache").expect("pair_cache in stats");
+        assert_eq!(
+            pc.get("hits").and_then(Json::as_i64),
+            Some(after_order.pair.hits as i64)
+        );
+        assert_eq!(pc.get("full_sweeps").and_then(Json::as_i64), Some(1));
     }
 
     #[test]

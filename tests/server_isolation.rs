@@ -264,3 +264,77 @@ fn eval_mode_is_isolated_across_sessions() {
     server.shutdown();
     server.join();
 }
+
+/// The §6.4 refinement loop over the wire: certify → analyze → order →
+/// analyze on one session reuses pair verdicts (visible through the
+/// `stats` op's per-session `pair_cache` counters) and never leaks
+/// analyzer state into a neighbor session on the same program.
+#[test]
+fn refinement_stats_are_per_session() {
+    use std::fmt::Write as _;
+    // Eight same-shape conflicting rules: a single-rule refinement dirties
+    // well under half the pairs, so warm analyzes take the incremental path.
+    let mut script = String::from("create table t (x int);\ncreate table u (x int);\n");
+    for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+        let _ = writeln!(
+            script,
+            "create rule {name} on t when inserted then update u set x = 1 end;"
+        );
+    }
+
+    let pair_cache = |c: &mut Client| -> Json {
+        c.expect_ok(&op(r#"{"op":"stats"}"#))
+            .expect("stats")
+            .get("session")
+            .and_then(|s| s.get("pair_cache"))
+            .expect("session.pair_cache in stats")
+            .clone()
+    };
+    let count = |j: &Json, key: &str| j.get(key).and_then(Json::as_i64).expect(key);
+
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut refiner = Client::connect_ready(addr, READY).expect("connect");
+    let mut bystander = Client::connect_ready(addr, READY).expect("connect");
+    refiner.expect_ok(&load_op(&script)).expect("load");
+    bystander.expect_ok(&load_op(&script)).expect("load");
+
+    refiner.expect_ok(&op(r#"{"op":"analyze"}"#)).expect("cold");
+    let cold = pair_cache(&mut refiner);
+    assert_eq!(count(&cold, "full_sweeps"), 1);
+
+    refiner
+        .expect_ok(&op(r#"{"op":"certify","kind":"commute","a":"a","b":"b"}"#))
+        .expect("certify");
+    refiner.expect_ok(&op(r#"{"op":"analyze"}"#)).expect("warm");
+    let warm = pair_cache(&mut refiner);
+    assert!(count(&warm, "hits") > count(&cold, "hits"), "{warm}");
+    // Exactly the certified pair's verdict was invalidated.
+    assert_eq!(
+        count(&warm, "invalidations"),
+        count(&cold, "invalidations") + 1
+    );
+
+    refiner
+        .expect_ok(&op(r#"{"op":"order","higher":"a","lower":"b"}"#))
+        .expect("order");
+    refiner
+        .expect_ok(&op(r#"{"op":"analyze"}"#))
+        .expect("warm2");
+    let after = pair_cache(&mut refiner);
+    assert_eq!(count(&after, "full_sweeps"), 1, "{after}");
+    assert_eq!(count(&after, "incremental_sweeps"), 2, "{after}");
+
+    // The bystander session shares the cached program but not the analyzer:
+    // its counters are untouched by the refiner's certify/order/analyze.
+    let other = pair_cache(&mut bystander);
+    assert_eq!(count(&other, "hits"), 0, "{other}");
+    assert_eq!(count(&other, "invalidations"), 0, "{other}");
+    assert_eq!(count(&other, "full_sweeps"), 0, "{other}");
+
+    refiner.quit().expect("quit");
+    bystander.quit().expect("quit");
+    server.shutdown();
+    server.join();
+}
