@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use starling_analysis::{Certifications, IncrementalAnalysis};
-use starling_engine::{explore, ExecGraph, ExploreConfig, RuleSet};
+use starling_engine::{explore, explore_traced, ExecGraph, ExploreConfig, RuleSet};
 use starling_fuzz::{generate, GenConfig};
 use starling_sql::ast::{Action, Statement};
 use starling_sql::parse_statement;
@@ -218,6 +218,63 @@ fn scale_specs() -> Vec<CaseSpec> {
             });
         }
     }
+    specs
+}
+
+/// The provenance family: traced counterparts of the `cond/*` shapes and
+/// one `scale/*` shape. Same rules, database, transition, and budget as
+/// the matching untraced case; the measured loop calls
+/// [`explore_traced`] instead of [`explore`], so the delta between
+/// `prov/X` and its `cond/X` / `scale/X` twin is exactly the
+/// decision-log recording overhead (the ≤5% budget of DESIGN.md §4k).
+fn prov_specs() -> Vec<CaseSpec> {
+    let cfg = ExploreConfig::default()
+        .with_max_states(5_000)
+        .with_max_paths(10_000);
+    let mut specs = Vec::new();
+    for flavor in ["eq_join", "scan_filter"] {
+        let name = format!("prov/{flavor}");
+        specs.push(CaseSpec {
+            name: name.clone(),
+            build: Box::new(move || {
+                let rules = if flavor == "eq_join" {
+                    cond_stress::join_rules()
+                } else {
+                    cond_stress::filter_rules()
+                };
+                let db = cond_stress::database();
+                let actions = cond_stress::user_actions();
+                BenchCase::Op {
+                    name,
+                    op: Box::new(move || {
+                        let (g, log) = explore_traced(&rules, &db, &actions, &cfg)
+                            .expect("prov bench case explores");
+                        std::hint::black_box(log.ambiguous());
+                        (g.states.len(), g.edges.len())
+                    }),
+                }
+            }),
+        });
+    }
+    let name = "prov/filter_100k".to_owned();
+    specs.push(CaseSpec {
+        name: name.clone(),
+        build: Box::new(move || {
+            let rows = 100_000i64;
+            let rules = scale::filter_rules(rows);
+            let db = scale::database(rows);
+            let actions = scale::user_actions(rows);
+            BenchCase::Op {
+                name,
+                op: Box::new(move || {
+                    let (g, log) = explore_traced(&rules, &db, &actions, &cfg)
+                        .expect("prov bench case explores");
+                    std::hint::black_box(log.ambiguous());
+                    (g.states.len(), g.edges.len())
+                }),
+            }
+        }),
+    });
     specs
 }
 
@@ -537,6 +594,7 @@ fn main() {
         .map(CaseSpec::eager)
         .collect();
     specs.extend(scale_specs());
+    specs.extend(prov_specs());
     specs.extend(analysis_specs());
     let selected: Vec<CaseSpec> = specs
         .into_iter()

@@ -23,6 +23,7 @@ use starling_engine::{
     explore, Budget, EngineError, ExploreConfig, FirstEligible, Outcome, RuleSet, RunResult,
     Session, Verdict,
 };
+use starling_sql::json::Json;
 
 pub use starling_analysis::loader::{load_script, LoadedScript};
 
@@ -192,6 +193,82 @@ pub fn cmd_explore(
     } else {
         CmdStatus::Ok
     };
+    Ok(CmdOutput { text: out, status })
+}
+
+/// `starling explain` without a rule argument: explores the script's user
+/// transition with provenance tracing and, when the oracle reaches more
+/// than one final database state, prints a minimal divergence witness —
+/// one common state plus two firing sequences, replay-verified through the
+/// engine before being reported.
+///
+/// A confluent exploration is [`CmdStatus::Ok`] with no witness; confluent
+/// *so far* under an exhausted budget is [`CmdStatus::Inconclusive`].
+pub fn cmd_explain_divergence(
+    src: &str,
+    cfg: &ExploreConfig,
+    json: bool,
+) -> Result<CmdOutput, EngineError> {
+    let script = load_script(src)?;
+    if script.user_actions.is_empty() {
+        return Err(EngineError::InvalidStatement(
+            "explain needs DML after the rule definitions (the user transition)".into(),
+        ));
+    }
+    let ex = starling_provenance::explain_divergence(
+        &script.rules,
+        &script.db,
+        &script.user_actions,
+        cfg,
+        starling_engine::EvalMode::default(),
+    )?;
+    let status = match &ex.witness {
+        Some(_) => CmdStatus::Ok,
+        None if ex.graph.truncated() => CmdStatus::Inconclusive,
+        None => CmdStatus::Ok,
+    };
+    if json {
+        let witness = match &ex.witness {
+            Some(w) => starling_provenance::witness_json(&script.rules, w),
+            None => Json::Null,
+        };
+        let text = format!(
+            "{}\n",
+            Json::obj([
+                ("explore", explore_json(&ex.graph, cfg)),
+                ("choice_points", Json::from(ex.log.ambiguous())),
+                ("witness", witness),
+            ])
+        );
+        return Ok(CmdOutput { text, status });
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explored {} state(s), {} ambiguous choice point(s), {} distinct final DB state(s){}",
+        ex.graph.states.len(),
+        ex.log.ambiguous(),
+        ex.graph.final_db_digests().len(),
+        match ex.graph.truncation {
+            Some(r) => format!(" [TRUNCATED: {r}]"),
+            None => String::new(),
+        }
+    );
+    match &ex.witness {
+        Some(w) => out.push_str(&starling_provenance::witness_text(&script.rules, w)),
+        None if ex.graph.truncated() => {
+            let _ = writeln!(
+                out,
+                "no divergence found before the budget ran out — confluent as far as explored"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "confluent from this initial state: every path reaches the same final database"
+            );
+        }
+    }
     Ok(CmdOutput { text: out, status })
 }
 

@@ -38,8 +38,12 @@ COMMANDS:
     graph      Print the triggering graph (--dot for GraphViz)
     explore    Exhaustive execution-graph oracle over the script's
                user transition (--max-states N, default 20000)
-    explain    One rule's Section 3 signature and interactions
-               (starling explain <file> <rule>)
+    explain    With a rule name: that rule's Section 3 signature and
+               interactions (starling explain <file> <rule>). Without one:
+               explore the script's user transition with provenance tracing
+               and, if the oracle finds divergent final states, print a
+               minimal replay-verified divergence witness (--json,
+               --max-states N, --timeout MS)
     run        Execute the script with rule processing at commit
     compare    Compare against HH91/ZH90/Ras90-analog criteria
     serve      Serve concurrent sessions over newline-delimited JSON
@@ -68,8 +72,9 @@ OPTIONS:
     --timeout MS              (explore/run) wall-clock budget in milliseconds
     --refine                  (analyze) enable the Section 9 predicate-level
                               commutativity refinement
-    --json                    (analyze/explore) machine-readable output: one
-                              JSON object, same shape as the server protocol
+    --json                    (analyze/explore/explain) machine-readable
+                              output: one JSON object, same shape as the
+                              server protocol
     --addr HOST:PORT          (serve/client) listen/connect address,
                               default 127.0.0.1:7878
     --data-dir DIR            (serve) durable data directory: every committed
@@ -235,13 +240,13 @@ fn run(args: &[String]) -> Result<CmdOutput, String> {
             status: CmdStatus::Ok,
         }),
         "explore" => cmd_explore(&src, &budget, dot, json),
-        "explain" => {
-            let rule = rule_arg.ok_or("explain needs a rule name")?;
-            starling_cli::cmd_explain(&src, &rule).map(|text| CmdOutput {
+        "explain" => match rule_arg {
+            Some(rule) => starling_cli::cmd_explain(&src, &rule).map(|text| CmdOutput {
                 text,
                 status: CmdStatus::Ok,
-            })
-        }
+            }),
+            None => starling_cli::cmd_explain_divergence(&src, &budget, json),
+        },
         "run" => cmd_run(&src, &budget),
         "compare" => cmd_compare(&src).map(|text| CmdOutput {
             text,

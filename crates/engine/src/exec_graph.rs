@@ -34,6 +34,81 @@ use crate::state::ExecState;
 /// `deadline` from a shared [`Budget`].
 pub type ExploreConfig = Budget;
 
+/// One recorded choice point: a state at which more than one rule was
+/// eligible, so the processor's `Choose` was a genuine decision. States
+/// with exactly one eligible rule carry implicit provenance (their sole
+/// out-edge) and are never recorded — that is what keeps tracing at
+/// near-zero cost on deterministic programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Index of the ambiguous state in [`ExecGraph::states`].
+    pub state: usize,
+    /// Canonical digest of that state (`StateNode::digest`).
+    pub state_digest: u64,
+    /// Index into [`DecisionLog::alt_sets`] of the interned eligible set.
+    pub alt_set: usize,
+}
+
+/// Why-provenance side channel recorded during a traced exploration.
+///
+/// The log never feeds back into exploration: a traced run produces an
+/// [`ExecGraph`] structurally identical to the untraced one (asserted by
+/// tests). Eligible sets are interned — rule programs tend to reach the
+/// same ambiguous frontier from many states, so each distinct set is
+/// stored once and choice points reference it by index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecisionLog {
+    /// Interned eligible-rule sets, in first-appearance order.
+    pub alt_sets: Vec<Vec<RuleId>>,
+    /// One record per ambiguous expanded state, in expansion order.
+    pub choice_points: Vec<ChoicePoint>,
+    /// Total states expanded (ambiguous or not).
+    pub expanded: usize,
+    /// `alt_sets` index by eligible set, for interning.
+    intern: HashMap<Vec<RuleId>, usize>,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        DecisionLog::default()
+    }
+
+    /// Records the expansion of state `state` (digest `digest`) with the
+    /// given eligible set. Only ambiguous states (more than one eligible
+    /// rule) produce a [`ChoicePoint`].
+    fn record(&mut self, state: usize, digest: u64, eligible: &[RuleId]) {
+        self.expanded += 1;
+        if eligible.len() <= 1 {
+            return;
+        }
+        let alt_set = match self.intern.get(eligible) {
+            Some(&i) => i,
+            None => {
+                let i = self.alt_sets.len();
+                self.alt_sets.push(eligible.to_vec());
+                self.intern.insert(eligible.to_vec(), i);
+                i
+            }
+        };
+        self.choice_points.push(ChoicePoint {
+            state,
+            state_digest: digest,
+            alt_set,
+        });
+    }
+
+    /// The eligible set of a recorded choice point.
+    pub fn alternatives(&self, cp: &ChoicePoint) -> &[RuleId] {
+        &self.alt_sets[cp.alt_set]
+    }
+
+    /// Number of recorded (ambiguous) choice points.
+    pub fn ambiguous(&self) -> usize {
+        self.choice_points.len()
+    }
+}
+
 /// One node of the execution graph.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StateNode {
@@ -363,7 +438,37 @@ pub fn explore_with_mode(
 ) -> Result<ExecGraph, EngineError> {
     let mut db = base_db.clone();
     let ops = apply_user_actions(&mut db, user_actions)?;
-    explore_impl(rules, base_db, db, &ops, cfg, false, mode)
+    explore_impl(rules, base_db, db, &ops, cfg, false, mode, None)
+}
+
+/// [`explore`] with why-provenance recording: alongside the graph, returns
+/// the [`DecisionLog`] of choice points encountered during exploration.
+///
+/// The returned graph is identical to the untraced [`explore`] result —
+/// recording happens in the sequential merge loop and never influences
+/// expansion order, state numbering, or truncation.
+pub fn explore_traced(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+) -> Result<(ExecGraph, DecisionLog), EngineError> {
+    explore_traced_with_mode(rules, base_db, user_actions, cfg, EvalMode::default())
+}
+
+/// [`explore_traced`] with an explicit [`EvalMode`].
+pub fn explore_traced_with_mode(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+    mode: EvalMode,
+) -> Result<(ExecGraph, DecisionLog), EngineError> {
+    let mut db = base_db.clone();
+    let ops = apply_user_actions(&mut db, user_actions)?;
+    let mut log = DecisionLog::new();
+    let graph = explore_impl(rules, base_db, db, &ops, cfg, false, mode, Some(&mut log))?;
+    Ok((graph, log))
 }
 
 /// [`explore`], expanding each BFS level across threads.
@@ -391,6 +496,31 @@ pub fn explore_parallel(
     explore_from_ops_parallel(rules, base_db, db, &ops, cfg)
 }
 
+/// [`explore_parallel`] with why-provenance recording (see
+/// [`explore_traced`]). Recording lives in the sequential merge loop, so
+/// the log is byte-identical across parallel and sequential exploration.
+pub fn explore_traced_parallel(
+    rules: &RuleSet,
+    base_db: &Database,
+    user_actions: &[Action],
+    cfg: &ExploreConfig,
+) -> Result<(ExecGraph, DecisionLog), EngineError> {
+    let mut db = base_db.clone();
+    let ops = apply_user_actions(&mut db, user_actions)?;
+    let mut log = DecisionLog::new();
+    let graph = explore_impl(
+        rules,
+        base_db,
+        db,
+        &ops,
+        cfg,
+        true,
+        EvalMode::default(),
+        Some(&mut log),
+    )?;
+    Ok((graph, log))
+}
+
 /// Exploration entry point when the initial transition is already available
 /// as operations applied to `db`.
 pub fn explore_from_ops(
@@ -408,6 +538,7 @@ pub fn explore_from_ops(
         cfg,
         false,
         EvalMode::default(),
+        None,
     )
 }
 
@@ -428,6 +559,7 @@ pub fn explore_from_ops_parallel(
         cfg,
         true,
         EvalMode::default(),
+        None,
     )
 }
 
@@ -469,6 +601,7 @@ fn expand_state(
 /// mode; smaller levels expand inline (thread dispatch would dominate).
 const PARALLEL_MIN_LEVEL: usize = 8;
 
+#[allow(clippy::too_many_arguments)]
 fn explore_impl(
     rules: &RuleSet,
     base_db: &Database,
@@ -477,6 +610,7 @@ fn explore_impl(
     cfg: &ExploreConfig,
     parallel: bool,
     mode: EvalMode,
+    mut trace: Option<&mut DecisionLog>,
 ) -> Result<ExecGraph, EngineError> {
     // Fault-plan injection counters are shared across snapshots and advance
     // on every observed operation, so expansion *order* decides which
@@ -611,6 +745,13 @@ fn explore_impl(
                 Some(r) => r?,
                 None => expand_state(rules, &concrete[i], &eligible[k], base_db, mode)?,
             };
+            // Provenance: record the decision made at this state. Recording
+            // sits in the sequential merge loop (identical across parallel
+            // and sequential exploration) and after the truncation guards,
+            // so the log covers exactly the states actually expanded.
+            if let Some(log) = trace.as_deref_mut() {
+                log.record(i, graph.states[i].digest, &eligible[k]);
+            }
             for (rule, next, step) in expansions {
                 // Per-state row guard: a program whose firings multiply rows
                 // (e.g. `insert into t select ... from t`) grows databases

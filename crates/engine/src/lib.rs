@@ -62,15 +62,16 @@ pub use budget::{Budget, BudgetClock, TruncationReason, Verdict};
 pub use durability::Durability;
 pub use error::EngineError;
 pub use exec_graph::{
-    explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, explore_with_mode,
+    explore, explore_from_ops, explore_from_ops_parallel, explore_parallel, explore_traced,
+    explore_traced_parallel, explore_traced_with_mode, explore_with_mode, ChoicePoint, DecisionLog,
     ExecGraph, ExploreConfig,
 };
 pub use observable::{ObservableEvent, ObservableKind};
 pub use ops::{NetChange, NetEffect, TupleOp};
 pub use priority::PriorityOrder;
 pub use processor::{
-    consider_fired_rule, consider_rule, rule_fires, Consideration, EvalMode, Outcome, Processor,
-    RunResult, StepOutcome,
+    consider_fired_rule, consider_rule, replay_rule_sequence, rule_fires, Consideration, EvalMode,
+    Outcome, Processor, RunResult, StepOutcome,
 };
 pub use ruleset::{CompiledRule, RuleId, RuleSet};
 pub use session::Session;

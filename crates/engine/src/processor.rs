@@ -215,6 +215,29 @@ pub fn consider_rule(
     }
 }
 
+/// Replays a fixed sequence of rule considerations from `state`, exactly as
+/// the execution-graph explorer expands edges: each step checks the
+/// condition, then either runs the fired consideration or resets the
+/// pending transition. `txn_snapshot` is the transaction-start database
+/// (the rollback target), as in exploration.
+///
+/// This is the provenance subsystem's cross-check primitive: a divergence
+/// witness is only reported after both of its firing sequences replay here
+/// to the claimed (distinct) final digests.
+pub fn replay_rule_sequence(
+    rules: &RuleSet,
+    state: &mut ExecState,
+    txn_snapshot: &Database,
+    seq: &[RuleId],
+    mode: EvalMode,
+) -> Result<Vec<StepOutcome>, EngineError> {
+    let mut steps = Vec::with_capacity(seq.len());
+    for &id in seq {
+        steps.push(consider_rule(rules, state, id, txn_snapshot, mode)?);
+    }
+    Ok(steps)
+}
+
 impl StepOutcome {
     /// The outcome of a consideration whose condition was false: nothing
     /// executed, nothing observed.

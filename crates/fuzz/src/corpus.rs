@@ -34,14 +34,23 @@ pub fn write_reproducer(
     case_index: usize,
     oracle: &str,
     detail: &str,
+    witness: Option<&str>,
     script: &str,
 ) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("seed{seed}_case{case_index}_{oracle}.star"));
+    // Confluence findings carry their replay-verified divergence witness
+    // (re-derived from the shrunk script), so the reproducer explains
+    // itself: `starling explain <file>` prints the full transcript.
+    let witness_line = match witness {
+        Some(w) => format!("-- witness: {}\n", comment_safe(w, 400)),
+        None => String::new(),
+    };
     let contents = format!(
         "-- starling-fuzz reproducer (shrunk)\n\
          -- oracle: {oracle}\n\
          -- detail: {}\n\
+         {witness_line}\
          -- replay: cargo test --test fuzz_corpus (or `starling explore` this file)\n\
          \n{script}",
         comment_safe(detail, 240)
@@ -84,7 +93,16 @@ mod tests {
         let script = "create table t (x int);\n\
                       create rule a on t when inserted then delete from t end;\n\
                       insert into t values (1);\n";
-        let path = write_reproducer(&dir, 7, 3, "analyzer-termination", "a\nb", script).unwrap();
+        let path = write_reproducer(
+            &dir,
+            7,
+            3,
+            "analyzer-termination",
+            "a\nb",
+            Some("witness [a|b]: left=[a] right=[b]"),
+            script,
+        )
+        .unwrap();
         assert!(path
             .file_name()
             .unwrap()

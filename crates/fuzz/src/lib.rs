@@ -78,6 +78,9 @@ pub struct Finding {
     pub oracle: &'static str,
     /// Both sides' answers, from the *shrunk* reproducer.
     pub detail: String,
+    /// For confluence findings: the compact divergence witness, re-derived
+    /// from the shrunk reproducer so it stays self-explaining.
+    pub witness: Option<String>,
     /// The shrunk case.
     pub case: FuzzCase,
     /// Candidate evaluations the shrinker spent.
@@ -209,16 +212,17 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzReport {
             report.config.mutation,
             d.oracle,
         );
-        // Re-check the shrunk case for the final detail (the shrunk
-        // reproducer's answers, not the original's).
-        let detail = check_script(
+        // Re-check the shrunk case for the final detail and witness (the
+        // shrunk reproducer's answers, not the original's — this is also
+        // what re-minimizes a divergence witness after every shrink).
+        let (detail, witness) = check_script(
             &small.script(),
             &report.config.budget,
             report.config.mutation,
         )
         .disagreement
-        .map(|d| d.detail)
-        .unwrap_or(d.detail);
+        .map(|d| (d.detail, d.witness))
+        .unwrap_or((d.detail, d.witness));
         let path = report.config.corpus_dir.as_ref().and_then(|dir| {
             corpus::write_reproducer(
                 dir,
@@ -226,6 +230,7 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzReport {
                 i,
                 d.oracle,
                 &detail,
+                witness.as_deref(),
                 &small.script(),
             )
             .ok()
@@ -234,6 +239,7 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzReport {
             case_index: i,
             oracle: d.oracle,
             detail,
+            witness,
             case: small,
             shrink_checks,
             path,

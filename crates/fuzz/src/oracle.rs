@@ -81,6 +81,10 @@ pub struct Disagreement {
     pub oracle: &'static str,
     /// Human-readable detail: both sides' answers.
     pub detail: String,
+    /// For confluence findings: the compact replay-verified divergence
+    /// witness, recomputed on every (re-)check so it always explains the
+    /// script as written — shrunk reproducers included.
+    pub witness: Option<String>,
 }
 
 /// The outcome of running one script through every oracle.
@@ -99,7 +103,11 @@ pub struct CaseOutcome {
 
 fn disagree(oracle: &'static str, detail: String) -> CaseOutcome {
     CaseOutcome {
-        disagreement: Some(Disagreement { oracle, detail }),
+        disagreement: Some(Disagreement {
+            oracle,
+            detail,
+            witness: None,
+        }),
         ..CaseOutcome::default()
     }
 }
@@ -159,6 +167,7 @@ fn durability_check_in(src: &str, budget: &Budget, dir: &std::path::Path) -> Opt
     let fail = |detail: String| {
         Some(Disagreement {
             oracle: "durability",
+            witness: None,
             detail,
         })
     };
@@ -404,6 +413,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
             &g,
             Some(Disagreement {
                 oracle: "eval-mode",
+                witness: None,
                 detail: format!(
                     "columnar: {columnar_json}\nrow-plan: {plan_json}\ninterp:   {interp_json}"
                 ),
@@ -426,6 +436,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                     &g,
                     Some(Disagreement {
                         oracle: "parallelism",
+                        witness: None,
                         detail: format!("sequential: {seq_json}\nparallel:   {par_json}"),
                     }),
                 );
@@ -436,6 +447,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                 &g,
                 Some(Disagreement {
                     oracle: "parallelism",
+                    witness: None,
                     detail: format!("sequential succeeded but parallel errored: {e}"),
                 }),
             )
@@ -449,6 +461,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
             &g,
             Some(Disagreement {
                 oracle: "analyzer-termination",
+                witness: None,
                 detail: "static: termination guaranteed; oracle: found a cycle in the \
                          execution graph (nonterminating path)"
                     .into(),
@@ -456,10 +469,26 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
         );
     }
     if conf_ok && g.confluence_verdict() == Verdict::Fails {
+        // Provenance: attach a minimal divergence witness, but only after
+        // it replays through the engine to the claimed digests — the
+        // reproducer header must never carry an unverified explanation.
+        let witness = starling_provenance::witness::extract(&loaded.rules, &g).and_then(|w| {
+            match starling_provenance::witness::verify(
+                &loaded.rules,
+                &loaded.db,
+                &loaded.user_actions,
+                &w,
+                EvalMode::Columnar,
+            ) {
+                Ok(true) => Some(starling_provenance::witness_compact(&loaded.rules, &w)),
+                _ => None,
+            }
+        });
         return outcome(
             &g,
             Some(Disagreement {
                 oracle: "analyzer-confluence",
+                witness,
                 detail: format!(
                     "static: confluence guaranteed; oracle: {} distinct final database \
                      state(s)",
@@ -475,6 +504,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
             &g,
             Some(Disagreement {
                 oracle: "analyzer-observable",
+                witness: None,
                 detail: "static: observable determinism guaranteed; oracle: found \
                          distinct observable streams"
                     .into(),
@@ -491,6 +521,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                     &g,
                     Some(Disagreement {
                         oracle: "transport",
+                        witness: None,
                         detail: format!("cli:    {columnar_json}\nserver: {server_json}"),
                     }),
                 );
@@ -501,6 +532,7 @@ pub fn check_script(src: &str, budget: &Budget, mutation: Mutation) -> CaseOutco
                 &g,
                 Some(Disagreement {
                     oracle: "transport",
+                    witness: None,
                     detail: format!("in-process explore succeeded but server failed: {m}"),
                 }),
             )

@@ -25,8 +25,9 @@ use starling_analysis::loader::LoadedScript;
 use starling_analysis::report::explore_json;
 use starling_analysis::{Certifications, IncrementalAnalysis};
 use starling_engine::{
-    explore_with_mode, EvalMode, FirstEligible, Outcome, RuleSet, Session, Verdict,
+    explore_traced_with_mode, Budget, EvalMode, FirstEligible, Outcome, RuleSet, Session, Verdict,
 };
+use starling_provenance::{witness_json, ProvCounters};
 use starling_sql::ast::{Action, Directive, Statement};
 use starling_sql::json::{digest_json, Json};
 use starling_sql::parse_script;
@@ -84,6 +85,21 @@ pub struct ServerSession {
     /// Persistent incremental analyzer: `analyze` after a `certify`/`order`
     /// refinement re-derives only the dirtied pairs.
     analysis: IncrementalAnalysis,
+    /// Provenance counters (traces, witnesses, minimization), for `stats`.
+    prov: ProvCounters,
+    /// The last `explore`'s inputs, kept so `explain` can re-derive its
+    /// provenance without the client resending the probe. The database is
+    /// a copy-on-write snapshot: a refcount, not a copy.
+    last_explore: Option<LastExplore>,
+}
+
+/// Everything `explain` needs to re-run the session's last exploration.
+struct LastExplore {
+    rules: Arc<RuleSet>,
+    db: Database,
+    actions: Vec<Action>,
+    budget: Budget,
+    eval_mode: EvalMode,
 }
 
 /// Everything needed to roll a session back to its pre-request state.
@@ -105,6 +121,8 @@ impl ServerSession {
             persist_name: None,
             metrics: SessionMetrics::default(),
             analysis: IncrementalAnalysis::new(),
+            prov: ProvCounters::new(),
+            last_explore: None,
         }
     }
 
@@ -137,6 +155,7 @@ impl ServerSession {
             "exec" => self.op_exec(req),
             "analyze" => self.op_analyze(req),
             "explore" => self.op_explore(req),
+            "explain" => self.op_explain(req),
             "certify" => self.op_certify(req),
             "order" => self.op_order(req),
             "digest" => self.op_digest(req),
@@ -175,6 +194,7 @@ impl ServerSession {
                 ),
             ]),
         ));
+        fields.push(("provenance".into(), self.prov.to_json()));
         Json::Obj(fields)
     }
 
@@ -488,9 +508,20 @@ impl ServerSession {
             .ruleset_arc()
             .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?
             .clone();
-        let g = explore_with_mode(&rules, self.session.db(), &actions, &budget, self.eval_mode)
-            .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        let (g, log) =
+            explore_traced_with_mode(&rules, self.session.db(), &actions, &budget, self.eval_mode)
+                .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
         self.metrics.states_explored += g.states.len() as u64;
+        self.prov.record_trace(&log);
+        // Keep the probe (even for an inconclusive exploration) so a
+        // follow-up `explain` can derive the divergence witness.
+        self.last_explore = Some(LastExplore {
+            rules: rules.clone(),
+            db: self.session.db().clone(),
+            actions: actions.clone(),
+            budget,
+            eval_mode: self.eval_mode,
+        });
         let result = explore_json(&g, &budget);
         let inconclusive = [
             g.termination_verdict(),
@@ -507,6 +538,40 @@ impl ServerSession {
             return Err((ErrorCode::Inconclusive, msg, Some(result)));
         }
         Ok(result)
+    }
+
+    /// `explain`: why-provenance for the session's last `explore`. Re-runs
+    /// that exploration with tracing and answers with the choice-point
+    /// count plus — when the oracle reached more than one final database
+    /// state — a minimal, replay-verified divergence witness (`null` when
+    /// confluent). The graph summary rides along in the `explore` field.
+    fn op_explain(&mut self, _req: &Json) -> OpResult {
+        let last = self.last_explore.as_ref().ok_or((
+            ErrorCode::Script,
+            "explain needs a prior explore on this session".into(),
+            None,
+        ))?;
+        let ex = starling_provenance::explain_divergence(
+            &last.rules,
+            &last.db,
+            &last.actions,
+            &last.budget,
+            last.eval_mode,
+        )
+        .map_err(|e| (code_for_engine_error(&e), e.to_string(), None))?;
+        self.prov.record_trace(&ex.log);
+        let witness = match &ex.witness {
+            Some(w) => {
+                self.prov.record_witness(w);
+                witness_json(&last.rules, w)
+            }
+            None => Json::Null,
+        };
+        Ok(Json::obj([
+            ("explore", explore_json(&ex.graph, &last.budget)),
+            ("choice_points", Json::from(ex.log.ambiguous())),
+            ("witness", witness),
+        ]))
     }
 
     /// `certify`: the §6.4 refinement loop's certification step, as a
@@ -750,6 +815,37 @@ mod tests {
         let req = Json::obj([("script", Json::from(SCRIPT))]);
         s.handle_op("load", &req, &cache).unwrap();
         (s, cache)
+    }
+
+    #[test]
+    fn explain_after_explore_returns_verified_witness() {
+        let (mut s, cache) = loaded();
+        // explain before any explore is a script error.
+        let err = s
+            .handle_op("explain", &Json::parse("{}").unwrap(), &cache)
+            .unwrap_err();
+        assert_eq!(err.0, ErrorCode::Script);
+        s.handle_op("explore", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let r = s
+            .handle_op("explain", &Json::parse("{}").unwrap(), &cache)
+            .unwrap();
+        let w = r.get("witness").expect("witness field");
+        assert_eq!(w.get("replay_verified").and_then(Json::as_bool), Some(true));
+        assert_ne!(
+            w.get("left").and_then(|b| b.get("final_db_digest")),
+            w.get("right").and_then(|b| b.get("final_db_digest"))
+        );
+        assert!(r.get("choice_points").and_then(Json::as_usize) >= Some(1));
+        // stats reports the provenance counters.
+        let stats = s.stats_json();
+        let prov = stats.get("provenance").expect("provenance in stats");
+        assert_eq!(
+            prov.get("witnesses_extracted").and_then(Json::as_usize),
+            Some(1)
+        );
+        assert!(prov.get("traces_recorded").and_then(Json::as_usize) >= Some(2));
+        assert!(prov.get("choice_points").and_then(Json::as_usize) >= Some(2));
     }
 
     #[test]

@@ -28,8 +28,13 @@
 //! * [`fault_sweep`] — exhaustive atomicity checking under injected storage
 //!   faults: replay a transaction with a fault at every mutating-op index
 //!   and verify the database is always snapshot-or-committed.
+//! * [`chase`] — chase-style linear existential rules (Calautti et al.):
+//!   weakly acyclic, non-terminating, and order-sensitive TGD sets whose
+//!   fresh-label arithmetic imports the chase's termination and confluence
+//!   regimes into the analyzers and the `explain` path.
 
 pub mod audit;
+pub mod chase;
 pub mod cond_stress;
 pub mod constraints;
 pub mod corpus;
@@ -122,6 +127,9 @@ mod tests {
             constraints::workload(),
             audit::workload(),
             versioning::workload(),
+            chase::terminating(),
+            chase::nonterminating(),
+            chase::order_sensitive(),
         ] {
             let (db, rs) = w
                 .compile()

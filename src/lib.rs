@@ -19,6 +19,7 @@
 //! | [`sql`] | `starling-sql` | lexer, parser, validator, evaluator |
 //! | [`engine`] | `starling-engine` | net effects, priorities, processor, oracle |
 //! | [`analysis`] | `starling-analysis` | the paper's analyses (Sections 3–8) |
+//! | [`provenance`] | `starling-provenance` | decision traces, divergence witnesses |
 //! | [`baselines`] | `starling-baselines` | HH91/ZH90/Ras90-analog comparators |
 //! | [`workloads`] | `starling-workloads` | generators and case studies |
 //!
@@ -47,6 +48,7 @@
 pub use starling_analysis as analysis;
 pub use starling_baselines as baselines;
 pub use starling_engine as engine;
+pub use starling_provenance as provenance;
 pub use starling_sql as sql;
 pub use starling_storage as storage;
 pub use starling_workloads as workloads;

@@ -3,7 +3,8 @@
 //! `starling` binary would).
 
 use starling_cli::{
-    cmd_analyze, cmd_compare, cmd_explain, cmd_explore, cmd_graph, cmd_run, CmdStatus,
+    cmd_analyze, cmd_compare, cmd_explain, cmd_explain_divergence, cmd_explore, cmd_graph, cmd_run,
+    CmdStatus,
 };
 use starling_engine::Budget;
 
@@ -58,6 +59,38 @@ fn masking_script_shows_the_finding() {
         explore.text.contains("distinct final DB states: 2"),
         "{}",
         explore.text
+    );
+}
+
+/// The README's `explain` quick-start transcript stays true: the
+/// power-network script diverges on the unordered `trip_overload` /
+/// `shed_load` race, and `explain` prints a replay-checked witness
+/// naming that pair.
+#[test]
+fn power_network_explain_emits_replay_checked_witness() {
+    let src = read("power_network.rql");
+    let out = cmd_explain_divergence(&src, &Budget::default(), false).unwrap();
+    assert_eq!(out.status, CmdStatus::Ok);
+    assert!(
+        out.text.contains("2 distinct final DB state(s)"),
+        "{}",
+        out.text
+    );
+    assert!(
+        out.text
+            .contains("divergence witness (minimal, replay-checked)"),
+        "{}",
+        out.text
+    );
+    assert!(
+        out.text.contains("shed_load vs trip_overload"),
+        "{}",
+        out.text
+    );
+    assert!(
+        out.text.contains("replay reproduced both digests"),
+        "{}",
+        out.text
     );
 }
 

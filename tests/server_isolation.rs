@@ -338,3 +338,78 @@ fn refinement_stats_are_per_session() {
     server.shutdown();
     server.join();
 }
+
+/// Provenance counters surfaced by the `stats` op are per-session: an
+/// explore + explain on one session bumps its `traces_recorded` /
+/// `witnesses_extracted`, while a neighbor session on the same cached
+/// program stays at zero.
+#[test]
+fn provenance_counters_are_per_session() {
+    // Two unordered rules rewriting the same cell with non-commuting
+    // assignments — the canonical divergent shape, so `explain` must
+    // extract a replay-verified witness.
+    let script = "create table t (x int);\n\
+                  create table out1 (v int);\n\
+                  insert into out1 values (0);\n\
+                  create rule a on t when inserted then update out1 set v = (2 - v) end;\n\
+                  create rule b on t when inserted then update out1 set v = 5 end;\n\
+                  insert into t values (1);\n";
+
+    let provenance = |c: &mut Client| -> Json {
+        c.expect_ok(&op(r#"{"op":"stats"}"#))
+            .expect("stats")
+            .get("session")
+            .and_then(|s| s.get("provenance"))
+            .expect("session.provenance in stats")
+            .clone()
+    };
+    let count = |j: &Json, key: &str| j.get(key).and_then(Json::as_i64).expect(key);
+
+    let server = Server::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut explainer = Client::connect_ready(addr, READY).expect("connect");
+    let mut bystander = Client::connect_ready(addr, READY).expect("connect");
+    explainer.expect_ok(&load_op(script)).expect("load");
+    bystander.expect_ok(&load_op(script)).expect("load");
+
+    explainer
+        .expect_ok(&op(r#"{"op":"explore"}"#))
+        .expect("explore");
+    let resp = explainer
+        .expect_ok(&op(r#"{"op":"explain"}"#))
+        .expect("explain");
+    let witness = resp.get("witness").expect("witness field");
+    assert_ne!(
+        witness,
+        &Json::Null,
+        "divergent program must yield a witness"
+    );
+    assert_eq!(
+        witness.get("replay_verified"),
+        Some(&Json::Bool(true)),
+        "{resp}"
+    );
+
+    let mine = provenance(&mut explainer);
+    // One trace from the explore, one from the explain's re-exploration.
+    assert_eq!(count(&mine, "traces_recorded"), 2, "{mine}");
+    assert!(count(&mine, "choice_points") >= 1, "{mine}");
+    assert_eq!(count(&mine, "witnesses_extracted"), 1, "{mine}");
+
+    // The bystander shares the compiled program, not the counters.
+    let other = provenance(&mut bystander);
+    for key in [
+        "traces_recorded",
+        "choice_points",
+        "witnesses_extracted",
+        "minimization_steps",
+    ] {
+        assert_eq!(count(&other, key), 0, "bystander {key}: {other}");
+    }
+
+    explainer.quit().expect("quit");
+    bystander.quit().expect("quit");
+    server.shutdown();
+    server.join();
+}
