@@ -15,21 +15,30 @@
 //! ```text
 //! bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]
 //! bench_server --durability [--smoke] [--commits N] [--label NAME] [--out PATH]
+//! bench_server --scale [--smoke] [--sessions N] [--label NAME] [--out PATH]
 //! ```
 //!
 //! * `--smoke` — small seed and few sessions (CI keep-alive mode);
-//! * `--sessions` — number of sessions (default 64, smoke default 8);
+//! * `--sessions` — number of sessions (default 64, smoke default 8;
+//!   scale family: default 1024, smoke default 128);
 //! * `--durability` — run the durability family instead: committed
 //!   transitions per second through one engine session, in-memory vs a
 //!   WAL-attached store with `sync=batch` vs `sync=always` (one `fsync`
 //!   per commit) — the price tag on each sync policy;
 //! * `--commits N` — committed transitions per durability config
 //!   (default 2000, smoke default 300);
+//! * `--scale` — run the scale family instead: the pooled executor vs the
+//!   legacy thread-per-connection executor at the same core count —
+//!   connection-churn throughput, ping latency percentiles (p50/p95/p99)
+//!   across N concurrent sessions, cheap-op p99 while a heavy exec
+//!   saturates one worker, and the idle-session footprint (threads and
+//!   resident memory for N parked connections);
 //! * `--label` / `--out` — as in `bench_oracle`; the output file holds a
 //!   JSON array and each run **appends** one entry, preserving history.
 //!
 //! Requires the release CLI next to this binary (`cargo build --release
-//! -p starling-cli -p starling-bench`).
+//! -p starling-cli -p starling-bench`). The scale family is in-process
+//! only and needs no CLI binary.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -37,7 +46,7 @@ use std::process::Command;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use starling_engine::{FirstEligible, Outcome, Session};
-use starling_server::{Client, ScriptCache, Server};
+use starling_server::{raise_fd_limit, Client, ScriptCache, Server, ServerConfig, Threading};
 use starling_sql::json::Json;
 use starling_storage::SyncPolicy;
 
@@ -247,6 +256,353 @@ fn run_durability(commits: usize, smoke: bool, label: &str, out: &str) {
     println!("recorded durability entry \"{label}\" in {out}");
 }
 
+/// The q-th percentile (0.0..=1.0) of a latency sample, in microseconds.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A numeric field from `/proc/self/status` (e.g. `Threads`, `VmRSS` in
+/// kB); 0 where procfs is unavailable.
+fn proc_status(key: &str) -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix(key)?
+                    .trim_start_matches(':')
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Connection churn: `total` short-lived sessions (connect, one ping
+/// round-trip, quit) pushed through `drivers` concurrent client threads.
+/// The legacy executor pays a thread spawn per connection *on its accept
+/// thread*; the pooled reactor pays an O(1) registration.
+fn run_churn(addr: std::net::SocketAddr, total: usize, drivers: usize) -> Duration {
+    let ping = Json::obj([("op", Json::from("ping"))]);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..drivers {
+            let ping = &ping;
+            scope.spawn(move || {
+                let mine = total / drivers + usize::from(d < total % drivers);
+                for _ in 0..mine {
+                    let mut c = Client::connect(addr).expect("churn connect");
+                    c.expect_ok(ping).expect("churn ping");
+                    c.quit().expect("churn quit");
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Ping round-trip latencies across `sessions` concurrent open
+/// connections, `rounds` pings each, driven by `drivers` client threads
+/// (each thread walks its own connection set, so driver-side queueing is
+/// identical for both executors). Returns sorted latencies in µs.
+fn run_ping_latency(
+    addr: std::net::SocketAddr,
+    sessions: usize,
+    rounds: usize,
+    drivers: usize,
+) -> Vec<u64> {
+    let ping = Json::obj([("op", Json::from("ping"))]);
+    let mut all: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let ping = &ping;
+                scope.spawn(move || {
+                    let mine = sessions / drivers + usize::from(d < sessions % drivers);
+                    let mut conns: Vec<Client> = (0..mine)
+                        .map(|_| Client::connect(addr).expect("latency connect"))
+                        .collect();
+                    let mut lat = Vec::with_capacity(mine * rounds);
+                    for _ in 0..rounds {
+                        for c in conns.iter_mut() {
+                            let t = Instant::now();
+                            c.expect_ok(ping).expect("latency ping");
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                    for c in conns.iter_mut() {
+                        c.quit().expect("latency quit");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("latency driver"))
+            .collect()
+    });
+    all.sort_unstable();
+    all
+}
+
+/// Aggregate pipelined throughput: every session sends `batch` pings in
+/// one write, then reads all responses — `sessions * batch` requests with
+/// maximum decode-ahead. This is where executor overhead (syscalls per
+/// response, scheduler rounds, context switches) dominates, because the
+/// per-request work is trivial.
+fn run_pipeline_throughput(
+    addr: std::net::SocketAddr,
+    sessions: usize,
+    batch: usize,
+    drivers: usize,
+) -> f64 {
+    let pings: Vec<Json> = (0..batch)
+        .map(|_| Json::obj([("op", Json::from("ping"))]))
+        .collect();
+    // The timed window ends when the last driver has drained its last
+    // response; connection teardown (quit round-trips) is not throughput.
+    let drained = std::sync::Mutex::new(Duration::ZERO);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..drivers {
+            let (pings, drained) = (&pings, &drained);
+            scope.spawn(move || {
+                let mine = sessions / drivers + usize::from(d < sessions % drivers);
+                let mut conns: Vec<Client> = (0..mine)
+                    .map(|_| Client::connect(addr).expect("pipeline connect"))
+                    .collect();
+                // Send all batches first (the server decodes ahead), then
+                // drain all responses.
+                for c in conns.iter_mut() {
+                    c.send_batch(pings).expect("pipeline send");
+                }
+                for c in conns.iter_mut() {
+                    for _ in 0..pings.len() {
+                        let resp = c.recv().expect("pipeline recv");
+                        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+                    }
+                }
+                let t = start.elapsed();
+                let mut max = drained.lock().unwrap();
+                if t > *max {
+                    *max = t;
+                }
+                drop(max);
+                for c in conns.iter_mut() {
+                    c.quit().expect("pipeline quit");
+                }
+            });
+        }
+    });
+    let wall = *drained.lock().unwrap();
+    (sessions * batch) as f64 / wall.as_secs_f64()
+}
+
+/// Thread-count and resident-memory cost of `sessions` idle connections:
+/// measures `/proc/self/status` before and after opening them (server and
+/// harness share the process, so the delta includes everything the server
+/// allocates per parked session — legacy: a full thread; pool: a state
+/// object).
+fn run_idle_footprint(addr: std::net::SocketAddr, sessions: usize) -> (i64, i64) {
+    let threads0 = proc_status("Threads");
+    let rss0 = proc_status("VmRSS");
+    let idle: Vec<Client> = (0..sessions)
+        .map(|_| Client::connect(addr).expect("idle connect"))
+        .collect();
+    // One round-trip proves every accept (and, legacy, every spawn) is done.
+    let mut probe = Client::connect(addr).expect("idle probe");
+    probe
+        .expect_ok(&Json::obj([("op", Json::from("ping"))]))
+        .expect("idle probe ping");
+    let threads = proc_status("Threads") - threads0;
+    let rss_kb = proc_status("VmRSS") - rss0;
+    drop(probe);
+    drop(idle);
+    (threads, rss_kb)
+}
+
+/// One executor's scale measurements.
+struct ScaleRow {
+    churn_per_s: f64,
+    pipelined_per_s: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    idle_threads: i64,
+    idle_rss_kb: i64,
+}
+
+/// Requests per pipelined batch in the throughput phase.
+const PIPELINE_BATCH: usize = 64;
+
+/// Runs churn + pipelined throughput + latency + idle-footprint against
+/// one executor.
+fn run_scale_mode(threading: Threading, sessions: usize, rounds: usize) -> ScaleRow {
+    let cfg = ServerConfig {
+        threading,
+        // The pipelined phase intentionally floods the server with
+        // sessions*batch decode-ahead requests; disable admission control
+        // so the bench measures executor overhead, not refusal latency.
+        max_inflight: 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_cfg("127.0.0.1:0", None, cfg).expect("bind");
+    let addr = server.local_addr();
+    let drivers = sessions.clamp(1, 8);
+
+    let churn_wall = run_churn(addr, sessions, drivers);
+    let pipelined_per_s = run_pipeline_throughput(addr, sessions, PIPELINE_BATCH, drivers);
+    let lat = run_ping_latency(addr, sessions, rounds, drivers);
+    let (idle_threads, idle_rss_kb) = run_idle_footprint(addr, sessions);
+
+    server.shutdown();
+    server.join();
+    ScaleRow {
+        churn_per_s: sessions as f64 / churn_wall.as_secs_f64(),
+        pipelined_per_s,
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+        idle_threads,
+        idle_rss_kb,
+    }
+}
+
+/// Cheap-op latency percentiles on the pooled executor while one heavy
+/// exec (a non-terminating rule under a huge consideration budget)
+/// saturates a worker — the fairness datapoint behind the
+/// `cheap_sessions_pass_a_heavy_pipeline` regression test.
+fn run_contended(sessions: usize, rounds: usize) -> (u64, u64, u64) {
+    let server = Server::bind_cfg("127.0.0.1:0", None, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let heavy = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("heavy connect");
+        c.expect_ok(&Json::obj([
+            ("op", Json::from("load")),
+            (
+                "script",
+                Json::from(
+                    "create table t (x int);\n\
+                     create rule grow on t when inserted then \
+                       insert into t select x + 1 from inserted end;",
+                ),
+            ),
+        ]))
+        .expect("heavy load");
+        // Budget-bounded, with a wall-clock backstop: the bench must not
+        // hang if the machine is slow.
+        let resp = c
+            .call(&Json::obj([
+                ("op", Json::from("exec")),
+                ("sql", Json::from("insert into t values (1);")),
+                (
+                    "budget",
+                    Json::obj([
+                        ("max_considerations", Json::from(4_000_000i64)),
+                        ("timeout_ms", Json::from(20_000i64)),
+                    ]),
+                ),
+            ]))
+            .expect("heavy exec");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+        let _ = c.quit();
+    });
+    // Measure while the heavy exec holds its worker.
+    let drivers = sessions.clamp(1, 8);
+    let lat = run_ping_latency(addr, sessions, rounds, drivers);
+    heavy.join().expect("heavy session");
+    server.shutdown();
+    server.join();
+    (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+    )
+}
+
+/// The scale family: pooled vs thread-per-connection at equal core count,
+/// appended to the JSON history as one entry.
+fn run_scale(sessions: usize, smoke: bool, label: &str, out: &str) {
+    raise_fd_limit(16 * 1024);
+    let rounds = if smoke { 4 } else { 8 };
+    println!("scale workload: {sessions} sessions, {rounds} ping rounds each");
+    let pool = run_scale_mode(Threading::Pool, sessions, rounds);
+    let legacy = run_scale_mode(Threading::PerConnection, sessions, rounds);
+    // Contended latency uses a smaller cheap cohort so the datapoint is
+    // about scheduling, not client-side queueing.
+    let contended_sessions = sessions.min(256);
+    let (c50, c95, c99) = run_contended(contended_sessions, rounds);
+
+    let churn_speedup = pool.churn_per_s / legacy.churn_per_s.max(1e-9);
+    let pipelined_speedup = pool.pipelined_per_s / legacy.pipelined_per_s.max(1e-9);
+    for (name, row) in [("pool", &pool), ("per_conn", &legacy)] {
+        println!(
+            "{name:>9}: churn {:>9.0} conns/s | pipelined {:>9.0} req/s | \
+             ping p50/p95/p99 {:>5}/{:>5}/{:>5} µs | idle +{} threads, +{} kB rss",
+            row.churn_per_s,
+            row.pipelined_per_s,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.idle_threads,
+            row.idle_rss_kb,
+        );
+    }
+    println!(
+        "contended: ping p50/p95/p99 {c50}/{c95}/{c99} µs under one heavy exec \
+         ({contended_sessions} cheap sessions)"
+    );
+    println!("pipelined speedup: {pipelined_speedup:.2}x  churn speedup: {churn_speedup:.2}x");
+
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entry = format!(
+        "  {{\n    \"label\": \"{}\",\n    \"unix_time\": {epoch},\n    \
+         \"family\": \"scale\",\n    \"mode\": \"{}\",\n    \
+         \"sessions\": {sessions},\n    \"rounds\": {rounds},\n    \
+         \"pipeline_batch\": {PIPELINE_BATCH}",
+        label.replace('"', "'"),
+        if smoke { "smoke" } else { "full" },
+    );
+    for (name, row) in [("pool", &pool), ("per_conn", &legacy)] {
+        let _ = write!(
+            entry,
+            ",\n    \"{name}_churn_conns_per_s\": {:.1},\n    \
+             \"{name}_pipelined_req_per_s\": {:.1},\n    \
+             \"{name}_ping_p50_us\": {},\n    \"{name}_ping_p95_us\": {},\n    \
+             \"{name}_ping_p99_us\": {},\n    \"{name}_idle_threads\": {},\n    \
+             \"{name}_idle_rss_kb\": {}",
+            row.churn_per_s,
+            row.pipelined_per_s,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.idle_threads,
+            row.idle_rss_kb,
+        );
+    }
+    let _ = write!(
+        entry,
+        ",\n    \"pipelined_speedup\": {pipelined_speedup:.3},\n    \
+         \"churn_speedup\": {churn_speedup:.3},\n    \
+         \"contended_sessions\": {contended_sessions},\n    \
+         \"contended_p50_us\": {c50},\n    \"contended_p95_us\": {c95},\n    \
+         \"contended_p99_us\": {c99}\n  }}"
+    );
+    if let Err(e) = append_entry(out, &entry) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("recorded scale entry \"{label}\" in {out}");
+}
+
 /// Appends `entry` to the JSON array in `path` (creating the file if
 /// needed), preserving history — same convention as `bench_oracle`.
 fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
@@ -275,6 +631,7 @@ fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
 fn main() {
     let mut smoke = false;
     let mut durability = false;
+    let mut scale = false;
     let mut sessions: Option<usize> = None;
     let mut commits: Option<usize> = None;
     let mut label = "current".to_owned();
@@ -284,6 +641,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--durability" => durability = true,
+            "--scale" => scale = true,
             "--sessions" => {
                 sessions = Some(
                     args.next()
@@ -304,7 +662,8 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_server [--smoke] [--sessions N] [--label NAME] [--out PATH]\n       \
-                     bench_server --durability [--smoke] [--commits N] [--label NAME] [--out PATH]"
+                     bench_server --durability [--smoke] [--commits N] [--label NAME] [--out PATH]\n       \
+                     bench_server --scale [--smoke] [--sessions N] [--label NAME] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -313,6 +672,11 @@ fn main() {
     if durability {
         let commits = commits.unwrap_or(if smoke { 300 } else { 2000 });
         run_durability(commits, smoke, &label, &out);
+        return;
+    }
+    if scale {
+        let sessions = sessions.unwrap_or(if smoke { 128 } else { 1024 });
+        run_scale(sessions, smoke, &label, &out);
         return;
     }
     let sessions = sessions.unwrap_or(if smoke { 8 } else { 64 });

@@ -7,7 +7,7 @@
 //! starling explore <file> [--max-states N]       execution-graph oracle
 //! starling run <file>                            execute with rule processing
 //! starling compare <file>                        baseline comparison (Sec. 9)
-//! starling serve [--addr H:P] [--data-dir D]     multi-session server
+//! starling serve [--addr H:P] [--workers N]      multi-session server
 //! starling client [--addr H:P]                   stdin/stdout protocol client
 //! starling recover <dir> [--verify]              inspect/verify durable stores
 //! starling fuzz [--seed N] [--cases N]           differential fuzz campaign
@@ -83,6 +83,18 @@ OPTIONS:
     --sync always|batch       (serve) WAL fsync policy, default always
                               (batch trades the fsync-per-commit for one
                               every 32 commits plus snapshot points)
+    --workers N               (serve) worker threads executing requests,
+                              default 0 = one per available core (min 2)
+    --max-inflight N          (serve) admission cap: requests admitted but
+                              not yet completed across all sessions; beyond
+                              it requests are refused with an `overloaded`
+                              error (default 4096, 0 = unlimited)
+    --threading pool|per-connection
+                              (serve) executor: `pool` (default) multiplexes
+                              all connections over the worker pool;
+                              `per-connection` spawns one thread per
+                              connection (legacy, ignores --workers and
+                              --max-inflight)
     --verify                  (recover) reload stores through a full engine
                               session and cross-check digests
     --seed N                  (fuzz) campaign seed, default 0; same seed ⇒
@@ -379,6 +391,7 @@ fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> 
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut data_dir: Option<String> = None;
     let mut sync = starling_storage::SyncPolicy::Always;
+    let mut cfg = starling_server::ServerConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -394,6 +407,35 @@ fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> 
                 let name = args.get(i + 1).ok_or("--sync needs always|batch")?;
                 sync = starling_storage::SyncPolicy::from_name(name)
                     .ok_or_else(|| format!("bad --sync `{name}` (expected always or batch)"))?;
+                i += 2;
+            }
+            "--workers" if command == "serve" => {
+                let n = args.get(i + 1).ok_or("--workers needs a count")?;
+                cfg.workers = n
+                    .parse()
+                    .map_err(|_| format!("bad --workers `{n}` (expected a count; 0 = per core)"))?;
+                i += 2;
+            }
+            "--max-inflight" if command == "serve" => {
+                let n = args.get(i + 1).ok_or("--max-inflight needs a count")?;
+                cfg.max_inflight = n.parse().map_err(|_| {
+                    format!("bad --max-inflight `{n}` (expected a count; 0 = unlimited)")
+                })?;
+                i += 2;
+            }
+            "--threading" if command == "serve" => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or("--threading needs pool|per-connection")?;
+                cfg.threading = match name.as_str() {
+                    "pool" => starling_server::Threading::Pool,
+                    "per-connection" => starling_server::Threading::PerConnection,
+                    _ => {
+                        return Err(format!(
+                            "bad --threading `{name}` (expected pool or per-connection)"
+                        ))
+                    }
+                };
                 i += 2;
             }
             other => return Err(format!("unknown option `{other}`")),
@@ -419,7 +461,7 @@ fn serve_or_client(command: &str, args: &[String]) -> Result<CmdOutput, String> 
                     Some(starling_server::DurableRoot::new(dir, sync))
                 }
             };
-            let server = starling_server::Server::bind_with(&addr, durable)
+            let server = starling_server::Server::bind_cfg(&addr, durable, cfg)
                 .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
             // Scripts parse this line for the (possibly ephemeral) port.
             println!("starling-server listening on {}", server.local_addr());

@@ -12,10 +12,16 @@
 //! `Arc`-shared copy-on-write, so every session's `db.clone()` shares
 //! tables until that session writes, and no session can observe another's
 //! writes.
+//!
+//! Under the worker pool a panicking request (contained by the executor's
+//! `catch_unwind`) may die while holding a cache lock, so every lock here
+//! is poison-tolerant: the map and the ready slots hold only completed
+//! values, and an interrupted first load leaves at worst an empty
+//! placeholder slot that the next loader fills.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use starling_analysis::loader::{load_script, LoadedScript};
 use starling_engine::EngineError;
@@ -64,10 +70,10 @@ impl ScriptCache {
         // itself runs under the slot's own lock, so building a large
         // program stalls neither cache hits nor loads of other scripts.
         let slot = {
-            let mut entries = self.entries.lock().expect("cache poisoned");
+            let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(entries.entry(key).or_default())
         };
-        let mut guard = slot.lock().expect("slot poisoned");
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(ready) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(ready), true));
@@ -83,10 +89,10 @@ impl ScriptCache {
                 drop(guard);
                 // Drop the empty placeholder so the failure is not pinned:
                 // the next attempt re-parses from scratch.
-                let mut entries = self.entries.lock().expect("cache poisoned");
+                let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
                 let still_empty = entries
                     .get(&key)
-                    .is_some_and(|s| s.lock().expect("slot poisoned").is_none());
+                    .is_some_and(|s| s.lock().unwrap_or_else(PoisonError::into_inner).is_none());
                 if still_empty {
                     entries.remove(&key);
                 }
@@ -101,11 +107,15 @@ impl ScriptCache {
     /// here is not counted (the client falls back to a full `load`).
     pub fn get_by_digest(&self, key: u64) -> Option<Arc<LoadedScript>> {
         let slot = {
-            let entries = self.entries.lock().expect("cache poisoned");
+            let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             entries.get(&key).map(Arc::clone)?
         };
         // Block behind an in-flight first loader rather than racing it.
-        let found = slot.lock().expect("slot poisoned").as_ref().map(Arc::clone);
+        let found = slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(Arc::clone);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -125,7 +135,7 @@ impl ScriptCache {
     pub fn len(&self) -> usize {
         self.entries
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .filter(|slot| slot.try_lock().is_ok_and(|g| g.is_some()))
             .count()

@@ -20,6 +20,13 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server answered with a line that does not parse as a response.
     BadResponse(String),
+    /// Admission control refused the request (`overloaded` code): the
+    /// connection is fine, the server is at its inflight cap. Back off and
+    /// retry.
+    Overloaded(String),
+    /// Any other error envelope, split into its wire code and message
+    /// (surfaced by [`Client::try_expect_ok`]).
+    Server { code: String, message: String },
 }
 
 impl std::fmt::Display for ClientError {
@@ -28,6 +35,8 @@ impl std::fmt::Display for ClientError {
             ClientError::Timeout(d) => write!(f, "request timed out after {d:?}"),
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+            ClientError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
         }
     }
 }
@@ -51,6 +60,8 @@ impl From<ClientError> for std::io::Error {
                 format!("request timed out after {d:?}"),
             ),
             ClientError::BadResponse(m) => std::io::Error::new(std::io::ErrorKind::InvalidData, m),
+            e @ ClientError::Overloaded(_) => std::io::Error::other(e.to_string()),
+            e @ ClientError::Server { .. } => std::io::Error::other(e.to_string()),
         }
     }
 }
@@ -189,6 +200,77 @@ impl Client {
             return Ok(resp.get("result").cloned().unwrap_or(Json::Null));
         }
         Err(std::io::Error::other(format!("error response: {resp}")))
+    }
+
+    /// Splits a response envelope into its `"result"` or a typed error.
+    /// An `overloaded` refusal becomes [`ClientError::Overloaded`]; any
+    /// other error envelope becomes [`ClientError::Server`].
+    pub fn result_of(resp: &Json) -> Result<Json, ClientError> {
+        if resp.get("ok") == Some(&Json::Bool(true)) {
+            return Ok(resp.get("result").cloned().unwrap_or(Json::Null));
+        }
+        let code = resp
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let message = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        if code.is_empty() {
+            return Err(ClientError::BadResponse(resp.to_string()));
+        }
+        if code == "overloaded" {
+            return Err(ClientError::Overloaded(message));
+        }
+        Err(ClientError::Server { code, message })
+    }
+
+    /// [`Client::try_call`] + [`Client::result_of`]: typed errors all the
+    /// way, so callers can match on [`ClientError::Overloaded`].
+    pub fn try_expect_ok(&mut self, req: &Json) -> Result<Json, ClientError> {
+        Client::result_of(&self.try_call(req)?)
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    /// Responses come back in request order; pair each [`Client::send`]
+    /// with a later [`Client::recv`].
+    pub fn send(&mut self, req: &Json) -> std::io::Result<()> {
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Sends a batch of requests as one write (maximum pipelining: the
+    /// server decodes ahead and responds in order).
+    pub fn send_batch(&mut self, reqs: &[Json]) -> std::io::Result<()> {
+        let mut out = String::new();
+        for req in reqs {
+            out.push_str(&req.to_string());
+            out.push('\n');
+        }
+        self.writer.write_all(out.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next in-order response envelope of a pipelined exchange.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        self.read_response()
+    }
+
+    /// Pipelines a batch: one write, then all responses in request order.
+    pub fn pipeline(&mut self, reqs: &[Json]) -> std::io::Result<Vec<Json>> {
+        self.send_batch(reqs)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.recv()?);
+        }
+        Ok(out)
     }
 
     /// Ends the session cleanly.

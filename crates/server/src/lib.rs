@@ -14,8 +14,14 @@
 //! * **Cache** ([`cache`]): compiled programs are shared across sessions,
 //!   keyed by script digest — N clients of one program parse, seed, and
 //!   compile once.
-//! * **Server** ([`server`]): thread-per-connection accept loop with
-//!   server-wide metrics and graceful drain-style shutdown.
+//! * **Server** ([`server`]): server-wide metrics and graceful
+//!   drain-style shutdown over either executor (see below).
+//! * **Pool** ([`pool`]): the default executor — a reactor thread
+//!   (non-blocking accept + readiness polling) over a fixed worker pool,
+//!   with pipelined requests per connection, budget-weighted fair
+//!   scheduling, and admission control with a typed `overloaded`
+//!   refusal. The legacy thread-per-connection executor remains
+//!   selectable via [`pool::ServerConfig`] as a benchmark baseline.
 //! * **Durability** ([`server::DurableRoot`]): a server started with a
 //!   data dir serves named WAL+snapshot stores; sessions bind to one via
 //!   `load`'s `"persist"` parameter (single writer per store), and every
@@ -30,12 +36,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use cache::ScriptCache;
 pub use client::{Client, ClientError};
+pub use pool::{raise_fd_limit, ServerConfig, Threading};
 pub use protocol::{budget_from_request, err_response, ok_response, ErrorCode};
 pub use server::{DurableRoot, Server, ServerMetrics, Shared};
 pub use session::{ServerSession, SessionMetrics};

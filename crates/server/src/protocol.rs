@@ -40,6 +40,11 @@ pub enum ErrorCode {
     Inconclusive,
     /// The server is draining: no new connections are admitted.
     ShuttingDown,
+    /// Admission control refused the request: the server already has
+    /// `max_inflight` requests admitted but not completed. The connection
+    /// survives; the client should back off and retry. Refusals keep their
+    /// place in a pipelined connection's response order.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -51,6 +56,7 @@ impl ErrorCode {
             ErrorCode::Aborted => "aborted",
             ErrorCode::Inconclusive => "inconclusive",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }

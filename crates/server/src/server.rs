@@ -1,15 +1,28 @@
-//! The TCP server: thread-per-connection over `std::net`, shared compiled-
-//! program cache, server-wide metrics, and graceful shutdown.
+//! The TCP server: shared compiled-program cache, server-wide metrics, and
+//! graceful shutdown, over either of two connection executors:
+//!
+//! * **Pool** (the default): one reactor thread doing non-blocking accept
+//!   and readiness polling plus a fixed worker pool with budget-weighted
+//!   fair scheduling and admission control — see [`crate::pool`]. Idle
+//!   sessions cost no thread; requests may be pipelined per connection.
+//! * **PerConnection**: the legacy thread-per-connection loop, kept as a
+//!   benchmark baseline and escape hatch
+//!   ([`ServerConfig::threading`](crate::pool::ServerConfig)).
+//!
+//! Both executors share [`dispatch`], so the observable protocol — error
+//! strings included — is identical.
 //!
 //! ## Shutdown protocol
 //!
-//! `shutdown` (the op or [`Server::shutdown`]) flips a flag and pokes the
-//! listener with a loopback connect so the blocked `accept` observes it.
-//! From then on new connections are answered with a single
-//! `shutting_down` error line and dropped; existing sessions keep being
-//! served until their clients disconnect (`quit` or EOF). [`Server::join`]
-//! returns only after the accept loop has exited *and* every worker has
-//! drained — no session is ever torn down mid-request.
+//! `shutdown` (the op or [`Server::shutdown`]) flips a flag and wakes the
+//! listener (reactor wake pipe + a loopback connect poke, so the legacy
+//! blocking `accept` observes it too). From then on new connections are
+//! answered with a single `shutting_down` error line and dropped; existing
+//! sessions keep being served until their clients disconnect (`quit` or
+//! EOF) — including responses to requests already decoded into a session's
+//! pipeline FIFO, which are executed and delivered, never dropped.
+//! [`Server::join`] returns only after every executor thread has drained —
+//! no session is ever torn down mid-request.
 
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -23,12 +36,13 @@ use starling_sql::json::Json;
 use starling_storage::SyncPolicy;
 
 use crate::cache::ScriptCache;
+use crate::pool::{self, sys, Scheduler, ServerConfig, Threading};
 use crate::protocol::{err_response, ok_response, ErrorCode};
 use crate::session::ServerSession;
 
 /// Hard cap on one request line. A corrupted or malicious client must not
 /// make a worker buffer unbounded input.
-const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+pub(crate) const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 
 /// The server's durable data directory: each named store is a subdirectory
 /// holding a WAL + snapshot pair, attachable by at most one session at a
@@ -90,7 +104,8 @@ pub struct ServerMetrics {
     pub errors: AtomicU64,
 }
 
-/// State shared by the accept loop and every connection worker.
+/// State shared by the executor threads (reactor + worker pool, or the
+/// accept loop + per-connection workers in legacy mode).
 pub struct Shared {
     /// The compiled-program cache (script digest → loaded program).
     pub cache: ScriptCache,
@@ -100,6 +115,9 @@ pub struct Shared {
     pub durable: Option<Arc<DurableRoot>>,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    config: ServerConfig,
+    sched: Scheduler,
+    waker: Mutex<Option<sys::Waker>>,
 }
 
 impl Shared {
@@ -108,12 +126,37 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The fair scheduler / admission state (zeros in legacy mode).
+    pub(crate) fn sched(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Wakes the reactor out of its poll (no-op in legacy mode).
+    pub(crate) fn wake_reactor(&self) {
+        if let Some(w) = self
+            .waker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            w.wake();
+        }
+    }
+
     /// Starts draining: refuse new connections, let existing sessions
     /// finish. Idempotent.
     pub fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the blocked accept() so it observes the flag. The poke
-        // connection is answered with the shutting_down line and dropped.
+        self.wake_reactor();
+        // Poke the listener so a blocked accept() (legacy mode) observes
+        // the flag; the reactor also sees it as a readable listener. The
+        // poke connection is answered with the shutting_down line and
+        // dropped.
         let _ = TcpStream::connect(self.addr);
     }
 
@@ -144,15 +187,17 @@ impl Shared {
                     ("misses", Json::from(misses as i64)),
                 ]),
             ),
+            ("scheduler", self.sched.stats_json(&self.config)),
         ])
     }
 }
 
-/// A running server: accept loop on its own thread, one worker thread per
+/// A running server: in pool mode a reactor thread plus a fixed worker
+/// pool; in legacy mode an accept loop with one worker thread per
 /// connection.
 pub struct Server {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -170,6 +215,16 @@ impl Server {
         addr: A,
         durable: Option<DurableRoot>,
     ) -> std::io::Result<Server> {
+        Server::bind_cfg(addr, durable, ServerConfig::default())
+    }
+
+    /// [`Server::bind_with`] with explicit tuning: worker count, admission
+    /// cap, threading mode, test hooks.
+    pub fn bind_cfg<A: ToSocketAddrs>(
+        addr: A,
+        durable: Option<DurableRoot>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let shared = Arc::new(Shared {
             cache: ScriptCache::new(),
@@ -177,15 +232,30 @@ impl Server {
             durable: durable.map(Arc::new),
             shutdown: AtomicBool::new(false),
             addr: listener.local_addr()?,
+            config,
+            sched: Scheduler::new(),
+            waker: Mutex::new(None),
         });
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
-        };
-        Ok(Server {
-            shared,
-            accept: Some(accept),
-        })
+        let mut threads = Vec::new();
+        match config.threading {
+            Threading::Pool => {
+                let (waker, wake_rx) = sys::wake_pair()?;
+                *shared.waker.lock().unwrap_or_else(PoisonError::into_inner) = Some(waker);
+                for _ in 0..config.effective_workers() {
+                    let shared = Arc::clone(&shared);
+                    threads.push(std::thread::spawn(move || pool::worker_loop(shared)));
+                }
+                let shared_r = Arc::clone(&shared);
+                threads.push(std::thread::spawn(move || {
+                    pool::reactor_loop(listener, wake_rx, shared_r)
+                }));
+            }
+            Threading::PerConnection => {
+                let shared_a = Arc::clone(&shared);
+                threads.push(std::thread::spawn(move || accept_loop(listener, shared_a)));
+            }
+        }
+        Ok(Server { shared, threads })
     }
 
     /// The bound address.
@@ -203,11 +273,11 @@ impl Server {
         self.shared.initiate_shutdown();
     }
 
-    /// Waits until the accept loop has exited and every session has
+    /// Waits until every executor thread has exited and every session has
     /// drained. Call [`Server::shutdown`] first (or have a client send the
     /// `shutdown` op), or this blocks forever.
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
+        for h in self.threads.drain(..) {
             let _ = h.join();
         }
     }
@@ -245,7 +315,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn refuse(mut stream: TcpStream) {
+pub(crate) fn refuse(mut stream: TcpStream) {
     let line = err_response(
         None,
         ErrorCode::ShuttingDown,
@@ -391,6 +461,20 @@ fn handle_line(line: &str, session: &mut ServerSession, shared: &Arc<Shared>) ->
             false,
         );
     };
+    dispatch(op, id, &req, session, shared)
+}
+
+/// Executes one parsed request against a session. Shared by both
+/// executors: the legacy per-connection loop calls it via [`handle_line`],
+/// the worker pool calls it directly with requests decoded ahead by the
+/// reactor. Returns the response line and whether the connection is done.
+pub(crate) fn dispatch(
+    op: &str,
+    id: Option<&Json>,
+    req: &Json,
+    session: &mut ServerSession,
+    shared: &Shared,
+) -> (String, bool) {
     match op {
         "stats" => (
             ok_response(
@@ -413,7 +497,12 @@ fn handle_line(line: &str, session: &mut ServerSession, shared: &Arc<Shared>) ->
             ok_response(id, Json::obj([("bye", Json::Bool(true))])),
             true,
         ),
-        _ => match session.handle_op(op, &req, &shared.cache) {
+        // Test-only fault hook (off unless `ServerConfig::crash_op`): a
+        // deliberate worker panic, proving panic containment end to end.
+        "crash" if shared.config.crash_op => {
+            panic!("crash op: deliberate worker panic (test hook)")
+        }
+        _ => match session.handle_op(op, req, &shared.cache) {
             Ok(result) => (ok_response(id, result), false),
             Err((code, message, data)) => (err_response(id, code, &message, data), false),
         },

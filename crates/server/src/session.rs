@@ -147,7 +147,11 @@ impl ServerSession {
     }
 
     /// Dispatches one session-level op. Server-level ops (`stats` partly,
-    /// `shutdown`, `quit`) are handled by the connection loop.
+    /// `shutdown`, `quit`) are handled by the executor's `dispatch` before
+    /// it gets here; under the worker pool, sessions migrate across worker
+    /// threads between requests (hence `ServerSession: Send`), but at most
+    /// one request executes per session at a time, so `&mut self` remains
+    /// the honest signature.
     pub fn handle_op(&mut self, op: &str, req: &Json, cache: &ScriptCache) -> OpResult {
         match op {
             "ping" => Ok(Json::obj([("pong", Json::Bool(true))])),

@@ -161,6 +161,58 @@ wait "$SERVER2_PID" 2>/dev/null || true
 SERVER2_PID=""
 echo "kill-restart-verify OK (digest $DIGEST_AFTER)"
 
+# Kill-mid-pipeline: a client pipelines a store-bound load plus a burst of
+# execs into one socket write, ends with a half-written request line, and
+# vanishes without reading a single response. The server must discard the
+# torn line, drop the dead session's queued work, release the store's
+# single-writer claim, and keep serving — a healthy client must be able to
+# reattach to the same store and the server must still drain cleanly.
+"$BIN" serve --addr 127.0.0.1:0 --data-dir "$DATADIR" --sync always >"$LOG2" 2>&1 &
+SERVER2_PID=$!
+ADDR4=$(wait_for_addr "$LOG2")
+PORT4=${ADDR4##*:}
+exec 3<>"/dev/tcp/127.0.0.1/${PORT4}"
+{
+  printf '%s\n' '{"id":1,"op":"load","persist":"smoke"}'
+  printf '%s\n' '{"id":2,"op":"exec","sql":"insert into t values (3);"}'
+  printf '%s\n' '{"id":3,"op":"exec","sql":"insert into t values (4);"}'
+  printf '%s' '{"id":4,"op":"exec","sql":"insert into t val'
+} >&3
+exec 3>&- 3<&-
+echo "pipelined client killed mid-request-line"
+
+# The dead session's store claim is released when the server reaps the
+# connection; retry the reattach until it lands.
+REATTACHED=""
+for _ in $(seq 1 100); do
+  REATTACHED=$("$BIN" client --addr "$ADDR4" <<'EOF' || true
+{"id":1,"op":"load","persist":"smoke"}
+{"id":2,"op":"digest"}
+{"id":3,"op":"ping"}
+{"id":4,"op":"shutdown"}
+{"id":5,"op":"quit"}
+EOF
+)
+  echo "$REATTACHED" | grep -q '"id":1,"ok":true' && break
+  sleep 0.1
+done
+echo "$REATTACHED"
+echo "$REATTACHED" | grep -q '"id":1,"ok":true'
+echo "$REATTACHED" | grep -q '"id":2,"ok":true'
+echo "$REATTACHED" | grep -q '"id":3,"ok":true,"result":{"pong":true}'
+echo "$REATTACHED" | grep -q '"id":5,"ok":true,"result":{"bye":true}'
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER2_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER2_PID" 2>/dev/null; then
+  echo "server did not drain after kill-mid-pipeline" >&2
+  exit 1
+fi
+wait "$SERVER2_PID" 2>/dev/null || true
+SERVER2_PID=""
+echo "kill-mid-pipeline OK"
+
 # Load snapshot: N concurrent sessions vs N one-shot CLI invocations,
 # recorded in the JSON history.
 cargo run --release -q -p starling-bench --bin bench_server -- \
